@@ -1,0 +1,57 @@
+// A1 (Sec. 4 worked example): sizing a P-Grid for Gnutella-scale file sharing.
+//
+// 10^7 files, 10-byte references, 10^5 bytes of index space per peer, peers online
+// 30% of the time. The paper derives: key length k = 10, refmax = 20 gives > 99%
+// search success, and >= 20409 peers support the replication. This binary evaluates
+// the closed forms and prints a small sensitivity sweep around the design point.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/analysis.h"
+
+namespace pgrid {
+namespace {
+
+void Run(const bench::Args& args) {
+  (void)args;
+  bench::Banner("A1: Sec. 4 sizing example",
+                "Sec. 4 (d_global=10^7, r=10B, s_peer=10^5B, i_leaf=10^4-200, "
+                "refmax=20, p=0.3)",
+                "k=10, success > 99%, min community ~20409 peers");
+
+  auto result = EvaluateSizing(GnutellaExampleInput());
+  const SizingResult& r = result.value();
+  std::printf("i_peer (refs storable/peer):  %.0f\n", r.i_peer);
+  std::printf("key length k (eq. 1):         %zu     (paper: 10)\n", r.key_length);
+  std::printf("index entries used:           %.0f  (budget %.0f -> feasible: %s)\n",
+              r.index_entries, r.i_peer, r.storage_feasible ? "yes" : "no");
+  std::printf("min peers (eq. 2):            %.0f  (paper: > 20409)\n", r.min_peers);
+  std::printf("search success (eq. 3):       %.6f (paper: > 0.99)\n\n",
+              r.search_success);
+
+  std::printf("sensitivity: success probability vs refmax at p=0.3, k=10\n");
+  std::printf("%7s | %10s\n", "refmax", "success");
+  std::printf("--------+-----------\n");
+  for (size_t refmax : {1u, 2u, 5u, 10u, 15u, 20u, 25u}) {
+    std::printf("%7zu | %10.6f\n", refmax,
+                SearchSuccessProbability(0.3, refmax, 10));
+  }
+
+  std::printf("\nsensitivity: success probability vs online probability at "
+              "refmax=20, k=10\n");
+  std::printf("%7s | %10s\n", "p", "success");
+  std::printf("--------+-----------\n");
+  for (double p : {0.05, 0.1, 0.2, 0.3, 0.5, 0.8}) {
+    std::printf("%7.2f | %10.6f\n", p, SearchSuccessProbability(p, 20, 10));
+  }
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

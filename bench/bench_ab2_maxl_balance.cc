@@ -1,0 +1,94 @@
+// AB2 (ablation, Sec. 3 discussion): the maxl bound prevents overspecialization.
+//
+// "Simulations show that this results in a more uniform distribution of path lengths
+// among peers and better convergence of the P-Grid." We compare the path-length
+// distribution after the same number of meetings with maxl = 6 vs effectively
+// unbounded (maxl = 32): without the bound some peers specialize far beyond the
+// useful depth while others lag, widening the distribution.
+//
+// Flags: --peers, --meetings, --seed.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/stats.h"
+
+namespace pgrid {
+namespace {
+
+struct Outcome {
+  double mean = 0;
+  double stddev = 0;
+  size_t min_depth = 0;
+  size_t max_depth = 0;
+  std::map<size_t, size_t> hist;
+};
+
+Outcome RunConfig(size_t n, size_t maxl, uint64_t meetings, uint64_t seed) {
+  Grid grid(n);
+  Rng rng(seed);
+  ExchangeConfig cfg;
+  cfg.maxl = maxl;
+  cfg.refmax = 2;
+  cfg.recmax = 2;
+  cfg.recursion_fanout = 2;
+  ExchangeEngine exchange(&grid, cfg, &rng);
+  MeetingScheduler scheduler(n);
+  for (uint64_t m = 0; m < meetings; ++m) {
+    Meeting mt = scheduler.Next(&rng);
+    exchange.Exchange(mt.a, mt.b);
+  }
+  Outcome out;
+  out.hist = GridStats::PathLengthHistogram(grid);
+  out.min_depth = out.hist.begin()->first;
+  out.max_depth = out.hist.rbegin()->first;
+  double sum = 0, sq = 0;
+  for (const PeerState& p : grid) {
+    sum += static_cast<double>(p.depth());
+    sq += static_cast<double>(p.depth()) * static_cast<double>(p.depth());
+  }
+  out.mean = sum / static_cast<double>(n);
+  out.stddev = std::sqrt(std::max(0.0, sq / static_cast<double>(n) - out.mean * out.mean));
+  return out;
+}
+
+void Print(const char* label, const Outcome& o) {
+  std::printf("%s: mean depth %.2f, stddev %.2f, range [%zu, %zu]\n", label, o.mean,
+              o.stddev, o.min_depth, o.max_depth);
+  for (const auto& [len, count] : o.hist) {
+    std::printf("  depth %2zu: %5zu %.*s\n", len, count,
+                static_cast<int>(std::min<size_t>(50, count / 10)),
+                "##################################################");
+  }
+}
+
+void Run(const bench::Args& args) {
+  const size_t n = static_cast<size_t>(args.GetInt("peers", 500));
+  const uint64_t meetings = args.GetInt("meetings", 20000);
+  const uint64_t seed = args.GetInt("seed", 42);
+
+  bench::Banner("AB2: maxl bound vs unbounded specialization",
+                "Sec. 3 design discussion (path-length balance)",
+                "bounded maxl concentrates depths; unbounded widens the spread "
+                "(overspecialization)");
+
+  Outcome bounded = RunConfig(n, 6, meetings, seed);
+  Outcome unbounded = RunConfig(n, 32, meetings, seed);
+  Print("maxl=6 (bounded)", bounded);
+  std::printf("\n");
+  Print("maxl=32 (effectively unbounded)", unbounded);
+  std::printf("\npath-length spread: stddev %.2f bounded vs %.2f unbounded; depth "
+              "range %zu..%zu vs %zu..%zu\n",
+              bounded.stddev, unbounded.stddev, bounded.min_depth, bounded.max_depth,
+              unbounded.min_depth, unbounded.max_depth);
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

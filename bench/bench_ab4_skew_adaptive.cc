@@ -1,0 +1,118 @@
+// AB4 (ablation, Sec. 6 extension): data-aware splitting under skewed keys.
+//
+// The paper's base algorithm assumes uniform keys; under skew, uniform splitting
+// leaves the peers of dense regions with far bigger leaf indexes than those of
+// sparse regions. DataThresholdPolicy splits a region only while it holds enough
+// data, growing the trie deeper exactly where the keys are. We compare per-peer
+// leaf-index load (max, p99, imbalance = max/mean) for plain maxl splitting vs the
+// adaptive policy, on uniform and on heavily biased key populations.
+//
+// Flags: --peers, --items, --seed, --bias (P(bit=1) for the skewed corpus).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/split_policy.h"
+#include "core/stats.h"
+#include "workload/corpus.h"
+#include "workload/key_generator.h"
+
+namespace pgrid {
+namespace {
+
+struct LoadProfile {
+  double mean = 0;
+  size_t max = 0;
+  size_t p99 = 0;
+  double imbalance = 0;  // max / mean
+  double avg_depth = 0;
+  size_t empty_peers = 0;
+};
+
+LoadProfile Run(size_t num_peers, size_t num_items, double bias, bool adaptive,
+                uint64_t seed) {
+  Grid grid(num_peers);
+  Rng rng(seed);
+  ExchangeConfig config;
+  config.maxl = adaptive ? 12 : 6;  // adaptive: generous hard cap, policy decides
+  config.refmax = 3;
+  config.recmax = 2;
+  config.recursion_fanout = 2;
+  DataThresholdPolicy policy(/*min_items=*/2 * num_items / num_peers + 4,
+                             /*hard_cap=*/12, /*bootstrap_depth=*/1,
+                             /*clone_imbalance=*/3.0);
+  ExchangeEngine exchange(&grid, config, &rng, nullptr,
+                          adaptive ? &policy : nullptr);
+
+  KeyGenerator gen(bias == 0.5 ? KeyGenerator::Mode::kUniform
+                               : KeyGenerator::Mode::kBiasedBits,
+                   16, bias);
+  std::vector<PeerId> holders;
+  auto corpus = MakeCorpus(num_items, num_peers, gen, &rng, &holders);
+  SeedGridAtHolders(&grid, corpus, holders);
+
+  MeetingScheduler scheduler(num_peers);
+  for (size_t m = 0; m < num_peers * 400; ++m) {
+    Meeting meeting = scheduler.Next(&rng);
+    exchange.Exchange(meeting.a, meeting.b);
+  }
+
+  LoadProfile out;
+  std::vector<size_t> loads;
+  for (const PeerState& p : grid) {
+    loads.push_back(p.index().size());
+    out.avg_depth += static_cast<double>(p.depth());
+    if (p.index().empty()) ++out.empty_peers;
+  }
+  out.avg_depth /= static_cast<double>(num_peers);
+  std::sort(loads.begin(), loads.end());
+  size_t total = 0;
+  for (size_t l : loads) total += l;
+  out.mean = static_cast<double>(total) / static_cast<double>(num_peers);
+  out.max = loads.back();
+  out.p99 = loads[loads.size() * 99 / 100];
+  out.imbalance = out.mean > 0 ? static_cast<double>(out.max) / out.mean : 0;
+  return out;
+}
+
+void Print(const char* label, const LoadProfile& p) {
+  std::printf("%-22s | %8.1f %6zu %6zu %9.1f | %9.2f %11zu\n", label, p.mean, p.p99,
+              p.max, p.imbalance, p.avg_depth, p.empty_peers);
+}
+
+void RunAll(const bench::Args& args) {
+  const size_t peers = static_cast<size_t>(args.GetInt("peers", 512));
+  const size_t items = static_cast<size_t>(args.GetInt("items", 8192));
+  // Default 0.3: heavy but physically coverable skew (the depth needed to dilute
+  // the hottest region stays within the policy's hard cap). Pathological values
+  // like 0.1 concentrate more mass in one corner than any bounded-depth trie can
+  // spread; the policy still helps there but cannot fully equalize.
+  const double bias = args.GetDouble("bias", 0.3);
+  const uint64_t seed = args.GetInt("seed", 42);
+
+  bench::Banner("AB4: skew-adaptive splitting",
+                "Sec. 6 extension (data-aware construction)",
+                "under skewed keys, the adaptive policy cuts the leaf-load "
+                "imbalance (max/mean) versus plain maxl splitting");
+
+  std::printf("%zu peers, %zu items, bias %.2f\n\n", peers, items, bias);
+  std::printf("%-22s | %8s %6s %6s %9s | %9s %11s\n", "configuration",
+              "mean", "p99", "max", "max/mean", "avg depth", "empty peers");
+  std::printf("-----------------------+----------------------------------+----------"
+              "-------------\n");
+  Print("uniform keys, plain", Run(peers, items, 0.5, false, seed));
+  Print("uniform keys, adaptive", Run(peers, items, 0.5, true, seed + 1));
+  Print("skewed keys, plain", Run(peers, items, bias, false, seed + 2));
+  Print("skewed keys, adaptive", Run(peers, items, bias, true, seed + 3));
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::RunAll(args);
+  return 0;
+}

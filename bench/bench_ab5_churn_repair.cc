@@ -1,0 +1,98 @@
+// AB5 (ablation, Sec. 6 extension): self-healing under sustained churn.
+//
+// A converged grid is subjected to rounds of crashes and joins. Three variants:
+//  - frozen:     no further exchanges (the structure decays as references die),
+//  - gossip:     exchanges continue, but dead references are never pruned,
+//  - gossip+prune: exchanges continue with gossip-time failure detection
+//                  (ExchangeConfig::prune_unreachable_refs).
+// After each round we measure search success over live peers. The self-organizing
+// claim of the paper predicts that continued exchanges keep the structure
+// navigable; pruning additionally flushes dead references.
+//
+// Flags: --peers, --rounds, --crash (fraction/round), --join, --seed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/churn.h"
+#include "core/search.h"
+
+namespace pgrid {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool gossip;
+  bool prune;
+};
+
+void Run(const bench::Args& args) {
+  const size_t peers = static_cast<size_t>(args.GetInt("peers", 512));
+  const size_t rounds = static_cast<size_t>(args.GetInt("rounds", 8));
+  const double crash = args.GetDouble("crash", 0.15);
+  const double join = args.GetDouble("join", 0.15);
+  const uint64_t seed = args.GetInt("seed", 42);
+  const size_t maxl = 6;
+
+  bench::Banner("AB5: self-healing under churn",
+                "Sec. 6 extension (continuously adapting structures)",
+                "search success decays when the structure is frozen; continued "
+                "exchanges (+pruning) keep it high");
+
+  const Variant variants[] = {{"frozen", false, false},
+                              {"gossip", true, false},
+                              {"gossip+prune", true, true}};
+
+  std::printf("%zu peers, %.0f%% crash + %.0f%% join per round, %zu rounds\n\n",
+              peers, 100 * crash, 100 * join, rounds);
+  std::printf("%-14s", "variant");
+  for (size_t r = 1; r <= rounds; ++r) std::printf(" | r%-2zu %%ok", r);
+  std::printf("\n");
+
+  for (const Variant& variant : variants) {
+    Grid grid(peers);
+    Rng rng(seed);
+    OnlineModel online = OnlineModel::AlwaysOn(peers);
+    ExchangeConfig config;
+    config.maxl = maxl;
+    config.refmax = 4;
+    config.recmax = 2;
+    config.recursion_fanout = 2;
+    config.prune_unreachable_refs = variant.prune;
+    ExchangeEngine exchange(&grid, config, &rng, &online);
+    MeetingScheduler scheduler(peers);
+    GridBuilder builder(&grid, &exchange, &scheduler, &rng);
+    builder.BuildToFractionOfMaxDepth(0.99, 100'000'000);
+    ChurnDriver driver(&grid, &exchange, &scheduler, &online, &rng);
+
+    std::printf("%-14s", variant.name);
+    for (size_t r = 0; r < rounds; ++r) {
+      ChurnConfig churn;
+      churn.crash_fraction = crash;
+      churn.join_fraction = join;
+      churn.meetings_per_round = variant.gossip ? peers * 25 : 0;
+      driver.Round(churn);
+
+      SearchEngine search(&grid, &online, &rng);
+      size_t ok = 0;
+      const size_t trials = 500;
+      for (size_t t = 0; t < trials; ++t) {
+        PeerId start = driver.RandomLivePeer();
+        if (search.Query(start, KeyPath::Random(&rng, maxl)).found) ++ok;
+      }
+      std::printf(" | %7.1f", 100.0 * static_cast<double>(ok) / trials);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(searches run from live peers only; crashed peers are pinned "
+              "offline forever, joiners start with empty paths)\n");
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

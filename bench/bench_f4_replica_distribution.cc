@@ -1,0 +1,77 @@
+// F4 (Sec. 5.2, Figure 4): replica distribution of the Gnutella-scale grid.
+//
+// 20,000 peers, maxl = 10, refmax = 20, built to average depth 9.43 (where the paper
+// stopped after 1,250,743 exchanges / ~62 per peer / 10 hours of Mathematica).
+// Expected: a roughly bell-shaped histogram of replication factors centred near
+// N / 2^maxl ~ 19.5; paper reports an average of 19.46 replicas per peer.
+//
+// Flags: --peers, --maxl, --refmax, --target (avg depth), --seed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/stats.h"
+
+namespace pgrid {
+namespace {
+
+void Run(const bench::Args& args) {
+  const size_t n = static_cast<size_t>(args.GetInt("peers", 20000));
+  const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 10));
+  const size_t refmax = static_cast<size_t>(args.GetInt("refmax", 20));
+  const double target = args.GetDouble("target", 9.43);
+  const uint64_t seed = args.GetInt("seed", 42);
+
+  bench::Banner("F4: replica distribution",
+                "Sec. 5.2 Fig. 4 (N=20000, maxl=10, refmax=20, avg depth 9.43)",
+                "balanced bell-shaped histogram; paper avg replication factor 19.46");
+
+  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target);
+  std::printf("built: avg depth %.3f after %llu exchanges (%.1f per peer), %.2fs "
+              "(paper: 1250743 exchanges, 62/peer, ~10 hours)\n\n",
+              s.report.avg_path_length,
+              static_cast<unsigned long long>(s.report.exchanges),
+              static_cast<double>(s.report.exchanges) / static_cast<double>(n),
+              s.report.seconds);
+
+  auto hist = GridStats::ReplicaHistogram(*s.grid);
+  const double avg = GridStats::AverageReplicationFactor(*s.grid);
+  size_t max_count = 1;
+  for (const auto& [factor, count] : hist) max_count = std::max(max_count, count);
+
+  std::printf("%7s | %6s | histogram\n", "factor", "peers");
+  std::printf("--------+--------+------------------------------------------\n");
+  for (const auto& [factor, count] : hist) {
+    const int bar = static_cast<int>(40.0 * static_cast<double>(count) /
+                                     static_cast<double>(max_count));
+    std::printf("%7zu | %6zu | %.*s\n", factor, count, bar,
+                "########################################");
+  }
+  std::printf("\naverage exact-path replication factor: %.2f\n", avg);
+
+  // The paper's headline number (19.46 ~ N / 2^maxl) counts replication at the
+  // granularity of complete keys: all peers co-responsible for a random key of
+  // length maxl. Report that metric too.
+  double key_level = 0;
+  const int samples = 256;
+  Rng key_rng(seed + 999);
+  for (int i = 0; i < samples; ++i) {
+    KeyPath key = KeyPath::Random(&key_rng, maxl);
+    key_level += static_cast<double>(GridStats::ReplicasOf(*s.grid, key).size());
+  }
+  std::printf("average key-level replication factor: %.2f (paper: 19.46; N/2^maxl = "
+              "%.2f)\n",
+              key_level / samples,
+              static_cast<double>(n) / static_cast<double>(size_t{1} << maxl));
+  std::printf("distinct responsibility paths (all lengths): %zu\n",
+              GridStats::ReplicaCounts(*s.grid).size());
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

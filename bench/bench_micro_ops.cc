@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark) for the core operations: key algebra,
+// exchange execution, query routing, and update propagation on a prebuilt grid.
+// These measure implementation throughput, complementing the experiment binaries
+// that reproduce the paper's tables.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/search.h"
+#include "core/update.h"
+#include "key/key_path.h"
+
+namespace pgrid {
+namespace {
+
+void BM_KeyPathCommonPrefix(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  KeyPath a = KeyPath::Random(&rng, len);
+  KeyPath b = a;
+  if (len > 0) {
+    b.PopBack();
+    b.PushBack(ComplementBit(a.bit(len - 1)));  // differ at the last bit
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CommonPrefixLength(b));
+  }
+}
+BENCHMARK(BM_KeyPathCommonPrefix)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_KeyPathRandom(benchmark::State& state) {
+  Rng rng(2);
+  const size_t len = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyPath::Random(&rng, len));
+  }
+}
+BENCHMARK(BM_KeyPathRandom)->Arg(10)->Arg(64);
+
+void BM_ExchangeMeeting(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Grid grid(n);
+  Rng rng(3);
+  ExchangeConfig cfg;
+  cfg.maxl = 10;
+  cfg.refmax = 4;
+  cfg.recmax = 2;
+  cfg.recursion_fanout = 2;
+  ExchangeEngine exchange(&grid, cfg, &rng);
+  MeetingScheduler scheduler(n);
+  for (auto _ : state) {
+    Meeting m = scheduler.Next(&rng);
+    exchange.Exchange(m.a, m.b);
+  }
+  state.counters["exchanges"] = static_cast<double>(exchange.num_exchanges());
+}
+BENCHMARK(BM_ExchangeMeeting)->Arg(1000)->Arg(10000);
+
+void BM_Query(benchmark::State& state) {
+  static bench::GridSetup setup =
+      bench::BuildGrid(static_cast<size_t>(state.range(0)), 8, 4, 2, 2, /*seed=*/4);
+  Rng rng(5);
+  SearchEngine search(setup.grid.get(), nullptr, &rng);
+  uint64_t found = 0;
+  for (auto _ : state) {
+    KeyPath q = KeyPath::Random(&rng, 8);
+    PeerId start = static_cast<PeerId>(rng.UniformIndex(setup.grid->size()));
+    found += search.Query(start, q).found ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_Query)->Arg(4096);
+
+void BM_BfsUpdate(benchmark::State& state) {
+  static bench::GridSetup setup = bench::BuildGrid(4096, 8, 4, 2, 2, /*seed=*/6);
+  Rng rng(7);
+  UpdateEngine update(setup.grid.get(), nullptr, &rng);
+  UpdateConfig cfg;
+  cfg.recbreadth = 2;
+  cfg.repetition = 1;
+  for (auto _ : state) {
+    KeyPath q = KeyPath::Random(&rng, 8);
+    benchmark::DoNotOptimize(
+        update.Probe(q, UpdateStrategy::kBreadthFirst, cfg).reached.size());
+  }
+}
+BENCHMARK(BM_BfsUpdate);
+
+}  // namespace
+}  // namespace pgrid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// T1 (Sec. 5.1, first table): construction cost vs community size.
+//
+// N in {200..1000}, maxl = 6, threshold 99% of maxl, refmax = 1, recmax in {0, 2}.
+// Paper reference values: e/N ~ 70-80 for recmax = 0, ~23-26 for recmax = 2, flat in
+// N (linear total cost).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pgrid {
+namespace {
+
+void Run(const bench::Args& args) {
+  const uint64_t seed = args.GetInt("seed", 42);
+  const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 6));
+  const int trials = static_cast<int>(args.GetInt("trials", 5));
+  // Paper reference e/N per (N, recmax) for orientation in the output.
+  const double paper_rec0[] = {79.71, 69.08, 72.39, 74.01, 74.61};
+  const double paper_rec2[] = {24.68, 25.95, 25.38, 23.22, 25.16};
+
+  bench::Banner("T1: peers vs exchanges",
+                "Sec. 5.1 table 1 (N=200..1000, maxl=6, refmax=1, recmax 0 and 2)",
+                "e grows linearly in N; e/N roughly constant; recmax=2 ~3x cheaper");
+  std::printf("(measured values averaged over %d trials; the paper reports single "
+              "runs)\n\n", trials);
+
+  auto average = [&](size_t n, size_t recmax, uint64_t salt) {
+    uint64_t sum = 0;
+    for (int t = 0; t < trials; ++t) {
+      auto s = bench::BuildGrid(n, maxl, /*refmax=*/1, recmax,
+                                /*fanout=*/0, seed + salt + 977 * t);
+      sum += s.report.exchanges;
+    }
+    return static_cast<double>(sum) / trials;
+  };
+
+  std::printf("%6s | %10s %8s %12s | %10s %8s %12s\n", "N", "e(rec0)", "e/N",
+              "paper e/N", "e(rec2)", "e/N", "paper e/N");
+  std::printf("-------+----------------------------------+--------------------------"
+              "--------\n");
+  int row = 0;
+  for (size_t n : {200u, 400u, 600u, 800u, 1000u}) {
+    const double e0 = average(n, 0, n);
+    const double e2 = average(n, 2, n + 1);
+    std::printf("%6zu | %10.0f %8.2f %12.2f | %10.0f %8.2f %12.2f\n", n, e0,
+                e0 / static_cast<double>(n), paper_rec0[row], e2,
+                e2 / static_cast<double>(n), paper_rec2[row]);
+    ++row;
+  }
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

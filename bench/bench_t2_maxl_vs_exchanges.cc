@@ -1,0 +1,68 @@
+// T2 (Sec. 5.1, second table): construction cost vs maximal path length.
+//
+// N = 500, maxl in {2..7}, refmax = 1, recmax in {0, 2}. Paper: cost roughly doubles
+// per extra level without recursion (ratio ~2); recmax = 2 flattens the growth
+// (ratios ~1.1-1.6).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pgrid {
+namespace {
+
+void Run(const bench::Args& args) {
+  const uint64_t seed = args.GetInt("seed", 42);
+  const size_t n = static_cast<size_t>(args.GetInt("peers", 500));
+  const double paper_rec0[] = {9.78, 19.56, 36.14, 71.05, 145.31, 343.54};
+  const double paper_rec2[] = {11.18, 14.57, 16.43, 26.59, 35.59, 55.99};
+
+  bench::Banner("T2: maxl vs exchanges",
+                "Sec. 5.1 table 2 (N=500, maxl=2..7, refmax=1, recmax 0 and 2)",
+                "exponential growth (~2x per level) without recursion; recmax=2 tames it");
+
+  std::printf("%5s | %10s %8s %12s %7s | %10s %8s %12s %7s\n", "maxl", "e(rec0)",
+              "e/N", "paper e/N", "ratio", "e(rec2)", "e/N", "paper e/N", "ratio");
+  std::printf("------+------------------------------------------+------------------"
+              "------------------------\n");
+  const int trials = static_cast<int>(args.GetInt("trials", 5));
+  auto average = [&](size_t maxl, size_t recmax, uint64_t salt) {
+    uint64_t sum = 0;
+    for (int t = 0; t < trials; ++t) {
+      auto s = bench::BuildGrid(n, maxl, 1, recmax, 0, seed + salt + 977 * t);
+      sum += s.report.exchanges;
+    }
+    return sum / static_cast<uint64_t>(trials);
+  };
+  uint64_t prev0 = 0, prev2 = 0;
+  int row = 0;
+  for (size_t maxl = 2; maxl <= 7; ++maxl) {
+    const uint64_t e0 = average(maxl, 0, maxl * 2);
+    const uint64_t e2 = average(maxl, 2, maxl * 2 + 1);
+    std::printf("%5zu | %10llu %8.2f %12.2f %7s | %10llu %8.2f %12.2f %7s\n", maxl,
+                static_cast<unsigned long long>(e0),
+                static_cast<double>(e0) / static_cast<double>(n), paper_rec0[row],
+                prev0 ? std::to_string(static_cast<double>(e0) / prev0)
+                            .substr(0, 5)
+                            .c_str()
+                      : "-",
+                static_cast<unsigned long long>(e2),
+                static_cast<double>(e2) / static_cast<double>(n), paper_rec2[row],
+                prev2 ? std::to_string(static_cast<double>(e2) / prev2)
+                            .substr(0, 5)
+                            .c_str()
+                      : "-");
+    prev0 = e0;
+    prev2 = e2;
+    ++row;
+  }
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

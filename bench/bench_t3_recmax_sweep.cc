@@ -1,0 +1,52 @@
+// T3 (Sec. 5.1, third table): the recursion depth bound has an optimum.
+//
+// N = 500, maxl = 6, refmax = 1, recmax in {0..6}. Paper: cost falls steeply from
+// recmax 0 to 2 (70.9 -> 25.5 e/N), then slowly rises again (overspecialization).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pgrid {
+namespace {
+
+void Run(const bench::Args& args) {
+  const uint64_t seed = args.GetInt("seed", 42);
+  const size_t n = static_cast<size_t>(args.GetInt("peers", 500));
+  const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 6));
+  const int trials = static_cast<int>(args.GetInt("trials", 3));
+  const double paper[] = {70.87, 30.75, 25.47, 33.19, 37.91, 44.85, 50.26};
+
+  bench::Banner("T3: recmax sweep",
+                "Sec. 5.1 table 3 (N=500, maxl=6, refmax=1, recmax=0..6)",
+                "steep drop to a small optimum (paper: recmax=2), mild rise after");
+
+  std::printf("%7s | %10s %8s | %12s\n", "recmax", "e(avg)", "e/N", "paper e/N");
+  std::printf("--------+---------------------+-------------\n");
+  double best_ratio = 1e18;
+  size_t best_recmax = 0;
+  for (size_t recmax = 0; recmax <= 6; ++recmax) {
+    uint64_t sum = 0;
+    for (int t = 0; t < trials; ++t) {
+      auto s = bench::BuildGrid(n, maxl, 1, recmax, 0, seed + recmax * 101 + t);
+      sum += s.report.exchanges;
+    }
+    const double e = static_cast<double>(sum) / trials;
+    const double ratio = e / static_cast<double>(n);
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best_recmax = recmax;
+    }
+    std::printf("%7zu | %10.0f %8.2f | %12.2f\n", recmax, e, ratio, paper[recmax]);
+  }
+  std::printf("\nmeasured optimum: recmax=%zu (paper: recmax=2)\n", best_recmax);
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// T4 (Sec. 5.1, fourth table): with unbounded recursion fan-out the construction
+// cost explodes in refmax -- "a weakness in the algorithm we proposed".
+//
+// N = 1000, maxl = 6, recmax = 2, refmax in {1..4}, recursive calls to ALL
+// referenced peers. Paper: e/N = 25.3, 39.2, 72.1, 125.7 -- superlinear growth.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pgrid {
+namespace {
+
+void Run(const bench::Args& args) {
+  const uint64_t seed = args.GetInt("seed", 42);
+  const size_t n = static_cast<size_t>(args.GetInt("peers", 1000));
+  const double paper[] = {25.28, 39.20, 72.13, 125.72};
+
+  bench::Banner(
+      "T4: refmax sweep, UNBOUNDED recursion fan-out",
+      "Sec. 5.1 table 4 (N=1000, maxl=6, recmax=2, fan-out unbounded)",
+      "e/N grows superlinearly (roughly doubling per refmax step): the flaw the "
+      "paper identifies");
+
+  std::printf("%7s | %10s %8s | %12s\n", "refmax", "e", "e/N", "paper e/N");
+  std::printf("--------+---------------------+-------------\n");
+  for (size_t refmax = 1; refmax <= 4; ++refmax) {
+    auto s = bench::BuildGrid(n, /*maxl=*/6, refmax, /*recmax=*/2,
+                              /*fanout=*/0, seed + refmax);
+    std::printf("%7zu | %10llu %8.2f | %12.2f\n", refmax,
+                static_cast<unsigned long long>(s.report.exchanges),
+                static_cast<double>(s.report.exchanges) / static_cast<double>(n),
+                paper[refmax - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

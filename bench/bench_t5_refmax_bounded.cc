@@ -1,0 +1,42 @@
+// T5 (Sec. 5.1, fifth table): bounding the recursion fan-out to 2 stabilizes the
+// construction cost across refmax -- the paper's "simple way to fix" T4's blow-up.
+//
+// N = 1000, maxl = 6, recmax = 2, refmax in {1..4}, recursive calls to at most 2
+// randomly selected referenced peers. Paper: e/N = 23.8, 37.7, 41.0, 43.9.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pgrid {
+namespace {
+
+void Run(const bench::Args& args) {
+  const uint64_t seed = args.GetInt("seed", 42);
+  const size_t n = static_cast<size_t>(args.GetInt("peers", 1000));
+  const double paper[] = {23.826, 37.689, 40.961, 43.914};
+
+  bench::Banner("T5: refmax sweep, fan-out bounded to 2",
+                "Sec. 5.1 table 5 (N=1000, maxl=6, recmax=2, fan-out=2)",
+                "e/N saturates (~flat beyond refmax=2) instead of exploding");
+
+  std::printf("%7s | %10s %8s | %12s\n", "refmax", "e", "e/N", "paper e/N");
+  std::printf("--------+---------------------+-------------\n");
+  for (size_t refmax = 1; refmax <= 4; ++refmax) {
+    auto s = bench::BuildGrid(n, /*maxl=*/6, refmax, /*recmax=*/2,
+                              /*fanout=*/2, seed + refmax);
+    std::printf("%7zu | %10llu %8.2f | %12.2f\n", refmax,
+                static_cast<unsigned long long>(s.report.exchanges),
+                static_cast<double>(s.report.exchanges) / static_cast<double>(n),
+                paper[refmax - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

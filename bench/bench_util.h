@@ -1,0 +1,115 @@
+// Shared infrastructure for the experiment-reproduction binaries.
+//
+// Every bench binary regenerates one table or figure from the paper's evaluation. It
+// prints the measured rows next to the paper's reference values so the shape
+// comparison (who wins, by what factor, where crossovers fall) is visible in the raw
+// output. All binaries take --seed=<n> and, where meaningful, scale flags; defaults
+// reproduce the paper's configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/exchange.h"
+#include "core/grid.h"
+#include "core/grid_builder.h"
+#include "sim/meeting_scheduler.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace pgrid {
+namespace bench {
+
+/// Minimal --flag=value command line parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// Returns the integer value of --name=<v>, or `fallback`.
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return std::strtoll(value.c_str(), nullptr, 10);
+  }
+
+  /// Returns the double value of --name=<v>, or `fallback`.
+  double GetDouble(const std::string& name, double fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return std::strtod(value.c_str(), nullptr);
+  }
+
+  /// True iff --name was passed (with or without a value).
+  bool Has(const std::string& name) const {
+    std::string value;
+    return Lookup(name, &value);
+  }
+
+ private:
+  bool Lookup(const std::string& name, std::string* value) const {
+    const std::string prefix = "--" + name;
+    for (const std::string& a : args_) {
+      if (a == prefix) {
+        value->clear();
+        return true;
+      }
+      if (a.rfind(prefix + "=", 0) == 0) {
+        *value = a.substr(prefix.size() + 1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> args_;
+};
+
+/// A grid plus everything needed to keep operating on it.
+struct GridSetup {
+  ExchangeConfig config;
+  std::unique_ptr<Grid> grid;
+  std::unique_ptr<Rng> rng;
+  BuildReport report;
+};
+
+/// Builds a grid to `target_avg_depth` (or 0.99 * maxl when < 0) with fully online
+/// construction, the paper's setting.
+inline GridSetup BuildGrid(size_t num_peers, size_t maxl, size_t refmax, size_t recmax,
+                           size_t recursion_fanout, uint64_t seed,
+                           double target_avg_depth = -1.0,
+                           uint64_t max_meetings = 200'000'000,
+                           bool manage_data = true) {
+  GridSetup s;
+  s.config.maxl = maxl;
+  s.config.refmax = refmax;
+  s.config.recmax = recmax;
+  s.config.recursion_fanout = recursion_fanout;
+  s.config.manage_data = manage_data;
+  s.grid = std::make_unique<Grid>(num_peers);
+  s.rng = std::make_unique<Rng>(seed);
+  ExchangeEngine exchange(s.grid.get(), s.config, s.rng.get());
+  MeetingScheduler scheduler(num_peers);
+  GridBuilder builder(s.grid.get(), &exchange, &scheduler, s.rng.get());
+  const double target =
+      target_avg_depth < 0 ? 0.99 * static_cast<double>(maxl) : target_avg_depth;
+  s.report = builder.BuildToAverageDepth(target, max_meetings);
+  return s;
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* paper_ref,
+                   const char* expectation) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("paper: %s\n", paper_ref);
+  std::printf("expected shape: %s\n\n", expectation);
+}
+
+}  // namespace bench
+}  // namespace pgrid

@@ -1,0 +1,41 @@
+#include "baseline/central_server.h"
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+CentralServer::CentralServer(size_t num_replicas)
+    : num_replicas_(num_replicas), load_(num_replicas, 0) {
+  PGRID_CHECK_GE(num_replicas, 1u);
+}
+
+void CentralServer::Publish(const IndexEntry& entry) {
+  by_key_[entry.key].push_back(entries_.size());
+  entries_.push_back(entry);
+}
+
+CentralLookupResult CentralServer::Lookup(const KeyPath& key, Rng* rng) {
+  PGRID_CHECK(rng != nullptr);
+  ++load_[rng->UniformIndex(num_replicas_)];
+  CentralLookupResult out;
+  // Exact-key bucket first (the common case), then the prefix-overlap scan for
+  // queries shorter/longer than stored keys.
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    for (size_t idx : it->second) out.entries.push_back(entries_[idx]);
+  } else {
+    for (const IndexEntry& e : entries_) {
+      if (PathsOverlap(e.key, key)) out.entries.push_back(e);
+    }
+  }
+  out.found = !out.entries.empty();
+  return out;
+}
+
+uint64_t CentralServer::TotalLoad() const {
+  uint64_t total = 0;
+  for (uint64_t l : load_) total += l;
+  return total;
+}
+
+}  // namespace pgrid

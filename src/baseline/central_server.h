@@ -1,0 +1,61 @@
+// Centralized (optionally replicated) index-server baseline (Sec. 6 comparison).
+//
+// A central server stores an index entry for every data item: O(D) storage at the
+// server, constant storage at clients. Every lookup costs the client one message and
+// the server one unit of load, so aggregate server load grows O(N) in the number of
+// clients -- the bottleneck P-Grid avoids.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "key/key_path.h"
+#include "storage/leaf_index.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// Result of one central lookup.
+struct CentralLookupResult {
+  bool found = false;
+  std::vector<IndexEntry> entries;
+};
+
+/// A replicated central index service.
+class CentralServer {
+ public:
+  /// Creates `num_replicas` fully replicated index servers (>= 1).
+  explicit CentralServer(size_t num_replicas = 1);
+
+  /// Publishes an index entry; it is replicated to every server.
+  void Publish(const IndexEntry& entry);
+
+  /// Looks up all entries whose key overlaps `key` at a random replica.
+  CentralLookupResult Lookup(const KeyPath& key, Rng* rng);
+
+  size_t num_replicas() const { return num_replicas_; }
+
+  /// Entries stored per replica: the O(D) server storage cost.
+  size_t StoragePerReplica() const { return entries_.size(); }
+
+  /// Total entries across all replicas.
+  size_t TotalStorage() const { return entries_.size() * num_replicas_; }
+
+  /// Lookups served per replica so far (index by replica id).
+  const std::vector<uint64_t>& LoadPerReplica() const { return load_; }
+
+  /// Total lookups served: the O(N)-growing aggregate server load.
+  uint64_t TotalLoad() const;
+
+ private:
+  size_t num_replicas_;
+  // One logical copy of the index; replication is modeled by the storage accounting
+  // and by distributing lookup load across replicas.
+  std::vector<IndexEntry> entries_;
+  std::unordered_map<KeyPath, std::vector<size_t>, KeyPathHash> by_key_;
+  std::vector<uint64_t> load_;
+};
+
+}  // namespace pgrid

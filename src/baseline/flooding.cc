@@ -1,0 +1,58 @@
+#include "baseline/flooding.h"
+
+#include <deque>
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+FloodingNetwork::FloodingNetwork(size_t num_peers, const FloodingConfig& config,
+                                 Rng* rng)
+    : graph_(num_peers, config.mean_degree, rng),
+      config_(config),
+      local_items_(num_peers) {}
+
+void FloodingNetwork::PlaceItem(PeerId holder, DataItem item) {
+  PGRID_CHECK_LT(holder, local_items_.size());
+  local_items_[holder].push_back(std::move(item));
+}
+
+bool FloodingNetwork::HasMatch(PeerId peer, const KeyPath& key) const {
+  for (const DataItem& item : local_items_[peer]) {
+    if (PathsOverlap(item.key, key)) return true;
+  }
+  return false;
+}
+
+FloodResult FloodingNetwork::Search(PeerId start, const KeyPath& key,
+                                    const OnlineModel* online, Rng* rng) const {
+  FloodResult out;
+  std::vector<uint8_t> visited(num_peers(), 0);
+  // Breadth-first flood with hop budget config_.ttl.
+  std::deque<std::pair<PeerId, size_t>> frontier;  // (peer, remaining ttl)
+  if (online != nullptr && !online->IsOnline(start, rng)) return out;
+  visited[start] = 1;
+  frontier.emplace_back(start, config_.ttl);
+  while (!frontier.empty()) {
+    auto [peer, ttl] = frontier.front();
+    frontier.pop_front();
+    ++out.peers_reached;
+    if (HasMatch(peer, key)) {
+      out.found = true;
+      ++out.holders_found;
+    }
+    if (ttl == 0) continue;
+    for (PeerId next : graph_.Neighbors(peer)) {
+      if (visited[next]) continue;
+      visited[next] = 1;
+      // Forwarding costs a message whether or not the target turns out to be
+      // reachable; an offline target simply drops it.
+      ++out.messages;
+      if (online != nullptr && !online->IsOnline(next, rng)) continue;
+      frontier.emplace_back(next, ttl - 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace pgrid

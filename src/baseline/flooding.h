@@ -1,0 +1,61 @@
+// Gnutella-style flooding search baseline (Sec. 1: "search requests are broadcasted
+// over the network and each node receiving a search request scans its local
+// database").
+//
+// No index exists: a query is flooded hop-by-hop with a TTL; every reached peer scans
+// its local items for keys matching the query. The message cost is the number of
+// forwarded copies -- the quantity P-Grid's O(log N) routing is compared against.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/random_graph.h"
+#include "key/key_path.h"
+#include "sim/online_model.h"
+#include "storage/data_item.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// Configuration of the flooding overlay.
+struct FloodingConfig {
+  size_t mean_degree = 4;  ///< overlay connectivity
+  size_t ttl = 7;          ///< Gnutella's classic time-to-live
+};
+
+/// Result of one flooded search.
+struct FloodResult {
+  bool found = false;        ///< some peer held a matching item
+  uint64_t messages = 0;     ///< forwarded query copies
+  size_t peers_reached = 0;  ///< distinct peers that processed the query
+  size_t holders_found = 0;  ///< distinct peers holding matches
+};
+
+/// An unstructured P2P network searched by flooding.
+class FloodingNetwork {
+ public:
+  FloodingNetwork(size_t num_peers, const FloodingConfig& config, Rng* rng);
+
+  /// Stores an item at a peer (its local database).
+  void PlaceItem(PeerId holder, DataItem item);
+
+  /// Floods a query for `key` from `start`. A peer matches if it stores an item
+  /// whose key overlaps `key`. Offline peers (per `online`, may be null) neither
+  /// process nor forward.
+  FloodResult Search(PeerId start, const KeyPath& key, const OnlineModel* online,
+                     Rng* rng) const;
+
+  const RandomGraph& graph() const { return graph_; }
+  size_t num_peers() const { return graph_.num_peers(); }
+
+ private:
+  bool HasMatch(PeerId peer, const KeyPath& key) const;
+
+  RandomGraph graph_;
+  FloodingConfig config_;
+  std::vector<std::vector<DataItem>> local_items_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,47 @@
+#include "baseline/random_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+RandomGraph::RandomGraph(size_t num_peers, size_t mean_degree, Rng* rng)
+    : adjacency_(num_peers) {
+  PGRID_CHECK_GE(num_peers, 2u);
+  PGRID_CHECK(rng != nullptr);
+  // Random ring backbone for connectivity.
+  std::vector<PeerId> order(num_peers);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  for (size_t i = 0; i < num_peers; ++i) {
+    AddEdge(order[i], order[(i + 1) % num_peers]);
+  }
+  // Top up with uniform random edges until the target mean degree is reached.
+  const size_t target_edges = num_peers * mean_degree / 2;
+  size_t attempts = 0;
+  const size_t max_attempts = 20 * target_edges + 100;
+  while (edge_count_ < target_edges && attempts < max_attempts) {
+    ++attempts;
+    PeerId a = static_cast<PeerId>(rng->UniformIndex(num_peers));
+    PeerId b = static_cast<PeerId>(rng->UniformIndex(num_peers));
+    if (a != b) AddEdge(a, b);
+  }
+}
+
+bool RandomGraph::AddEdge(PeerId a, PeerId b) {
+  auto& na = adjacency_[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return false;
+  na.push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+  return true;
+}
+
+const std::vector<PeerId>& RandomGraph::Neighbors(PeerId peer) const {
+  PGRID_CHECK_LT(peer, adjacency_.size());
+  return adjacency_[peer];
+}
+
+}  // namespace pgrid

@@ -1,0 +1,47 @@
+// Random overlay graph used by the Gnutella-style flooding baseline.
+//
+// Gnutella peers connect to a handful of neighbours, forming an unstructured
+// overlay; searches are broadcast over it. RandomGraph builds a connected random
+// graph with a target mean degree.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// An undirected random graph over a fixed set of peers.
+class RandomGraph {
+ public:
+  /// Builds a graph over `num_peers` nodes (>= 2) with approximately `mean_degree`
+  /// edges per node. A Hamiltonian backbone (random ring) guarantees connectivity;
+  /// remaining edges are sampled uniformly.
+  RandomGraph(size_t num_peers, size_t mean_degree, Rng* rng);
+
+  size_t num_peers() const { return adjacency_.size(); }
+
+  /// Neighbours of `peer`.
+  const std::vector<PeerId>& Neighbors(PeerId peer) const;
+
+  /// Total number of undirected edges.
+  size_t EdgeCount() const { return edge_count_; }
+
+  double MeanDegree() const {
+    return adjacency_.empty()
+               ? 0.0
+               : 2.0 * static_cast<double>(edge_count_) /
+                     static_cast<double>(adjacency_.size());
+  }
+
+ private:
+  bool AddEdge(PeerId a, PeerId b);
+
+  std::vector<std::vector<PeerId>> adjacency_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace pgrid

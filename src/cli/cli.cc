@@ -1,0 +1,308 @@
+#include "cli/cli.h"
+
+#include <iomanip>
+
+#include "core/exchange.h"
+#include "core/grid_builder.h"
+#include "core/search.h"
+#include "core/stats.h"
+#include "key/text_key.h"
+#include "sim/meeting_scheduler.h"
+#include "snapshot/snapshot.h"
+#include "util/flags.h"
+
+namespace pgrid {
+namespace cli {
+
+namespace {
+
+std::string UsageFor(const std::string& command) {
+  if (command == "build") {
+    return "pgrid build --peers=N --out=FILE [--maxl=8] [--refmax=4] [--recmax=2]"
+           " [--fanout=2] [--threshold=0.99] [--seed=42]";
+  }
+  if (command == "info") return "pgrid info --in=FILE";
+  if (command == "verify") return "pgrid verify --in=FILE";
+  if (command == "search") {
+    return "pgrid search --in=FILE --key=BITS [--start=ID] [--online=P] [--seed=1]";
+  }
+  if (command == "prefix") {
+    return "pgrid prefix --in=FILE (--key=BITS | --text=STR) [--fanout=8] [--seed=1]";
+  }
+  if (command == "range") {
+    return "pgrid range --in=FILE --lo=BITS --hi=BITS [--fanout=8] [--seed=1]";
+  }
+  if (command == "bench-search") {
+    return "pgrid bench-search --in=FILE [--queries=1000] [--online=0.3]"
+           " [--keylen=maxl] [--seed=1]";
+  }
+  return UsageText();
+}
+
+Status RequireFlag(const FlagSet& flags, const std::string& name) {
+  if (!flags.Has(name)) {
+    return Status::InvalidArgument("missing required flag --" + name);
+  }
+  return Status::OK();
+}
+
+Status CmdBuild(const FlagSet& flags, std::ostream& out) {
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "peers"));
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "out"));
+  PGRID_ASSIGN_OR_RETURN(int64_t peers, flags.GetInt("peers", 0));
+  if (peers < 2) return Status::InvalidArgument("--peers must be >= 2");
+  ExchangeConfig config;
+  PGRID_ASSIGN_OR_RETURN(int64_t maxl, flags.GetInt("maxl", 8));
+  PGRID_ASSIGN_OR_RETURN(int64_t refmax, flags.GetInt("refmax", 4));
+  PGRID_ASSIGN_OR_RETURN(int64_t recmax, flags.GetInt("recmax", 2));
+  PGRID_ASSIGN_OR_RETURN(int64_t fanout, flags.GetInt("fanout", 2));
+  PGRID_ASSIGN_OR_RETURN(double threshold, flags.GetDouble("threshold", 0.99));
+  PGRID_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  config.maxl = static_cast<size_t>(maxl);
+  config.refmax = static_cast<size_t>(refmax);
+  config.recmax = static_cast<size_t>(recmax);
+  config.recursion_fanout = static_cast<size_t>(fanout);
+  PGRID_RETURN_IF_ERROR(config.Validate());
+  if (threshold <= 0 || threshold > 1) {
+    return Status::InvalidArgument("--threshold must be in (0, 1]");
+  }
+
+  Grid grid(static_cast<size_t>(peers));
+  Rng rng(static_cast<uint64_t>(seed));
+  ExchangeEngine exchange(&grid, config, &rng);
+  MeetingScheduler scheduler(grid.size());
+  GridBuilder builder(&grid, &exchange, &scheduler, &rng);
+  BuildReport report = builder.BuildToFractionOfMaxDepth(threshold, 500'000'000);
+  out << "built " << peers << " peers to avg depth " << std::fixed
+      << std::setprecision(2) << report.avg_path_length << " ("
+      << report.exchanges << " exchanges, " << std::setprecision(0)
+      << report.seconds * 1e3 << " ms)\n";
+  if (!report.converged) {
+    return Status::DeadlineExceeded("construction did not reach the threshold");
+  }
+  const std::string file = flags.GetString("out", "");
+  PGRID_RETURN_IF_ERROR(SaveGrid(grid, config, file));
+  out << "snapshot written to " << file << "\n";
+  return Status::OK();
+}
+
+Status CmdInfo(const FlagSet& flags, std::ostream& out) {
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "in"));
+  PGRID_ASSIGN_OR_RETURN(LoadedGrid loaded, LoadGrid(flags.GetString("in", "")));
+  const Grid& grid = *loaded.grid;
+  out << "peers: " << grid.size() << "\n";
+  out << "config: maxl=" << loaded.config.maxl << " refmax=" << loaded.config.refmax
+      << " recmax=" << loaded.config.recmax
+      << " fanout=" << loaded.config.recursion_fanout << "\n";
+  out << "avg path length: " << std::fixed << std::setprecision(3)
+      << grid.AveragePathLength() << "\n";
+  out << "avg refs/peer: " << std::setprecision(1)
+      << GridStats::AverageTotalRefs(grid)
+      << "  (max " << GridStats::MaxTotalRefs(grid) << ")\n";
+  out << "avg replication factor: " << std::setprecision(2)
+      << GridStats::AverageReplicationFactor(grid) << "\n";
+  out << "path length histogram:\n";
+  for (const auto& [len, count] : GridStats::PathLengthHistogram(grid)) {
+    out << "  depth " << std::setw(2) << len << ": " << count << "\n";
+  }
+  size_t entries = 0, foreign = 0, buddies = 0;
+  for (const PeerState& p : grid) {
+    entries += p.index().size();
+    foreign += p.foreign_entries().size();
+    buddies += p.buddies().size();
+  }
+  out << "index entries: " << entries << " (+" << foreign
+      << " parked), buddy links: " << buddies << "\n";
+  return Status::OK();
+}
+
+Status CmdVerify(const FlagSet& flags, std::ostream& out) {
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "in"));
+  PGRID_ASSIGN_OR_RETURN(LoadedGrid loaded, LoadGrid(flags.GetString("in", "")));
+  PGRID_RETURN_IF_ERROR(GridStats::CheckInvariants(*loaded.grid, loaded.config));
+  out << "OK: all structural invariants hold (" << loaded.grid->size()
+      << " peers)\n";
+  return Status::OK();
+}
+
+Result<KeyPath> KeyFromFlags(const FlagSet& flags) {
+  if (flags.Has("text")) return EncodeText(flags.GetString("text", ""));
+  if (flags.Has("key")) return KeyPath::FromString(flags.GetString("key", ""));
+  return Status::InvalidArgument("pass --key=BITS or --text=STR");
+}
+
+Status CmdSearch(const FlagSet& flags, std::ostream& out) {
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "in"));
+  PGRID_ASSIGN_OR_RETURN(LoadedGrid loaded, LoadGrid(flags.GetString("in", "")));
+  PGRID_ASSIGN_OR_RETURN(KeyPath key, KeyFromFlags(flags));
+  PGRID_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 1));
+  PGRID_ASSIGN_OR_RETURN(double online_prob, flags.GetDouble("online", 1.0));
+  Rng rng(static_cast<uint64_t>(seed));
+  OnlineModel online(online_prob < 1.0 ? OnlineMode::kSnapshot
+                                       : OnlineMode::kAlwaysOn,
+                     loaded.grid->size(), online_prob, &rng);
+  SearchEngine search(loaded.grid.get(), &online, &rng);
+  PGRID_ASSIGN_OR_RETURN(int64_t start_flag, flags.GetInt("start", -1));
+  PeerId start;
+  if (start_flag >= 0) {
+    if (static_cast<uint64_t>(start_flag) >= loaded.grid->size()) {
+      return Status::InvalidArgument("--start out of range");
+    }
+    start = static_cast<PeerId>(start_flag);
+  } else {
+    auto s = search.RandomOnlinePeer();
+    if (!s.has_value()) return Status::Unavailable("no online peer to start from");
+    start = *s;
+  }
+  QueryResult r = search.Query(start, key);
+  if (!r.found) {
+    out << "NOT FOUND (from peer " << start << ", " << r.messages << " messages)\n";
+    return Status::NotFound("no responsible peer reachable");
+  }
+  const PeerState& responder = loaded.grid->peer(r.responder);
+  out << "found: peer " << r.responder << " (path " << responder.path()
+      << ") after " << r.messages << " messages, " << r.hops << " hops\n";
+  auto matches = responder.index().Matching(key);
+  out << matches.size() << " matching index entries\n";
+  for (const IndexEntry& e : matches) {
+    out << "  item " << e.item_id << " v" << e.version << " key " << e.key
+        << " held by peer " << e.holder << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdPrefix(const FlagSet& flags, std::ostream& out) {
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "in"));
+  PGRID_ASSIGN_OR_RETURN(LoadedGrid loaded, LoadGrid(flags.GetString("in", "")));
+  PGRID_ASSIGN_OR_RETURN(KeyPath prefix, KeyFromFlags(flags));
+  PGRID_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 1));
+  PGRID_ASSIGN_OR_RETURN(int64_t fanout, flags.GetInt("fanout", 8));
+  if (fanout < 1) return Status::InvalidArgument("--fanout must be >= 1");
+  Rng rng(static_cast<uint64_t>(seed));
+  SearchEngine search(loaded.grid.get(), nullptr, &rng);
+  PrefixSearchResult r = search.PrefixSearch(
+      static_cast<PeerId>(rng.UniformIndex(loaded.grid->size())), prefix,
+      static_cast<size_t>(fanout));
+  out << r.entries.size() << " entries from " << r.responders.size()
+      << " responders in " << r.messages << " messages\n";
+  for (const IndexEntry& e : r.entries) {
+    out << "  item " << e.item_id << " key " << e.key;
+    auto text = DecodeText(e.key);
+    if (text.ok()) out << " (\"" << *text << "\")";
+    out << " held by peer " << e.holder << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdRange(const FlagSet& flags, std::ostream& out) {
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "in"));
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "lo"));
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "hi"));
+  PGRID_ASSIGN_OR_RETURN(LoadedGrid loaded, LoadGrid(flags.GetString("in", "")));
+  PGRID_ASSIGN_OR_RETURN(KeyPath lo, KeyPath::FromString(flags.GetString("lo", "")));
+  PGRID_ASSIGN_OR_RETURN(KeyPath hi, KeyPath::FromString(flags.GetString("hi", "")));
+  PGRID_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 1));
+  PGRID_ASSIGN_OR_RETURN(int64_t fanout, flags.GetInt("fanout", 8));
+  if (fanout < 1) return Status::InvalidArgument("--fanout must be >= 1");
+  Rng rng(static_cast<uint64_t>(seed));
+  SearchEngine search(loaded.grid.get(), nullptr, &rng);
+  PGRID_ASSIGN_OR_RETURN(
+      PrefixSearchResult r,
+      search.RangeSearch(static_cast<PeerId>(rng.UniformIndex(loaded.grid->size())),
+                         lo, hi, static_cast<size_t>(fanout)));
+  out << r.entries.size() << " entries from " << r.responders.size()
+      << " responders in " << r.messages << " messages\n";
+  for (const IndexEntry& e : r.entries) {
+    out << "  item " << e.item_id << " key " << e.key << " held by peer "
+        << e.holder << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdBenchSearch(const FlagSet& flags, std::ostream& out) {
+  PGRID_RETURN_IF_ERROR(RequireFlag(flags, "in"));
+  PGRID_ASSIGN_OR_RETURN(LoadedGrid loaded, LoadGrid(flags.GetString("in", "")));
+  PGRID_ASSIGN_OR_RETURN(int64_t queries, flags.GetInt("queries", 1000));
+  PGRID_ASSIGN_OR_RETURN(double online_prob, flags.GetDouble("online", 0.3));
+  PGRID_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 1));
+  PGRID_ASSIGN_OR_RETURN(
+      int64_t keylen, flags.GetInt("keylen", static_cast<int64_t>(loaded.config.maxl)));
+  if (queries < 1 || keylen < 1) {
+    return Status::InvalidArgument("--queries and --keylen must be >= 1");
+  }
+  Rng rng(static_cast<uint64_t>(seed));
+  OnlineModel online(OnlineMode::kSnapshot, loaded.grid->size(), online_prob, &rng);
+  SearchEngine search(loaded.grid.get(), &online, &rng);
+  size_t ok = 0;
+  uint64_t messages = 0;
+  for (int64_t q = 0; q < queries; ++q) {
+    if (q % 100 == 0) online.Resample(&rng);
+    auto start = search.RandomOnlinePeer();
+    if (!start.has_value()) continue;
+    QueryResult r =
+        search.Query(*start, KeyPath::Random(&rng, static_cast<size_t>(keylen)));
+    messages += r.messages;
+    if (r.found) ++ok;
+  }
+  out << std::fixed << std::setprecision(2) << "success rate: "
+      << 100.0 * static_cast<double>(ok) / static_cast<double>(queries)
+      << "%  avg messages: " << std::setprecision(3)
+      << static_cast<double>(messages) / static_cast<double>(queries)
+      << "  (online " << online_prob << ", " << queries << " queries)\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return "pgrid -- P-Grid command line tool\n"
+         "\n"
+         "commands:\n"
+         "  build         construct a grid and save a snapshot\n"
+         "  info          print structure statistics of a snapshot\n"
+         "  verify        check all structural invariants of a snapshot\n"
+         "  search        route one query through a snapshot\n"
+         "  prefix        interval/prefix search (supports --text via text keys)\n"
+         "  range         range search between two equal-length keys\n"
+         "  bench-search  measure search reliability under churn\n"
+         "\n"
+         "run `pgrid <command>` with no flags to see its usage.\n";
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << UsageText();
+    return args.empty() ? 1 : 0;
+  }
+  const std::string command = args[0];
+  FlagSet flags(std::vector<std::string>(args.begin() + 1, args.end()));
+  Status status;
+  if (command == "build") {
+    status = CmdBuild(flags, out);
+  } else if (command == "info") {
+    status = CmdInfo(flags, out);
+  } else if (command == "verify") {
+    status = CmdVerify(flags, out);
+  } else if (command == "search") {
+    status = CmdSearch(flags, out);
+  } else if (command == "prefix") {
+    status = CmdPrefix(flags, out);
+  } else if (command == "range") {
+    status = CmdRange(flags, out);
+  } else if (command == "bench-search") {
+    status = CmdBenchSearch(flags, out);
+  } else {
+    err << "unknown command '" << command << "'\n\n" << UsageText();
+    return 1;
+  }
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    if (status.IsInvalidArgument()) err << "usage: " << UsageFor(command) << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace pgrid

@@ -1,0 +1,36 @@
+// Command layer of the `pgrid` CLI tool.
+//
+// Commands operate on grid snapshots (see snapshot/snapshot.h), so a grid is built
+// once and then inspected, queried, and measured across invocations:
+//
+//   pgrid build  --peers=1000 --maxl=8 --refmax=4 --out=grid.pgrid [--seed=42]
+//   pgrid info   --in=grid.pgrid
+//   pgrid verify --in=grid.pgrid
+//   pgrid search --in=grid.pgrid --key=0110 [--start=0] [--online=0.3] [--seed=1]
+//   pgrid prefix --in=grid.pgrid (--key=01 | --text=beat) [--fanout=8]
+//   pgrid range  --in=grid.pgrid --lo=0010 --hi=0110 [--fanout=8]
+//   pgrid bench-search --in=grid.pgrid --queries=1000 [--online=0.3] [--keylen=8]
+//
+// The dispatch function is separated from main() so the whole surface is unit
+// testable: RunCli writes human output to `out`, errors to `err`, and returns a
+// process exit code.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pgrid {
+namespace cli {
+
+/// Executes one CLI invocation. `args` excludes the program name (argv[1..]).
+/// Returns 0 on success, 1 on usage errors or command failure.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+/// Multi-line usage text.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace pgrid

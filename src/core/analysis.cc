@@ -1,0 +1,53 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+namespace pgrid {
+
+size_t MinKeyLength(double d_global, double i_leaf) {
+  if (d_global <= i_leaf) return 0;
+  return static_cast<size_t>(std::ceil(std::log2(d_global / i_leaf)));
+}
+
+double MinPeers(double d_global, double i_leaf, size_t refmax) {
+  return d_global / i_leaf * static_cast<double>(refmax);
+}
+
+double SearchSuccessProbability(double online_prob, size_t refmax, size_t key_length) {
+  const double miss_all = std::pow(1.0 - online_prob, static_cast<double>(refmax));
+  return std::pow(1.0 - miss_all, static_cast<double>(key_length));
+}
+
+Result<SizingResult> EvaluateSizing(const SizingInput& in) {
+  if (in.d_global <= 0) return Status::InvalidArgument("d_global must be positive");
+  if (in.i_leaf <= 0) return Status::InvalidArgument("i_leaf must be positive");
+  if (in.s_peer <= 0) return Status::InvalidArgument("s_peer must be positive");
+  if (in.ref_bytes <= 0) return Status::InvalidArgument("ref_bytes must be positive");
+  if (in.refmax == 0) return Status::InvalidArgument("refmax must be >= 1");
+  if (in.online_prob < 0.0 || in.online_prob > 1.0) {
+    return Status::InvalidArgument("online_prob must be in [0, 1]");
+  }
+  SizingResult out;
+  out.i_peer = in.s_peer / in.ref_bytes;
+  out.key_length = MinKeyLength(in.d_global, in.i_leaf);
+  out.index_entries =
+      in.i_leaf + static_cast<double>(out.key_length * in.refmax);
+  out.storage_feasible = out.index_entries <= out.i_peer;
+  out.min_peers = MinPeers(in.d_global, in.i_leaf, in.refmax);
+  out.search_success =
+      SearchSuccessProbability(in.online_prob, in.refmax, out.key_length);
+  return out;
+}
+
+SizingInput GnutellaExampleInput() {
+  SizingInput in;
+  in.d_global = 1e7;
+  in.ref_bytes = 10;
+  in.s_peer = 1e5;
+  in.i_leaf = 1e4 - 200;
+  in.refmax = 20;
+  in.online_prob = 0.3;
+  return in;
+}
+
+}  // namespace pgrid

@@ -1,0 +1,58 @@
+// Closed-form analysis of search performance (paper Sec. 4).
+//
+// Inputs: community size N, per-peer data capacity d_peer, reference size r, index
+// space budget s_peer, online probability p. The paper derives
+//   (1) the key length k needed to differentiate the data:  k >= log2(d_global / i_leaf)
+//   (2) a feasibility constraint on N:    d_global / i_leaf * refmax <= N
+//   (3) the search success probability:   (1 - (1 - p)^refmax)^k
+// and instantiates them for a Gnutella-scale file-sharing community.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace pgrid {
+
+/// Parameters of the Sec. 4 sizing model.
+struct SizingInput {
+  double d_global = 0;      ///< total number of data objects in the network
+  double ref_bytes = 10;    ///< storage cost of one reference (paper: 10 bytes)
+  double s_peer = 0;        ///< index storage each peer contributes, in bytes
+  double i_leaf = 0;        ///< leaf-level data references kept per peer
+  size_t refmax = 1;        ///< reference multiplicity per level
+  double online_prob = 0.3; ///< probability a peer is online
+};
+
+/// Derived quantities of the sizing model.
+struct SizingResult {
+  double i_peer = 0;            ///< total references a peer can store (s_peer / r)
+  size_t key_length = 0;        ///< minimal k satisfying eq. (1)
+  double index_entries = 0;     ///< i_leaf + k * refmax (must be <= i_peer)
+  bool storage_feasible = false;
+  double min_peers = 0;         ///< eq. (2): minimal N supporting the replication
+  double search_success = 0;    ///< eq. (3) at the derived k
+};
+
+/// Minimal key length k with 2^k >= d_global / i_leaf (eq. 1).
+size_t MinKeyLength(double d_global, double i_leaf);
+
+/// Minimal community size N with d_global / i_leaf * refmax <= N (eq. 2).
+double MinPeers(double d_global, double i_leaf, size_t refmax);
+
+/// Probability of a successful search over a depth-k grid when every peer is online
+/// with probability p and refmax alternatives exist per level (eq. 3).
+double SearchSuccessProbability(double online_prob, size_t refmax, size_t key_length);
+
+/// Evaluates the full sizing model. InvalidArgument on nonsensical inputs
+/// (non-positive d_global/i_leaf/s_peer/ref_bytes, refmax == 0, p outside [0, 1]).
+Result<SizingResult> EvaluateSizing(const SizingInput& input);
+
+/// The paper's worked example: 10^7 files, 10-byte references, 10^5 bytes of index
+/// space per peer, i_leaf = 10^4 - 200, refmax = 20, p = 0.3. Expected results:
+/// k = 10, success > 99%, min_peers ~ 20409.
+SizingInput GnutellaExampleInput();
+
+}  // namespace pgrid

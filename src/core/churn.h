@@ -1,0 +1,101 @@
+// Dynamic membership: joins, crashes, graceful departures (Sec. 6 extension:
+// "the structures have to continuously adapt").
+//
+// The paper evaluates a community of fixed size with probabilistic availability.
+// ChurnDriver extends the simulation with population dynamics:
+//  - join:           a fresh peer (empty path) enters and integrates through
+//                    ordinary exchanges -- no bootstrap protocol is needed, which is
+//                    exactly the self-organization claim of the paper;
+//  - crash:          a peer disappears forever (pinned offline); its state is lost;
+//  - graceful leave: a departing peer first hands its leaf index entries to a live
+//                    co-responsible peer (buddies preferred), then disappears.
+//
+// Combined with ExchangeConfig::prune_unreachable_refs, continued exchanges act as
+// the repair process: dead references get flushed, joiners acquire paths and enter
+// reference sets, and search reliability recovers. The AB5 benchmark ablates this.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/exchange.h"
+#include "core/grid.h"
+#include "sim/meeting_scheduler.h"
+#include "sim/online_model.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// Population dynamics per round.
+struct ChurnConfig {
+  /// Fraction of live peers that crash each round.
+  double crash_fraction = 0.02;
+
+  /// Fraction of live peers that leave gracefully each round.
+  double leave_fraction = 0.0;
+
+  /// New peers per round, as a fraction of the current live population.
+  double join_fraction = 0.02;
+
+  /// Exchanges driven between the membership events of consecutive rounds.
+  size_t meetings_per_round = 1000;
+
+  /// Online probability assigned to joining peers.
+  double join_online_prob = 1.0;
+
+  Status Validate() const {
+    if (crash_fraction < 0 || crash_fraction > 1 || leave_fraction < 0 ||
+        leave_fraction > 1 || join_fraction < 0) {
+      return Status::InvalidArgument("churn fractions out of range");
+    }
+    return Status::OK();
+  }
+};
+
+/// Outcome of one churn round.
+struct ChurnRound {
+  size_t crashed = 0;
+  size_t left_gracefully = 0;
+  size_t joined = 0;
+  size_t live = 0;
+  uint64_t meetings = 0;
+  uint64_t handover_entries = 0;  ///< entries rescued by graceful leavers
+};
+
+/// Drives population dynamics over a grid.
+class ChurnDriver {
+ public:
+  /// All pointers must outlive the driver. `online` is required: departures are
+  /// modelled by pinning peers offline there.
+  ChurnDriver(Grid* grid, ExchangeEngine* exchange, MeetingScheduler* scheduler,
+              OnlineModel* online, Rng* rng);
+
+  /// Executes one round: crashes, graceful departures, joins, then meetings
+  /// between live peers.
+  ChurnRound Round(const ChurnConfig& config);
+
+  bool IsDead(PeerId peer) const { return dead_[peer] != 0; }
+  size_t live_count() const { return live_count_; }
+
+  /// Ids of all live peers.
+  std::vector<PeerId> LivePeers() const;
+
+  /// Picks a uniformly random live peer.
+  PeerId RandomLivePeer();
+
+ private:
+  /// Marks a peer dead, optionally handing its index entries to a live
+  /// co-responsible peer first. Returns the number of entries handed over.
+  uint64_t Retire(PeerId peer, bool graceful);
+
+  Grid* grid_;
+  ExchangeEngine* exchange_;
+  MeetingScheduler* scheduler_;
+  OnlineModel* online_;
+  Rng* rng_;
+  std::vector<uint8_t> dead_;
+  size_t live_count_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,85 @@
+// Configuration knobs for the P-Grid algorithms.
+//
+// Parameter names follow the paper: maxl, recmax, refmax, recbreadth, repetition.
+// Additional flags expose design choices the paper discusses (bounded recursion
+// fan-out, Sec. 5.1; data management during construction, Sec. 3) so ablation
+// benchmarks can toggle them.
+
+#pragma once
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace pgrid {
+
+/// Parameters of the construction (exchange) algorithm, paper Fig. 3.
+struct ExchangeConfig {
+  /// Maximal path length peers may specialize to (the paper's maxl).
+  size_t maxl = 6;
+
+  /// Bound on the recursion depth of exchange (the paper's recmax). 0 disables
+  /// recursive exchanges entirely.
+  size_t recmax = 2;
+
+  /// Maximal number of references kept per level (the paper's refmax).
+  size_t refmax = 1;
+
+  /// Bound on how many referenced peers are recursively contacted per side in Case 4.
+  /// 0 means unbounded (the paper's original algorithm, whose cost grows exponentially
+  /// in refmax -- Sec. 5.1 table 4); the paper's fix uses 2 (table 5).
+  size_t recursion_fanout = 0;
+
+  /// Whether exchanges redistribute leaf index entries and maintain buddy lists.
+  /// Off for the pure-construction-cost experiments (T1-T5), on for Sec. 5.2.
+  bool manage_data = true;
+
+  /// Repair under permanent departures (dynamic-membership extension): when true
+  /// and an online model is attached, reference cross-pollination drops targets
+  /// that are unreachable at exchange time, so dead references are gradually
+  /// flushed from the structure. Off = paper behaviour (references are only ever
+  /// replaced by sampling).
+  bool prune_unreachable_refs = false;
+
+  /// Validates parameter ranges.
+  Status Validate() const {
+    if (maxl == 0) return Status::InvalidArgument("maxl must be >= 1");
+    if (refmax == 0) return Status::InvalidArgument("refmax must be >= 1");
+    return Status::OK();
+  }
+};
+
+/// Parameters of update propagation (Sec. 5.2).
+struct UpdateConfig {
+  /// Fan-out of breadth-first propagation at each level (the paper's recbreadth).
+  size_t recbreadth = 2;
+
+  /// How many times the propagation is restarted from a random peer (the paper's
+  /// repetition).
+  size_t repetition = 1;
+
+  Status Validate() const {
+    if (recbreadth == 0) return Status::InvalidArgument("recbreadth must be >= 1");
+    if (repetition == 0) return Status::InvalidArgument("repetition must be >= 1");
+    return Status::OK();
+  }
+};
+
+/// Parameters of reliable (repeated, majority-decision) reads (Sec. 5.2).
+struct ReliableReadConfig {
+  /// A value is accepted once this many independent query answers agree on it.
+  size_t quorum = 3;
+
+  /// Hard cap on the number of independent queries issued.
+  size_t max_attempts = 64;
+
+  Status Validate() const {
+    if (quorum == 0) return Status::InvalidArgument("quorum must be >= 1");
+    if (max_attempts < quorum) {
+      return Status::InvalidArgument("max_attempts must be >= quorum");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace pgrid

@@ -1,0 +1,196 @@
+#include "core/exchange.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+namespace {
+
+/// Returns a copy of `refs` without `exclude`.
+std::vector<PeerId> Without(const std::vector<PeerId>& refs, PeerId exclude) {
+  std::vector<PeerId> out;
+  out.reserve(refs.size());
+  for (PeerId r : refs) {
+    if (r != exclude) out.push_back(r);
+  }
+  return out;
+}
+
+/// Deduplicating union of two reference lists.
+std::vector<PeerId> Union(const std::vector<PeerId>& a, const std::vector<PeerId>& b) {
+  std::vector<PeerId> out = a;
+  for (PeerId r : b) {
+    if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+ExchangeEngine::ExchangeEngine(Grid* grid, const ExchangeConfig& config, Rng* rng,
+                               const OnlineModel* online,
+                               const SplitPolicy* split_policy)
+    : grid_(grid),
+      config_(config),
+      rng_(rng),
+      online_(online),
+      split_policy_(split_policy) {
+  PGRID_CHECK(grid != nullptr && rng != nullptr);
+  PGRID_CHECK(config.Validate().ok());
+}
+
+bool ExchangeEngine::IsOnline(PeerId p) const {
+  return online_ == nullptr || online_->IsOnline(p, rng_);
+}
+
+bool ExchangeEngine::MaySplit(const PeerState& a, const PeerState& partner,
+                              size_t lc) const {
+  if (lc >= config_.maxl) return false;
+  return split_policy_ == nullptr || split_policy_->MaySplit(a, partner, lc);
+}
+
+void ExchangeEngine::Exchange(PeerId a1, PeerId a2) { ExchangeImpl(a1, a2, 0); }
+
+void ExchangeEngine::ExchangeImpl(PeerId id1, PeerId id2, size_t depth) {
+  if (id1 == id2) return;
+  grid_->stats().Record(MessageType::kExchange);
+
+  PeerState& a1 = grid_->peer(id1);
+  PeerState& a2 = grid_->peer(id2);
+
+  const size_t lc = a1.path().CommonPrefixLength(a2.path());
+  if (lc > 0) CrossPollinateRefs(&a1, &a2, lc);
+
+  const size_t l1 = a1.depth() - lc;
+  const size_t l2 = a2.depth() - lc;
+
+  if (l1 == 0 && l2 == 0 && MaySplit(a1, a2, lc)) {
+    // Case 1: identical paths below the split bound -- introduce a new level.
+    a1.AppendPathBit(0);
+    a2.AppendPathBit(1);
+    grid_->NotePathGrowth(2);
+    a1.SetRefsAt(lc + 1, {id2});
+    a2.SetRefsAt(lc + 1, {id1});
+    if (config_.manage_data) ReconcileData(&a1, &a2);
+  } else if (l1 == 0 && l2 > 0 && MaySplit(a1, a2, lc)) {
+    // Case 2: a1's path is a proper prefix of a2's -- a1 specializes (or clones to
+    // the data-dense side under replication balancing).
+    if (split_policy_ != nullptr && split_policy_->PreferClone(a1, a2, lc)) {
+      CloneShorter(&a1, &a2, lc);
+    } else {
+      SplitShorter(&a1, &a2, lc);
+    }
+    if (config_.manage_data) ReconcileData(&a1, &a2);
+  } else if (l1 > 0 && l2 == 0 && MaySplit(a2, a1, lc)) {
+    // Case 3: symmetric to case 2.
+    if (split_policy_ != nullptr && split_policy_->PreferClone(a2, a1, lc)) {
+      CloneShorter(&a2, &a1, lc);
+    } else {
+      SplitShorter(&a2, &a1, lc);
+    }
+    if (config_.manage_data) ReconcileData(&a1, &a2);
+  } else if (l1 > 0 && l2 > 0 && depth < config_.recmax) {
+    // Case 4: paths diverge -- forward each peer to the other's references on the
+    // matching side and recurse.
+    std::vector<PeerId> refs1 = Without(a1.RefsAt(lc + 1), id2);
+    std::vector<PeerId> refs2 = Without(a2.RefsAt(lc + 1), id1);
+    if (config_.recursion_fanout > 0) {
+      refs1 = rng_->SampleWithoutReplacement(std::move(refs1), config_.recursion_fanout);
+      refs2 = rng_->SampleWithoutReplacement(std::move(refs2), config_.recursion_fanout);
+    }
+    // NOTE: a1/a2 may specialize further inside these recursive calls; peers are
+    // addressed by id, and Grid storage is stable, so this is safe.
+    for (PeerId r1 : refs1) {
+      if (IsOnline(r1)) ExchangeImpl(id2, r1, depth + 1);
+    }
+    for (PeerId r2 : refs2) {
+      if (IsOnline(r2)) ExchangeImpl(id1, r2, depth + 1);
+    }
+  } else if (l1 == 0 && l2 == 0 && config_.manage_data) {
+    // Replica case: identical paths that may not split (at maxl, or refused by the
+    // split policy). Merge leaf indexes either way; register buddies only at maxl,
+    // where paths are final (a policy-refused pair may still specialize later once
+    // it accumulates data, which would invalidate the buddy relation).
+    MergeReplicas(&a1, &a2, /*record_buddies=*/lc >= config_.maxl);
+  }
+}
+
+void ExchangeEngine::CrossPollinateRefs(PeerState* a1, PeerState* a2, size_t level) {
+  std::vector<PeerId> common = Union(a1->RefsAt(level), a2->RefsAt(level));
+  if (config_.prune_unreachable_refs && online_ != nullptr) {
+    // Gossip-time failure detection: drop targets that cannot be reached right
+    // now. Temporarily offline peers lose some incoming references and regain
+    // them through later exchanges; permanently dead ones are flushed for good.
+    std::erase_if(common, [this](PeerId r) { return !IsOnline(r); });
+  }
+  a1->SetRefsAt(level, rng_->SampleWithoutReplacement(common, config_.refmax));
+  a2->SetRefsAt(level, rng_->SampleWithoutReplacement(std::move(common), config_.refmax));
+}
+
+void ExchangeEngine::SplitShorter(PeerState* shorter, PeerState* longer, size_t lc) {
+  PGRID_CHECK_EQ(shorter->depth(), lc);
+  PGRID_CHECK_GT(longer->depth(), lc);
+  const int bit = ComplementBit(longer->PathBit(lc + 1));
+  shorter->AppendPathBit(bit);
+  grid_->NotePathGrowth(1);
+  shorter->SetRefsAt(lc + 1, {longer->id()});
+  std::vector<PeerId> refs =
+      Union({shorter->id()}, longer->RefsAt(lc + 1));
+  longer->SetRefsAt(lc + 1, rng_->SampleWithoutReplacement(std::move(refs),
+                                                           config_.refmax));
+}
+
+void ExchangeEngine::CloneShorter(PeerState* shorter, PeerState* longer, size_t lc) {
+  PGRID_CHECK_EQ(shorter->depth(), lc);
+  PGRID_CHECK_GT(longer->depth(), lc);
+  // Adopt the partner's bit: the shorter peer joins the data-dense side. Its
+  // references at the new level must point to the complement of its own bit, which
+  // is exactly what the partner's references at that level do.
+  const int bit = longer->PathBit(lc + 1);
+  shorter->AppendPathBit(bit);
+  grid_->NotePathGrowth(1);
+  shorter->SetRefsAt(
+      lc + 1, rng_->SampleWithoutReplacement(longer->RefsAt(lc + 1), config_.refmax));
+}
+
+void ExchangeEngine::MergeReplicas(PeerState* a1, PeerState* a2,
+                                   bool record_buddies) {
+  if (record_buddies) {
+    a1->AddBuddy(a2->id());
+    a2->AddBuddy(a1->id());
+    // Replicas also learn each other's buddies (transitive closure over meetings).
+    for (PeerId b : a2->buddies()) a1->AddBuddy(b);
+    for (PeerId b : a1->buddies()) a2->AddBuddy(b);
+  }
+  size_t moved = a1->index().MergeFrom(a2->index());
+  moved += a2->index().MergeFrom(a1->index());
+  if (moved > 0) grid_->stats().Record(MessageType::kDataTransfer, moved);
+}
+
+void ExchangeEngine::ReconcileData(PeerState* x, PeerState* y) {
+  for (int round = 0; round < 2; ++round) {
+    PeerState* from = round == 0 ? x : y;
+    PeerState* to = round == 0 ? y : x;
+    // Entries that stopped overlapping the (possibly just-extended) own path, plus
+    // anything parked earlier, are offered to the partner.
+    std::vector<IndexEntry> pending = from->index().ExtractNotMatching(from->path());
+    std::vector<IndexEntry> parked = std::move(from->foreign_entries());
+    from->foreign_entries().clear();
+    pending.insert(pending.end(), parked.begin(), parked.end());
+    size_t moved = 0;
+    for (IndexEntry& e : pending) {
+      if (PathsOverlap(to->path(), e.key)) {
+        if (to->index().InsertOrRefresh(e)) ++moved;
+      } else if (PathsOverlap(from->path(), e.key)) {
+        from->index().InsertOrRefresh(e);
+      } else {
+        from->foreign_entries().push_back(std::move(e));
+      }
+    }
+    if (moved > 0) grid_->stats().Record(MessageType::kDataTransfer, moved);
+  }
+}
+
+}  // namespace pgrid

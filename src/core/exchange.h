@@ -1,0 +1,97 @@
+// The randomized P-Grid construction algorithm (paper Fig. 3).
+//
+// Whenever two peers meet they execute `exchange`:
+//  - If their paths share a prefix of length lc > 0, they cross-pollinate their
+//    reference sets at level lc (union, then each keeps a random refmax-subset).
+//  - Case 1: both paths are identical and below maxl -> introduce a new level; one
+//    takes bit 0, the other bit 1, and they reference each other.
+//  - Case 2/3: one path is a proper prefix of the other -> the shorter peer
+//    specializes with the complement of the longer peer's next bit; mutual
+//    references are installed at that level.
+//  - Case 4: the paths diverge below their ends -> each peer forwards the other to
+//    its references on the far side, recursively (bounded by recmax, and optionally
+//    by a per-side fan-out bound -- the stabilizing fix of Sec. 5.1).
+//  - Replica case (not in the paper's pseudo code, implied by Sec. 3/5.2): identical
+//    paths at maxl cannot split; the peers record each other as buddies and merge
+//    their leaf indexes.
+//
+// When ExchangeConfig::manage_data is set, path changes also redistribute leaf index
+// entries so each entry ends up at peers whose path overlaps its key; entries that
+// temporarily match neither peer are parked in the owner's foreign buffer and offered
+// again at later meetings (never dropped).
+//
+// Every invocation (including recursive ones) is recorded as one kExchange message --
+// the cost metric `e` of Sec. 5.1.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/grid.h"
+#include "core/split_policy.h"
+#include "sim/online_model.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// Executes the construction algorithm against a Grid.
+class ExchangeEngine {
+ public:
+  /// `grid`, `rng` must outlive the engine. `online` may be null (everyone online);
+  /// when set, recursive exchange targets are skipped while offline, as in Fig. 3.
+  /// `split_policy` may refine (never widen) the maxl bound on specialization --
+  /// see split_policy.h; null means the paper's plain maxl rule.
+  ExchangeEngine(Grid* grid, const ExchangeConfig& config, Rng* rng,
+                 const OnlineModel* online = nullptr,
+                 const SplitPolicy* split_policy = nullptr);
+
+  /// Runs one meeting between two distinct peers (the paper's exchange(a1, a2, 0)).
+  void Exchange(PeerId a1, PeerId a2);
+
+  /// Total exchange executions recorded so far (the paper's `e`).
+  uint64_t num_exchanges() const {
+    return grid_->stats().count(MessageType::kExchange);
+  }
+
+  const ExchangeConfig& config() const { return config_; }
+
+ private:
+  void ExchangeImpl(PeerId id1, PeerId id2, size_t depth);
+
+  /// Level-lc reference cross-pollination: union both sets, each keeps a random
+  /// refmax-subset.
+  void CrossPollinateRefs(PeerState* a1, PeerState* a2, size_t level);
+
+  /// Cases 2/3: `shorter` (whose path equals the common prefix) specializes with the
+  /// complement of `longer`'s bit at level lc+1; installs mutual references.
+  void SplitShorter(PeerState* shorter, PeerState* longer, size_t lc);
+
+  /// Replication-balancing variant of cases 2/3: `shorter` adopts the partner's bit
+  /// (joins its side) and inherits a sample of the partner's references at the new
+  /// level. Triggered by SplitPolicy::PreferClone.
+  void CloneShorter(PeerState* shorter, PeerState* longer, size_t lc);
+
+  /// Replica meeting: leaf index merge, plus mutual buddy registration when the
+  /// paths are final (at maxl).
+  void MergeReplicas(PeerState* a1, PeerState* a2, bool record_buddies);
+
+  /// Moves leaf index entries between the two peers so that each retained entry
+  /// overlaps its holder's (possibly just-extended) path.
+  void ReconcileData(PeerState* x, PeerState* y);
+
+  bool IsOnline(PeerId p) const;
+
+  /// True iff `a` may extend its path when meeting `partner` with common prefix
+  /// length `lc`: always bounded by maxl, optionally further restricted by the
+  /// split policy.
+  bool MaySplit(const PeerState& a, const PeerState& partner, size_t lc) const;
+
+  Grid* grid_;
+  ExchangeConfig config_;
+  Rng* rng_;
+  const OnlineModel* online_;
+  const SplitPolicy* split_policy_;
+};
+
+}  // namespace pgrid

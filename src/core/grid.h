@@ -1,0 +1,88 @@
+// The peer community and its shared simulation ledger.
+//
+// Grid owns all PeerState objects plus the MessageStats every protocol engine records
+// into. It also maintains the running sum of path lengths so convergence checks
+// (average path length vs threshold, Sec. 5.1) are O(1).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/peer_state.h"
+#include "sim/message_stats.h"
+#include "sim/types.h"
+#include "util/macros.h"
+
+namespace pgrid {
+
+/// A community of peers sharing one P-Grid.
+class Grid {
+ public:
+  /// Creates `num_peers` peers, all initially responsible for the whole key space.
+  explicit Grid(size_t num_peers) {
+    peers_.reserve(num_peers);
+    for (size_t i = 0; i < num_peers; ++i) peers_.emplace_back(static_cast<PeerId>(i));
+  }
+
+  size_t size() const { return peers_.size(); }
+
+  /// Adds a fresh peer (empty path, responsible for the whole key space) and
+  /// returns its id. Supports dynamic membership: new peers integrate through
+  /// ordinary exchanges. Do not call while an exchange is executing.
+  PeerId AddPeer() {
+    const PeerId id = static_cast<PeerId>(peers_.size());
+    peers_.emplace_back(id);
+    return id;
+  }
+
+  PeerState& peer(PeerId id) {
+    PGRID_CHECK_LT(id, peers_.size());
+    return peers_[id];
+  }
+  const PeerState& peer(PeerId id) const {
+    PGRID_CHECK_LT(id, peers_.size());
+    return peers_[id];
+  }
+
+  MessageStats& stats() { return stats_; }
+  const MessageStats& stats() const { return stats_; }
+
+  /// Called by the exchange engine whenever a path grows by one bit.
+  void NotePathGrowth(size_t bits = 1) { total_path_bits_ += bits; }
+
+  /// Called by the search/update engines when `peer` serves a message. Feeds the
+  /// per-peer load statistics behind the paper's "scales ... equally for all
+  /// peers" claim (see GridStats::QueryLoadProfile).
+  void NoteServed(PeerId peer) {
+    if (query_load_.size() < peers_.size()) query_load_.resize(peers_.size(), 0);
+    ++query_load_[peer];
+  }
+
+  /// Messages served per peer so far (index = PeerId; may be shorter than size()
+  /// if nothing was ever served).
+  const std::vector<uint64_t>& query_load() const { return query_load_; }
+
+  /// Zeroes the per-peer load counters.
+  void ResetQueryLoad() { query_load_.assign(peers_.size(), 0); }
+
+  /// Average path length over all peers, in O(1).
+  double AveragePathLength() const {
+    return peers_.empty() ? 0.0
+                          : static_cast<double>(total_path_bits_) /
+                                static_cast<double>(peers_.size());
+  }
+
+  auto begin() { return peers_.begin(); }
+  auto end() { return peers_.end(); }
+  auto begin() const { return peers_.begin(); }
+  auto end() const { return peers_.end(); }
+
+ private:
+  std::vector<PeerState> peers_;
+  MessageStats stats_;
+  size_t total_path_bits_ = 0;
+  std::vector<uint64_t> query_load_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,58 @@
+// Drives grid construction: random pairwise meetings until convergence (Sec. 5.1).
+//
+// The paper considers a P-Grid constructed when the average path length over all
+// peers reaches a threshold t (99% of maxl in the experiments). The builder draws
+// meetings from a MeetingScheduler, runs the exchange algorithm for each, and checks
+// the O(1) average-path-length counter after every meeting.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/exchange.h"
+#include "core/grid.h"
+#include "sim/meeting_scheduler.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// Summary of one construction run.
+struct BuildReport {
+  /// Top-level meetings executed (each triggers one exchange(a1, a2, 0)).
+  uint64_t meetings = 0;
+
+  /// Total exchange executions including recursive ones (the paper's `e`).
+  uint64_t exchanges = 0;
+
+  /// Average path length when the run stopped.
+  double avg_path_length = 0.0;
+
+  /// True iff the threshold was reached before max_meetings.
+  bool converged = false;
+
+  /// Wall-clock seconds spent.
+  double seconds = 0.0;
+};
+
+/// Runs meetings until the average path length reaches a threshold.
+class GridBuilder {
+ public:
+  GridBuilder(Grid* grid, ExchangeEngine* exchange, MeetingScheduler* scheduler,
+              Rng* rng);
+
+  /// Runs until grid->AveragePathLength() >= target_avg_depth, or until
+  /// `max_meetings` meetings have been executed. Exchange counts are measured
+  /// relative to the start of this call.
+  BuildReport BuildToAverageDepth(double target_avg_depth, uint64_t max_meetings);
+
+  /// Convenience: threshold as a fraction of maxl (the paper uses 0.99).
+  BuildReport BuildToFractionOfMaxDepth(double fraction, uint64_t max_meetings);
+
+ private:
+  Grid* grid_;
+  ExchangeEngine* exchange_;
+  MeetingScheduler* scheduler_;
+  Rng* rng_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,48 @@
+#include "core/insert.h"
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+InsertEngine::InsertEngine(Grid* grid, const OnlineModel* online, Rng* rng)
+    : grid_(grid), online_(online), rng_(rng) {
+  PGRID_CHECK(grid != nullptr && rng != nullptr);
+}
+
+Result<InsertOutcome> InsertEngine::Insert(const DataItem& item, PeerId holder,
+                                           const UpdateConfig& config) {
+  PGRID_RETURN_IF_ERROR(config.Validate());
+  grid_->peer(holder).store().Upsert(item);
+
+  IndexEntry entry;
+  entry.holder = holder;
+  entry.item_id = item.id;
+  entry.key = item.key;
+  entry.version = item.version;
+
+  UpdateEngine update(grid_, online_, rng_);
+  UpdateOutcome reached =
+      update.Probe(item.key, UpdateStrategy::kBreadthFirst, config);
+
+  InsertOutcome out;
+  out.messages = reached.messages;
+  for (PeerId p : reached.reached) {
+    if (grid_->peer(p).index().InsertOrRefresh(entry)) {
+      grid_->stats().Record(MessageType::kDataTransfer);
+    }
+    ++out.replicas_reached;
+  }
+  // The holder itself may be co-responsible; index locally too (free).
+  if (PathsOverlap(grid_->peer(holder).path(), entry.key)) {
+    grid_->peer(holder).index().InsertOrRefresh(entry);
+    if (out.replicas_reached == 0) out.replicas_reached = 1;
+  }
+  if (out.replicas_reached == 0) {
+    return Status::FailedPrecondition(
+        "no replica reachable for key " + item.key.ToString() +
+        "; item stored at holder only");
+  }
+  return out;
+}
+
+}  // namespace pgrid

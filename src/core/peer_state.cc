@@ -1,0 +1,54 @@
+#include "core/peer_state.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+int PeerState::PathBit(size_t level) const {
+  PGRID_CHECK(level >= 1 && level <= depth());
+  return path_.bit(level - 1);
+}
+
+const std::vector<PeerId>& PeerState::RefsAt(size_t level) const {
+  PGRID_CHECK(level >= 1 && level <= refs_.size());
+  return refs_[level - 1];
+}
+
+std::vector<PeerId>& PeerState::MutableRefsAt(size_t level) {
+  PGRID_CHECK(level >= 1 && level <= refs_.size());
+  return refs_[level - 1];
+}
+
+void PeerState::SetRefsAt(size_t level, std::vector<PeerId> refs) {
+  PGRID_CHECK(level >= 1 && level <= refs_.size());
+  refs_[level - 1] = std::move(refs);
+}
+
+bool PeerState::AddRefAt(size_t level, PeerId peer) {
+  std::vector<PeerId>& r = MutableRefsAt(level);
+  if (std::find(r.begin(), r.end(), peer) != r.end()) return false;
+  r.push_back(peer);
+  return true;
+}
+
+void PeerState::AppendPathBit(int bit) {
+  path_.PushBack(bit);
+  refs_.emplace_back();
+}
+
+bool PeerState::AddBuddy(PeerId peer) {
+  if (peer == id_) return false;
+  if (std::find(buddies_.begin(), buddies_.end(), peer) != buddies_.end()) return false;
+  buddies_.push_back(peer);
+  return true;
+}
+
+size_t PeerState::TotalRefs() const {
+  size_t n = 0;
+  for (const auto& r : refs_) n += r.size();
+  return n;
+}
+
+}  // namespace pgrid

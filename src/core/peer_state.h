@@ -1,0 +1,93 @@
+// Per-peer P-Grid state (Sec. 2).
+//
+// Every peer maintains the sequence (p1, R1)(p2, R2)...(pn, Rn): its path p1...pn and,
+// for each level i, a set Ri of references to peers whose path agrees on the first
+// i-1 bits and has the complementary bit at position i. In addition a peer keeps the
+// leaf-level index D (references to data items under its path), the data items it
+// physically stores, and the buddy list of known same-path replicas.
+//
+// Levels are 1-indexed throughout, matching the paper: RefsAt(1) routes on the first
+// bit, RefsAt(depth()) on the last.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "key/key_path.h"
+#include "sim/types.h"
+#include "storage/data_store.h"
+#include "storage/leaf_index.h"
+
+namespace pgrid {
+
+/// Complete protocol state of one peer.
+class PeerState {
+ public:
+  explicit PeerState(PeerId id) : id_(id) {}
+
+  PeerId id() const { return id_; }
+
+  /// The path this peer is responsible for. Empty means the whole key space.
+  const KeyPath& path() const { return path_; }
+
+  /// Current path length n.
+  size_t depth() const { return path_.length(); }
+
+  /// Bit p_level of the path, 1-indexed. Requires 1 <= level <= depth().
+  int PathBit(size_t level) const;
+
+  /// References R_level, 1-indexed. Requires 1 <= level <= depth().
+  const std::vector<PeerId>& RefsAt(size_t level) const;
+  std::vector<PeerId>& MutableRefsAt(size_t level);
+
+  /// Replaces R_level wholesale.
+  void SetRefsAt(size_t level, std::vector<PeerId> refs);
+
+  /// Adds `peer` to R_level if not already present. Returns true if added.
+  bool AddRefAt(size_t level, PeerId peer);
+
+  /// Extends the path by one bit, creating an (initially empty) reference level.
+  /// Paths only ever grow; references installed earlier therefore stay prefix-valid.
+  void AppendPathBit(int bit);
+
+  /// Known same-path replicas discovered during construction (Sec. 3, update
+  /// strategy 3). Deduplicated; never contains this peer itself.
+  const std::vector<PeerId>& buddies() const { return buddies_; }
+  bool AddBuddy(PeerId peer);
+  void ClearBuddies() { buddies_.clear(); }
+
+  /// Leaf-level index D: references to data items under this peer's path.
+  LeafIndex& index() { return index_; }
+  const LeafIndex& index() const { return index_; }
+
+  /// Data items this peer physically stores (it is the `holder` of their entries).
+  DataStore& store() { return store_; }
+  const DataStore& store() const { return store_; }
+
+  /// Index entries this peer currently holds although their keys do not overlap its
+  /// path (they could not yet be handed to a matching peer). Drained opportunistically
+  /// during later exchanges; never silently dropped.
+  std::vector<IndexEntry>& foreign_entries() { return foreign_; }
+  const std::vector<IndexEntry>& foreign_entries() const { return foreign_; }
+
+  /// Total routing references over all levels (storage-cost metric of Sec. 6).
+  size_t TotalRefs() const;
+
+ private:
+  PeerId id_;
+  KeyPath path_;
+  std::vector<std::vector<PeerId>> refs_;  // refs_[i] holds R_{i+1}
+  std::vector<PeerId> buddies_;
+  LeafIndex index_;
+  DataStore store_;
+  std::vector<IndexEntry> foreign_;
+};
+
+/// True iff a peer with responsibility `path` is (co-)responsible for `key`: their
+/// intervals overlap, i.e. one is a prefix of the other.
+inline bool PathCoversKey(const KeyPath& path, const KeyPath& key) {
+  return PathsOverlap(path, key);
+}
+
+}  // namespace pgrid

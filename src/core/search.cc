@@ -1,0 +1,182 @@
+#include "core/search.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "key/range.h"
+#include "util/macros.h"
+
+namespace pgrid {
+
+SearchEngine::SearchEngine(Grid* grid, const OnlineModel* online, Rng* rng)
+    : grid_(grid), online_(online), rng_(rng) {
+  PGRID_CHECK(grid != nullptr && rng != nullptr);
+}
+
+QueryResult SearchEngine::Query(PeerId start, const KeyPath& key) {
+  QueryResult out;
+  out.found = QueryImpl(start, key, /*consumed=*/0, /*hops=*/0, &out);
+  return out;
+}
+
+bool SearchEngine::QueryImpl(PeerId peer, const KeyPath& p, size_t consumed,
+                             size_t hops, QueryResult* out) {
+  const PeerState& a = grid_->peer(peer);
+  const KeyPath rempath = a.path().SuffixFrom(consumed);
+  const size_t lc = p.CommonPrefixLength(rempath);
+
+  if (lc == p.length() || lc == rempath.length()) {
+    // Either the query is exhausted (the peer's interval is inside the query's) or
+    // the peer's path is exhausted (the query's interval is inside the peer's):
+    // `a` is responsible.
+    out->responder = peer;
+    out->hops = hops;
+    return true;
+  }
+
+  // Divergence at position lc of the remainder, i.e. global level consumed + lc + 1.
+  // Paths only grow, so the guard from Fig. 2 always holds here; keep it as a check.
+  PGRID_DCHECK(a.depth() > consumed + lc);
+  const KeyPath querypath = p.SuffixFrom(lc);
+  std::vector<PeerId> refs = a.RefsAt(consumed + lc + 1);  // copy: we draw and remove
+  while (!refs.empty()) {
+    PeerId r = rng_->TakeRandom(&refs);
+    if (online_ != nullptr && !online_->IsOnline(r, rng_)) continue;
+    grid_->stats().Record(MessageType::kQuery);
+    grid_->NoteServed(r);
+    ++out->messages;
+    if (QueryImpl(r, querypath, consumed + lc, hops + 1, out)) return true;
+  }
+  return false;
+}
+
+PrefixSearchResult SearchEngine::PrefixSearch(PeerId start, const KeyPath& prefix,
+                                              size_t fanout) {
+  PGRID_CHECK_GT(fanout, 0u);
+  PrefixSearchResult out;
+  std::vector<uint8_t> visited(grid_->size(), 0);
+  PrefixImpl(start, prefix, /*consumed=*/0, fanout, &visited, &out);
+  // Deduplicate entries gathered from multiple replicas.
+  std::unordered_set<uint64_t> seen;
+  std::vector<IndexEntry> unique;
+  unique.reserve(out.entries.size());
+  for (IndexEntry& e : out.entries) {
+    const uint64_t key = (static_cast<uint64_t>(e.holder) << 32) ^
+                         (e.item_id * 0x9e3779b97f4a7c15ull);
+    if (seen.insert(key).second) unique.push_back(std::move(e));
+  }
+  out.entries = std::move(unique);
+  return out;
+}
+
+void SearchEngine::PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed,
+                              size_t fanout, std::vector<uint8_t>* visited,
+                              PrefixSearchResult* out) {
+  if ((*visited)[peer]) return;
+  (*visited)[peer] = 1;
+  const PeerState& a = grid_->peer(peer);
+  const KeyPath rempath = a.path().SuffixFrom(consumed);
+  const size_t lc = p.CommonPrefixLength(rempath);
+
+  auto fan = [&](const std::vector<PeerId>& refs, const KeyPath& next,
+                 size_t consumed_next) {
+    std::vector<PeerId> candidates = refs;  // copy: draw and remove
+    size_t contacted = 0;
+    while (!candidates.empty() && contacted < fanout) {
+      PeerId r = rng_->TakeRandom(&candidates);
+      if (online_ != nullptr && !online_->IsOnline(r, rng_)) continue;
+      grid_->stats().Record(MessageType::kQuery);
+      grid_->NoteServed(r);
+      ++out->messages;
+      ++contacted;
+      PrefixImpl(r, next, consumed_next, fanout, visited, out);
+    }
+  };
+
+  if (lc == p.length() || lc == rempath.length()) {
+    // The peer's interval intersects the prefix region: gather its matching
+    // entries. Reconstruct the full prefix from the routing invariant.
+    out->responders.push_back(peer);
+    const KeyPath full =
+        a.path().Prefix(std::min<size_t>(consumed, a.depth())).Concat(p);
+    for (const IndexEntry& e : a.index().All()) {
+      if (PathsOverlap(e.key, full)) out->entries.push_back(e);
+    }
+    if (lc == p.length()) {
+      // Prefix exhausted but the peer's path continues: references at every
+      // deeper level cover the sibling sub-intervals of the prefix region.
+      // consumed = level ensures strictly deeper exploration (termination).
+      const KeyPath empty;
+      for (size_t level = consumed + lc + 1; level <= a.depth(); ++level) {
+        fan(a.RefsAt(level), empty, level);
+      }
+    }
+    return;
+  }
+  // Divergence before either side is exhausted: ordinary routing step.
+  fan(a.RefsAt(consumed + lc + 1), p.SuffixFrom(lc), consumed + lc);
+}
+
+Result<PrefixSearchResult> SearchEngine::RangeSearch(PeerId start, const KeyPath& lo,
+                                                     const KeyPath& hi,
+                                                     size_t fanout) {
+  PGRID_ASSIGN_OR_RETURN(std::vector<KeyPath> prefixes, DecomposeRange(lo, hi));
+  PrefixSearchResult merged;
+  std::unordered_set<uint64_t> seen_entries;
+  std::unordered_set<PeerId> seen_responders;
+  for (const KeyPath& prefix : prefixes) {
+    PrefixSearchResult part = PrefixSearch(start, prefix, fanout);
+    merged.messages += part.messages;
+    for (PeerId p : part.responders) {
+      if (seen_responders.insert(p).second) merged.responders.push_back(p);
+    }
+    for (IndexEntry& e : part.entries) {
+      const uint64_t key = (static_cast<uint64_t>(e.holder) << 32) ^
+                           (e.item_id * 0x9e3779b97f4a7c15ull);
+      if (seen_entries.insert(key).second) merged.entries.push_back(std::move(e));
+    }
+  }
+  return merged;
+}
+
+std::optional<PeerId> SearchEngine::RandomOnlinePeer(size_t tries) {
+  for (size_t i = 0; i < tries; ++i) {
+    PeerId p = static_cast<PeerId>(rng_->UniformIndex(grid_->size()));
+    if (online_ == nullptr || online_->IsOnline(p, rng_)) return p;
+  }
+  return std::nullopt;
+}
+
+ReliableReadResult SearchEngine::ReadVersion(const KeyPath& key, ItemId item,
+                                             const ReliableReadConfig& config) {
+  PGRID_CHECK(config.Validate().ok());
+  ReliableReadResult out;
+  std::map<uint64_t, size_t> tally;
+  for (size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+    std::optional<PeerId> start = RandomOnlinePeer();
+    if (!start.has_value()) break;
+    QueryResult q = Query(*start, key);
+    ++out.attempts;
+    out.messages += q.messages;
+    if (!q.found) continue;
+    out.any_found = true;
+    const uint64_t v = grid_->peer(q.responder).index().LatestVersionOf(item);
+    if (++tally[v] >= config.quorum) {
+      out.decided = true;
+      out.version = v;
+      return out;
+    }
+  }
+  // No quorum: report the plurality answer (highest count, ties broken by larger
+  // version, i.e. prefer fresher data).
+  size_t best_count = 0;
+  for (const auto& [v, c] : tally) {
+    if (c > best_count || (c == best_count && v > out.version)) {
+      best_count = c;
+      out.version = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace pgrid

@@ -1,0 +1,121 @@
+// The randomized depth-first search algorithm (paper Fig. 2) and the repeated-query
+// reliable read built on top of it (Sec. 5.2).
+//
+// query(a, p, l) matches the remaining query path p against the suffix of a's path
+// after the first l (already consumed) bits. If either side is exhausted, a is
+// responsible for the query. Otherwise the request is forwarded through a's
+// references at the divergence level, trying them in random order until one succeeds
+// (depth-first backtracking). Offline peers are skipped; a reference whose subtree
+// fails is abandoned and the next one is tried.
+//
+// Message accounting follows the paper: each successful remote invocation of query
+// counts as one kQuery message; contacting an offline peer costs nothing.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/grid.h"
+#include "sim/online_model.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// Outcome of one depth-first query.
+struct QueryResult {
+  /// True iff a responsible peer was reached.
+  bool found = false;
+
+  /// The responsible peer (valid iff found).
+  PeerId responder = kInvalidPeer;
+
+  /// Successful remote query invocations performed (the paper's message metric).
+  uint64_t messages = 0;
+
+  /// Number of routing hops on the successful path (0 if the start peer answered).
+  size_t hops = 0;
+};
+
+/// Outcome of a repeated-query (majority decision) read of one item's version.
+struct ReliableReadResult {
+  /// True iff some version reached the quorum within max_attempts.
+  bool decided = false;
+
+  /// The version agreed on (valid iff decided); falls back to the plurality value
+  /// among collected answers when no quorum was reached but answers exist.
+  uint64_t version = 0;
+
+  /// True iff at least one query found a responsible peer.
+  bool any_found = false;
+
+  /// Total messages across all query attempts.
+  uint64_t messages = 0;
+
+  /// Number of queries issued.
+  size_t attempts = 0;
+};
+
+/// Outcome of a prefix (interval) search: entries gathered from every reachable
+/// peer whose path overlaps the prefix.
+struct PrefixSearchResult {
+  /// Distinct responsible peers visited.
+  std::vector<PeerId> responders;
+
+  /// Union of matching index entries across responders (deduplicated by
+  /// (holder, item)).
+  std::vector<IndexEntry> entries;
+
+  /// Messages spent.
+  uint64_t messages = 0;
+};
+
+/// Executes searches against a Grid.
+class SearchEngine {
+ public:
+  /// `online` may be null (everyone online).
+  SearchEngine(Grid* grid, const OnlineModel* online, Rng* rng);
+
+  /// Issues query(start, key, 0). The start peer is assumed reachable (callers pick
+  /// an online entry point; any peer can serve as one).
+  QueryResult Query(PeerId start, const KeyPath& key);
+
+  /// Repeated independent queries from random online start peers until `config.quorum`
+  /// answers agree on one version of `item` (majority decision read, Sec. 5.2).
+  ReliableReadResult ReadVersion(const KeyPath& key, ItemId item,
+                                 const ReliableReadConfig& config);
+
+  /// Prefix search (Sec. 6 trie extension): visits all reachable peers whose
+  /// interval overlaps `prefix` -- breadth-first with per-level fan-out `fanout` --
+  /// and gathers their matching index entries. A short prefix addresses a whole
+  /// subtree; entries are deduplicated across replicas.
+  PrefixSearchResult PrefixSearch(PeerId start, const KeyPath& prefix,
+                                  size_t fanout = 2);
+
+  /// Range search over the order-preserving key space: decomposes the inclusive
+  /// range [lo, hi] (equal-length keys, see DecomposeRange) into aligned prefixes
+  /// and runs a prefix search for each, merging the results. InvalidArgument for
+  /// malformed bounds.
+  Result<PrefixSearchResult> RangeSearch(PeerId start, const KeyPath& lo,
+                                         const KeyPath& hi, size_t fanout = 2);
+
+  /// Picks a uniformly random online peer to serve as query entry point, or nullopt
+  /// if nobody is online (after sampling `tries` candidates).
+  std::optional<PeerId> RandomOnlinePeer(size_t tries = 256);
+
+ private:
+  bool QueryImpl(PeerId peer, const KeyPath& p, size_t consumed, size_t hops,
+                 QueryResult* out);
+
+  void PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed, size_t fanout,
+                  std::vector<uint8_t>* visited, PrefixSearchResult* out);
+
+  Grid* grid_;
+  const OnlineModel* online_;
+  Rng* rng_;
+};
+
+}  // namespace pgrid

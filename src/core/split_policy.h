@@ -1,0 +1,118 @@
+// Split policies: when may a peer extend its path by another level?
+//
+// The paper bounds specialization with the global constant maxl, and remarks
+// (Sec. 3) that "in practical applications, one possible indication that a path has
+// reached maxl could be that the number of data items belonging to the key is
+// falling below a certain threshold", and (Sec. 6) that supporting skewed data
+// distributions requires taking the actual data distribution into account during
+// construction. SplitPolicy turns that into a pluggable decision:
+//
+//  - DepthBoundPolicy:     the paper's maxl rule (default behaviour).
+//  - DataThresholdPolicy:  split only while enough index entries live under the
+//                          common path, with a hard depth cap. Under skewed keys
+//                          this grows the trie deeper exactly where the data is,
+//                          balancing per-peer storage load (the Sec. 6 extension).
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/peer_state.h"
+
+namespace pgrid {
+
+/// Decides whether two peers whose paths agree up to `common_len` may introduce a
+/// new level (exchange cases 1-3), and whether a shorter peer should *clone* toward
+/// the partner's (data-dense) side instead of specializing to the complement.
+class SplitPolicy {
+ public:
+  virtual ~SplitPolicy() = default;
+
+  /// `a` is the peer that would extend its path; `partner` is the other side of the
+  /// meeting. `common_len` is the length of the shared prefix that would be split.
+  virtual bool MaySplit(const PeerState& a, const PeerState& partner,
+                        size_t common_len) const = 0;
+
+  /// Replication balancing (cases 2/3 only): when true, `shorter` adopts the
+  /// partner's bit at level common_len+1 -- becoming another peer on the partner's
+  /// side -- instead of taking the complement. The exchange algorithm's plain
+  /// splitting allocates peers 50/50 per level regardless of where the data is;
+  /// cloning shifts peer population toward data-dense regions so leaf loads
+  /// balance under skew. Default: never clone (the paper's behaviour).
+  virtual bool PreferClone(const PeerState& shorter, const PeerState& longer,
+                           size_t common_len) const {
+    (void)shorter;
+    (void)longer;
+    (void)common_len;
+    return false;
+  }
+};
+
+/// The paper's rule: split while the common prefix is shorter than maxl.
+class DepthBoundPolicy : public SplitPolicy {
+ public:
+  explicit DepthBoundPolicy(size_t maxl) : maxl_(maxl) {}
+
+  bool MaySplit(const PeerState& a, const PeerState& partner,
+                size_t common_len) const override {
+    (void)a;
+    (void)partner;
+    return common_len < maxl_;
+  }
+
+ private:
+  size_t maxl_;
+};
+
+/// Data-aware rule: split while the meeting pair jointly indexes at least
+/// `min_items` entries (so each side keeps a useful share), up to a hard depth cap.
+/// With no data at all this behaves like DepthBoundPolicy(bootstrap_depth): the
+/// structure still forms, it just refuses to over-specialize empty regions.
+class DataThresholdPolicy : public SplitPolicy {
+ public:
+  /// `clone_imbalance` enables replication balancing: the shorter peer clones to
+  /// the partner's side when, among its own entries that decide the new level, the
+  /// partner's side holds more than `clone_imbalance` times the complement side's
+  /// share. 0 disables cloning.
+  DataThresholdPolicy(size_t min_items, size_t hard_cap, size_t bootstrap_depth = 1,
+                      double clone_imbalance = 0.0)
+      : min_items_(min_items),
+        hard_cap_(hard_cap),
+        bootstrap_depth_(bootstrap_depth),
+        clone_imbalance_(clone_imbalance) {}
+
+  bool MaySplit(const PeerState& a, const PeerState& partner,
+                size_t common_len) const override {
+    if (common_len >= hard_cap_) return false;
+    if (common_len < bootstrap_depth_) return true;
+    return a.index().size() + partner.index().size() >= min_items_;
+  }
+
+  bool PreferClone(const PeerState& shorter, const PeerState& longer,
+                   size_t common_len) const override {
+    if (clone_imbalance_ <= 0.0) return false;
+    // The shorter peer still indexes both sides of the new level; count how its
+    // entries fall relative to the partner's bit. (The partner's index only covers
+    // its own side and cannot inform this decision.)
+    const int partner_bit = longer.PathBit(common_len + 1);
+    double partner_side = 0, complement_side = 0;
+    for (const IndexEntry& e : shorter.index().All()) {
+      if (e.key.length() <= common_len) continue;
+      if (e.key.bit(common_len) == partner_bit) {
+        ++partner_side;
+      } else {
+        ++complement_side;
+      }
+    }
+    return partner_side > clone_imbalance_ * std::max(1.0, complement_side);
+  }
+
+ private:
+  size_t min_items_;
+  size_t hard_cap_;
+  size_t bootstrap_depth_;
+  double clone_imbalance_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,146 @@
+#include "core/update.h"
+
+#include "core/search.h"
+#include "util/macros.h"
+
+namespace pgrid {
+
+const char* UpdateStrategyName(UpdateStrategy s) {
+  switch (s) {
+    case UpdateStrategy::kRepeatedDfs:
+      return "dfs";
+    case UpdateStrategy::kRepeatedDfsBuddies:
+      return "dfs+buddies";
+    case UpdateStrategy::kBreadthFirst:
+      return "bfs";
+  }
+  return "?";
+}
+
+UpdateEngine::UpdateEngine(Grid* grid, const OnlineModel* online, Rng* rng)
+    : grid_(grid), online_(online), rng_(rng) {
+  PGRID_CHECK(grid != nullptr && rng != nullptr);
+}
+
+bool UpdateEngine::IsOnline(PeerId p) const {
+  return online_ == nullptr || online_->IsOnline(p, rng_);
+}
+
+UpdateOutcome UpdateEngine::Propagate(const KeyPath& key, ItemId item, uint64_t version,
+                                      UpdateStrategy strategy,
+                                      const UpdateConfig& config) {
+  UpdateOutcome out = Run(key, strategy, config);
+  for (PeerId p : out.reached) {
+    grid_->peer(p).index().ApplyVersion(item, version);
+  }
+  return out;
+}
+
+UpdateOutcome UpdateEngine::Probe(const KeyPath& key, UpdateStrategy strategy,
+                                  const UpdateConfig& config) {
+  return Run(key, strategy, config);
+}
+
+UpdateOutcome UpdateEngine::Run(const KeyPath& key, UpdateStrategy strategy,
+                                const UpdateConfig& config) {
+  PGRID_CHECK(config.Validate().ok());
+  std::unordered_set<PeerId> reached;
+  uint64_t messages = 0;
+  SearchEngine search(grid_, online_, rng_);
+  for (size_t rep = 0; rep < config.repetition; ++rep) {
+    switch (strategy) {
+      case UpdateStrategy::kRepeatedDfs:
+        DfsPass(key, /*with_buddies=*/false, &reached, &messages);
+        break;
+      case UpdateStrategy::kRepeatedDfsBuddies:
+        DfsPass(key, /*with_buddies=*/true, &reached, &messages);
+        break;
+      case UpdateStrategy::kBreadthFirst: {
+        std::optional<PeerId> start = search.RandomOnlinePeer();
+        if (start.has_value()) BfsPass(*start, key, 0, config.recbreadth, &reached,
+                                       &messages);
+        break;
+      }
+    }
+  }
+  UpdateOutcome out;
+  out.messages = messages;
+  out.reached.assign(reached.begin(), reached.end());
+  return out;
+}
+
+void UpdateEngine::DfsPass(const KeyPath& key, bool with_buddies,
+                           std::unordered_set<PeerId>* reached, uint64_t* messages) {
+  SearchEngine search(grid_, online_, rng_);
+  std::optional<PeerId> start = search.RandomOnlinePeer();
+  if (!start.has_value()) return;
+  QueryResult q = search.Query(*start, key);
+  *messages += q.messages;
+  if (!q.found) return;
+  reached->insert(q.responder);
+  if (!with_buddies) return;
+  // The replica forwards the update to its known same-path buddies. One message per
+  // online buddy; offline buddies are missed (they rejoin with stale state).
+  for (PeerId b : grid_->peer(q.responder).buddies()) {
+    if (reached->contains(b)) continue;
+    if (!IsOnline(b)) continue;
+    grid_->stats().Record(MessageType::kUpdate);
+    ++*messages;
+    reached->insert(b);
+  }
+}
+
+void UpdateEngine::BfsPass(PeerId peer, const KeyPath& p, size_t consumed,
+                           size_t recbreadth, std::unordered_set<PeerId>* reached,
+                           uint64_t* messages) {
+  const PeerState& a = grid_->peer(peer);
+  const KeyPath rempath = a.path().SuffixFrom(consumed);
+  const size_t lc = p.CommonPrefixLength(rempath);
+
+  if (lc == rempath.length() && lc == p.length()) {
+    // Exact coverage: `a` is a replica; nothing further to route.
+    reached->insert(peer);
+    return;
+  }
+  if (lc == p.length()) {
+    // Query exhausted but the peer's path continues: `a` is a replica, and so is
+    // every peer referenced at deeper levels (their intervals partition the rest of
+    // the query's interval). Fan out into all deeper levels.
+    reached->insert(peer);
+    const KeyPath empty;
+    for (size_t level = consumed + lc + 1; level <= a.depth(); ++level) {
+      // consumed = level: targets only explore levels strictly below `level`, which
+      // guarantees termination (consumed grows monotonically toward maxl).
+      BfsFanOut(a.RefsAt(level), empty, level, recbreadth, reached, messages);
+    }
+    return;
+  }
+  if (lc == rempath.length()) {
+    // Peer's path exhausted: `a` is a replica (the query refines its interval).
+    reached->insert(peer);
+    return;
+  }
+  // Divergence: forward to up to recbreadth references at the divergence level --
+  // breadth-first, no early exit.
+  const KeyPath querypath = p.SuffixFrom(lc);
+  BfsFanOut(a.RefsAt(consumed + lc + 1), querypath, consumed + lc, recbreadth, reached,
+            messages);
+}
+
+void UpdateEngine::BfsFanOut(const std::vector<PeerId>& refs, const KeyPath& querypath,
+                             size_t consumed, size_t recbreadth,
+                             std::unordered_set<PeerId>* reached, uint64_t* messages) {
+  std::vector<PeerId> candidates = refs;  // copy: we draw and remove
+  size_t contacted = 0;
+  while (!candidates.empty() && contacted < recbreadth) {
+    PeerId r = rng_->TakeRandom(&candidates);
+    if (!IsOnline(r)) continue;
+    grid_->stats().Record(MessageType::kUpdate);
+    grid_->NoteServed(r);
+    ++*messages;
+    ++contacted;
+    BfsPass(r, querypath, consumed, recbreadth, reached, messages);
+  }
+}
+
+}  // namespace pgrid

@@ -1,0 +1,176 @@
+#include "key/key_path.h"
+
+#include <bit>
+
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+namespace {
+
+constexpr size_t kBitsPerWord = 64;
+
+size_t WordsFor(size_t bits) { return (bits + kBitsPerWord - 1) / kBitsPerWord; }
+
+}  // namespace
+
+Result<KeyPath> KeyPath::FromString(std::string_view bits) {
+  KeyPath out;
+  for (char c : bits) {
+    if (c == '0') {
+      out.PushBack(0);
+    } else if (c == '1') {
+      out.PushBack(1);
+    } else {
+      return Status::InvalidArgument(std::string("invalid bit character '") + c +
+                                     "' in key path");
+    }
+  }
+  return out;
+}
+
+KeyPath KeyPath::FromUint64(uint64_t value, size_t length) {
+  PGRID_CHECK_LE(length, kBitsPerWord);
+  KeyPath out;
+  for (size_t i = 0; i < length; ++i) {
+    // Most significant of the low `length` bits first.
+    out.PushBack(static_cast<int>((value >> (length - 1 - i)) & 1u));
+  }
+  return out;
+}
+
+KeyPath KeyPath::Random(Rng* rng, size_t length) {
+  PGRID_CHECK(rng != nullptr);
+  KeyPath out;
+  for (size_t i = 0; i < length; ++i) out.PushBack(rng->Bit());
+  return out;
+}
+
+int KeyPath::bit(size_t i) const {
+  PGRID_CHECK_LT(i, length_);
+  return static_cast<int>((words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u);
+}
+
+void KeyPath::PushBack(int b) {
+  PGRID_CHECK(b == 0 || b == 1);
+  if (length_ % kBitsPerWord == 0) words_.push_back(0);
+  if (b != 0) words_[length_ / kBitsPerWord] |= uint64_t{1} << (length_ % kBitsPerWord);
+  ++length_;
+}
+
+void KeyPath::PopBack() {
+  PGRID_CHECK_GT(length_, 0u);
+  --length_;
+  words_[length_ / kBitsPerWord] &= ~(uint64_t{1} << (length_ % kBitsPerWord));
+  words_.resize(WordsFor(length_));
+}
+
+KeyPath KeyPath::Append(int b) const {
+  KeyPath out = *this;
+  out.PushBack(b);
+  return out;
+}
+
+KeyPath KeyPath::Concat(const KeyPath& suffix) const {
+  KeyPath out = *this;
+  for (size_t i = 0; i < suffix.length_; ++i) out.PushBack(suffix.bit(i));
+  return out;
+}
+
+KeyPath KeyPath::Prefix(size_t len) const {
+  PGRID_CHECK_LE(len, length_);
+  KeyPath out = *this;
+  out.length_ = len;
+  out.words_.resize(WordsFor(len));
+  // Re-canonicalize: clear bits at positions >= len in the last word.
+  if (len % kBitsPerWord != 0 && !out.words_.empty()) {
+    out.words_.back() &= (uint64_t{1} << (len % kBitsPerWord)) - 1;
+  }
+  return out;
+}
+
+KeyPath KeyPath::Sub(size_t pos, size_t len) const {
+  PGRID_CHECK_LE(pos + len, length_);
+  KeyPath out;
+  for (size_t i = 0; i < len; ++i) out.PushBack(bit(pos + i));
+  return out;
+}
+
+KeyPath KeyPath::SuffixFrom(size_t pos) const {
+  if (pos >= length_) return KeyPath();
+  return Sub(pos, length_ - pos);
+}
+
+size_t KeyPath::CommonPrefixLength(const KeyPath& other) const {
+  size_t limit = std::min(length_, other.length_);
+  size_t words = WordsFor(limit);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t diff = words_[w] ^ other.words_[w];
+    if (diff != 0) {
+      size_t first_diff = w * kBitsPerWord + static_cast<size_t>(std::countr_zero(diff));
+      return std::min(first_diff, limit);
+    }
+  }
+  return limit;
+}
+
+bool KeyPath::IsPrefixOf(const KeyPath& other) const {
+  return length_ <= other.length_ && CommonPrefixLength(other) == length_;
+}
+
+double KeyPath::Value() const {
+  double v = 0.0;
+  double w = 0.5;
+  for (size_t i = 0; i < length_; ++i, w *= 0.5) {
+    if (bit(i) != 0) v += w;
+  }
+  return v;
+}
+
+Interval KeyPath::ToInterval() const {
+  double lo = Value();
+  double width = 1.0;
+  for (size_t i = 0; i < length_; ++i) width *= 0.5;
+  return Interval{lo, lo + width};
+}
+
+std::string KeyPath::ToString() const {
+  std::string out;
+  out.reserve(length_);
+  for (size_t i = 0; i < length_; ++i) out.push_back(bit(i) != 0 ? '1' : '0');
+  return out;
+}
+
+std::strong_ordering KeyPath::operator<=>(const KeyPath& other) const {
+  size_t common = CommonPrefixLength(other);
+  if (common < length_ && common < other.length_) {
+    return bit(common) < other.bit(common) ? std::strong_ordering::less
+                                           : std::strong_ordering::greater;
+  }
+  return length_ <=> other.length_;
+}
+
+bool KeyPath::operator==(const KeyPath& other) const {
+  return length_ == other.length_ && words_ == other.words_;
+}
+
+size_t KeyPath::Hash() const {
+  // FNV-1a over the canonical words plus the length.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(length_);
+  for (uint64_t w : words_) mix(w);
+  return static_cast<size_t>(h);
+}
+
+std::ostream& operator<<(std::ostream& os, const KeyPath& k) {
+  return os << k.ToString();
+}
+
+}  // namespace pgrid

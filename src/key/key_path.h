@@ -1,0 +1,141 @@
+// Binary key paths (Sec. 2 of the paper).
+//
+// Index terms are binary strings p1...pn over {0,1}. A key k corresponds to the value
+// val(k) = sum_i 2^-i * p_i and the interval I(k) = [val(k), val(k) + 2^-n) in [0,1].
+// Each peer is responsible for one path; search keys are paths too. This class stores
+// paths as packed bits and provides the prefix algebra used by the P-Grid algorithms:
+// common prefixes, sub-paths, appends, complements, and interval arithmetic.
+
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pgrid {
+
+class Rng;
+
+/// A half-open subinterval [lo, hi) of the unit interval [0, 1].
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  /// True iff `x` lies inside [lo, hi).
+  bool Contains(double x) const { return x >= lo && x < hi; }
+  double Width() const { return hi - lo; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// An immutable-by-convention binary string of 0/1 bits with prefix algebra.
+///
+/// Bits are indexed from 0 (the paper indexes from 1; all conversions are documented
+/// at call sites). The empty path represents responsibility for the whole key space.
+class KeyPath {
+ public:
+  /// Constructs the empty path (length 0, interval [0,1)).
+  KeyPath() = default;
+
+  /// Parses a path from a string of '0'/'1' characters. Empty string is the empty
+  /// path. Any other character is an InvalidArgument error.
+  static Result<KeyPath> FromString(std::string_view bits);
+
+  /// Builds a fixed-width path from the low `length` bits of `value`, most significant
+  /// of those bits first. Requires length <= 64. Useful for enumerating all keys of a
+  /// given length: FromUint64(i, L) for i in [0, 2^L).
+  static KeyPath FromUint64(uint64_t value, size_t length);
+
+  /// Builds a uniformly random path of the given length.
+  static KeyPath Random(Rng* rng, size_t length);
+
+  size_t length() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  /// Returns bit i (0 or 1), 0-indexed. Requires i < length().
+  int bit(size_t i) const;
+
+  /// Appends one bit in place. `b` must be 0 or 1.
+  void PushBack(int b);
+
+  /// Removes the last bit. Requires non-empty.
+  void PopBack();
+
+  /// Returns a copy with one bit appended.
+  KeyPath Append(int b) const;
+
+  /// Returns a copy with another path's bits appended.
+  KeyPath Concat(const KeyPath& suffix) const;
+
+  /// Returns the prefix of the given length. Requires len <= length().
+  KeyPath Prefix(size_t len) const;
+
+  /// Returns the sub-path of `len` bits starting at 0-indexed position `pos`.
+  /// Requires pos + len <= length(). (The paper's sub_path(p, l, k) with 1-indexed
+  /// inclusive bounds is Sub(l - 1, k - l + 1).)
+  KeyPath Sub(size_t pos, size_t len) const;
+
+  /// Returns the suffix starting at 0-indexed position `pos` (empty if pos >= length).
+  KeyPath SuffixFrom(size_t pos) const;
+
+  /// Length of the longest common prefix with `other`.
+  size_t CommonPrefixLength(const KeyPath& other) const;
+
+  /// True iff this path is a (not necessarily proper) prefix of `other`.
+  bool IsPrefixOf(const KeyPath& other) const;
+
+  /// val(k) = sum_{i=1..n} 2^-i p_i, mapping the path to [0, 1).
+  double Value() const;
+
+  /// I(k) = [val(k), val(k) + 2^-n). The empty path maps to [0, 1).
+  /// Double precision limits this to paths of at most ~52 bits; for longer paths the
+  /// interval degenerates (width underflows). The prefix algebra (IsPrefixOf,
+  /// PathsOverlap) is exact at any length and is what the algorithms use; intervals
+  /// exist for explainability and the paper's val()/I() notation.
+  Interval ToInterval() const;
+
+  /// True iff a point key with value `v` falls in this path's interval.
+  bool CoversValue(double v) const { return ToInterval().Contains(v); }
+
+  /// Renders the path as a string of '0'/'1' ("<empty>" is rendered as "").
+  std::string ToString() const;
+
+  /// Lexicographic comparison; a proper prefix orders before its extensions.
+  std::strong_ordering operator<=>(const KeyPath& other) const;
+  bool operator==(const KeyPath& other) const;
+
+  /// Hash suitable for unordered containers (see KeyPathHash).
+  size_t Hash() const;
+
+ private:
+  // Bit i lives in words_[i / 64] at bit position (i % 64), LSB-first. All bits at
+  // positions >= length_ are kept zero (canonical form) so equality and hashing can
+  // operate on whole words.
+  std::vector<uint64_t> words_;
+  size_t length_ = 0;
+};
+
+/// Complement of a single bit: 0 <-> 1 (the paper's p^- = (p + 1) mod 2).
+inline int ComplementBit(int b) { return 1 - b; }
+
+/// True iff the intervals of two paths overlap, i.e. one is a prefix of the other.
+/// A peer with path `a` is (co-)responsible for a key `b` iff PathsOverlap(a, b).
+inline bool PathsOverlap(const KeyPath& a, const KeyPath& b) {
+  return a.IsPrefixOf(b) || b.IsPrefixOf(a);
+}
+
+/// Hash functor for unordered containers keyed by KeyPath.
+struct KeyPathHash {
+  size_t operator()(const KeyPath& k) const { return k.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const KeyPath& k);
+
+}  // namespace pgrid

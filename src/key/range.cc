@@ -1,0 +1,51 @@
+#include "key/range.h"
+
+namespace pgrid {
+
+namespace {
+
+uint64_t ToValue(const KeyPath& k) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < k.length(); ++i) v = (v << 1) | static_cast<uint64_t>(k.bit(i));
+  return v;
+}
+
+}  // namespace
+
+Result<std::vector<KeyPath>> DecomposeRange(const KeyPath& lo, const KeyPath& hi) {
+  const size_t length = lo.length();
+  if (length != hi.length()) {
+    return Status::InvalidArgument("range bounds must have equal length");
+  }
+  if (length == 0 || length > 63) {
+    return Status::InvalidArgument("range key length must be in [1, 63]");
+  }
+  uint64_t lo_v = ToValue(lo);
+  const uint64_t hi_v = ToValue(hi);
+  if (lo_v > hi_v) {
+    return Status::InvalidArgument("range is empty (lo > hi)");
+  }
+
+  std::vector<KeyPath> out;
+  bool done = false;
+  while (!done) {
+    // Largest aligned block 2^k starting at lo_v that stays inside [lo_v, hi_v].
+    size_t k = 0;
+    while (k < length) {
+      const uint64_t size = uint64_t{1} << (k + 1);
+      if ((lo_v & (size - 1)) != 0) break;                 // not aligned
+      if (lo_v + size - 1 > hi_v) break;                   // overshoots
+      ++k;
+    }
+    out.push_back(KeyPath::FromUint64(lo_v >> k, length - k));
+    const uint64_t block = uint64_t{1} << k;
+    if (hi_v - lo_v < block) {
+      done = true;  // the block ends exactly at hi_v (guaranteed by the k-search)
+    } else {
+      lo_v += block;
+    }
+  }
+  return out;
+}
+
+}  // namespace pgrid

@@ -1,0 +1,23 @@
+// Canonical range decomposition over the binary trie.
+//
+// A range [lo, hi] of equal-length keys decomposes into O(2 * length) aligned
+// prefixes (the classic segment decomposition): each prefix covers a maximal
+// aligned block inside the range. Range queries then reduce to a handful of prefix
+// searches (see SearchEngine::RangeSearch) -- the natural extension of P-Grid's
+// order-preserving key space to range predicates.
+
+#pragma once
+
+#include <vector>
+
+#include "key/key_path.h"
+#include "util/result.h"
+
+namespace pgrid {
+
+/// Decomposes the inclusive range [lo, hi] into a minimal set of disjoint prefixes
+/// whose leaves tile it exactly. Requires lo.length() == hi.length(), lengths in
+/// [1, 63], and lo <= hi (lexicographically). Results are ordered low to high.
+Result<std::vector<KeyPath>> DecomposeRange(const KeyPath& lo, const KeyPath& hi);
+
+}  // namespace pgrid

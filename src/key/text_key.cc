@@ -1,0 +1,71 @@
+#include "key/text_key.h"
+
+#include <array>
+#include <cctype>
+
+namespace pgrid {
+
+namespace {
+
+// Code order defines sort order; must itself be sorted by character value within
+// the intended collation.
+constexpr std::string_view kAlphabet = " -.0123456789_abcdefghijklmnopqrstuvwxyz";
+
+std::array<int, 256> BuildCodeTable() {
+  std::array<int, 256> table{};
+  table.fill(-1);
+  for (size_t i = 0; i < kAlphabet.size(); ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int>(i);
+  }
+  return table;
+}
+
+const std::array<int, 256>& CodeTable() {
+  static const std::array<int, 256> table = BuildCodeTable();
+  return table;
+}
+
+}  // namespace
+
+std::string_view TextKeyAlphabet() { return kAlphabet; }
+
+Result<KeyPath> EncodeText(std::string_view text) {
+  KeyPath out;
+  for (char raw : text) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(raw)));
+    const int code = CodeTable()[static_cast<unsigned char>(c)];
+    if (code < 0) {
+      return Status::InvalidArgument(std::string("character '") + raw +
+                                     "' not in the text-key alphabet");
+    }
+    for (size_t bit = 0; bit < kTextKeyBitsPerChar; ++bit) {
+      out.PushBack((code >> (kTextKeyBitsPerChar - 1 - bit)) & 1);
+    }
+  }
+  return out;
+}
+
+Result<std::string> DecodeText(const KeyPath& key) {
+  if (key.length() % kTextKeyBitsPerChar != 0) {
+    return Status::InvalidArgument("key length " + std::to_string(key.length()) +
+                                   " is not a multiple of " +
+                                   std::to_string(kTextKeyBitsPerChar));
+  }
+  std::string out;
+  out.reserve(key.length() / kTextKeyBitsPerChar);
+  for (size_t pos = 0; pos < key.length(); pos += kTextKeyBitsPerChar) {
+    int code = 0;
+    for (size_t bit = 0; bit < kTextKeyBitsPerChar; ++bit) {
+      code = (code << 1) | key.bit(pos + bit);
+    }
+    if (static_cast<size_t>(code) >= kAlphabet.size()) {
+      return Status::InvalidArgument("code " + std::to_string(code) +
+                                     " has no character");
+    }
+    out.push_back(kAlphabet[static_cast<size_t>(code)]);
+  }
+  return out;
+}
+
+}  // namespace pgrid

@@ -1,0 +1,39 @@
+// Order-preserving text-to-key encoding (Sec. 6 extension: "For prefix search on
+// text the algorithm can be adapted ... This would allow to directly support trie
+// search structures").
+//
+// Each character of a restricted, ordered alphabet is mapped to a fixed-width
+// 6-bit code. Fixed width gives the two properties prefix search needs:
+//   1. order preservation:  s < t  (lexicographically)  <=>  val(enc(s)) < val(enc(t)),
+//   2. prefix preservation: s is a prefix of t  <=>  enc(s) is a path-prefix of enc(t).
+// A text prefix query therefore becomes an interval query over the binary trie,
+// answered by visiting all peers whose paths overlap the encoded prefix (see
+// SearchEngine::PrefixSearch).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "key/key_path.h"
+#include "util/result.h"
+
+namespace pgrid {
+
+/// Number of bits per encoded character.
+inline constexpr size_t kTextKeyBitsPerChar = 6;
+
+/// The supported alphabet in code order. Sorting by code equals sorting by this
+/// sequence: ' ' < '-' < '.' < '0'..'9' < '_' < 'a'..'z'.
+std::string_view TextKeyAlphabet();
+
+/// Encodes `text` into a binary key path (6 bits per character, order and prefix
+/// preserving). InvalidArgument if any character is outside the alphabet.
+/// Uppercase input is folded to lowercase first.
+Result<KeyPath> EncodeText(std::string_view text);
+
+/// Decodes a path produced by EncodeText. InvalidArgument if the length is not a
+/// multiple of 6 bits or a code has no character.
+Result<std::string> DecodeText(const KeyPath& key);
+
+}  // namespace pgrid

@@ -1,0 +1,48 @@
+// Process-local RPC transport: a registry of handlers keyed by address.
+//
+// Calls are executed synchronously on the caller's thread. Optional fault injection
+// (message loss probability, per-address outages) makes it the vehicle for testing
+// node behaviour under failure without sockets.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace pgrid {
+namespace net {
+
+/// In-process transport with fault injection.
+class InProcTransport : public RpcTransport {
+ public:
+  /// `loss_probability` drops each call with that probability (as Unavailable).
+  explicit InProcTransport(double loss_probability = 0.0, uint64_t seed = 0);
+
+  Status Serve(const std::string& address, Handler handler) override;
+  void StopServing(const std::string& address) override;
+  Result<std::string> Call(const std::string& to, const std::string& from,
+                           const std::string& request) override;
+
+  /// Simulates an outage: calls to `address` fail until ClearOutage.
+  void InjectOutage(const std::string& address);
+  void ClearOutage(const std::string& address);
+
+  /// Number of calls that reached a handler.
+  uint64_t delivered_calls() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Handler> handlers_;
+  std::unordered_set<std::string> outages_;
+  double loss_probability_;
+  Rng rng_;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace net
+}  // namespace pgrid

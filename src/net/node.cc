@@ -1,0 +1,626 @@
+#include "net/node.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace pgrid {
+namespace net {
+
+namespace {
+
+/// Deduplicating union of address lists.
+std::vector<std::string> UnionAddrs(std::vector<std::string> a,
+                                    const std::vector<std::string>& b) {
+  for (const std::string& s : b) {
+    if (std::find(a.begin(), a.end(), s) == a.end()) a.push_back(s);
+  }
+  return a;
+}
+
+void RemoveAddr(std::vector<std::string>* v, const std::string& addr) {
+  v->erase(std::remove(v->begin(), v->end(), addr), v->end());
+}
+
+}  // namespace
+
+PGridNode::PGridNode(std::string address, RpcTransport* transport,
+                     const NodeConfig& config, uint64_t seed)
+    : address_(std::move(address)),
+      transport_(transport),
+      config_(config),
+      rng_(seed) {
+  PGRID_CHECK(transport != nullptr);
+  PGRID_CHECK(config.Validate().ok());
+}
+
+PGridNode::~PGridNode() { Stop(); }
+
+Status PGridNode::Start() {
+  Status s = transport_->Serve(
+      address_, [this](const std::string& from, const std::string& request) {
+        return Handle(from, request);
+      });
+  if (s.ok()) serving_ = true;
+  return s;
+}
+
+void PGridNode::Stop() {
+  if (serving_) {
+    transport_->StopServing(address_);
+    serving_ = false;
+  }
+}
+
+KeyPath PGridNode::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+std::vector<std::string> PGridNode::RefsAt(size_t level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < 1 || level > refs_.size()) return {};
+  return refs_[level - 1];
+}
+
+std::vector<std::string> PGridNode::buddies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buddies_;
+}
+
+std::vector<WireEntry> PGridNode::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::vector<WireEntry> PGridNode::foreign_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return foreign_;
+}
+
+NodeStats PGridNode::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<std::string> PGridNode::KnownPeers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& level : refs_) {
+    for (const std::string& addr : level) {
+      if (std::find(out.begin(), out.end(), addr) == out.end()) out.push_back(addr);
+    }
+  }
+  for (const std::string& addr : buddies_) {
+    if (std::find(out.begin(), out.end(), addr) == out.end()) out.push_back(addr);
+  }
+  return out;
+}
+
+// ---- locked helpers ----
+
+bool PGridNode::AdoptEntryLocked(const WireEntry& entry) {
+  for (WireEntry& e : entries_) {
+    if (e.holder == entry.holder && e.item_id == entry.item_id) {
+      if (entry.version > e.version) {
+        e.version = entry.version;
+        e.key = entry.key;
+        return true;
+      }
+      return false;
+    }
+  }
+  entries_.push_back(entry);
+  ++stats_.entries_adopted;
+  return true;
+}
+
+std::vector<WireEntry> PGridNode::DrainNonMatchingLocked() {
+  std::vector<WireEntry> out = std::move(foreign_);
+  foreign_.clear();
+  auto mid = std::partition(entries_.begin(), entries_.end(), [this](const WireEntry& e) {
+    return PathsOverlap(path_, e.key);
+  });
+  out.insert(out.end(), std::make_move_iterator(mid),
+             std::make_move_iterator(entries_.end()));
+  entries_.erase(mid, entries_.end());
+  return out;
+}
+
+PGridNode::LocalMatch PGridNode::MatchLocked(const KeyPath& key, uint32_t consumed) {
+  LocalMatch out;
+  const KeyPath rempath = path_.SuffixFrom(consumed);
+  const size_t lc = key.CommonPrefixLength(rempath);
+  if (lc == key.length() || lc == rempath.length()) {
+    out.found = true;
+    // Reconstruct the full query: the consumed prefix of our own path plus the
+    // remaining suffix (they agree by the routing invariant).
+    const KeyPath full =
+        path_.Prefix(std::min<size_t>(consumed, path_.length())).Concat(key);
+    for (const WireEntry& e : entries_) {
+      if (PathsOverlap(e.key, full)) out.matching.push_back(e);
+    }
+    return out;
+  }
+  out.consumed = consumed + static_cast<uint32_t>(lc);
+  out.remaining = key.SuffixFrom(lc);
+  const size_t level = consumed + lc + 1;  // 1-indexed divergence level
+  if (level <= refs_.size()) out.candidates = refs_[level - 1];
+  return out;
+}
+
+std::vector<std::string> PGridNode::SampleRefsLocked(std::vector<std::string> a,
+                                                     const std::vector<std::string>& b,
+                                                     const std::string& exclude) {
+  std::vector<std::string> u = UnionAddrs(std::move(a), b);
+  RemoveAddr(&u, exclude);
+  return rng_.SampleWithoutReplacement(std::move(u), config_.refmax);
+}
+
+// ---- handler side ----
+
+std::string PGridNode::Handle(const std::string& from, const std::string& request) {
+  Result<MsgType> type = PeekType(request);
+  if (!type.ok()) return EncodeError(type.status().ToString());
+  switch (*type) {
+    case MsgType::kPing:
+      return EncodePong();
+    case MsgType::kQueryReq:
+      return HandleQuery(request);
+    case MsgType::kPublishReq:
+      return HandlePublish(request);
+    case MsgType::kExchangeReq:
+      return HandleExchange(from, request);
+    case MsgType::kCommitReq:
+      return HandleCommit(from, request);
+    case MsgType::kEntryPushReq:
+      return HandleEntryPush(request);
+    default:
+      return EncodeError("unexpected request type");
+  }
+}
+
+std::string PGridNode::HandleQuery(const std::string& request) {
+  Result<QueryRequest> req = DecodeQueryRequest(request);
+  if (!req.ok()) return EncodeError(req.status().ToString());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries_served;
+  LocalMatch m = MatchLocked(req->key, req->consumed);
+  if (m.found) {
+    QueryResponseFound resp;
+    resp.responder = address_;
+    resp.entries = std::move(m.matching);
+    return EncodeQueryResponseFound(resp);
+  }
+  if (m.candidates.empty()) return EncodeQueryResponseMiss();
+  QueryResponseForward resp;
+  resp.consumed = m.consumed;
+  resp.remaining = m.remaining;
+  resp.candidates = std::move(m.candidates);
+  return EncodeQueryResponseForward(resp);
+}
+
+std::string PGridNode::HandlePublish(const std::string& request) {
+  Result<PublishRequest> req = DecodePublishRequest(request);
+  if (!req.ok()) return EncodeError(req.status().ToString());
+  PublishAck ack;
+  std::vector<std::string> buddies_to_notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.publishes_served;
+    if (PathsOverlap(path_, req->entry.key)) {
+      AdoptEntryLocked(req->entry);
+      ack.installed = 1;
+      if (req->forward_to_buddies != 0) buddies_to_notify = buddies_;
+    }
+  }
+  // Fan out to buddies without holding the lock; the forwarded request must not
+  // fan out again (the buddy lists of replicas largely coincide).
+  if (!buddies_to_notify.empty()) {
+    PublishRequest forward;
+    forward.entry = req->entry;
+    forward.forward_to_buddies = 0;
+    const std::string bytes = EncodePublishRequest(forward);
+    for (const std::string& buddy : buddies_to_notify) {
+      if (transport_->Call(buddy, address_, bytes).ok()) ++ack.buddies_notified;
+    }
+  }
+  return EncodePublishAck(ack);
+}
+
+std::string PGridNode::HandleCommit(const std::string& from,
+                                    const std::string& request) {
+  Result<CommitRequest> req = DecodeCommitRequest(request);
+  if (!req.ok()) return EncodeError(req.status().ToString());
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t level = req->level;
+  if (level < 1 || level > path_.length()) {
+    return EncodeError("commit level out of range");
+  }
+  // Only accept references that satisfy the Sec. 2 property: the committer's bit
+  // at `level` must be the complement of ours. (Our own bits never change once
+  // set, so this check cannot race.)
+  if (req->bit != static_cast<uint8_t>(ComplementBit(path_.bit(level - 1)))) {
+    return EncodeError("commit bit does not complement ours");
+  }
+  std::vector<std::string>& refs = refs_[level - 1];
+  if (std::find(refs.begin(), refs.end(), from) == refs.end()) {
+    if (refs.size() < config_.refmax) {
+      refs.push_back(from);
+    } else {
+      // Full: replace a random entry, keeping the reference set fresh.
+      refs[rng_.UniformIndex(refs.size())] = from;
+    }
+  }
+  return EncodeCommitAck();
+}
+
+std::string PGridNode::HandleEntryPush(const std::string& request) {
+  Result<EntryPushRequest> req = DecodeEntryPushRequest(request);
+  if (!req.ok()) return EncodeError(req.status().ToString());
+  EntryPushResponse resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WireEntry& e : req->entries) {
+    if (PathsOverlap(path_, e.key)) {
+      AdoptEntryLocked(e);
+    } else {
+      resp.rejected.push_back(e);
+    }
+  }
+  return EncodeEntryPushResponse(resp);
+}
+
+std::string PGridNode::HandleExchange(const std::string& from,
+                                      const std::string& request) {
+  (void)from;
+  Result<ExchangeRequest> reqr = DecodeExchangeRequest(request);
+  if (!reqr.ok()) return EncodeError(reqr.status().ToString());
+  const ExchangeRequest& req = *reqr;
+  if (req.initiator == address_) return EncodeError("self exchange");
+
+  ExchangeResponse resp;
+  resp.epoch = req.epoch;
+  std::vector<std::string> my_recursion_targets;
+  uint32_t depth = req.depth;
+
+  // Initiator's refs by level for easy lookup.
+  auto refs1_at = [&req](size_t level) -> std::vector<std::string> {
+    for (const WireRefLevel& rl : req.refs) {
+      if (rl.level == level) return rl.addresses;
+    }
+    return {};
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.exchanges_served;
+    const size_t lc = req.path.CommonPrefixLength(path_);
+    const size_t l1 = req.path.length() - lc;
+    const size_t l2 = path_.length() - lc;
+
+    if (lc > 0) {
+      // Cross-pollinate level-lc references (both sides have them).
+      std::vector<std::string> mine = refs_[lc - 1];
+      std::vector<std::string> theirs = refs1_at(lc);
+      refs_[lc - 1] = SampleRefsLocked(mine, theirs, address_);
+      WireRefLevel update;
+      update.level = static_cast<uint32_t>(lc);
+      update.addresses = SampleRefsLocked(std::move(mine), theirs, req.initiator);
+      resp.ref_updates.push_back(std::move(update));
+    }
+
+    if (l1 == 0 && l2 == 0 && lc < config_.maxl) {
+      // Case 1: identical paths below maxl. Randomize who takes which bit so the
+      // initiator role carries no systematic bias. Our reference to the initiator
+      // is NOT installed yet: the initiator may discard the directive (epoch
+      // race); it confirms its new bit with a commit message (HandleCommit).
+      const int my_bit = rng_.Bit();
+      path_.PushBack(my_bit);
+      refs_.emplace_back();
+      ++epoch_;
+      resp.append_bits.PushBack(ComplementBit(my_bit));
+      WireRefLevel update;
+      update.level = static_cast<uint32_t>(lc + 1);
+      update.addresses = {address_};
+      resp.ref_updates.push_back(std::move(update));
+    } else if (l1 == 0 && l2 > 0 && lc < config_.maxl) {
+      // Case 2: initiator's path is a prefix of ours -- it specializes opposite to
+      // our next bit. As in case 1, we only learn about it as a reference once it
+      // commits.
+      resp.append_bits.PushBack(ComplementBit(path_.bit(lc)));
+      WireRefLevel update;
+      update.level = static_cast<uint32_t>(lc + 1);
+      update.addresses = {address_};
+      resp.ref_updates.push_back(std::move(update));
+    } else if (l1 > 0 && l2 == 0 && lc < config_.maxl) {
+      // Case 3: we specialize opposite to the initiator's next bit.
+      path_.PushBack(ComplementBit(req.path.bit(lc)));
+      refs_.push_back({req.initiator});
+      ++epoch_;
+      WireRefLevel update;
+      update.level = static_cast<uint32_t>(lc + 1);
+      update.addresses = SampleRefsLocked({address_}, refs1_at(lc + 1), req.initiator);
+      resp.ref_updates.push_back(std::move(update));
+    } else if (l1 > 0 && l2 > 0 && depth < config_.recmax) {
+      // Case 4: diverging paths -- refer the initiator to our references on its
+      // side, and (after releasing the lock) exchange with its references on ours.
+      std::vector<std::string> referrals = refs_[lc];
+      RemoveAddr(&referrals, req.initiator);
+      resp.referrals = rng_.SampleWithoutReplacement(
+          std::move(referrals),
+          config_.recursion_fanout > 0 ? config_.recursion_fanout : config_.refmax);
+      std::vector<std::string> mine = refs1_at(lc + 1);
+      RemoveAddr(&mine, address_);
+      my_recursion_targets = rng_.SampleWithoutReplacement(
+          std::move(mine),
+          config_.recursion_fanout > 0 ? config_.recursion_fanout : config_.refmax);
+    } else if (l1 == 0 && l2 == 0) {
+      // Replica case: identical complete paths at maxl -- become buddies and give
+      // the initiator everything we index (its push completes the sync).
+      if (req.initiator != address_ &&
+          std::find(buddies_.begin(), buddies_.end(), req.initiator) ==
+              buddies_.end()) {
+        buddies_.push_back(req.initiator);
+      }
+      resp.buddy = 1;
+      resp.entries = entries_;
+    }
+
+    // Data reconciliation: hand the initiator whatever we hold that belongs on its
+    // side now (it applies the same logic after applying the directives).
+    if (resp.buddy == 0) {
+      KeyPath initiator_path = req.path.Concat(resp.append_bits);
+      std::vector<WireEntry> drained = DrainNonMatchingLocked();
+      for (WireEntry& e : drained) {
+        if (PathsOverlap(initiator_path, e.key)) {
+          resp.entries.push_back(std::move(e));
+        } else {
+          foreign_.push_back(std::move(e));
+        }
+      }
+    }
+  }
+
+  // Responder-side case-4 recursion, outside the lock.
+  for (const std::string& target : my_recursion_targets) {
+    (void)MeetWithDepth(target, depth + 1);
+  }
+  return EncodeExchangeResponse(resp);
+}
+
+// ---- client side ----
+
+Status PGridNode::MeetWith(const std::string& peer) { return MeetWithDepth(peer, 0); }
+
+Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
+  if (peer == address_) return Status::OK();
+  ExchangeRequest req;
+  req.initiator = address_;
+  req.depth = depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.exchanges_initiated;
+    req.epoch = epoch_;
+    req.path = path_;
+    for (size_t level = 1; level <= refs_.size(); ++level) {
+      WireRefLevel rl;
+      rl.level = static_cast<uint32_t>(level);
+      rl.addresses = refs_[level - 1];
+      req.refs.push_back(std::move(rl));
+    }
+  }
+
+  Result<std::string> raw =
+      transport_->Call(peer, address_, EncodeExchangeRequest(req));
+  if (!raw.ok()) return raw.status();
+  Result<MsgType> type = PeekType(*raw);
+  if (!type.ok() || *type != MsgType::kExchangeResp) {
+    return Status::Internal("bad exchange response from " + peer);
+  }
+  Result<ExchangeResponse> respr = DecodeExchangeResponse(*raw);
+  if (!respr.ok()) return respr.status();
+  const ExchangeResponse& resp = *respr;
+
+  std::vector<WireEntry> push;
+  std::vector<CommitRequest> commits;
+  bool became_buddy = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (resp.epoch != epoch_) {
+      // Our state changed while the exchange was in flight (another meeting ran
+      // concurrently); the directives are stale. Dropping a randomized meeting is
+      // harmless -- and because we never commit, the responder installs no
+      // reference to us either.
+      return Status::OK();
+    }
+    if (!resp.append_bits.empty() &&
+        path_.length() + resp.append_bits.length() > config_.maxl) {
+      return Status::OK();  // would exceed maxl: stale or malicious; ignore
+    }
+    for (size_t i = 0; i < resp.append_bits.length(); ++i) {
+      path_.PushBack(resp.append_bits.bit(i));
+      refs_.emplace_back();
+      CommitRequest commit;
+      commit.level = static_cast<uint32_t>(path_.length());
+      commit.bit = static_cast<uint8_t>(resp.append_bits.bit(i));
+      commits.push_back(commit);
+    }
+    if (!resp.append_bits.empty()) ++epoch_;
+    for (const WireRefLevel& rl : resp.ref_updates) {
+      if (rl.level >= 1 && rl.level <= refs_.size()) {
+        std::vector<std::string> addrs = rl.addresses;
+        RemoveAddr(&addrs, address_);
+        if (addrs.size() > config_.refmax) addrs.resize(config_.refmax);
+        refs_[rl.level - 1] = std::move(addrs);
+      }
+    }
+    if (resp.buddy != 0 &&
+        std::find(buddies_.begin(), buddies_.end(), peer) == buddies_.end()) {
+      buddies_.push_back(peer);
+      became_buddy = true;
+    }
+    for (const WireEntry& e : resp.entries) {
+      if (PathsOverlap(path_, e.key)) {
+        AdoptEntryLocked(e);
+      } else {
+        foreign_.push_back(e);
+      }
+    }
+    push = DrainNonMatchingLocked();
+    if (became_buddy) {
+      // Complete the bidirectional sync: give the new buddy our index.
+      push.insert(push.end(), entries_.begin(), entries_.end());
+    }
+  }
+
+  // Confirm the applied append directives so the responder may now reference us
+  // (see HandleCommit).
+  for (const CommitRequest& commit : commits) {
+    (void)transport_->Call(peer, address_, EncodeCommitRequest(commit));
+  }
+  if (!push.empty()) PushEntries(peer, std::move(push));
+  for (const std::string& referral : resp.referrals) {
+    (void)MeetWithDepth(referral, depth + 1);
+  }
+  return Status::OK();
+}
+
+void PGridNode::PushEntries(const std::string& peer, std::vector<WireEntry> entries) {
+  EntryPushRequest req;
+  req.entries = std::move(entries);
+  Result<std::string> raw =
+      transport_->Call(peer, address_, EncodeEntryPushRequest(req));
+  std::vector<WireEntry> rejected;
+  if (raw.ok()) {
+    Result<EntryPushResponse> resp = DecodeEntryPushResponse(*raw);
+    if (resp.ok()) {
+      rejected = std::move(resp->rejected);
+    } else {
+      rejected = std::move(req.entries);
+    }
+  } else {
+    rejected = std::move(req.entries);
+  }
+  if (rejected.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (WireEntry& e : rejected) {
+    if (PathsOverlap(path_, e.key)) {
+      AdoptEntryLocked(e);
+    } else {
+      foreign_.push_back(std::move(e));
+    }
+  }
+}
+
+Status PGridNode::Publish(const DataItem& item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.Upsert(item);
+  }
+  WireEntry entry;
+  entry.holder = address_;
+  entry.item_id = item.id;
+  entry.key = item.key;
+  entry.version = item.version;
+
+  Result<std::string> responder = RouteToResponsible(item.key);
+  if (!responder.ok()) return responder.status();
+  if (*responder == address_) {
+    std::vector<std::string> buddies_copy;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      AdoptEntryLocked(entry);
+      buddies_copy = buddies_;
+    }
+    PublishRequest forward;
+    forward.entry = entry;
+    forward.forward_to_buddies = 0;
+    const std::string bytes = EncodePublishRequest(forward);
+    for (const std::string& buddy : buddies_copy) {
+      (void)transport_->Call(buddy, address_, bytes);
+    }
+    return Status::OK();
+  }
+  PublishRequest preq;
+  preq.entry = entry;
+  preq.forward_to_buddies = 1;
+  Result<std::string> raw =
+      transport_->Call(*responder, address_, EncodePublishRequest(preq));
+  if (!raw.ok()) return raw.status();
+  Result<PublishAck> ack = DecodePublishAck(*raw);
+  if (!ack.ok()) return ack.status();
+  if (ack->installed == 0) {
+    return Status::Internal("responsible peer refused the entry");
+  }
+  return Status::OK();
+}
+
+Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
+  // Depth-first iterative routing: each frame is a candidate address plus the
+  // query suffix/consumed level to present to it.
+  struct Frame {
+    std::string address;
+    KeyPath remaining;
+    uint32_t consumed;
+  };
+  std::vector<Frame> stack;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LocalMatch m = MatchLocked(key, 0);
+    if (m.found) return RouteResult{address_, std::move(m.matching)};
+    std::vector<std::string> candidates = m.candidates;
+    rng_.Shuffle(&candidates);
+    for (const std::string& c : candidates) {
+      stack.push_back(Frame{c, m.remaining, m.consumed});
+    }
+  }
+
+  size_t attempts = 0;
+  while (!stack.empty() && attempts < config_.max_route_attempts) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    ++attempts;
+    QueryRequest qreq;
+    qreq.key = frame.remaining;
+    qreq.consumed = frame.consumed;
+    Result<std::string> raw =
+        transport_->Call(frame.address, address_, EncodeQueryRequest(qreq));
+    if (!raw.ok()) continue;  // offline candidate: backtrack
+    Result<MsgType> type = PeekType(*raw);
+    if (!type.ok()) continue;
+    if (*type == MsgType::kQueryRespFound) {
+      Result<QueryResponseFound> resp = DecodeQueryResponseFound(*raw);
+      if (!resp.ok()) continue;
+      return RouteResult{std::move(resp->responder), std::move(resp->entries)};
+    }
+    if (*type == MsgType::kQueryRespForward) {
+      Result<QueryResponseForward> resp = DecodeQueryResponseForward(*raw);
+      if (!resp.ok()) continue;
+      std::vector<std::string> candidates = std::move(resp->candidates);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        rng_.Shuffle(&candidates);
+      }
+      for (const std::string& c : candidates) {
+        stack.push_back(Frame{c, resp->remaining, resp->consumed});
+      }
+    }
+    // Miss or error: backtrack to the next candidate.
+  }
+  return Status::NotFound("no responsible peer reachable for key " + key.ToString());
+}
+
+Result<std::vector<WireEntry>> PGridNode::Search(const KeyPath& key) {
+  PGRID_ASSIGN_OR_RETURN(RouteResult route, Route(key));
+  return std::move(route.entries);
+}
+
+Result<std::string> PGridNode::RouteToResponsible(const KeyPath& key) {
+  PGRID_ASSIGN_OR_RETURN(RouteResult route, Route(key));
+  return std::move(route.responder);
+}
+
+}  // namespace net
+}  // namespace pgrid

@@ -1,0 +1,192 @@
+// A deployable P-Grid peer: the core algorithms running over a real transport.
+//
+// PGridNode holds one peer's protocol state (path, per-level references, leaf index,
+// buddies) and serves the message handlers of protocol.h. The evaluation of the
+// paper runs on the in-memory simulator (src/core, src/sim); this class is the
+// deployment skeleton a downstream system embeds -- same algorithms, expressed as
+// request/response interactions:
+//
+//  - MeetWith(peer) runs the Fig. 3 exchange: the initiator ships a state snapshot,
+//    the responder merges and replies with directives (path bits to append,
+//    reference-set replacements, referral addresses for recursive exchanges, index
+//    entries to adopt). An epoch guard discards directives that raced with another
+//    state change. Case-4 recursion is driven from both sides: the responder
+//    exchanges with the initiator's referrals and vice versa, bounded by recmax and
+//    the fan-out limit.
+//  - Search(key) routes iteratively: each hop returns either the responsible peer's
+//    matching entries or the candidate addresses at the divergence level; the
+//    client backtracks depth-first across candidates (offline peers are skipped).
+//  - Publish(item) routes to a responsible peer and installs the index entry there,
+//    fanning out to that replica's buddies.
+//
+// Locking discipline: the single state mutex is NEVER held across a transport
+// call. Handlers compute state changes and outgoing work under the lock, release
+// it, then perform the calls.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "key/key_path.h"
+#include "net/protocol.h"
+#include "net/transport.h"
+#include "storage/data_store.h"
+#include "util/rng.h"
+
+namespace pgrid {
+namespace net {
+
+/// Protocol parameters of a node (the paper's knobs).
+struct NodeConfig {
+  size_t maxl = 8;
+  size_t refmax = 4;
+  size_t recmax = 2;
+  size_t recursion_fanout = 2;
+  /// Bound on remote hops one Search may spend before giving up.
+  size_t max_route_attempts = 128;
+
+  Status Validate() const {
+    if (maxl == 0) return Status::InvalidArgument("maxl must be >= 1");
+    if (refmax == 0) return Status::InvalidArgument("refmax must be >= 1");
+    if (max_route_attempts == 0) {
+      return Status::InvalidArgument("max_route_attempts must be >= 1");
+    }
+    return Status::OK();
+  }
+};
+
+/// Point-in-time counters for observability.
+struct NodeStats {
+  uint64_t exchanges_initiated = 0;
+  uint64_t exchanges_served = 0;
+  uint64_t queries_served = 0;
+  uint64_t publishes_served = 0;
+  uint64_t entries_adopted = 0;
+};
+
+/// One networked P-Grid peer.
+class PGridNode {
+ public:
+  /// `transport` must outlive the node. The node does not serve until Start().
+  PGridNode(std::string address, RpcTransport* transport, const NodeConfig& config,
+            uint64_t seed);
+  ~PGridNode();
+
+  PGridNode(const PGridNode&) = delete;
+  PGridNode& operator=(const PGridNode&) = delete;
+
+  /// Registers the message handler with the transport.
+  Status Start();
+
+  /// Unregisters from the transport. Idempotent.
+  void Stop();
+
+  const std::string& address() const { return address_; }
+
+  /// Snapshot of the current responsibility path.
+  KeyPath path() const;
+
+  /// Snapshot of the references at a (1-indexed) level; empty if out of range.
+  std::vector<std::string> RefsAt(size_t level) const;
+
+  /// Snapshot of known same-path replicas.
+  std::vector<std::string> buddies() const;
+
+  /// Snapshot of the leaf index.
+  std::vector<WireEntry> entries() const;
+
+  /// Entries parked because no responsible peer is known yet.
+  std::vector<WireEntry> foreign_entries() const;
+
+  /// All peer addresses this node currently knows (references at every level plus
+  /// buddies, deduplicated). The gossip pool for autonomous meeting loops.
+  std::vector<std::string> KnownPeers() const;
+
+  NodeStats stats() const;
+
+  /// Runs one exchange with `peer` (the paper's exchange(this, peer, 0)).
+  /// Unavailable if the peer cannot be reached; OK even if the exchange was
+  /// discarded due to an epoch race (the algorithm is randomized; a lost meeting
+  /// is harmless).
+  Status MeetWith(const std::string& peer);
+
+  /// Stores `item` locally and installs its index entry at a responsible peer
+  /// (found by routing), fanning out to that replica's buddies.
+  Status Publish(const DataItem& item);
+
+  /// Routes a query through the grid; returns the matching index entries held by
+  /// the first responsible peer found. NotFound if routing exhausts its attempts.
+  Result<std::vector<WireEntry>> Search(const KeyPath& key);
+
+  /// Routes a query and returns the address of the responsible peer that answered.
+  Result<std::string> RouteToResponsible(const KeyPath& key);
+
+ private:
+  struct RouteResult {
+    std::string responder;
+    std::vector<WireEntry> entries;
+  };
+
+  /// Shared routing core behind Search and RouteToResponsible.
+  Result<RouteResult> Route(const KeyPath& key);
+
+  // ---- handler side ----
+  std::string Handle(const std::string& from, const std::string& request);
+  std::string HandleQuery(const std::string& request);
+  std::string HandlePublish(const std::string& request);
+  std::string HandleExchange(const std::string& from, const std::string& request);
+  std::string HandleCommit(const std::string& from, const std::string& request);
+  std::string HandleEntryPush(const std::string& request);
+
+  // ---- client side ----
+  Status MeetWithDepth(const std::string& peer, uint32_t depth);
+
+  /// Sends entries to `peer`; whatever it rejects is parked in foreign_.
+  void PushEntries(const std::string& peer, std::vector<WireEntry> entries);
+
+  // ---- locked helpers (mu_ must be held) ----
+  /// Adds an entry to the leaf index, deduplicating by (holder, item); refreshes
+  /// key/version if newer. Returns true if anything changed.
+  bool AdoptEntryLocked(const WireEntry& entry);
+
+  /// Extracts index entries that no longer overlap the path, plus parked foreign
+  /// entries.
+  std::vector<WireEntry> DrainNonMatchingLocked();
+
+  /// One routing step against local state (the Fig. 2 match).
+  struct LocalMatch {
+    bool found = false;
+    std::vector<WireEntry> matching;       // if found
+    uint32_t consumed = 0;                 // if forwarding
+    KeyPath remaining;                     // if forwarding
+    std::vector<std::string> candidates;   // if forwarding
+  };
+  LocalMatch MatchLocked(const KeyPath& key, uint32_t consumed);
+
+  /// Random refmax-subset of the union of two address lists, excluding `exclude`.
+  std::vector<std::string> SampleRefsLocked(std::vector<std::string> a,
+                                            const std::vector<std::string>& b,
+                                            const std::string& exclude);
+
+  const std::string address_;
+  RpcTransport* transport_;
+  const NodeConfig config_;
+
+  mutable std::mutex mu_;
+  KeyPath path_;
+  std::vector<std::vector<std::string>> refs_;  // refs_[i] = level i+1
+  std::vector<std::string> buddies_;
+  std::vector<WireEntry> entries_;
+  std::vector<WireEntry> foreign_;
+  DataStore store_;
+  uint64_t epoch_ = 0;
+  Rng rng_;
+  NodeStats stats_;
+  bool serving_ = false;
+};
+
+}  // namespace net
+}  // namespace pgrid

@@ -1,0 +1,287 @@
+#include "net/protocol.h"
+
+namespace pgrid {
+namespace net {
+
+namespace {
+
+void WriteEntry(ByteWriter* w, const WireEntry& e) {
+  w->WriteString(e.holder);
+  w->WriteU64(e.item_id);
+  w->WriteKeyPath(e.key);
+  w->WriteU64(e.version);
+}
+
+Result<WireEntry> ReadEntry(ByteReader* r) {
+  WireEntry e;
+  PGRID_ASSIGN_OR_RETURN(e.holder, r->ReadString());
+  PGRID_ASSIGN_OR_RETURN(e.item_id, r->ReadU64());
+  PGRID_ASSIGN_OR_RETURN(e.key, r->ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(e.version, r->ReadU64());
+  return e;
+}
+
+void WriteEntryList(ByteWriter* w, const std::vector<WireEntry>& v) {
+  w->WriteU32(static_cast<uint32_t>(v.size()));
+  for (const WireEntry& e : v) WriteEntry(w, e);
+}
+
+Result<std::vector<WireEntry>> ReadEntryList(ByteReader* r) {
+  PGRID_ASSIGN_OR_RETURN(uint32_t count, r->ReadU32());
+  if (count > kMaxWireCollection) {
+    return Status::InvalidArgument("entry list too large");
+  }
+  std::vector<WireEntry> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PGRID_ASSIGN_OR_RETURN(WireEntry e, ReadEntry(r));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void WriteRefLevels(ByteWriter* w, const std::vector<WireRefLevel>& v) {
+  w->WriteU32(static_cast<uint32_t>(v.size()));
+  for (const WireRefLevel& rl : v) {
+    w->WriteU32(rl.level);
+    w->WriteStringList(rl.addresses);
+  }
+}
+
+Result<std::vector<WireRefLevel>> ReadRefLevels(ByteReader* r) {
+  PGRID_ASSIGN_OR_RETURN(uint32_t count, r->ReadU32());
+  if (count > kMaxWireCollection) {
+    return Status::InvalidArgument("ref level list too large");
+  }
+  std::vector<WireRefLevel> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireRefLevel rl;
+    PGRID_ASSIGN_OR_RETURN(rl.level, r->ReadU32());
+    PGRID_ASSIGN_OR_RETURN(rl.addresses, r->ReadStringList());
+    out.push_back(std::move(rl));
+  }
+  return out;
+}
+
+ByteWriter Tagged(MsgType type) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(type));
+  return w;
+}
+
+Status CheckTag(ByteReader* r, MsgType expected) {
+  PGRID_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+  if (tag != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument("unexpected message type " + std::to_string(tag));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodePing() { return Tagged(MsgType::kPing).Take(); }
+std::string EncodePong() { return Tagged(MsgType::kPong).Take(); }
+
+std::string EncodeError(const std::string& message) {
+  ByteWriter w = Tagged(MsgType::kError);
+  w.WriteString(message);
+  return w.Take();
+}
+
+std::string EncodeQueryRequest(const QueryRequest& m) {
+  ByteWriter w = Tagged(MsgType::kQueryReq);
+  w.WriteKeyPath(m.key);
+  w.WriteU32(m.consumed);
+  return w.Take();
+}
+
+std::string EncodeQueryResponseFound(const QueryResponseFound& m) {
+  ByteWriter w = Tagged(MsgType::kQueryRespFound);
+  w.WriteString(m.responder);
+  WriteEntryList(&w, m.entries);
+  return w.Take();
+}
+
+std::string EncodeQueryResponseForward(const QueryResponseForward& m) {
+  ByteWriter w = Tagged(MsgType::kQueryRespForward);
+  w.WriteU32(m.consumed);
+  w.WriteKeyPath(m.remaining);
+  w.WriteStringList(m.candidates);
+  return w.Take();
+}
+
+std::string EncodeQueryResponseMiss() {
+  return Tagged(MsgType::kQueryRespMiss).Take();
+}
+
+std::string EncodePublishRequest(const PublishRequest& m) {
+  ByteWriter w = Tagged(MsgType::kPublishReq);
+  WriteEntry(&w, m.entry);
+  w.WriteU8(m.forward_to_buddies);
+  return w.Take();
+}
+
+std::string EncodePublishAck(const PublishAck& m) {
+  ByteWriter w = Tagged(MsgType::kPublishAck);
+  w.WriteU8(m.installed);
+  w.WriteU32(m.buddies_notified);
+  return w.Take();
+}
+
+std::string EncodeExchangeRequest(const ExchangeRequest& m) {
+  ByteWriter w = Tagged(MsgType::kExchangeReq);
+  w.WriteString(m.initiator);
+  w.WriteU64(m.epoch);
+  w.WriteKeyPath(m.path);
+  WriteRefLevels(&w, m.refs);
+  w.WriteU32(m.depth);
+  return w.Take();
+}
+
+std::string EncodeExchangeResponse(const ExchangeResponse& m) {
+  ByteWriter w = Tagged(MsgType::kExchangeResp);
+  w.WriteU64(m.epoch);
+  w.WriteKeyPath(m.append_bits);
+  WriteRefLevels(&w, m.ref_updates);
+  w.WriteStringList(m.referrals);
+  w.WriteU8(m.buddy);
+  WriteEntryList(&w, m.entries);
+  return w.Take();
+}
+
+std::string EncodeEntryPushRequest(const EntryPushRequest& m) {
+  ByteWriter w = Tagged(MsgType::kEntryPushReq);
+  WriteEntryList(&w, m.entries);
+  return w.Take();
+}
+
+std::string EncodeEntryPushResponse(const EntryPushResponse& m) {
+  ByteWriter w = Tagged(MsgType::kEntryPushResp);
+  WriteEntryList(&w, m.rejected);
+  return w.Take();
+}
+
+std::string EncodeCommitRequest(const CommitRequest& m) {
+  ByteWriter w = Tagged(MsgType::kCommitReq);
+  w.WriteU32(m.level);
+  w.WriteU8(m.bit);
+  return w.Take();
+}
+
+std::string EncodeCommitAck() { return Tagged(MsgType::kCommitAck).Take(); }
+
+Result<CommitRequest> DecodeCommitRequest(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kCommitReq));
+  CommitRequest m;
+  PGRID_ASSIGN_OR_RETURN(m.level, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(m.bit, r.ReadU8());
+  return m;
+}
+
+Result<MsgType> PeekType(const std::string& payload) {
+  if (payload.empty()) return Status::InvalidArgument("empty message");
+  const uint8_t tag = static_cast<uint8_t>(payload[0]);
+  if (tag < static_cast<uint8_t>(MsgType::kPing) ||
+      tag > static_cast<uint8_t>(MsgType::kCommitAck)) {
+    return Status::InvalidArgument("unknown message type " + std::to_string(tag));
+  }
+  return static_cast<MsgType>(tag);
+}
+
+Result<QueryRequest> DecodeQueryRequest(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kQueryReq));
+  QueryRequest m;
+  PGRID_ASSIGN_OR_RETURN(m.key, r.ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(m.consumed, r.ReadU32());
+  return m;
+}
+
+Result<QueryResponseFound> DecodeQueryResponseFound(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kQueryRespFound));
+  QueryResponseFound m;
+  PGRID_ASSIGN_OR_RETURN(m.responder, r.ReadString());
+  PGRID_ASSIGN_OR_RETURN(m.entries, ReadEntryList(&r));
+  return m;
+}
+
+Result<QueryResponseForward> DecodeQueryResponseForward(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kQueryRespForward));
+  QueryResponseForward m;
+  PGRID_ASSIGN_OR_RETURN(m.consumed, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(m.remaining, r.ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(m.candidates, r.ReadStringList());
+  return m;
+}
+
+Result<PublishRequest> DecodePublishRequest(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kPublishReq));
+  PublishRequest m;
+  PGRID_ASSIGN_OR_RETURN(m.entry, ReadEntry(&r));
+  PGRID_ASSIGN_OR_RETURN(m.forward_to_buddies, r.ReadU8());
+  return m;
+}
+
+Result<PublishAck> DecodePublishAck(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kPublishAck));
+  PublishAck m;
+  PGRID_ASSIGN_OR_RETURN(m.installed, r.ReadU8());
+  PGRID_ASSIGN_OR_RETURN(m.buddies_notified, r.ReadU32());
+  return m;
+}
+
+Result<ExchangeRequest> DecodeExchangeRequest(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kExchangeReq));
+  ExchangeRequest m;
+  PGRID_ASSIGN_OR_RETURN(m.initiator, r.ReadString());
+  PGRID_ASSIGN_OR_RETURN(m.epoch, r.ReadU64());
+  PGRID_ASSIGN_OR_RETURN(m.path, r.ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(m.refs, ReadRefLevels(&r));
+  PGRID_ASSIGN_OR_RETURN(m.depth, r.ReadU32());
+  return m;
+}
+
+Result<ExchangeResponse> DecodeExchangeResponse(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kExchangeResp));
+  ExchangeResponse m;
+  PGRID_ASSIGN_OR_RETURN(m.epoch, r.ReadU64());
+  PGRID_ASSIGN_OR_RETURN(m.append_bits, r.ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(m.ref_updates, ReadRefLevels(&r));
+  PGRID_ASSIGN_OR_RETURN(m.referrals, r.ReadStringList());
+  PGRID_ASSIGN_OR_RETURN(m.buddy, r.ReadU8());
+  PGRID_ASSIGN_OR_RETURN(m.entries, ReadEntryList(&r));
+  return m;
+}
+
+Result<EntryPushRequest> DecodeEntryPushRequest(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kEntryPushReq));
+  EntryPushRequest m;
+  PGRID_ASSIGN_OR_RETURN(m.entries, ReadEntryList(&r));
+  return m;
+}
+
+Result<EntryPushResponse> DecodeEntryPushResponse(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kEntryPushResp));
+  EntryPushResponse m;
+  PGRID_ASSIGN_OR_RETURN(m.rejected, ReadEntryList(&r));
+  return m;
+}
+
+Result<std::string> DecodeError(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kError));
+  return r.ReadString();
+}
+
+}  // namespace net
+}  // namespace pgrid

@@ -1,0 +1,177 @@
+// Message schema of the networked P-Grid protocol.
+//
+// All node interactions are request/response over RpcTransport:
+//   - Ping            liveness probe.
+//   - Query           one routing step: the target matches the query suffix against
+//                     its own path and answers Found (it is responsible), Forward
+//                     (candidate addresses at the divergence level), or Miss.
+//                     Clients route iteratively (depth-first over candidates).
+//   - Publish         install an index entry at a responsible peer (optionally
+//                     fanning out to its buddies).
+//   - Exchange        the construction algorithm: the initiator sends its state
+//                     snapshot; the responder merges, mutates itself, and returns
+//                     directives (bits to append, reference updates, referral
+//                     addresses for recursive exchanges, entries to adopt).
+//   - EntryPush       hand over index entries (data reconciliation after splits);
+//                     the receiver returns the entries it rejected so nothing is
+//                     ever silently dropped.
+//
+// Every message is length-safe to decode (see wire.h); malformed input yields an
+// error response rather than a crash.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "key/key_path.h"
+#include "net/wire.h"
+#include "util/result.h"
+
+namespace pgrid {
+namespace net {
+
+/// Message type tags (first byte of every payload).
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kQueryReq = 3,
+  kQueryRespFound = 4,
+  kQueryRespForward = 5,
+  kQueryRespMiss = 6,
+  kPublishReq = 7,
+  kPublishAck = 8,
+  kExchangeReq = 9,
+  kExchangeResp = 10,
+  kEntryPushReq = 11,
+  kEntryPushResp = 12,
+  kError = 13,
+  kCommitReq = 14,
+  kCommitAck = 15,
+};
+
+/// An index entry on the wire: holders are transport addresses.
+struct WireEntry {
+  std::string holder;
+  uint64_t item_id = 0;
+  KeyPath key;
+  uint64_t version = 0;
+
+  friend bool operator==(const WireEntry&, const WireEntry&) = default;
+};
+
+/// One reference level: the addresses a peer keeps at a given (1-indexed) level.
+struct WireRefLevel {
+  uint32_t level = 0;
+  std::vector<std::string> addresses;
+
+  friend bool operator==(const WireRefLevel&, const WireRefLevel&) = default;
+};
+
+// ---- Query ----
+
+struct QueryRequest {
+  KeyPath key;       ///< remaining query suffix
+  uint32_t consumed = 0;  ///< levels of the *target's* path already matched
+};
+
+struct QueryResponseFound {
+  std::string responder;
+  std::vector<WireEntry> entries;  ///< entries under the query at the responder
+};
+
+struct QueryResponseForward {
+  uint32_t consumed = 0;  ///< levels matched at the forwarding peer (for the next hop)
+  KeyPath remaining;      ///< query suffix to present to the candidates
+  std::vector<std::string> candidates;  ///< addresses at the divergence level
+};
+
+// ---- Publish ----
+
+struct PublishRequest {
+  WireEntry entry;
+  uint8_t forward_to_buddies = 0;
+};
+
+struct PublishAck {
+  uint8_t installed = 0;
+  uint32_t buddies_notified = 0;
+};
+
+// ---- Exchange ----
+
+struct ExchangeRequest {
+  std::string initiator;
+  uint64_t epoch = 0;  ///< initiator's state epoch; directives apply only if unchanged
+  KeyPath path;
+  std::vector<WireRefLevel> refs;
+  uint32_t depth = 0;  ///< recursion depth (bounded by recmax)
+};
+
+struct ExchangeResponse {
+  uint64_t epoch = 0;              ///< echoed initiator epoch
+  KeyPath append_bits;             ///< bits the initiator appends to its path
+  std::vector<WireRefLevel> ref_updates;  ///< full replacements per level
+  std::vector<std::string> referrals;     ///< peers to exchange with at depth+1
+  uint8_t buddy = 0;               ///< responder is a same-path replica
+  std::vector<WireEntry> entries;  ///< entries the initiator should adopt
+};
+
+// ---- Commit ----
+
+/// Sent by an exchange initiator after it has actually applied an append
+/// directive: "my bit at `level` is now `bit`". Only then may the responder
+/// install a reference to the initiator at that level -- the initiator may have
+/// discarded the directive (epoch race), in which case no commit is ever sent and
+/// no dangling reference is created.
+struct CommitRequest {
+  uint32_t level = 0;
+  uint8_t bit = 0;
+};
+
+// ---- EntryPush ----
+
+struct EntryPushRequest {
+  std::vector<WireEntry> entries;
+};
+
+struct EntryPushResponse {
+  std::vector<WireEntry> rejected;  ///< entries the receiver is not responsible for
+};
+
+// ---- Encoding / decoding ----
+
+std::string EncodePing();
+std::string EncodePong();
+std::string EncodeError(const std::string& message);
+std::string EncodeQueryRequest(const QueryRequest& m);
+std::string EncodeQueryResponseFound(const QueryResponseFound& m);
+std::string EncodeQueryResponseForward(const QueryResponseForward& m);
+std::string EncodeQueryResponseMiss();
+std::string EncodePublishRequest(const PublishRequest& m);
+std::string EncodePublishAck(const PublishAck& m);
+std::string EncodeExchangeRequest(const ExchangeRequest& m);
+std::string EncodeExchangeResponse(const ExchangeResponse& m);
+std::string EncodeEntryPushRequest(const EntryPushRequest& m);
+std::string EncodeEntryPushResponse(const EntryPushResponse& m);
+std::string EncodeCommitRequest(const CommitRequest& m);
+std::string EncodeCommitAck();
+
+/// Reads the leading type tag (does not consume anything else).
+Result<MsgType> PeekType(const std::string& payload);
+
+Result<QueryRequest> DecodeQueryRequest(const std::string& payload);
+Result<QueryResponseFound> DecodeQueryResponseFound(const std::string& payload);
+Result<QueryResponseForward> DecodeQueryResponseForward(const std::string& payload);
+Result<PublishRequest> DecodePublishRequest(const std::string& payload);
+Result<PublishAck> DecodePublishAck(const std::string& payload);
+Result<ExchangeRequest> DecodeExchangeRequest(const std::string& payload);
+Result<ExchangeResponse> DecodeExchangeResponse(const std::string& payload);
+Result<EntryPushRequest> DecodeEntryPushRequest(const std::string& payload);
+Result<EntryPushResponse> DecodeEntryPushResponse(const std::string& payload);
+Result<CommitRequest> DecodeCommitRequest(const std::string& payload);
+Result<std::string> DecodeError(const std::string& payload);
+
+}  // namespace net
+}  // namespace pgrid

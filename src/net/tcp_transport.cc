@@ -1,0 +1,262 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pgrid {
+namespace net {
+
+namespace {
+
+/// Writes exactly `len` bytes; false on error/EOF.
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `len` bytes; false on error/EOF.
+bool ReadAll(int fd, char* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap
+
+bool WriteFrame(int fd, const std::string& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  char hdr[4];
+  std::memcpy(hdr, &len, 4);
+  return WriteAll(fd, hdr, 4) && WriteAll(fd, payload.data(), payload.size());
+}
+
+bool ReadFrame(int fd, std::string* payload) {
+  char hdr[4];
+  if (!ReadAll(fd, hdr, 4)) return false;
+  uint32_t len;
+  std::memcpy(&len, hdr, 4);
+  if (len > kMaxFrame) return false;
+  payload->resize(len);
+  return len == 0 || ReadAll(fd, payload->data(), len);
+}
+
+Status ParseAddress(const std::string& address, std::string* host, int* port) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("address must be host:port, got " + address);
+  }
+  *host = address.substr(0, colon);
+  *port = std::atoi(address.c_str() + colon + 1);
+  if (*port < 0 || *port > 65535) {
+    return Status::InvalidArgument("bad port in address " + address);
+  }
+  return Status::OK();
+}
+
+void SetTimeouts(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+struct TcpTransport::Server {
+  int listen_fd = -1;
+  std::thread acceptor;
+  Handler handler;
+  std::atomic<bool> stopping{false};
+  std::atomic<int> active_connections{0};
+
+  ~Server() {
+    // StopServing already closed the socket and joined; this is a backstop.
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+};
+
+TcpTransport::~TcpTransport() {
+  std::vector<std::string> addresses;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [addr, server] : servers_) addresses.push_back(addr);
+  }
+  for (const std::string& addr : addresses) StopServing(addr);
+}
+
+Status TcpTransport::Serve(const std::string& address, Handler handler) {
+  std::string host;
+  int port = 0;
+  PGRID_RETURN_IF_ERROR(ParseAddress(address, &host, &port));
+  std::string actual;
+  return ServeInternal(host, port, std::move(handler), &actual);
+}
+
+Result<std::string> TcpTransport::ServeAnyPort(const std::string& host,
+                                               Handler handler) {
+  std::string actual;
+  PGRID_RETURN_IF_ERROR(ServeInternal(host, 0, std::move(handler), &actual));
+  return actual;
+}
+
+Status TcpTransport::ServeInternal(const std::string& host, int port, Handler handler,
+                                   std::string* actual_address) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 host: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("bind failed for " + host + ":" +
+                               std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::Internal("listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  *actual_address = host + ":" + std::to_string(ntohs(bound.sin_port));
+
+  auto server = std::make_shared<Server>();
+  server->listen_fd = fd;
+  server->handler = std::move(handler);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (servers_.contains(*actual_address)) {
+      ::close(fd);
+      return Status::AlreadyExists("address " + *actual_address + " already served");
+    }
+    servers_[*actual_address] = server;
+  }
+
+  const int timeout_ms = timeout_ms_;
+  server->acceptor = std::thread([server, timeout_ms]() {
+    while (!server->stopping.load()) {
+      int conn = ::accept(server->listen_fd, nullptr, nullptr);
+      if (conn < 0) {
+        if (server->stopping.load()) break;
+        continue;
+      }
+      SetTimeouts(conn, timeout_ms);
+      int flag = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+      server->active_connections.fetch_add(1);
+      std::thread([server, conn]() {
+        std::string frame;
+        if (ReadFrame(conn, &frame)) {
+          // Frame: u32 from-length + from + request payload.
+          std::string from, request;
+          if (frame.size() >= 4) {
+            uint32_t from_len;
+            std::memcpy(&from_len, frame.data(), 4);
+            if (4 + static_cast<size_t>(from_len) <= frame.size()) {
+              from.assign(frame, 4, from_len);
+              request.assign(frame, 4 + from_len, std::string::npos);
+              std::string response = server->handler(from, request);
+              WriteFrame(conn, response);
+            }
+          }
+        }
+        ::close(conn);
+        server->active_connections.fetch_sub(1);
+      }).detach();
+    }
+  });
+  return Status::OK();
+}
+
+void TcpTransport::StopServing(const std::string& address) {
+  std::shared_ptr<Server> server;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(address);
+    if (it == servers_.end()) return;
+    server = it->second;
+    servers_.erase(it);
+  }
+  server->stopping.store(true);
+  ::shutdown(server->listen_fd, SHUT_RDWR);
+  ::close(server->listen_fd);
+  server->listen_fd = -1;
+  if (server->acceptor.joinable()) server->acceptor.join();
+  // Wait briefly for in-flight connection threads (they hold a shared_ptr to the
+  // server, so even if they outlive this loop nothing dangles).
+  for (int i = 0; i < 100 && server->active_connections.load() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+Result<std::string> TcpTransport::Call(const std::string& to, const std::string& from,
+                                       const std::string& request) {
+  std::string host;
+  int port = 0;
+  PGRID_RETURN_IF_ERROR(ParseAddress(to, &host, &port));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  SetTimeouts(fd, timeout_ms_);
+  int flag = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to " + to + " failed");
+  }
+
+  std::string frame;
+  uint32_t from_len = static_cast<uint32_t>(from.size());
+  frame.append(reinterpret_cast<const char*>(&from_len), 4);
+  frame.append(from);
+  frame.append(request);
+  if (!WriteFrame(fd, frame)) {
+    ::close(fd);
+    return Status::Unavailable("send to " + to + " failed");
+  }
+  std::string response;
+  if (!ReadFrame(fd, &response)) {
+    ::close(fd);
+    return Status::Unavailable("no response from " + to);
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace net
+}  // namespace pgrid

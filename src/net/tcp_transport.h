@@ -1,0 +1,58 @@
+// TCP socket transport: length-prefixed request/response frames.
+//
+// Addresses are "host:port" strings (IPv4). Each served address runs an acceptor
+// thread; each accepted connection is handled on its own thread (read one request
+// frame, invoke the handler, write one response frame, close). Call() opens a fresh
+// connection per request -- simple, stateless, and adequate for the protocol's
+// message sizes; a production deployment would pool connections.
+//
+// Frame layout: u32 total length, then u32 from-length + from bytes, then payload.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/transport.h"
+
+namespace pgrid {
+namespace net {
+
+/// RPC transport over TCP sockets.
+class TcpTransport : public RpcTransport {
+ public:
+  TcpTransport() = default;
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Status Serve(const std::string& address, Handler handler) override;
+  void StopServing(const std::string& address) override;
+  Result<std::string> Call(const std::string& to, const std::string& from,
+                           const std::string& request) override;
+
+  /// Binds an ephemeral port on `host` and serves `handler`; returns the concrete
+  /// "host:port" address. The convenient form for tests.
+  Result<std::string> ServeAnyPort(const std::string& host, Handler handler);
+
+  /// Per-call socket timeout (connect/read/write), milliseconds.
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
+ private:
+  struct Server;
+
+  Status ServeInternal(const std::string& host, int port, Handler handler,
+                       std::string* actual_address);
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Server>> servers_;
+  int timeout_ms_ = 5000;
+};
+
+}  // namespace net
+}  // namespace pgrid

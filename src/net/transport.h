@@ -1,0 +1,48 @@
+// Request/response transport abstraction for networked P-Grid nodes.
+//
+// P-Grid's interactions (query routing, exchanges, publishes) are all
+// request/response, so the transport is a blocking RPC interface: a node serves a
+// handler under its address, and anyone can Call(address, request) and wait for the
+// reply. Two implementations:
+//   - InProcTransport: a process-local bus for tests and examples (optionally lossy),
+//   - TcpTransport:    real sockets on localhost/LAN (length-prefixed frames).
+//
+// Handlers may issue outbound Calls (multi-hop routing, recursive exchanges) but
+// must never do so while holding locks that an inbound call could need -- see
+// PGridNode for the locking discipline.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/result.h"
+
+namespace pgrid {
+namespace net {
+
+/// Blocking request/response transport.
+class RpcTransport {
+ public:
+  /// Handles one request: (caller address, request bytes) -> response bytes.
+  using Handler = std::function<std::string(const std::string& from,
+                                            const std::string& request)>;
+
+  virtual ~RpcTransport() = default;
+
+  /// Starts serving `handler` under `address`. AlreadyExists if the address is
+  /// taken; implementation-specific errors (e.g. bind failure) otherwise.
+  virtual Status Serve(const std::string& address, Handler handler) = 0;
+
+  /// Stops serving `address`. Idempotent.
+  virtual void StopServing(const std::string& address) = 0;
+
+  /// Sends `request` to the node at `to` and waits for its response.
+  /// Unavailable if the target is not reachable (offline node, refused
+  /// connection, dropped message).
+  virtual Result<std::string> Call(const std::string& to, const std::string& from,
+                                   const std::string& request) = 0;
+};
+
+}  // namespace net
+}  // namespace pgrid

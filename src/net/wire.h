@@ -1,0 +1,89 @@
+// Binary wire format for the networked P-Grid protocol.
+//
+// Little-endian fixed-width integers, length-prefixed strings, and bit-packed key
+// paths. Decoding is defensive: every read validates remaining length and returns
+// Status on truncation or malformed input (network input is untrusted).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "key/key_path.h"
+#include "util/result.h"
+
+namespace pgrid {
+namespace net {
+
+/// Appends primitive values to a byte buffer.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  void WriteU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  /// Length-prefixed (u32) byte string.
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  /// Bit length (u32) followed by ceil(len/8) packed bytes, LSB-first per byte.
+  void WriteKeyPath(const KeyPath& k);
+
+  /// A list of strings (u32 count + each length-prefixed).
+  void WriteStringList(const std::vector<std::string>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    for (const std::string& s : v) WriteString(s);
+  }
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Sequentially decodes primitive values; every method checks bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<std::string> ReadString();
+  Result<KeyPath> ReadKeyPath();
+  Result<std::vector<std::string>> ReadStringList();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::InvalidArgument("truncated message: need " + std::to_string(n) +
+                                     " bytes, have " + std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Sanity cap on decoded collection sizes (strings, lists): rejects hostile length
+/// prefixes before allocation.
+inline constexpr uint32_t kMaxWireCollection = 1u << 20;
+
+}  // namespace net
+}  // namespace pgrid

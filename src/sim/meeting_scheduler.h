@@ -1,0 +1,56 @@
+// Random pairwise meeting generation (Sec. 3: "whenever peers meet ...").
+//
+// The construction algorithm is driven by peers meeting randomly. The scheduler
+// abstracts *how* they meet so experiments can swap patterns: uniform random pairs
+// (the paper's model) or locality-biased pairs (an extension where peers preferentially
+// re-meet recent contacts, approximating meetings that arise from other operations).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// A pair of distinct peers chosen to run the exchange algorithm.
+struct Meeting {
+  PeerId a;
+  PeerId b;
+};
+
+/// Generates the sequence of pairwise meetings that drives grid construction.
+class MeetingScheduler {
+ public:
+  enum class Pattern {
+    kUniform,        ///< both peers uniform over the community (paper model)
+    kRecencyBiased,  ///< with probability `bias`, one side is drawn from recent peers
+  };
+
+  /// Creates a scheduler over a community of `num_peers` (>= 2).
+  explicit MeetingScheduler(size_t num_peers, Pattern pattern = Pattern::kUniform,
+                            double bias = 0.5, size_t recency_window = 64);
+
+  /// Draws the next meeting.
+  Meeting Next(Rng* rng);
+
+  size_t num_peers() const { return num_peers_; }
+
+  /// Grows (or shrinks) the peer id range meetings are drawn from (dynamic
+  /// membership). Requires n >= 2.
+  void SetNumPeers(size_t n);
+
+ private:
+  PeerId DrawPeer(Rng* rng);
+
+  size_t num_peers_;
+  Pattern pattern_;
+  double bias_;
+  size_t recency_window_;
+  std::deque<PeerId> recent_;
+};
+
+}  // namespace pgrid

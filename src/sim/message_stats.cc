@@ -1,0 +1,21 @@
+#include "sim/message_stats.h"
+
+namespace pgrid {
+
+std::string_view MessageTypeName(MessageType t) {
+  switch (t) {
+    case MessageType::kExchange:
+      return "exchange";
+    case MessageType::kQuery:
+      return "query";
+    case MessageType::kUpdate:
+      return "update";
+    case MessageType::kDataTransfer:
+      return "data_transfer";
+    case MessageType::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+}  // namespace pgrid

@@ -1,0 +1,94 @@
+#include "sim/online_model.h"
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+OnlineModel::OnlineModel(OnlineMode mode, size_t num_peers, double p, Rng* rng)
+    : mode_(mode),
+      probability_(num_peers, p),
+      snapshot_(num_peers, 1),
+      pinned_(num_peers, -1) {
+  PGRID_CHECK(p >= 0.0 && p <= 1.0);
+  if (mode_ == OnlineMode::kSnapshot) {
+    PGRID_CHECK(rng != nullptr);
+    Resample(rng);
+  }
+}
+
+OnlineModel OnlineModel::AlwaysOn(size_t num_peers) {
+  return OnlineModel(OnlineMode::kAlwaysOn, num_peers, 1.0, nullptr);
+}
+
+bool OnlineModel::IsOnline(PeerId peer, Rng* rng) const {
+  PGRID_CHECK_LT(peer, probability_.size());
+  if (pinned_[peer] >= 0) return pinned_[peer] != 0;
+  switch (mode_) {
+    case OnlineMode::kAlwaysOn:
+      return true;
+    case OnlineMode::kSnapshot:
+      return snapshot_[peer] != 0;
+    case OnlineMode::kPerContact:
+      PGRID_CHECK(rng != nullptr);
+      return rng->Bernoulli(probability_[peer]);
+  }
+  return true;
+}
+
+void OnlineModel::Resample(Rng* rng) {
+  if (mode_ != OnlineMode::kSnapshot) return;
+  PGRID_CHECK(rng != nullptr);
+  for (size_t i = 0; i < snapshot_.size(); ++i) {
+    snapshot_[i] = rng->Bernoulli(probability_[i]) ? 1 : 0;
+  }
+}
+
+void OnlineModel::PartialResample(Rng* rng, double fraction) {
+  if (mode_ != OnlineMode::kSnapshot) return;
+  PGRID_CHECK(rng != nullptr);
+  PGRID_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  for (size_t i = 0; i < snapshot_.size(); ++i) {
+    if (rng->Bernoulli(fraction)) {
+      snapshot_[i] = rng->Bernoulli(probability_[i]) ? 1 : 0;
+    }
+  }
+}
+
+void OnlineModel::Pin(PeerId peer, std::optional<bool> online) {
+  PGRID_CHECK_LT(peer, pinned_.size());
+  pinned_[peer] = online.has_value() ? (*online ? 1 : 0) : -1;
+}
+
+void OnlineModel::SetProbability(PeerId peer, double p) {
+  PGRID_CHECK_LT(peer, probability_.size());
+  PGRID_CHECK(p >= 0.0 && p <= 1.0);
+  probability_[peer] = p;
+}
+
+void OnlineModel::AddPeer(double p, Rng* rng) {
+  PGRID_CHECK(p >= 0.0 && p <= 1.0);
+  probability_.push_back(p);
+  pinned_.push_back(-1);
+  if (mode_ == OnlineMode::kSnapshot) {
+    PGRID_CHECK(rng != nullptr);
+    snapshot_.push_back(rng->Bernoulli(p) ? 1 : 0);
+  } else {
+    snapshot_.push_back(1);
+  }
+}
+
+size_t OnlineModel::CountOnlineInSnapshot() const {
+  size_t n = 0;
+  for (size_t i = 0; i < snapshot_.size(); ++i) {
+    if (pinned_[i] >= 0) {
+      n += pinned_[i] != 0;
+    } else if (mode_ == OnlineMode::kAlwaysOn) {
+      ++n;
+    } else {
+      n += snapshot_[i] != 0;
+    }
+  }
+  return n;
+}
+
+}  // namespace pgrid

@@ -1,0 +1,76 @@
+// Peer availability models (the paper's online : P -> [0,1]).
+//
+// The paper assumes each peer is online with probability p (0.3 in the experiments).
+// Two interpretations are supported:
+//  - kSnapshot:   availability is sampled once per trial ("30% of the peers are
+//                 online"); Resample() starts a new trial.
+//  - kPerContact: every contact attempt flips an independent coin, modelling rapid
+//                 churn relative to an operation.
+// kAlwaysOn disables failures (used when building grids and in correctness tests).
+// Individual peers can be pinned online/offline for failure-injection tests.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace pgrid {
+
+enum class OnlineMode {
+  kAlwaysOn,
+  kSnapshot,
+  kPerContact,
+};
+
+/// Decides whether a peer can be reached at a given moment.
+class OnlineModel {
+ public:
+  /// Creates a model over `num_peers` peers with uniform online probability `p`.
+  /// For kSnapshot, an initial snapshot is drawn immediately from `rng`.
+  OnlineModel(OnlineMode mode, size_t num_peers, double p, Rng* rng);
+
+  /// Creates an always-on model (probability 1).
+  static OnlineModel AlwaysOn(size_t num_peers);
+
+  OnlineMode mode() const { return mode_; }
+  size_t num_peers() const { return probability_.size(); }
+
+  /// True iff `peer` is reachable for this contact attempt. For kPerContact the
+  /// outcome is freshly randomized per call using `rng`.
+  bool IsOnline(PeerId peer, Rng* rng) const;
+
+  /// Draws a new availability snapshot (kSnapshot mode only; no-op otherwise).
+  void Resample(Rng* rng);
+
+  /// Gradual churn: each peer independently re-draws its availability with
+  /// probability `fraction` (kSnapshot mode only). fraction = 1 is a full Resample;
+  /// 0 is a no-op. Models the passage of a time interval during which only part of
+  /// the population cycles on/off.
+  void PartialResample(Rng* rng, double fraction);
+
+  /// Overrides one peer's state regardless of mode (failure injection). Pass
+  /// std::nullopt to remove the override.
+  void Pin(PeerId peer, std::optional<bool> online);
+
+  /// Sets one peer's online probability (heterogeneous communities).
+  void SetProbability(PeerId peer, double p);
+
+  /// Extends the model with one new peer of probability `p` (dynamic membership).
+  /// In kSnapshot mode its initial availability is drawn from `rng`.
+  void AddPeer(double p, Rng* rng);
+
+  /// Number of peers online in the current snapshot (kSnapshot/kAlwaysOn modes).
+  size_t CountOnlineInSnapshot() const;
+
+ private:
+  OnlineMode mode_;
+  std::vector<double> probability_;
+  std::vector<uint8_t> snapshot_;         // valid in kSnapshot mode
+  std::vector<int8_t> pinned_;            // -1 = no override, 0 = offline, 1 = online
+};
+
+}  // namespace pgrid

@@ -1,0 +1,20 @@
+// Basic identifier types shared by the simulation and the P-Grid core.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pgrid {
+
+/// Address of a peer. In the simulator this is a dense index into the community; in
+/// the net layer it maps to a transport endpoint. The paper's ADDR set.
+using PeerId = uint32_t;
+
+/// Sentinel for "no peer".
+inline constexpr PeerId kInvalidPeer = std::numeric_limits<PeerId>::max();
+
+/// Identifier of a stored data item.
+using ItemId = uint64_t;
+
+}  // namespace pgrid

@@ -1,0 +1,181 @@
+#include "snapshot/snapshot.h"
+
+#include <fstream>
+
+#include "net/wire.h"
+
+namespace pgrid {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'G', 'R', 'D'};
+constexpr uint32_t kFormatVersion = 1;
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void WriteEntry(net::ByteWriter* w, const IndexEntry& e) {
+  w->WriteU32(e.holder);
+  w->WriteU64(e.item_id);
+  w->WriteKeyPath(e.key);
+  w->WriteU64(e.version);
+}
+
+Result<IndexEntry> ReadEntry(net::ByteReader* r) {
+  IndexEntry e;
+  PGRID_ASSIGN_OR_RETURN(uint32_t holder, r->ReadU32());
+  e.holder = holder;
+  PGRID_ASSIGN_OR_RETURN(e.item_id, r->ReadU64());
+  PGRID_ASSIGN_OR_RETURN(e.key, r->ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(e.version, r->ReadU64());
+  return e;
+}
+
+}  // namespace
+
+Status SaveGrid(const Grid& grid, const ExchangeConfig& config,
+                const std::string& path) {
+  net::ByteWriter w;
+  w.WriteU32(kFormatVersion);
+  w.WriteU32(static_cast<uint32_t>(config.maxl));
+  w.WriteU32(static_cast<uint32_t>(config.refmax));
+  w.WriteU32(static_cast<uint32_t>(config.recmax));
+  w.WriteU32(static_cast<uint32_t>(config.recursion_fanout));
+  w.WriteU8(config.manage_data ? 1 : 0);
+  w.WriteU8(config.prune_unreachable_refs ? 1 : 0);
+  w.WriteU64(grid.size());
+  for (const PeerState& p : grid) {
+    w.WriteKeyPath(p.path());
+    for (size_t level = 1; level <= p.depth(); ++level) {
+      const auto& refs = p.RefsAt(level);
+      w.WriteU32(static_cast<uint32_t>(refs.size()));
+      for (PeerId r : refs) w.WriteU32(r);
+    }
+    w.WriteU32(static_cast<uint32_t>(p.buddies().size()));
+    for (PeerId b : p.buddies()) w.WriteU32(b);
+    const auto entries = p.index().All();
+    w.WriteU32(static_cast<uint32_t>(entries.size()));
+    for (const IndexEntry& e : entries) WriteEntry(&w, e);
+    w.WriteU32(static_cast<uint32_t>(p.foreign_entries().size()));
+    for (const IndexEntry& e : p.foreign_entries()) WriteEntry(&w, e);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::string& body = w.data();
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  const uint64_t checksum = Fnv1a(body);
+  net::ByteWriter tail;
+  tail.WriteU64(checksum);
+  out.write(tail.data().data(), static_cast<std::streamsize>(tail.data().size()));
+  out.close();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<LoadedGrid> LoadGrid(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < sizeof(kMagic) + 8 ||
+      std::string_view(data.data(), 4) != std::string_view(kMagic, 4)) {
+    return Status::InvalidArgument(path + " is not a P-Grid snapshot");
+  }
+  const std::string_view body(data.data() + 4, data.size() - 4 - 8);
+  {
+    net::ByteReader tail(std::string_view(data.data() + data.size() - 8, 8));
+    PGRID_ASSIGN_OR_RETURN(uint64_t checksum, tail.ReadU64());
+    if (checksum != Fnv1a(body)) {
+      return Status::InvalidArgument(path + " failed checksum validation");
+    }
+  }
+
+  net::ByteReader r(body);
+  PGRID_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  LoadedGrid out;
+  PGRID_ASSIGN_OR_RETURN(uint32_t maxl, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(uint32_t refmax, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(uint32_t recmax, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(uint32_t fanout, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(uint8_t manage_data, r.ReadU8());
+  PGRID_ASSIGN_OR_RETURN(uint8_t prune, r.ReadU8());
+  out.config.maxl = maxl;
+  out.config.refmax = refmax;
+  out.config.recmax = recmax;
+  out.config.recursion_fanout = fanout;
+  out.config.manage_data = manage_data != 0;
+  out.config.prune_unreachable_refs = prune != 0;
+  PGRID_RETURN_IF_ERROR(out.config.Validate());
+
+  PGRID_ASSIGN_OR_RETURN(uint64_t num_peers, r.ReadU64());
+  if (num_peers > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("implausible peer count");
+  }
+  out.grid = std::make_unique<Grid>(static_cast<size_t>(num_peers));
+  for (uint64_t id = 0; id < num_peers; ++id) {
+    PeerState& peer = out.grid->peer(static_cast<PeerId>(id));
+    PGRID_ASSIGN_OR_RETURN(KeyPath peer_path, r.ReadKeyPath());
+    if (peer_path.length() > out.config.maxl) {
+      return Status::InvalidArgument("peer path exceeds maxl in snapshot");
+    }
+    for (size_t i = 0; i < peer_path.length(); ++i) {
+      peer.AppendPathBit(peer_path.bit(i));
+    }
+    out.grid->NotePathGrowth(peer_path.length());
+    for (size_t level = 1; level <= peer_path.length(); ++level) {
+      PGRID_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+      if (count > num_peers) return Status::InvalidArgument("ref count too large");
+      std::vector<PeerId> refs;
+      refs.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        PGRID_ASSIGN_OR_RETURN(uint32_t ref, r.ReadU32());
+        if (ref >= num_peers) return Status::InvalidArgument("ref id out of range");
+        refs.push_back(ref);
+      }
+      peer.SetRefsAt(level, std::move(refs));
+    }
+    PGRID_ASSIGN_OR_RETURN(uint32_t num_buddies, r.ReadU32());
+    if (num_buddies > num_peers) {
+      return Status::InvalidArgument("buddy count too large");
+    }
+    for (uint32_t i = 0; i < num_buddies; ++i) {
+      PGRID_ASSIGN_OR_RETURN(uint32_t buddy, r.ReadU32());
+      if (buddy >= num_peers) return Status::InvalidArgument("buddy out of range");
+      peer.AddBuddy(buddy);
+    }
+    PGRID_ASSIGN_OR_RETURN(uint32_t num_entries, r.ReadU32());
+    if (num_entries > net::kMaxWireCollection) {
+      return Status::InvalidArgument("entry count too large");
+    }
+    for (uint32_t i = 0; i < num_entries; ++i) {
+      PGRID_ASSIGN_OR_RETURN(IndexEntry e, ReadEntry(&r));
+      peer.index().InsertOrRefresh(e);
+    }
+    PGRID_ASSIGN_OR_RETURN(uint32_t num_foreign, r.ReadU32());
+    if (num_foreign > net::kMaxWireCollection) {
+      return Status::InvalidArgument("foreign count too large");
+    }
+    for (uint32_t i = 0; i < num_foreign; ++i) {
+      PGRID_ASSIGN_OR_RETURN(IndexEntry e, ReadEntry(&r));
+      peer.foreign_entries().push_back(std::move(e));
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot payload");
+  }
+  return out;
+}
+
+}  // namespace pgrid

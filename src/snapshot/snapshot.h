@@ -1,0 +1,40 @@
+// Grid persistence: save a constructed P-Grid to disk and load it back.
+//
+// Building the 20,000-peer evaluation grid takes ~1.5 s; real deployments and long
+// experiment campaigns want to construct once and reuse. The snapshot captures the
+// complete access structure (paths, reference tables, buddies) and the data plane
+// (leaf indexes, foreign buffers) in a versioned, checksummed binary format built on
+// the same primitives as the network wire format.
+//
+// Format: "PGRD" magic, u32 format version, ExchangeConfig summary, peer count,
+// per-peer state, and a trailing FNV-1a checksum of everything before it. Loading
+// validates magic, version, checksum, and structural bounds before constructing the
+// Grid.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "core/grid.h"
+#include "util/result.h"
+
+namespace pgrid {
+
+/// Serializes `grid` (and the construction parameters that shaped it) to `path`.
+/// Overwrites any existing file.
+Status SaveGrid(const Grid& grid, const ExchangeConfig& config,
+                const std::string& path);
+
+/// A loaded grid together with the configuration it was built with.
+struct LoadedGrid {
+  std::unique_ptr<Grid> grid;
+  ExchangeConfig config;
+};
+
+/// Loads a snapshot written by SaveGrid. InvalidArgument on malformed or corrupted
+/// files; NotFound if the file cannot be opened.
+Result<LoadedGrid> LoadGrid(const std::string& path);
+
+}  // namespace pgrid

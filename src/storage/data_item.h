@@ -1,0 +1,26 @@
+// Data items stored by peers (Sec. 2: "Every peer stores information items from a set
+// DI that are characterized by an index term from a set K").
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "key/key_path.h"
+#include "sim/types.h"
+
+namespace pgrid {
+
+/// One information item: an opaque payload indexed by a binary key. `version`
+/// supports the update experiments of Sec. 5.2 (an update bumps the version; a query
+/// answer is "fresh" iff it reports the latest version).
+struct DataItem {
+  ItemId id = 0;
+  KeyPath key;
+  std::string payload;
+  uint64_t version = 0;
+
+  friend bool operator==(const DataItem&, const DataItem&) = default;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,43 @@
+#include "storage/data_store.h"
+
+namespace pgrid {
+
+Status DataStore::Put(DataItem item) {
+  ItemId id = item.id;
+  auto [it, inserted] = items_.try_emplace(id, std::move(item));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("data item " + std::to_string(id) + " already stored");
+  }
+  return Status::OK();
+}
+
+void DataStore::Upsert(DataItem item) {
+  items_[item.id] = std::move(item);
+}
+
+const DataItem* DataStore::Get(ItemId id) const {
+  auto it = items_.find(id);
+  return it == items_.end() ? nullptr : &it->second;
+}
+
+Status DataStore::ApplyVersion(ItemId id, uint64_t version) {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    return Status::NotFound("data item " + std::to_string(id) + " not stored here");
+  }
+  if (version > it->second.version) it->second.version = version;
+  return Status::OK();
+}
+
+bool DataStore::Remove(ItemId id) { return items_.erase(id) > 0; }
+
+std::vector<const DataItem*> DataStore::FindByKeyPrefix(const KeyPath& prefix) const {
+  std::vector<const DataItem*> out;
+  for (const auto& [id, item] : items_) {
+    if (prefix.IsPrefixOf(item.key)) out.push_back(&item);
+  }
+  return out;
+}
+
+}  // namespace pgrid

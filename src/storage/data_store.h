@@ -1,0 +1,50 @@
+// Per-peer local storage of data items.
+//
+// The items themselves always stay with their original holder; the P-Grid indexes
+// *references* to them (see leaf_index.h). DataStore is the holder-side container.
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/data_item.h"
+#include "util/result.h"
+
+namespace pgrid {
+
+/// Container for the data items one peer physically stores, keyed by item id.
+class DataStore {
+ public:
+  /// Inserts a new item. AlreadyExists if an item with the same id is present.
+  Status Put(DataItem item);
+
+  /// Inserts or replaces an item with the same id.
+  void Upsert(DataItem item);
+
+  /// Looks up an item by id; nullptr if absent.
+  const DataItem* Get(ItemId id) const;
+
+  /// Bumps the stored version of item `id` to `version` if it is newer.
+  /// NotFound if the item is absent.
+  Status ApplyVersion(ItemId id, uint64_t version);
+
+  /// Removes an item; returns true if it was present.
+  bool Remove(ItemId id);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// All items whose key has `prefix` as a prefix.
+  std::vector<const DataItem*> FindByKeyPrefix(const KeyPath& prefix) const;
+
+  /// Iteration support.
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::unordered_map<ItemId, DataItem> items_;
+};
+
+}  // namespace pgrid

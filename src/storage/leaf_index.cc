@@ -1,0 +1,80 @@
+#include "storage/leaf_index.h"
+
+namespace pgrid {
+
+bool LeafIndex::InsertOrRefresh(const IndexEntry& entry) {
+  auto key = std::make_pair(entry.holder, entry.item_id);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(key, entry);
+    return true;
+  }
+  if (entry.version > it->second.version) {
+    it->second.version = entry.version;
+    it->second.key = entry.key;
+    return true;
+  }
+  return false;
+}
+
+const IndexEntry* LeafIndex::Find(PeerId holder, ItemId item_id) const {
+  auto it = entries_.find(std::make_pair(holder, item_id));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<IndexEntry> LeafIndex::Matching(const KeyPath& prefix) const {
+  std::vector<IndexEntry> out;
+  for (const auto& [k, e] : entries_) {
+    if (prefix.IsPrefixOf(e.key)) out.push_back(e);
+  }
+  return out;
+}
+
+uint64_t LeafIndex::LatestVersionOf(ItemId item_id) const {
+  uint64_t latest = 0;
+  for (const auto& [k, e] : entries_) {
+    if (e.item_id == item_id && e.version > latest) latest = e.version;
+  }
+  return latest;
+}
+
+size_t LeafIndex::ApplyVersion(ItemId item_id, uint64_t version) {
+  size_t bumped = 0;
+  for (auto& [k, e] : entries_) {
+    if (e.item_id == item_id && e.version < version) {
+      e.version = version;
+      ++bumped;
+    }
+  }
+  return bumped;
+}
+
+std::vector<IndexEntry> LeafIndex::ExtractNotMatching(const KeyPath& path) {
+  std::vector<IndexEntry> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!PathsOverlap(path, it->second.key)) {
+      out.push_back(it->second);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+size_t LeafIndex::MergeFrom(const LeafIndex& other) {
+  size_t changed = 0;
+  for (const auto& [k, e] : other.entries_) {
+    if (InsertOrRefresh(e)) ++changed;
+  }
+  return changed;
+}
+
+std::vector<IndexEntry> LeafIndex::All() const {
+  std::vector<IndexEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, e] : entries_) out.push_back(e);
+  return out;
+}
+
+}  // namespace pgrid

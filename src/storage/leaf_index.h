@@ -1,0 +1,77 @@
+// Leaf-level index entries (the paper's D ⊆ ADDR × K).
+//
+// At the leaf level a peer knows, for every key it is responsible for, which peers
+// hold matching data items. LeafIndex manages that set: deduplicated insertion,
+// version tracking for the update experiments, and the split/merge operations the
+// construction algorithm performs when peers specialize or meet as replicas.
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "key/key_path.h"
+#include "sim/types.h"
+
+namespace pgrid {
+
+/// One index entry: "peer `holder` stores item `item_id` with key `key`".
+/// `version` is the entry's view of the item version; stale entries are the root
+/// cause of the consistency problem studied in Sec. 5.2.
+struct IndexEntry {
+  PeerId holder = kInvalidPeer;
+  ItemId item_id = 0;
+  KeyPath key;
+  uint64_t version = 0;
+
+  friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
+};
+
+/// Set of index entries held by one peer, keyed by (holder, item_id).
+class LeafIndex {
+ public:
+  /// Inserts the entry, or refreshes key/version if (holder, item_id) is present
+  /// with an older version. Returns true if anything changed.
+  bool InsertOrRefresh(const IndexEntry& entry);
+
+  /// Returns the entry for (holder, item_id), or nullptr.
+  const IndexEntry* Find(PeerId holder, ItemId item_id) const;
+
+  /// All entries whose key has `prefix` as a prefix.
+  std::vector<IndexEntry> Matching(const KeyPath& prefix) const;
+
+  /// Highest version among entries for item `item_id` (0 if none). Used by queries to
+  /// answer "what is the current version of this item".
+  uint64_t LatestVersionOf(ItemId item_id) const;
+
+  /// Applies `version` to every entry for item `item_id` that is older. Returns the
+  /// number of entries bumped.
+  size_t ApplyVersion(ItemId item_id, uint64_t version);
+
+  /// Removes and returns every entry whose key does not overlap `path` (neither is a
+  /// prefix of the other). Used when a peer specializes its path and hands
+  /// mismatching entries to the exchange partner.
+  std::vector<IndexEntry> ExtractNotMatching(const KeyPath& path);
+
+  /// Merges all of `other`'s entries into this index (used when replicas meet).
+  /// Returns the number of entries inserted or refreshed.
+  size_t MergeFrom(const LeafIndex& other);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Snapshot of all entries (unordered).
+  std::vector<IndexEntry> All() const;
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<PeerId, ItemId>& p) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) ^
+                                   (p.second * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  std::unordered_map<std::pair<PeerId, ItemId>, IndexEntry, PairHash> entries_;
+};
+
+}  // namespace pgrid

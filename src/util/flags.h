@@ -1,0 +1,95 @@
+// Minimal command-line flag parsing for the CLI tool.
+//
+// Syntax: --name=value or bare --name (boolean). Anything else is positional.
+// Typed getters fall back to defaults when the flag is absent and report
+// InvalidArgument for unparsable values.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pgrid {
+
+/// Parsed command line: flags plus positional arguments, in order.
+class FlagSet {
+ public:
+  explicit FlagSet(const std::vector<std::string>& args) {
+    for (const std::string& a : args) {
+      if (a.rfind("--", 0) == 0) {
+        const size_t eq = a.find('=');
+        if (eq == std::string::npos) {
+          flags_.emplace_back(a.substr(2), "");
+        } else {
+          flags_.emplace_back(a.substr(2, eq - 2), a.substr(eq + 1));
+        }
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const {
+    for (const auto& [k, v] : flags_) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  /// Raw value of --name (empty string for bare flags), or `fallback`.
+  std::string GetString(const std::string& name, const std::string& fallback) const {
+    for (const auto& [k, v] : flags_) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+
+  /// Integer flag. InvalidArgument if present but not a number.
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const {
+    for (const auto& [k, v] : flags_) {
+      if (k != name) continue;
+      char* end = nullptr;
+      const int64_t value = std::strtoll(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                       v + "'");
+      }
+      return value;
+    }
+    return fallback;
+  }
+
+  /// Floating-point flag. InvalidArgument if present but not a number.
+  Result<double> GetDouble(const std::string& name, double fallback) const {
+    for (const auto& [k, v] : flags_) {
+      if (k != name) continue;
+      char* end = nullptr;
+      const double value = std::strtod(v.c_str(), &end);
+      if (v.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects a number, got '" + v +
+                                       "'");
+      }
+      return value;
+    }
+    return fallback;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags present (for unknown-flag diagnostics).
+  std::vector<std::string> FlagNames() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : flags_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,55 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: PGRID_LOG(Info) << "built grid with " << n << " peers";
+// The global level defaults to Warning so library code is silent in tests and
+// benchmarks unless explicitly enabled (SetLogLevel or PGRID_LOG_LEVEL env var).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pgrid {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the global minimum level (initialized from the PGRID_LOG_LEVEL environment
+/// variable: "debug", "info", "warning", "error", "off").
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pgrid
+
+#define PGRID_LOG(severity)                                                      \
+  ::pgrid::internal::LogMessage(::pgrid::LogLevel::k##severity, __FILE__, __LINE__)

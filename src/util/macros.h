@@ -1,0 +1,37 @@
+// Common assertion and annotation macros for the pgrid codebase.
+//
+// PGRID_CHECK(cond)  -- always-on invariant check; aborts with a message on failure.
+// PGRID_DCHECK(cond) -- debug-only variant, compiled out in NDEBUG builds.
+//
+// These are intentionally minimal: the library is exception-free across module
+// boundaries and uses Status/Result for recoverable errors; CHECK failures indicate
+// programming errors (violated preconditions), not runtime conditions.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PGRID_CHECK(cond)                                                          \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      std::fprintf(stderr, "PGRID_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                         \
+      std::abort();                                                                \
+    }                                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define PGRID_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define PGRID_DCHECK(cond) PGRID_CHECK(cond)
+#endif
+
+#define PGRID_CHECK_LE(a, b) PGRID_CHECK((a) <= (b))
+#define PGRID_CHECK_LT(a, b) PGRID_CHECK((a) < (b))
+#define PGRID_CHECK_GE(a, b) PGRID_CHECK((a) >= (b))
+#define PGRID_CHECK_GT(a, b) PGRID_CHECK((a) > (b))
+#define PGRID_CHECK_EQ(a, b) PGRID_CHECK((a) == (b))
+#define PGRID_CHECK_NE(a, b) PGRID_CHECK((a) != (b))

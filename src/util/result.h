@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, in the style of absl::StatusOr<T>.
+
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace pgrid {
+
+/// Holds either a value of type T or a non-OK Status describing why no value is
+/// available. Accessing the value of an errored Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so `return Status::...;` works).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    PGRID_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; requires ok().
+  const T& value() const& {
+    PGRID_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    PGRID_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    PGRID_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define PGRID_INTERNAL_CONCAT_(a, b) a##b
+#define PGRID_INTERNAL_CONCAT(a, b) PGRID_INTERNAL_CONCAT_(a, b)
+
+#define PGRID_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                    \
+  if (!var.ok()) return var.status();                   \
+  lhs = std::move(var).value()
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error Status
+/// from the enclosing function.
+#define PGRID_ASSIGN_OR_RETURN(lhs, expr)                                       \
+  PGRID_INTERNAL_ASSIGN_OR_RETURN(PGRID_INTERNAL_CONCAT(_pgrid_res_, __LINE__), \
+                                  lhs, expr)
+
+}  // namespace pgrid

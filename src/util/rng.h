@@ -1,0 +1,103 @@
+// Deterministic random number generation for simulations.
+//
+// All randomized algorithms in the library draw from an explicitly passed Rng so that
+// every experiment is reproducible from a single seed. The generator is a thin wrapper
+// around std::mt19937_64 with the sampling helpers the P-Grid algorithms need
+// (uniform ints, Bernoulli trials, random bits, subset sampling without replacement).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+/// Seedable pseudo-random generator used by all randomized algorithms.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Returns a uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    PGRID_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Returns a uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    PGRID_CHECK_GT(n, 0u);
+    return static_cast<size_t>(UniformInt(0, n - 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Returns a uniform random bit (0 or 1).
+  int Bit() { return static_cast<int>(UniformInt(0, 1)); }
+
+  /// Removes and returns one uniformly chosen element of `v`.
+  /// This matches the paper's random_select(refs): "returns a random element from refs
+  /// and removes it from refs". Requires v non-empty.
+  template <typename T>
+  T TakeRandom(std::vector<T>* v) {
+    PGRID_CHECK(v != nullptr && !v->empty());
+    size_t i = UniformIndex(v->size());
+    T out = std::move((*v)[i]);
+    (*v)[i] = std::move(v->back());
+    v->pop_back();
+    return out;
+  }
+
+  /// Returns one uniformly chosen element of `v` (without removal). Requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    PGRID_CHECK(!v.empty());
+    return v[UniformIndex(v.size())];
+  }
+
+  /// Returns min(k, v.size()) distinct elements sampled uniformly without replacement.
+  /// This matches the paper's random_select(k, refs) set sampler.
+  template <typename T>
+  std::vector<T> SampleWithoutReplacement(std::vector<T> v, size_t k) {
+    if (v.size() <= k) return v;
+    // Partial Fisher-Yates: the first k slots become the sample.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + UniformIndex(v.size() - i);
+      std::swap(v[i], v[j]);
+    }
+    v.resize(k);
+    return v;
+  }
+
+  /// Shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    PGRID_CHECK(v != nullptr);
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Splits off an independent child generator (for parallel or per-peer streams).
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Access to the underlying engine for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,71 @@
+#include "workload/corpus.h"
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+std::vector<DataItem> MakeCorpus(size_t count, size_t num_peers,
+                                 const KeyGenerator& gen, Rng* rng,
+                                 std::vector<PeerId>* holders) {
+  PGRID_CHECK(rng != nullptr && holders != nullptr);
+  PGRID_CHECK_GT(num_peers, 0u);
+  std::vector<DataItem> corpus;
+  corpus.reserve(count);
+  holders->clear();
+  holders->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DataItem item;
+    item.id = static_cast<ItemId>(i + 1);
+    item.key = gen.Next(rng);
+    item.payload = "item-" + std::to_string(item.id);
+    item.version = 1;
+    corpus.push_back(std::move(item));
+    holders->push_back(static_cast<PeerId>(rng->UniformIndex(num_peers)));
+  }
+  return corpus;
+}
+
+namespace {
+
+IndexEntry EntryFor(const DataItem& item, PeerId holder) {
+  IndexEntry e;
+  e.holder = holder;
+  e.item_id = item.id;
+  e.key = item.key;
+  e.version = item.version;
+  return e;
+}
+
+}  // namespace
+
+size_t SeedGridPerfectly(Grid* grid, const std::vector<DataItem>& corpus,
+                         const std::vector<PeerId>& holders) {
+  PGRID_CHECK(grid != nullptr);
+  PGRID_CHECK_EQ(corpus.size(), holders.size());
+  size_t installed = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    grid->peer(holders[i]).store().Upsert(corpus[i]);
+    const IndexEntry e = EntryFor(corpus[i], holders[i]);
+    for (PeerState& peer : *grid) {
+      if (PathsOverlap(peer.path(), e.key)) {
+        if (peer.index().InsertOrRefresh(e)) ++installed;
+      }
+    }
+  }
+  return installed;
+}
+
+size_t SeedGridAtHolders(Grid* grid, const std::vector<DataItem>& corpus,
+                         const std::vector<PeerId>& holders) {
+  PGRID_CHECK(grid != nullptr);
+  PGRID_CHECK_EQ(corpus.size(), holders.size());
+  size_t installed = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    PeerState& holder = grid->peer(holders[i]);
+    holder.store().Upsert(corpus[i]);
+    if (holder.index().InsertOrRefresh(EntryFor(corpus[i], holders[i]))) ++installed;
+  }
+  return installed;
+}
+
+}  // namespace pgrid

@@ -1,0 +1,35 @@
+// Synthetic data corpora and the helpers that seed a grid with them.
+//
+// A corpus is a set of data items with generated keys, assigned to holder peers.
+// SeedGridPerfectly installs index entries at *every* co-responsible peer -- the
+// perfectly consistent starting state assumed by the Sec. 5.2 update experiments
+// (updates then create the inconsistency being measured). SeedGridAtHolders models a
+// network where items were only just published locally.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/grid.h"
+#include "storage/data_item.h"
+#include "workload/key_generator.h"
+
+namespace pgrid {
+
+/// Builds `count` items with keys from `gen` (ids 1..count, version 1, payloads
+/// "item-<id>") and holders drawn uniformly from [0, num_peers).
+std::vector<DataItem> MakeCorpus(size_t count, size_t num_peers,
+                                 const KeyGenerator& gen, Rng* rng,
+                                 std::vector<PeerId>* holders);
+
+/// Stores each item at its holder and installs its index entry at every peer whose
+/// path overlaps the item key. Returns the number of entries installed.
+size_t SeedGridPerfectly(Grid* grid, const std::vector<DataItem>& corpus,
+                         const std::vector<PeerId>& holders);
+
+/// Stores each item at its holder and installs the index entry only there.
+size_t SeedGridAtHolders(Grid* grid, const std::vector<DataItem>& corpus,
+                         const std::vector<PeerId>& holders);
+
+}  // namespace pgrid

@@ -1,0 +1,20 @@
+#include "workload/key_generator.h"
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+KeyGenerator::KeyGenerator(Mode mode, size_t length, double bit_bias)
+    : mode_(mode), length_(length), bit_bias_(bit_bias) {
+  PGRID_CHECK(bit_bias >= 0.0 && bit_bias <= 1.0);
+}
+
+KeyPath KeyGenerator::Next(Rng* rng) const {
+  PGRID_CHECK(rng != nullptr);
+  if (mode_ == Mode::kUniform) return KeyPath::Random(rng, length_);
+  KeyPath out;
+  for (size_t i = 0; i < length_; ++i) out.PushBack(rng->Bernoulli(bit_bias_) ? 1 : 0);
+  return out;
+}
+
+}  // namespace pgrid

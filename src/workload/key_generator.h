@@ -1,0 +1,41 @@
+// Key generators for synthetic workloads.
+//
+// The paper assumes uniformly distributed keys (Sec. 1); kUniform reproduces that.
+// kBiasedBits draws each bit as Bernoulli(bit_bias), producing geometrically skewed
+// key populations along the trie -- the workload for the Sec. 6 "skewed data
+// distributions" extension and its ablation bench.
+
+#pragma once
+
+#include <cstddef>
+
+#include "key/key_path.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pgrid {
+
+/// Draws random binary keys of a fixed length.
+class KeyGenerator {
+ public:
+  enum class Mode {
+    kUniform,     ///< each bit fair (paper's model)
+    kBiasedBits,  ///< each bit is 1 with probability bit_bias
+  };
+
+  /// Creates a generator for keys of `length` bits. `bit_bias` only applies to
+  /// kBiasedBits and must lie in [0, 1].
+  KeyGenerator(Mode mode, size_t length, double bit_bias = 0.5);
+
+  KeyPath Next(Rng* rng) const;
+
+  size_t length() const { return length_; }
+  Mode mode() const { return mode_; }
+
+ private:
+  Mode mode_;
+  size_t length_;
+  double bit_bias_;
+};
+
+}  // namespace pgrid

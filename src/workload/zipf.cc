@@ -1,0 +1,29 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+ZipfGenerator::ZipfGenerator(size_t n, double theta) : theta_(theta), cdf_(n) {
+  PGRID_CHECK_GT(n, 0u);
+  PGRID_CHECK_GE(theta, 0.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+size_t ZipfGenerator::Next(Rng* rng) const {
+  PGRID_CHECK(rng != nullptr);
+  const double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace pgrid

@@ -1,0 +1,29 @@
+// Zipf-distributed rank sampling for query popularity (classic P2P query traces are
+// heavily skewed toward popular items).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pgrid {
+
+/// Samples ranks in [0, n) with probability proportional to 1 / (rank+1)^theta.
+/// theta = 0 is uniform; theta around 0.8-1.2 matches measured P2P workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double theta);
+
+  size_t Next(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace pgrid

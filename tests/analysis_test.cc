@@ -1,0 +1,114 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pgrid {
+namespace {
+
+TEST(AnalysisTest, MinKeyLengthMatchesLog2) {
+  EXPECT_EQ(MinKeyLength(1024, 1), 10u);
+  EXPECT_EQ(MinKeyLength(1025, 1), 11u);
+  EXPECT_EQ(MinKeyLength(1000, 1000), 0u);
+  EXPECT_EQ(MinKeyLength(10, 1000), 0u);  // fewer items than leaf capacity
+}
+
+TEST(AnalysisTest, MinPeersFormula) {
+  EXPECT_DOUBLE_EQ(MinPeers(1e6, 1e3, 10), 1e4);
+  EXPECT_DOUBLE_EQ(MinPeers(100, 10, 1), 10.0);
+}
+
+TEST(AnalysisTest, SearchSuccessProbabilityEdgeCases) {
+  EXPECT_DOUBLE_EQ(SearchSuccessProbability(1.0, 1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(SearchSuccessProbability(0.0, 5, 3), 0.0);
+  EXPECT_DOUBLE_EQ(SearchSuccessProbability(0.5, 1, 1), 0.5);
+  // k = 0: nothing to route, always succeeds.
+  EXPECT_DOUBLE_EQ(SearchSuccessProbability(0.1, 1, 0), 1.0);
+}
+
+TEST(AnalysisTest, SuccessProbabilityMonotoneInRefmax) {
+  double prev = 0.0;
+  for (size_t refmax = 1; refmax <= 30; ++refmax) {
+    double p = SearchSuccessProbability(0.3, refmax, 10);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(AnalysisTest, SuccessProbabilityMonotoneDecreasingInDepth) {
+  double prev = 1.0;
+  for (size_t k = 1; k <= 20; ++k) {
+    double p = SearchSuccessProbability(0.3, 5, k);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(AnalysisTest, GnutellaExampleReproducesPaperNumbers) {
+  // Paper Sec. 4: k = 10, success > 99%, min community > 20409 peers, storage
+  // exactly s_peer.
+  auto result = EvaluateSizing(GnutellaExampleInput());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SizingResult& r = *result;
+  EXPECT_EQ(r.key_length, 10u);
+  EXPECT_GT(r.search_success, 0.99);
+  EXPECT_NEAR(r.min_peers, 20408.16, 1.0);
+  EXPECT_TRUE(r.storage_feasible);
+  EXPECT_DOUBLE_EQ(r.i_peer, 1e4);
+  // i_leaf + k * refmax == i_peer exactly ("due to our good initial guess").
+  EXPECT_DOUBLE_EQ(r.index_entries, 1e4);
+}
+
+TEST(AnalysisTest, EvaluateSizingValidatesInput) {
+  SizingInput bad = GnutellaExampleInput();
+  bad.d_global = 0;
+  EXPECT_FALSE(EvaluateSizing(bad).ok());
+  bad = GnutellaExampleInput();
+  bad.i_leaf = -1;
+  EXPECT_FALSE(EvaluateSizing(bad).ok());
+  bad = GnutellaExampleInput();
+  bad.refmax = 0;
+  EXPECT_FALSE(EvaluateSizing(bad).ok());
+  bad = GnutellaExampleInput();
+  bad.online_prob = 1.5;
+  EXPECT_FALSE(EvaluateSizing(bad).ok());
+  bad = GnutellaExampleInput();
+  bad.s_peer = 0;
+  EXPECT_FALSE(EvaluateSizing(bad).ok());
+  bad = GnutellaExampleInput();
+  bad.ref_bytes = 0;
+  EXPECT_FALSE(EvaluateSizing(bad).ok());
+}
+
+TEST(AnalysisTest, InfeasibleStorageIsFlagged) {
+  SizingInput in = GnutellaExampleInput();
+  in.s_peer = 1000;  // can store only 100 references
+  auto result = EvaluateSizing(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->storage_feasible);
+}
+
+// Property sweep: the closed form equals direct per-level multiplication.
+class AnalysisPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t, size_t>> {};
+
+TEST_P(AnalysisPropertyTest, ClosedFormMatchesPerLevelProduct) {
+  auto [p, refmax, k] = GetParam();
+  double direct = 1.0;
+  for (size_t level = 0; level < k; ++level) {
+    double reach_next = 1.0 - std::pow(1.0 - p, static_cast<double>(refmax));
+    direct *= reach_next;
+  }
+  EXPECT_NEAR(SearchSuccessProbability(p, refmax, k), direct, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalysisPropertyTest,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.9),
+                       ::testing::Values<size_t>(1, 2, 5, 20),
+                       ::testing::Values<size_t>(1, 5, 10, 16)));
+
+}  // namespace
+}  // namespace pgrid

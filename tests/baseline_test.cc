@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/central_server.h"
+#include "baseline/flooding.h"
+#include "baseline/random_graph.h"
+#include "key/key_path.h"
+#include "util/rng.h"
+
+namespace pgrid {
+namespace {
+
+KeyPath Key(const char* bits) { return KeyPath::FromString(bits).value(); }
+
+DataItem Item(ItemId id, const char* key) {
+  DataItem item;
+  item.id = id;
+  item.key = Key(key);
+  item.payload = "x";
+  item.version = 1;
+  return item;
+}
+
+TEST(RandomGraphTest, IsConnectedViaBackbone) {
+  Rng rng(1);
+  RandomGraph g(50, 4, &rng);
+  // BFS from node 0 must reach everyone.
+  std::set<PeerId> seen{0};
+  std::vector<PeerId> frontier{0};
+  while (!frontier.empty()) {
+    PeerId p = frontier.back();
+    frontier.pop_back();
+    for (PeerId n : g.Neighbors(p)) {
+      if (seen.insert(n).second) frontier.push_back(n);
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(RandomGraphTest, MeanDegreeNearTarget) {
+  Rng rng(2);
+  RandomGraph g(500, 6, &rng);
+  EXPECT_NEAR(g.MeanDegree(), 6.0, 1.0);
+}
+
+TEST(RandomGraphTest, EdgesAreSymmetricAndSimple) {
+  Rng rng(3);
+  RandomGraph g(100, 5, &rng);
+  for (PeerId p = 0; p < 100; ++p) {
+    std::set<PeerId> distinct;
+    for (PeerId n : g.Neighbors(p)) {
+      EXPECT_NE(n, p);  // no self loops
+      EXPECT_TRUE(distinct.insert(n).second);  // no parallel edges
+      const auto& back = g.Neighbors(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), p), back.end());
+    }
+  }
+}
+
+TEST(FloodingTest, FindsItemWithinTtl) {
+  Rng rng(4);
+  FloodingConfig cfg;
+  cfg.mean_degree = 4;
+  cfg.ttl = 10;  // enough to cover a 64-node graph
+  FloodingNetwork net(64, cfg, &rng);
+  net.PlaceItem(17, Item(1, "0101"));
+  FloodResult r = net.Search(3, Key("0101"), nullptr, &rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.holders_found, 1u);
+  EXPECT_GT(r.messages, 0u);
+}
+
+TEST(FloodingTest, TtlZeroOnlyChecksStart) {
+  Rng rng(5);
+  FloodingConfig cfg;
+  cfg.ttl = 0;
+  FloodingNetwork net(16, cfg, &rng);
+  net.PlaceItem(0, Item(1, "01"));
+  EXPECT_TRUE(net.Search(0, Key("01"), nullptr, &rng).found);
+  FloodResult r = net.Search(1, Key("01"), nullptr, &rng);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.peers_reached, 1u);
+}
+
+TEST(FloodingTest, MissingItemIsNotFoundButCostsMessages) {
+  Rng rng(6);
+  FloodingConfig cfg;
+  cfg.ttl = 8;
+  FloodingNetwork net(64, cfg, &rng);
+  FloodResult r = net.Search(0, Key("1111"), nullptr, &rng);
+  EXPECT_FALSE(r.found);
+  // Flooding pays the full broadcast cost even for a miss.
+  EXPECT_GT(r.messages, 50u);
+}
+
+TEST(FloodingTest, OfflineStartFails) {
+  Rng rng(7);
+  FloodingConfig cfg;
+  FloodingNetwork net(16, cfg, &rng);
+  OnlineModel offline(OnlineMode::kSnapshot, 16, 0.0, &rng);
+  net.PlaceItem(3, Item(1, "0"));
+  FloodResult r = net.Search(0, Key("0"), &offline, &rng);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(FloodingTest, CostGrowsWithCommunitySize) {
+  // The broadcast cost scales with reachable peers; P-Grid's selling point.
+  Rng rng(8);
+  FloodingConfig cfg;
+  cfg.ttl = 20;
+  FloodingNetwork small(50, cfg, &rng);
+  FloodingNetwork large(500, cfg, &rng);
+  uint64_t small_cost = small.Search(0, Key("10101010"), nullptr, &rng).messages;
+  uint64_t large_cost = large.Search(0, Key("10101010"), nullptr, &rng).messages;
+  EXPECT_GT(large_cost, small_cost * 4);
+}
+
+TEST(CentralServerTest, PublishAndLookup) {
+  CentralServer server;
+  Rng rng(9);
+  IndexEntry e;
+  e.holder = 4;
+  e.item_id = 7;
+  e.key = Key("0101");
+  e.version = 1;
+  server.Publish(e);
+  CentralLookupResult r = server.Lookup(Key("0101"), &rng);
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].holder, 4u);
+  EXPECT_FALSE(server.Lookup(Key("1111"), &rng).found);
+}
+
+TEST(CentralServerTest, PrefixOverlapLookup) {
+  CentralServer server;
+  Rng rng(10);
+  IndexEntry e;
+  e.holder = 1;
+  e.item_id = 1;
+  e.key = Key("0101");
+  server.Publish(e);
+  // Shorter query overlapping the stored key still matches.
+  EXPECT_TRUE(server.Lookup(Key("01"), &rng).found);
+  EXPECT_FALSE(server.Lookup(Key("00"), &rng).found);
+}
+
+TEST(CentralServerTest, StorageGrowsLinearlyInItems) {
+  CentralServer server(3);
+  Rng rng(11);
+  for (ItemId i = 0; i < 100; ++i) {
+    IndexEntry e;
+    e.holder = 0;
+    e.item_id = i;
+    e.key = KeyPath::Random(&rng, 8);
+    server.Publish(e);
+  }
+  EXPECT_EQ(server.StoragePerReplica(), 100u);
+  EXPECT_EQ(server.TotalStorage(), 300u);
+}
+
+TEST(CentralServerTest, LoadGrowsWithQueriesAndSpreadsOverReplicas) {
+  CentralServer server(4);
+  Rng rng(12);
+  IndexEntry e;
+  e.holder = 0;
+  e.item_id = 1;
+  e.key = Key("0");
+  server.Publish(e);
+  for (int i = 0; i < 4000; ++i) server.Lookup(Key("0"), &rng);
+  EXPECT_EQ(server.TotalLoad(), 4000u);
+  for (uint64_t load : server.LoadPerReplica()) {
+    EXPECT_NEAR(static_cast<double>(load), 1000.0, 150.0);
+  }
+}
+
+}  // namespace
+}  // namespace pgrid

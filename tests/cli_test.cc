@@ -1,0 +1,151 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace pgrid {
+namespace cli {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunArgs(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  int code = RunCli(args, out, err);
+  return CliResult{code, out.str(), err.str()};
+}
+
+std::string TempSnapshot(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CliTest, NoArgsPrintsUsageAndFails) {
+  CliResult r = RunArgs({});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  CliResult r = RunArgs({"help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("bench-search"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CliResult r = RunArgs({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, BuildRequiresFlags) {
+  CliResult r = RunArgs({"build"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--peers"), std::string::npos);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, BuildRejectsBadNumbers) {
+  CliResult r = RunArgs({"build", "--peers=abc", "--out=/tmp/x"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("integer"), std::string::npos);
+}
+
+TEST(CliTest, FullWorkflowBuildInfoVerifySearchBench) {
+  const std::string file = TempSnapshot("cli_workflow.pgrid");
+  CliResult build = RunArgs({"build", "--peers=128", "--maxl=4", "--refmax=3",
+                         "--out=" + file, "--seed=7"});
+  ASSERT_EQ(build.exit_code, 0) << build.err;
+  EXPECT_NE(build.out.find("snapshot written"), std::string::npos);
+
+  CliResult info = RunArgs({"info", "--in=" + file});
+  ASSERT_EQ(info.exit_code, 0) << info.err;
+  EXPECT_NE(info.out.find("peers: 128"), std::string::npos);
+  EXPECT_NE(info.out.find("maxl=4"), std::string::npos);
+  EXPECT_NE(info.out.find("path length histogram"), std::string::npos);
+
+  CliResult verify = RunArgs({"verify", "--in=" + file});
+  ASSERT_EQ(verify.exit_code, 0) << verify.err;
+  EXPECT_NE(verify.out.find("OK"), std::string::npos);
+
+  CliResult search = RunArgs({"search", "--in=" + file, "--key=0110", "--seed=3"});
+  ASSERT_EQ(search.exit_code, 0) << search.err;
+  EXPECT_NE(search.out.find("found: peer"), std::string::npos);
+
+  CliResult bench =
+      RunArgs({"bench-search", "--in=" + file, "--queries=200", "--online=0.5"});
+  ASSERT_EQ(bench.exit_code, 0) << bench.err;
+  EXPECT_NE(bench.out.find("success rate"), std::string::npos);
+
+  CliResult prefix = RunArgs({"prefix", "--in=" + file, "--key=01"});
+  ASSERT_EQ(prefix.exit_code, 0) << prefix.err;
+  EXPECT_NE(prefix.out.find("responders"), std::string::npos);
+
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, SearchOnMissingSnapshotFails) {
+  CliResult r = RunArgs({"search", "--in=/nonexistent.pgrid", "--key=01"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("NotFound"), std::string::npos);
+}
+
+TEST(CliTest, SearchRejectsBadKey) {
+  const std::string file = TempSnapshot("cli_badkey.pgrid");
+  ASSERT_EQ(RunArgs({"build", "--peers=32", "--maxl=3", "--out=" + file}).exit_code, 0);
+  CliResult r = RunArgs({"search", "--in=" + file, "--key=01x"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("invalid bit"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, SearchRequiresKeyOrText) {
+  const std::string file = TempSnapshot("cli_nokey.pgrid");
+  ASSERT_EQ(RunArgs({"build", "--peers=32", "--maxl=3", "--out=" + file}).exit_code, 0);
+  CliResult r = RunArgs({"search", "--in=" + file});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--key"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, PrefixAcceptsTextKeys) {
+  const std::string file = TempSnapshot("cli_text.pgrid");
+  ASSERT_EQ(
+      RunArgs({"build", "--peers=64", "--maxl=4", "--out=" + file}).exit_code, 0);
+  CliResult r = RunArgs({"prefix", "--in=" + file, "--text=ab"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, RangeCommand) {
+  const std::string file = TempSnapshot("cli_range.pgrid");
+  ASSERT_EQ(RunArgs({"build", "--peers=64", "--maxl=4", "--out=" + file}).exit_code,
+            0);
+  CliResult ok = RunArgs({"range", "--in=" + file, "--lo=0010", "--hi=0110"});
+  EXPECT_EQ(ok.exit_code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("responders"), std::string::npos);
+  CliResult bad = RunArgs({"range", "--in=" + file, "--lo=11", "--hi=00"});
+  EXPECT_EQ(bad.exit_code, 1);
+  CliResult missing = RunArgs({"range", "--in=" + file, "--lo=11"});
+  EXPECT_EQ(missing.exit_code, 1);
+  EXPECT_NE(missing.err.find("--hi"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, StartOutOfRangeFails) {
+  const std::string file = TempSnapshot("cli_start.pgrid");
+  ASSERT_EQ(RunArgs({"build", "--peers=32", "--maxl=3", "--out=" + file}).exit_code, 0);
+  CliResult r = RunArgs({"search", "--in=" + file, "--key=01", "--start=999"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("out of range"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace pgrid

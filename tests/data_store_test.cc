@@ -1,0 +1,88 @@
+#include "storage/data_store.h"
+
+#include <gtest/gtest.h>
+
+namespace pgrid {
+namespace {
+
+DataItem Item(ItemId id, const std::string& key, uint64_t version = 1) {
+  DataItem item;
+  item.id = id;
+  item.key = KeyPath::FromString(key).value();
+  item.payload = "payload-" + std::to_string(id);
+  item.version = version;
+  return item;
+}
+
+TEST(DataStoreTest, PutAndGet) {
+  DataStore store;
+  ASSERT_TRUE(store.Put(Item(1, "0101")).ok());
+  const DataItem* got = store.Get(1);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->key.ToString(), "0101");
+  EXPECT_EQ(got->payload, "payload-1");
+  EXPECT_EQ(store.Get(2), nullptr);
+}
+
+TEST(DataStoreTest, PutRejectsDuplicates) {
+  DataStore store;
+  ASSERT_TRUE(store.Put(Item(1, "00")).ok());
+  Status s = store.Put(Item(1, "11"));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Get(1)->key.ToString(), "00");  // original untouched
+}
+
+TEST(DataStoreTest, UpsertReplaces) {
+  DataStore store;
+  store.Upsert(Item(1, "00", 1));
+  store.Upsert(Item(1, "00", 5));
+  EXPECT_EQ(store.Get(1)->version, 5u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(DataStoreTest, ApplyVersionOnlyMovesForward) {
+  DataStore store;
+  store.Upsert(Item(1, "01", 3));
+  ASSERT_TRUE(store.ApplyVersion(1, 5).ok());
+  EXPECT_EQ(store.Get(1)->version, 5u);
+  ASSERT_TRUE(store.ApplyVersion(1, 2).ok());  // stale: ignored
+  EXPECT_EQ(store.Get(1)->version, 5u);
+  EXPECT_EQ(store.ApplyVersion(99, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(DataStoreTest, Remove) {
+  DataStore store;
+  store.Upsert(Item(1, "0"));
+  EXPECT_TRUE(store.Remove(1));
+  EXPECT_FALSE(store.Remove(1));
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(DataStoreTest, FindByKeyPrefix) {
+  DataStore store;
+  store.Upsert(Item(1, "0000"));
+  store.Upsert(Item(2, "0011"));
+  store.Upsert(Item(3, "1100"));
+  auto zero = store.FindByKeyPrefix(KeyPath::FromString("00").value());
+  EXPECT_EQ(zero.size(), 2u);
+  auto one = store.FindByKeyPrefix(KeyPath::FromString("1").value());
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0]->id, 3u);
+  auto all = store.FindByKeyPrefix(KeyPath());
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(DataStoreTest, IterationVisitsEverything) {
+  DataStore store;
+  store.Upsert(Item(1, "0"));
+  store.Upsert(Item(2, "1"));
+  size_t n = 0;
+  for (const auto& [id, item] : store) {
+    EXPECT_EQ(id, item.id);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+}  // namespace
+}  // namespace pgrid

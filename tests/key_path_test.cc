@@ -1,0 +1,272 @@
+#include "key/key_path.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace pgrid {
+namespace {
+
+KeyPath P(const std::string& bits) {
+  auto r = KeyPath::FromString(bits);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(KeyPathTest, EmptyPath) {
+  KeyPath k;
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.length(), 0u);
+  EXPECT_EQ(k.ToString(), "");
+  EXPECT_EQ(k.Value(), 0.0);
+  EXPECT_EQ(k.ToInterval(), (Interval{0.0, 1.0}));
+}
+
+TEST(KeyPathTest, FromStringRoundTrip) {
+  for (const char* s : {"", "0", "1", "01", "10", "0110", "111000111000",
+                        "010101010101010101010101010101"}) {
+    EXPECT_EQ(P(s).ToString(), s);
+  }
+}
+
+TEST(KeyPathTest, FromStringRejectsBadCharacters) {
+  EXPECT_FALSE(KeyPath::FromString("01x0").ok());
+  EXPECT_FALSE(KeyPath::FromString("2").ok());
+  EXPECT_FALSE(KeyPath::FromString(" 01").ok());
+  EXPECT_EQ(KeyPath::FromString("01a").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KeyPathTest, BitAccess) {
+  KeyPath k = P("0110");
+  EXPECT_EQ(k.bit(0), 0);
+  EXPECT_EQ(k.bit(1), 1);
+  EXPECT_EQ(k.bit(2), 1);
+  EXPECT_EQ(k.bit(3), 0);
+}
+
+TEST(KeyPathTest, PushPopBack) {
+  KeyPath k;
+  k.PushBack(1);
+  k.PushBack(0);
+  k.PushBack(1);
+  EXPECT_EQ(k.ToString(), "101");
+  k.PopBack();
+  EXPECT_EQ(k.ToString(), "10");
+  k.PopBack();
+  k.PopBack();
+  EXPECT_TRUE(k.empty());
+}
+
+TEST(KeyPathTest, PopBackClearsBitForCanonicalEquality) {
+  KeyPath a = P("11");
+  a.PopBack();
+  a.PushBack(0);
+  EXPECT_EQ(a, P("10"));
+  EXPECT_EQ(a.Hash(), P("10").Hash());
+}
+
+TEST(KeyPathTest, AppendAndConcat) {
+  KeyPath k = P("01");
+  EXPECT_EQ(k.Append(1).ToString(), "011");
+  EXPECT_EQ(k.ToString(), "01");  // Append does not mutate
+  EXPECT_EQ(k.Concat(P("110")).ToString(), "01110");
+  EXPECT_EQ(KeyPath().Concat(P("1")).ToString(), "1");
+}
+
+TEST(KeyPathTest, PrefixAndSub) {
+  KeyPath k = P("110010");
+  EXPECT_EQ(k.Prefix(0).ToString(), "");
+  EXPECT_EQ(k.Prefix(3).ToString(), "110");
+  EXPECT_EQ(k.Prefix(6).ToString(), "110010");
+  EXPECT_EQ(k.Sub(2, 3).ToString(), "001");
+  EXPECT_EQ(k.Sub(0, 0).ToString(), "");
+  EXPECT_EQ(k.SuffixFrom(4).ToString(), "10");
+  EXPECT_EQ(k.SuffixFrom(6).ToString(), "");
+  EXPECT_EQ(k.SuffixFrom(99).ToString(), "");
+}
+
+TEST(KeyPathTest, CommonPrefixLength) {
+  EXPECT_EQ(P("0101").CommonPrefixLength(P("0100")), 3u);
+  EXPECT_EQ(P("0101").CommonPrefixLength(P("0101")), 4u);
+  EXPECT_EQ(P("0101").CommonPrefixLength(P("01")), 2u);
+  EXPECT_EQ(P("1").CommonPrefixLength(P("0")), 0u);
+  EXPECT_EQ(KeyPath().CommonPrefixLength(P("0101")), 0u);
+}
+
+TEST(KeyPathTest, CommonPrefixLengthAcrossWordBoundary) {
+  // 70-bit paths differing only at bit 68 exercise the multi-word fast path.
+  std::string a(70, '0'), b(70, '0');
+  b[68] = '1';
+  EXPECT_EQ(P(a).CommonPrefixLength(P(b)), 68u);
+  EXPECT_EQ(P(a).CommonPrefixLength(P(a)), 70u);
+}
+
+TEST(KeyPathTest, IsPrefixOf) {
+  EXPECT_TRUE(KeyPath().IsPrefixOf(P("01")));
+  EXPECT_TRUE(P("01").IsPrefixOf(P("01")));
+  EXPECT_TRUE(P("01").IsPrefixOf(P("0110")));
+  EXPECT_FALSE(P("011").IsPrefixOf(P("01")));
+  EXPECT_FALSE(P("10").IsPrefixOf(P("0110")));
+}
+
+TEST(KeyPathTest, PathsOverlap) {
+  EXPECT_TRUE(PathsOverlap(P("01"), P("0110")));
+  EXPECT_TRUE(PathsOverlap(P("0110"), P("01")));
+  EXPECT_TRUE(PathsOverlap(KeyPath(), P("1")));
+  EXPECT_FALSE(PathsOverlap(P("00"), P("01")));
+  EXPECT_FALSE(PathsOverlap(P("0110"), P("0111")));
+}
+
+TEST(KeyPathTest, ValueMatchesPaperFormula) {
+  // val(k) = sum 2^-i p_i
+  EXPECT_DOUBLE_EQ(P("1").Value(), 0.5);
+  EXPECT_DOUBLE_EQ(P("01").Value(), 0.25);
+  EXPECT_DOUBLE_EQ(P("11").Value(), 0.75);
+  EXPECT_DOUBLE_EQ(P("101").Value(), 0.625);
+  EXPECT_DOUBLE_EQ(P("000").Value(), 0.0);
+}
+
+TEST(KeyPathTest, IntervalWidthIsTwoToMinusN) {
+  EXPECT_EQ(P("0").ToInterval(), (Interval{0.0, 0.5}));
+  EXPECT_EQ(P("10").ToInterval(), (Interval{0.5, 0.75}));
+  EXPECT_DOUBLE_EQ(P("1010").ToInterval().Width(), 1.0 / 16.0);
+}
+
+TEST(KeyPathTest, IntervalContainment) {
+  Interval i = P("01").ToInterval();
+  EXPECT_TRUE(i.Contains(0.25));
+  EXPECT_TRUE(i.Contains(0.4999));
+  EXPECT_FALSE(i.Contains(0.5));
+  EXPECT_FALSE(i.Contains(0.2));
+  EXPECT_TRUE(P("01").CoversValue(P("0110").Value()));
+  EXPECT_FALSE(P("01").CoversValue(P("10").Value()));
+}
+
+TEST(KeyPathTest, SiblingIntervalsPartitionParent) {
+  // I(k0) and I(k1) tile I(k) exactly.
+  KeyPath k = P("011");
+  Interval parent = k.ToInterval();
+  Interval left = k.Append(0).ToInterval();
+  Interval right = k.Append(1).ToInterval();
+  EXPECT_DOUBLE_EQ(left.lo, parent.lo);
+  EXPECT_DOUBLE_EQ(left.hi, right.lo);
+  EXPECT_DOUBLE_EQ(right.hi, parent.hi);
+}
+
+TEST(KeyPathTest, FromUint64MostSignificantFirst) {
+  EXPECT_EQ(KeyPath::FromUint64(0b101, 3).ToString(), "101");
+  EXPECT_EQ(KeyPath::FromUint64(1, 4).ToString(), "0001");
+  EXPECT_EQ(KeyPath::FromUint64(0, 2).ToString(), "00");
+  EXPECT_EQ(KeyPath::FromUint64(0xFFFFFFFFFFFFFFFFull, 64).ToString(),
+            std::string(64, '1'));
+}
+
+TEST(KeyPathTest, FromUint64EnumeratesDistinctKeys) {
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < 16; ++i) seen.insert(KeyPath::FromUint64(i, 4).ToString());
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(KeyPathTest, OrderingIsLexicographic) {
+  EXPECT_LT(P("0"), P("1"));
+  EXPECT_LT(P("0"), P("01"));   // prefix orders before extension
+  EXPECT_LT(P("00"), P("01"));
+  EXPECT_LT(P("011"), P("1"));
+  EXPECT_EQ(P("01") <=> P("01"), std::strong_ordering::equal);
+}
+
+TEST(KeyPathTest, HashDistinguishesLengthsOfSameValue) {
+  // "0" and "00" have the same packed words but different lengths.
+  EXPECT_NE(P("0"), P("00"));
+  std::unordered_set<KeyPath, KeyPathHash> set;
+  set.insert(P("0"));
+  set.insert(P("00"));
+  set.insert(P("000"));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(KeyPathTest, RandomHasRequestedLength) {
+  Rng rng(99);
+  for (size_t len : {0u, 1u, 7u, 64u, 65u, 200u}) {
+    EXPECT_EQ(KeyPath::Random(&rng, len).length(), len);
+  }
+}
+
+TEST(KeyPathTest, RandomBitsAreBalanced) {
+  Rng rng(7);
+  size_t ones = 0;
+  const size_t trials = 500, len = 32;
+  for (size_t t = 0; t < trials; ++t) {
+    KeyPath k = KeyPath::Random(&rng, len);
+    for (size_t i = 0; i < len; ++i) ones += static_cast<size_t>(k.bit(i));
+  }
+  double rate = static_cast<double>(ones) / (trials * len);
+  EXPECT_NEAR(rate, 0.5, 0.02);
+}
+
+TEST(KeyPathTest, ComplementBit) {
+  EXPECT_EQ(ComplementBit(0), 1);
+  EXPECT_EQ(ComplementBit(1), 0);
+}
+
+// Property sweep: prefix/sub/value identities on random paths of many lengths.
+class KeyPathPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KeyPathPropertyTest, PrefixOfSelfIdentities) {
+  Rng rng(GetParam() * 7919 + 1);
+  KeyPath k = KeyPath::Random(&rng, GetParam());
+  EXPECT_TRUE(k.Prefix(0).empty());
+  EXPECT_EQ(k.Prefix(k.length()), k);
+  for (size_t l = 0; l <= k.length(); l += std::max<size_t>(1, k.length() / 7)) {
+    KeyPath p = k.Prefix(l);
+    EXPECT_TRUE(p.IsPrefixOf(k));
+    EXPECT_EQ(p.CommonPrefixLength(k), l);
+    EXPECT_EQ(p.Concat(k.SuffixFrom(l)), k);
+  }
+}
+
+TEST_P(KeyPathPropertyTest, ValueLiesInOwnInterval) {
+  Rng rng(GetParam() * 104729 + 3);
+  KeyPath k = KeyPath::Random(&rng, GetParam());
+  // Interval arithmetic is only meaningful while 2^-n is representable relative to
+  // the interval's position (see ToInterval() docs); beyond ~52 bits it collapses.
+  if (k.length() == 0 || k.length() > 50) return;
+  Interval i = k.ToInterval();
+  EXPECT_TRUE(i.Contains(k.Value()));
+  // Any extension's value stays inside the interval.
+  EXPECT_TRUE(i.Contains(k.Append(1).Value()));
+  EXPECT_TRUE(i.Contains(k.Append(0).Value()));
+}
+
+TEST_P(KeyPathPropertyTest, RoundTripThroughString) {
+  Rng rng(GetParam() * 31 + 17);
+  KeyPath k = KeyPath::Random(&rng, GetParam());
+  auto parsed = KeyPath::FromString(k.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), k);
+  EXPECT_EQ(parsed.value().Hash(), k.Hash());
+}
+
+TEST_P(KeyPathPropertyTest, CommonPrefixIsSymmetricAndBounded) {
+  Rng rng(GetParam() * 13 + 5);
+  KeyPath a = KeyPath::Random(&rng, GetParam());
+  KeyPath b = KeyPath::Random(&rng, GetParam());
+  size_t ab = a.CommonPrefixLength(b);
+  EXPECT_EQ(ab, b.CommonPrefixLength(a));
+  EXPECT_LE(ab, std::min(a.length(), b.length()));
+  EXPECT_EQ(a.Prefix(ab), b.Prefix(ab));
+  if (ab < a.length() && ab < b.length()) {
+    EXPECT_NE(a.bit(ab), b.bit(ab));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, KeyPathPropertyTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 31, 32, 33, 63, 64,
+                                           65, 100, 127, 128, 129, 250));
+
+}  // namespace
+}  // namespace pgrid

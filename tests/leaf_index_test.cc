@@ -1,0 +1,123 @@
+#include "storage/leaf_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pgrid {
+namespace {
+
+IndexEntry Entry(PeerId holder, ItemId item, const std::string& key,
+                 uint64_t version = 1) {
+  IndexEntry e;
+  e.holder = holder;
+  e.item_id = item;
+  e.key = KeyPath::FromString(key).value();
+  e.version = version;
+  return e;
+}
+
+TEST(LeafIndexTest, InsertAndFind) {
+  LeafIndex index;
+  EXPECT_TRUE(index.InsertOrRefresh(Entry(1, 10, "0101")));
+  const IndexEntry* e = index.Find(1, 10);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->key.ToString(), "0101");
+  EXPECT_EQ(index.Find(1, 11), nullptr);
+  EXPECT_EQ(index.Find(2, 10), nullptr);
+}
+
+TEST(LeafIndexTest, ReinsertSameVersionIsNoop) {
+  LeafIndex index;
+  EXPECT_TRUE(index.InsertOrRefresh(Entry(1, 10, "01", 2)));
+  EXPECT_FALSE(index.InsertOrRefresh(Entry(1, 10, "01", 2)));
+  EXPECT_FALSE(index.InsertOrRefresh(Entry(1, 10, "01", 1)));  // stale
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(LeafIndexTest, RefreshBumpsVersion) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 10, "01", 1));
+  EXPECT_TRUE(index.InsertOrRefresh(Entry(1, 10, "01", 3)));
+  EXPECT_EQ(index.Find(1, 10)->version, 3u);
+}
+
+TEST(LeafIndexTest, SameItemDifferentHoldersAreDistinct) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 10, "01"));
+  index.InsertOrRefresh(Entry(2, 10, "01"));
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(LeafIndexTest, MatchingFiltersByPrefix) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 1, "0001"));
+  index.InsertOrRefresh(Entry(1, 2, "0010"));
+  index.InsertOrRefresh(Entry(1, 3, "1000"));
+  EXPECT_EQ(index.Matching(KeyPath::FromString("00").value()).size(), 2u);
+  EXPECT_EQ(index.Matching(KeyPath::FromString("1").value()).size(), 1u);
+  EXPECT_EQ(index.Matching(KeyPath()).size(), 3u);
+}
+
+TEST(LeafIndexTest, LatestVersionOfScansHolders) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 10, "01", 2));
+  index.InsertOrRefresh(Entry(2, 10, "01", 5));
+  index.InsertOrRefresh(Entry(3, 11, "01", 9));
+  EXPECT_EQ(index.LatestVersionOf(10), 5u);
+  EXPECT_EQ(index.LatestVersionOf(11), 9u);
+  EXPECT_EQ(index.LatestVersionOf(404), 0u);
+}
+
+TEST(LeafIndexTest, ApplyVersionBumpsAllEntriesOfItem) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 10, "01", 1));
+  index.InsertOrRefresh(Entry(2, 10, "01", 1));
+  index.InsertOrRefresh(Entry(3, 11, "01", 1));
+  EXPECT_EQ(index.ApplyVersion(10, 4), 2u);
+  EXPECT_EQ(index.Find(1, 10)->version, 4u);
+  EXPECT_EQ(index.Find(2, 10)->version, 4u);
+  EXPECT_EQ(index.Find(3, 11)->version, 1u);
+  EXPECT_EQ(index.ApplyVersion(10, 3), 0u);  // stale version bumps nothing
+}
+
+TEST(LeafIndexTest, ExtractNotMatchingSplitsOnOverlap) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 1, "0001"));
+  index.InsertOrRefresh(Entry(1, 2, "0110"));
+  index.InsertOrRefresh(Entry(1, 3, "0"));  // key is a prefix of path "00": overlaps
+  auto moved = index.ExtractNotMatching(KeyPath::FromString("00").value());
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].item_id, 2u);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_NE(index.Find(1, 1), nullptr);
+  EXPECT_NE(index.Find(1, 3), nullptr);
+}
+
+TEST(LeafIndexTest, MergeFromCombinesAndRefreshes) {
+  LeafIndex a, b;
+  a.InsertOrRefresh(Entry(1, 1, "00", 1));
+  b.InsertOrRefresh(Entry(1, 1, "00", 3));
+  b.InsertOrRefresh(Entry(2, 2, "01", 1));
+  size_t changed = a.MergeFrom(b);
+  EXPECT_EQ(changed, 2u);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.Find(1, 1)->version, 3u);
+  // Merging again changes nothing.
+  EXPECT_EQ(a.MergeFrom(b), 0u);
+}
+
+TEST(LeafIndexTest, AllReturnsEverything) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 1, "0"));
+  index.InsertOrRefresh(Entry(2, 2, "1"));
+  auto all = index.All();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(std::any_of(all.begin(), all.end(),
+                          [](const IndexEntry& e) { return e.item_id == 1; }));
+  EXPECT_TRUE(std::any_of(all.begin(), all.end(),
+                          [](const IndexEntry& e) { return e.item_id == 2; }));
+}
+
+}  // namespace
+}  // namespace pgrid

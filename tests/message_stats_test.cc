@@ -1,0 +1,52 @@
+#include "sim/message_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pgrid {
+namespace {
+
+TEST(MessageStatsTest, StartsAtZero) {
+  MessageStats stats;
+  EXPECT_EQ(stats.total(), 0u);
+  EXPECT_EQ(stats.count(MessageType::kQuery), 0u);
+}
+
+TEST(MessageStatsTest, RecordAccumulatesPerType) {
+  MessageStats stats;
+  stats.Record(MessageType::kExchange);
+  stats.Record(MessageType::kExchange, 4);
+  stats.Record(MessageType::kQuery, 2);
+  EXPECT_EQ(stats.count(MessageType::kExchange), 5u);
+  EXPECT_EQ(stats.count(MessageType::kQuery), 2u);
+  EXPECT_EQ(stats.count(MessageType::kUpdate), 0u);
+  EXPECT_EQ(stats.total(), 7u);
+}
+
+TEST(MessageStatsTest, ResetZeroesEverything) {
+  MessageStats stats;
+  stats.Record(MessageType::kUpdate, 3);
+  stats.Record(MessageType::kDataTransfer, 9);
+  stats.Reset();
+  EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST(MessageStatsTest, DeltaMeasuresWindow) {
+  MessageStats stats;
+  stats.Record(MessageType::kQuery, 10);
+  MessageDelta delta(stats, MessageType::kQuery);
+  EXPECT_EQ(delta.Count(), 0u);
+  stats.Record(MessageType::kQuery, 3);
+  stats.Record(MessageType::kUpdate, 5);  // other types don't leak in
+  EXPECT_EQ(delta.Count(), 3u);
+}
+
+TEST(MessageStatsTest, TypeNamesAreStable) {
+  EXPECT_EQ(MessageTypeName(MessageType::kExchange), "exchange");
+  EXPECT_EQ(MessageTypeName(MessageType::kQuery), "query");
+  EXPECT_EQ(MessageTypeName(MessageType::kUpdate), "update");
+  EXPECT_EQ(MessageTypeName(MessageType::kDataTransfer), "data_transfer");
+  EXPECT_EQ(MessageTypeName(MessageType::kControl), "control");
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,127 @@
+// Protocol-equivalence check: the networked node and the simulator implement the
+// same algorithms, so communities of equal size and parameters must develop
+// statistically similar structures (depth, balance) and equivalent search
+// behaviour. This guards against the two code paths drifting apart.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "core/exchange.h"
+#include "core/grid_builder.h"
+#include "core/search.h"
+#include "core/stats.h"
+#include "net/inproc_transport.h"
+#include "net/node.h"
+
+namespace pgrid {
+namespace {
+
+struct StructureSummary {
+  double avg_depth = 0;
+  double depth_stddev = 0;
+  double avg_refs_per_level = 0;
+  size_t min_depth = 0;
+  size_t max_depth = 0;
+};
+
+StructureSummary Summarize(const std::vector<size_t>& depths,
+                           const std::vector<size_t>& total_refs) {
+  StructureSummary s;
+  double sum = 0, sq = 0;
+  s.min_depth = depths[0];
+  s.max_depth = depths[0];
+  for (size_t d : depths) {
+    sum += static_cast<double>(d);
+    sq += static_cast<double>(d) * static_cast<double>(d);
+    s.min_depth = std::min(s.min_depth, d);
+    s.max_depth = std::max(s.max_depth, d);
+  }
+  const double n = static_cast<double>(depths.size());
+  s.avg_depth = sum / n;
+  s.depth_stddev = std::sqrt(std::max(0.0, sq / n - s.avg_depth * s.avg_depth));
+  double refs = 0, levels = 0;
+  for (size_t i = 0; i < depths.size(); ++i) {
+    refs += static_cast<double>(total_refs[i]);
+    levels += static_cast<double>(depths[i]);
+  }
+  s.avg_refs_per_level = levels > 0 ? refs / levels : 0;
+  return s;
+}
+
+TEST(NetSimAgreementTest, StructuresDevelopTheSameShape) {
+  const size_t n = 48;
+  const size_t maxl = 4, refmax = 3, meetings = 6000;
+
+  // --- simulator community ---
+  StructureSummary sim;
+  {
+    Grid grid(n);
+    Rng rng(7);
+    ExchangeConfig config;
+    config.maxl = maxl;
+    config.refmax = refmax;
+    config.recmax = 2;
+    config.recursion_fanout = 2;
+    ExchangeEngine exchange(&grid, config, &rng);
+    MeetingScheduler scheduler(n);
+    for (size_t m = 0; m < meetings; ++m) {
+      Meeting meeting = scheduler.Next(&rng);
+      exchange.Exchange(meeting.a, meeting.b);
+    }
+    std::vector<size_t> depths, refs;
+    for (const PeerState& p : grid) {
+      depths.push_back(p.depth());
+      refs.push_back(p.TotalRefs());
+    }
+    sim = Summarize(depths, refs);
+  }
+
+  // --- networked community over the in-process transport ---
+  StructureSummary netted;
+  {
+    net::InProcTransport transport;
+    net::NodeConfig config;
+    config.maxl = maxl;
+    config.refmax = refmax;
+    config.recmax = 2;
+    config.recursion_fanout = 2;
+    std::vector<std::unique_ptr<net::PGridNode>> nodes;
+    for (size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<net::PGridNode>(
+          "node:" + std::to_string(i), &transport, config, 5000 + i));
+      ASSERT_TRUE(nodes.back()->Start().ok());
+    }
+    Rng rng(7);
+    for (size_t m = 0; m < meetings; ++m) {
+      size_t a = rng.UniformIndex(n);
+      size_t b = rng.UniformIndex(n);
+      if (a == b) continue;
+      (void)nodes[a]->MeetWith(nodes[b]->address());
+    }
+    std::vector<size_t> depths, refs;
+    for (const auto& node : nodes) {
+      KeyPath path = node->path();
+      depths.push_back(path.length());
+      size_t r = 0;
+      for (size_t level = 1; level <= path.length(); ++level) {
+        r += node->RefsAt(level).size();
+      }
+      refs.push_back(r);
+    }
+    netted = Summarize(depths, refs);
+  }
+
+  // Shapes must agree within loose statistical bands (different RNG streams).
+  EXPECT_NEAR(netted.avg_depth, sim.avg_depth, 0.5)
+      << "sim " << sim.avg_depth << " vs net " << netted.avg_depth;
+  EXPECT_NEAR(netted.depth_stddev, sim.depth_stddev, 0.5);
+  EXPECT_NEAR(netted.avg_refs_per_level, sim.avg_refs_per_level, 1.0);
+  EXPECT_GE(netted.avg_depth, 0.9 * static_cast<double>(maxl));
+  EXPECT_GE(sim.avg_depth, 0.9 * static_cast<double>(maxl));
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,286 @@
+// Adversarial and concurrency tests for the networked node: malformed input must
+// produce error responses (never crashes or hangs), and concurrent operations over
+// real sockets must keep the node's state consistent.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "net/inproc_transport.h"
+#include "net/node.h"
+#include "net/tcp_transport.h"
+
+namespace pgrid {
+namespace net {
+namespace {
+
+TEST(NodeRobustnessTest, GarbageBytesGetErrorResponses) {
+  InProcTransport transport;
+  NodeConfig config;
+  PGridNode node("node:0", &transport, config, 1);
+  ASSERT_TRUE(node.Start().ok());
+
+  Rng rng(7);
+  for (int t = 0; t < 500; ++t) {
+    std::string garbage;
+    const size_t len = rng.UniformInt(0, 64);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    auto response = transport.Call("node:0", "fuzzer", garbage);
+    ASSERT_TRUE(response.ok());  // the transport delivered; the node must answer
+    // Whatever came back must itself be decodable as *some* message type (usually
+    // kError) -- the node never responds with garbage of its own.
+    if (!response->empty()) {
+      EXPECT_TRUE(PeekType(*response).ok())
+          << "undecodable response to fuzz input of length " << len;
+    }
+  }
+  // The node is still alive and functional.
+  EXPECT_EQ(transport.Call("node:0", "x", EncodePing()).value(), EncodePong());
+}
+
+TEST(NodeRobustnessTest, TruncatedProtocolMessagesAreRejected) {
+  InProcTransport transport;
+  NodeConfig config;
+  PGridNode node("node:0", &transport, config, 2);
+  ASSERT_TRUE(node.Start().ok());
+
+  ExchangeRequest req;
+  req.initiator = "node:1";
+  req.path = KeyPath::FromString("0110").value();
+  req.refs = {WireRefLevel{1, {"node:2"}}};
+  const std::string full = EncodeExchangeRequest(req);
+  for (size_t cut = 1; cut < full.size(); ++cut) {
+    auto response = transport.Call("node:0", "node:1", full.substr(0, cut));
+    ASSERT_TRUE(response.ok());
+    auto type = PeekType(*response);
+    // Either an explicit error or (at cut == 1, a bare valid tag) some decodable
+    // reply; never a crash.
+    if (type.ok() && *type != MsgType::kError) continue;
+    ASSERT_TRUE(type.ok());
+  }
+  EXPECT_TRUE(node.path().empty());  // no partial state was applied
+}
+
+TEST(NodeRobustnessTest, SelfExchangeRequestIsRejected) {
+  InProcTransport transport;
+  NodeConfig config;
+  PGridNode node("node:0", &transport, config, 3);
+  ASSERT_TRUE(node.Start().ok());
+  ExchangeRequest req;
+  req.initiator = "node:0";  // claims to be the node itself
+  auto response = transport.Call("node:0", "node:0", EncodeExchangeRequest(req));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(PeekType(*response).value(), MsgType::kError);
+}
+
+TEST(NodeRobustnessTest, OversizedAppendDirectiveIsIgnored) {
+  // A malicious/buggy responder cannot push a node's path past maxl: craft the
+  // situation by letting a node with depth maxl receive directives indirectly.
+  // Direct unit check: apply an exchange against a peer that returns append bits
+  // beyond maxl is covered by MeetWithDepth's bound; here we verify the handler
+  // side never *produces* appends past maxl either.
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 1;
+  PGridNode a("node:a", &transport, config, 4);
+  PGridNode b("node:b", &transport, config, 5);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a.MeetWith("node:b").ok());
+    ASSERT_TRUE(b.MeetWith("node:a").ok());
+  }
+  EXPECT_LE(a.path().length(), 1u);
+  EXPECT_LE(b.path().length(), 1u);
+}
+
+TEST(NodeRobustnessTest, ConcurrentMeetingsOverTcpKeepStateConsistent) {
+  TcpTransport transport;
+  transport.set_timeout_ms(3000);
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 3;
+
+  std::vector<std::unique_ptr<PGridNode>> nodes;
+  std::vector<std::string> addresses;
+  for (int i = 0; i < 6; ++i) {
+    auto probe = transport.ServeAnyPort(
+        "127.0.0.1", [](const std::string&, const std::string&) { return ""; });
+    ASSERT_TRUE(probe.ok());
+    transport.StopServing(*probe);
+    auto node = std::make_unique<PGridNode>(*probe, &transport, config, 9000 + i);
+    ASSERT_TRUE(node->Start().ok());
+    addresses.push_back(*probe);
+    nodes.push_back(std::move(node));
+  }
+
+  // Several threads drive meetings concurrently; epochs make racing directives
+  // safe to drop.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(100 + t);
+      for (int m = 0; m < 60; ++m) {
+        size_t a = rng.UniformIndex(nodes.size());
+        size_t b = rng.UniformIndex(nodes.size());
+        if (a == b) continue;
+        Status s = nodes[a]->MeetWith(addresses[b]);
+        if (!s.ok() && !s.IsUnavailable()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Paths stayed within bounds and reference targets diverge at the right level.
+  for (const auto& node : nodes) {
+    KeyPath path = node->path();
+    EXPECT_LE(path.length(), 3u);
+    for (size_t level = 1; level <= path.length(); ++level) {
+      for (const std::string& addr : node->RefsAt(level)) {
+        for (const auto& other : nodes) {
+          if (other->address() != addr) continue;
+          KeyPath tpath = other->path();
+          if (tpath.length() >= level) {
+            EXPECT_NE(tpath.bit(level - 1), path.bit(level - 1))
+                << node->address() << " level " << level << " -> " << addr;
+          }
+        }
+      }
+    }
+  }
+  for (auto& n : nodes) n->Stop();
+}
+
+TEST(NodeRobustnessTest, NoReferenceWithoutCommit) {
+  // The two-phase exchange: if the initiator never confirms its appended bit, the
+  // responder must not reference it (the initiator may have discarded the
+  // directive after an epoch race).
+  InProcTransport transport;
+  NodeConfig config;
+  PGridNode node("node:0", &transport, config, 20);
+  ASSERT_TRUE(node.Start().ok());
+  ExchangeRequest req;
+  req.initiator = "node:ghost";  // a client that will never commit
+  auto raw = transport.Call("node:0", "node:ghost", EncodeExchangeRequest(req));
+  ASSERT_TRUE(raw.ok());
+  auto resp = DecodeExchangeResponse(*raw);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->append_bits.length(), 1u);  // case 1 directive was issued
+  // The responder specialized itself but holds no reference to the ghost.
+  EXPECT_EQ(node.path().length(), 1u);
+  EXPECT_TRUE(node.RefsAt(1).empty());
+}
+
+TEST(NodeRobustnessTest, CommitInstallsValidatedReference) {
+  InProcTransport transport;
+  NodeConfig config;
+  PGridNode node("node:0", &transport, config, 21);
+  ASSERT_TRUE(node.Start().ok());
+  ExchangeRequest req;
+  req.initiator = "node:ghost";
+  auto raw = transport.Call("node:0", "node:ghost", EncodeExchangeRequest(req));
+  ASSERT_TRUE(raw.ok());
+  auto resp = DecodeExchangeResponse(*raw);
+  ASSERT_TRUE(resp.ok());
+  const uint8_t promised_bit = static_cast<uint8_t>(resp->append_bits.bit(0));
+
+  // Committing the WRONG bit is rejected.
+  CommitRequest bad;
+  bad.level = 1;
+  bad.bit = static_cast<uint8_t>(ComplementBit(promised_bit));
+  auto bad_resp = transport.Call("node:0", "node:ghost", EncodeCommitRequest(bad));
+  ASSERT_TRUE(bad_resp.ok());
+  EXPECT_EQ(PeekType(*bad_resp).value(), MsgType::kError);
+  EXPECT_TRUE(node.RefsAt(1).empty());
+
+  // Committing an out-of-range level is rejected.
+  CommitRequest oob;
+  oob.level = 9;
+  oob.bit = promised_bit;
+  auto oob_resp = transport.Call("node:0", "node:ghost", EncodeCommitRequest(oob));
+  ASSERT_TRUE(oob_resp.ok());
+  EXPECT_EQ(PeekType(*oob_resp).value(), MsgType::kError);
+
+  // The honest commit installs the reference.
+  CommitRequest good;
+  good.level = 1;
+  good.bit = promised_bit;
+  auto good_resp = transport.Call("node:0", "node:ghost", EncodeCommitRequest(good));
+  ASSERT_TRUE(good_resp.ok());
+  EXPECT_EQ(PeekType(*good_resp).value(), MsgType::kCommitAck);
+  EXPECT_EQ(node.RefsAt(1), std::vector<std::string>{"node:ghost"});
+}
+
+TEST(NodeRobustnessTest, NetworkPartitionDegradesGracefullyAndHeals) {
+  // Split a converged cluster into two halves that cannot reach each other; each
+  // half keeps answering what it can, fails cleanly on the rest, and full service
+  // returns when the partition heals.
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 4;
+  std::vector<std::unique_ptr<PGridNode>> nodes;
+  const size_t n = 24;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<PGridNode>("node:" + std::to_string(i),
+                                                &transport, config, 3000 + i));
+    ASSERT_TRUE(nodes.back()->Start().ok());
+  }
+  Rng rng(17);
+  for (int m = 0; m < 4000; ++m) {
+    size_t a = rng.UniformIndex(n), b = rng.UniformIndex(n);
+    if (a != b) (void)nodes[a]->MeetWith(nodes[b]->address());
+  }
+  DataItem item;
+  item.id = 5;
+  item.key = KeyPath::FromString("010101").value();
+  item.version = 1;
+  ASSERT_TRUE(nodes[0]->Publish(item).ok());
+
+  // Partition: the second half becomes unreachable.
+  for (size_t i = n / 2; i < n; ++i) transport.InjectOutage(nodes[i]->address());
+
+  size_t ok = 0, clean_failures = 0;
+  for (size_t i = 0; i < n / 2; ++i) {
+    auto r = nodes[i]->Search(item.key);
+    if (r.ok()) {
+      ++ok;
+    } else if (r.status().IsNotFound()) {
+      ++clean_failures;  // graceful: exhausted candidates, no hang or crash
+    }
+  }
+  EXPECT_EQ(ok + clean_failures, n / 2);
+
+  // Heal and verify full service returns.
+  for (size_t i = n / 2; i < n; ++i) transport.ClearOutage(nodes[i]->address());
+  size_t healed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (nodes[i]->Search(item.key).ok()) ++healed;
+  }
+  EXPECT_EQ(healed, n);
+}
+
+TEST(NodeRobustnessTest, EntryPushWithHostileLengthsIsRejected) {
+  InProcTransport transport;
+  NodeConfig config;
+  PGridNode node("node:0", &transport, config, 6);
+  ASSERT_TRUE(node.Start().ok());
+  // Hand-craft an EntryPush claiming 2^31 entries.
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MsgType::kEntryPushReq));
+  w.WriteU32(1u << 31);
+  auto response = transport.Call("node:0", "x", w.Take());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(PeekType(*response).value(), MsgType::kError);
+  EXPECT_TRUE(node.entries().empty());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pgrid

@@ -1,0 +1,135 @@
+#include "sim/online_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pgrid {
+namespace {
+
+TEST(OnlineModelTest, AlwaysOnIsAlwaysOnline) {
+  OnlineModel model = OnlineModel::AlwaysOn(10);
+  Rng rng(1);
+  for (PeerId p = 0; p < 10; ++p) EXPECT_TRUE(model.IsOnline(p, &rng));
+  EXPECT_EQ(model.CountOnlineInSnapshot(), 10u);
+}
+
+TEST(OnlineModelTest, SnapshotIsStableBetweenResamples) {
+  Rng rng(2);
+  OnlineModel model(OnlineMode::kSnapshot, 100, 0.5, &rng);
+  std::vector<bool> first;
+  for (PeerId p = 0; p < 100; ++p) first.push_back(model.IsOnline(p, &rng));
+  for (int round = 0; round < 5; ++round) {
+    for (PeerId p = 0; p < 100; ++p) EXPECT_EQ(model.IsOnline(p, &rng), first[p]);
+  }
+}
+
+TEST(OnlineModelTest, ResampleChangesSnapshot) {
+  Rng rng(3);
+  OnlineModel model(OnlineMode::kSnapshot, 200, 0.5, &rng);
+  std::vector<bool> first;
+  for (PeerId p = 0; p < 200; ++p) first.push_back(model.IsOnline(p, &rng));
+  model.Resample(&rng);
+  int differing = 0;
+  for (PeerId p = 0; p < 200; ++p) {
+    if (model.IsOnline(p, &rng) != first[p]) ++differing;
+  }
+  EXPECT_GT(differing, 50);  // ~100 expected
+}
+
+TEST(OnlineModelTest, SnapshotFractionApproximatesProbability) {
+  Rng rng(4);
+  OnlineModel model(OnlineMode::kSnapshot, 10000, 0.3, &rng);
+  double fraction = static_cast<double>(model.CountOnlineInSnapshot()) / 10000.0;
+  EXPECT_NEAR(fraction, 0.3, 0.03);
+}
+
+TEST(OnlineModelTest, PerContactVaries) {
+  Rng rng(5);
+  OnlineModel model(OnlineMode::kPerContact, 1, 0.5, &rng);
+  int online = 0;
+  for (int i = 0; i < 1000; ++i) online += model.IsOnline(0, &rng) ? 1 : 0;
+  EXPECT_GT(online, 400);
+  EXPECT_LT(online, 600);
+}
+
+TEST(OnlineModelTest, PartialResampleZeroIsNoop) {
+  Rng rng(20);
+  OnlineModel model(OnlineMode::kSnapshot, 300, 0.5, &rng);
+  std::vector<bool> before;
+  for (PeerId p = 0; p < 300; ++p) before.push_back(model.IsOnline(p, &rng));
+  model.PartialResample(&rng, 0.0);
+  for (PeerId p = 0; p < 300; ++p) EXPECT_EQ(model.IsOnline(p, &rng), before[p]);
+}
+
+TEST(OnlineModelTest, PartialResampleChangesAboutFractionTimesFlipRate) {
+  Rng rng(21);
+  OnlineModel model(OnlineMode::kSnapshot, 10000, 0.5, &rng);
+  std::vector<bool> before;
+  for (PeerId p = 0; p < 10000; ++p) before.push_back(model.IsOnline(p, &rng));
+  model.PartialResample(&rng, 0.3);
+  int changed = 0;
+  for (PeerId p = 0; p < 10000; ++p) {
+    if (model.IsOnline(p, &rng) != before[p]) ++changed;
+  }
+  // 30% of peers redraw; half of redraws flip at p = 0.5 -> ~15% change.
+  EXPECT_NEAR(static_cast<double>(changed) / 10000.0, 0.15, 0.03);
+}
+
+TEST(OnlineModelTest, PartialResamplePreservesOnlineFraction) {
+  Rng rng(22);
+  OnlineModel model(OnlineMode::kSnapshot, 10000, 0.3, &rng);
+  for (int round = 0; round < 5; ++round) {
+    model.PartialResample(&rng, 0.5);
+    EXPECT_NEAR(static_cast<double>(model.CountOnlineInSnapshot()) / 10000.0, 0.3,
+                0.03);
+  }
+}
+
+TEST(OnlineModelTest, PinOverridesSnapshot) {
+  Rng rng(6);
+  OnlineModel model(OnlineMode::kSnapshot, 10, 0.0, &rng);
+  EXPECT_FALSE(model.IsOnline(3, &rng));
+  model.Pin(3, true);
+  EXPECT_TRUE(model.IsOnline(3, &rng));
+  model.Pin(3, std::nullopt);
+  EXPECT_FALSE(model.IsOnline(3, &rng));
+}
+
+TEST(OnlineModelTest, PinOverridesAlwaysOn) {
+  OnlineModel model = OnlineModel::AlwaysOn(4);
+  Rng rng(7);
+  model.Pin(2, false);
+  EXPECT_FALSE(model.IsOnline(2, &rng));
+  EXPECT_TRUE(model.IsOnline(1, &rng));
+  EXPECT_EQ(model.CountOnlineInSnapshot(), 3u);
+}
+
+TEST(OnlineModelTest, PerPeerProbability) {
+  Rng rng(8);
+  OnlineModel model(OnlineMode::kPerContact, 2, 1.0, &rng);
+  model.SetProbability(0, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(model.IsOnline(0, &rng));
+    EXPECT_TRUE(model.IsOnline(1, &rng));
+  }
+}
+
+TEST(OnlineModelTest, AddPeerExtendsModel) {
+  Rng rng(30);
+  OnlineModel model(OnlineMode::kSnapshot, 3, 1.0, &rng);
+  model.AddPeer(0.0, &rng);
+  EXPECT_EQ(model.num_peers(), 4u);
+  EXPECT_FALSE(model.IsOnline(3, &rng));
+  model.AddPeer(1.0, &rng);
+  EXPECT_TRUE(model.IsOnline(4, &rng));
+  // Existing peers are untouched.
+  for (PeerId p = 0; p < 3; ++p) EXPECT_TRUE(model.IsOnline(p, &rng));
+}
+
+TEST(OnlineModelTest, ZeroProbabilitySnapshotAllOffline) {
+  Rng rng(9);
+  OnlineModel model(OnlineMode::kSnapshot, 50, 0.0, &rng);
+  EXPECT_EQ(model.CountOnlineInSnapshot(), 0u);
+}
+
+}  // namespace
+}  // namespace pgrid

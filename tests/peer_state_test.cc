@@ -1,0 +1,69 @@
+#include "core/peer_state.h"
+
+#include <gtest/gtest.h>
+
+#include "key/key_path.h"
+
+namespace pgrid {
+namespace {
+
+TEST(PeerStateTest, StartsWithEmptyPath) {
+  PeerState p(7);
+  EXPECT_EQ(p.id(), 7u);
+  EXPECT_EQ(p.depth(), 0u);
+  EXPECT_TRUE(p.path().empty());
+  EXPECT_EQ(p.TotalRefs(), 0u);
+}
+
+TEST(PeerStateTest, AppendPathBitGrowsPathAndRefLevels) {
+  PeerState p(1);
+  p.AppendPathBit(0);
+  p.AppendPathBit(1);
+  EXPECT_EQ(p.path().ToString(), "01");
+  EXPECT_EQ(p.PathBit(1), 0);
+  EXPECT_EQ(p.PathBit(2), 1);
+  EXPECT_TRUE(p.RefsAt(1).empty());
+  EXPECT_TRUE(p.RefsAt(2).empty());
+}
+
+TEST(PeerStateTest, RefManagement) {
+  PeerState p(1);
+  p.AppendPathBit(0);
+  EXPECT_TRUE(p.AddRefAt(1, 5));
+  EXPECT_FALSE(p.AddRefAt(1, 5));  // dedup
+  EXPECT_TRUE(p.AddRefAt(1, 6));
+  EXPECT_EQ(p.RefsAt(1).size(), 2u);
+  EXPECT_EQ(p.TotalRefs(), 2u);
+  p.SetRefsAt(1, {9});
+  ASSERT_EQ(p.RefsAt(1).size(), 1u);
+  EXPECT_EQ(p.RefsAt(1)[0], 9u);
+}
+
+TEST(PeerStateTest, BuddiesDedupAndExcludeSelf) {
+  PeerState p(3);
+  EXPECT_TRUE(p.AddBuddy(4));
+  EXPECT_FALSE(p.AddBuddy(4));
+  EXPECT_FALSE(p.AddBuddy(3));  // self
+  EXPECT_EQ(p.buddies().size(), 1u);
+  p.ClearBuddies();
+  EXPECT_TRUE(p.buddies().empty());
+}
+
+TEST(PeerStateTest, PathCoversKeySemantics) {
+  KeyPath path = KeyPath::FromString("01").value();
+  EXPECT_TRUE(PathCoversKey(path, KeyPath::FromString("0110").value()));
+  EXPECT_TRUE(PathCoversKey(path, KeyPath::FromString("0").value()));
+  EXPECT_FALSE(PathCoversKey(path, KeyPath::FromString("00").value()));
+  EXPECT_TRUE(PathCoversKey(KeyPath(), KeyPath::FromString("101").value()));
+}
+
+TEST(PeerStateDeathTest, OutOfRangeLevelAborts) {
+  PeerState p(1);
+  p.AppendPathBit(1);
+  EXPECT_DEATH({ (void)p.RefsAt(0); }, "PGRID_CHECK failed");
+  EXPECT_DEATH({ (void)p.RefsAt(2); }, "PGRID_CHECK failed");
+  EXPECT_DEATH({ (void)p.PathBit(2); }, "PGRID_CHECK failed");
+}
+
+}  // namespace
+}  // namespace pgrid

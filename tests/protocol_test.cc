@@ -1,0 +1,165 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace pgrid {
+namespace net {
+namespace {
+
+KeyPath P(const char* bits) { return KeyPath::FromString(bits).value(); }
+
+WireEntry Entry(const std::string& holder, uint64_t id, const char* key,
+                uint64_t version = 1) {
+  WireEntry e;
+  e.holder = holder;
+  e.item_id = id;
+  e.key = P(key);
+  e.version = version;
+  return e;
+}
+
+TEST(ProtocolTest, PingPong) {
+  EXPECT_EQ(PeekType(EncodePing()).value(), MsgType::kPing);
+  EXPECT_EQ(PeekType(EncodePong()).value(), MsgType::kPong);
+}
+
+TEST(ProtocolTest, PeekTypeRejectsGarbage) {
+  EXPECT_FALSE(PeekType("").ok());
+  EXPECT_FALSE(PeekType(std::string(1, '\x63')).ok());
+  EXPECT_FALSE(PeekType(std::string(1, '\x00')).ok());
+}
+
+TEST(ProtocolTest, ErrorRoundTrip) {
+  std::string bytes = EncodeError("something broke");
+  EXPECT_EQ(PeekType(bytes).value(), MsgType::kError);
+  EXPECT_EQ(DecodeError(bytes).value(), "something broke");
+}
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  QueryRequest m;
+  m.key = P("10110");
+  m.consumed = 3;
+  auto back = DecodeQueryRequest(EncodeQueryRequest(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->key, m.key);
+  EXPECT_EQ(back->consumed, 3u);
+}
+
+TEST(ProtocolTest, QueryResponsesRoundTrip) {
+  QueryResponseFound found;
+  found.responder = "host:1";
+  found.entries = {Entry("host:2", 9, "0101", 4), Entry("host:3", 10, "01")};
+  auto f = DecodeQueryResponseFound(EncodeQueryResponseFound(found));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->responder, "host:1");
+  EXPECT_EQ(f->entries, found.entries);
+
+  QueryResponseForward fwd;
+  fwd.consumed = 2;
+  fwd.remaining = P("110");
+  fwd.candidates = {"a:1", "b:2", "c:3"};
+  auto g = DecodeQueryResponseForward(EncodeQueryResponseForward(fwd));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->consumed, 2u);
+  EXPECT_EQ(g->remaining, fwd.remaining);
+  EXPECT_EQ(g->candidates, fwd.candidates);
+
+  EXPECT_EQ(PeekType(EncodeQueryResponseMiss()).value(), MsgType::kQueryRespMiss);
+}
+
+TEST(ProtocolTest, PublishRoundTrip) {
+  PublishRequest m;
+  m.entry = Entry("h:1", 5, "111", 2);
+  m.forward_to_buddies = 1;
+  auto back = DecodePublishRequest(EncodePublishRequest(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->entry, m.entry);
+  EXPECT_EQ(back->forward_to_buddies, 1);
+
+  PublishAck ack;
+  ack.installed = 1;
+  ack.buddies_notified = 7;
+  auto a = DecodePublishAck(EncodePublishAck(ack));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->installed, 1);
+  EXPECT_EQ(a->buddies_notified, 7u);
+}
+
+TEST(ProtocolTest, ExchangeRequestRoundTrip) {
+  ExchangeRequest m;
+  m.initiator = "me:9";
+  m.epoch = 42;
+  m.path = P("0110");
+  m.refs = {WireRefLevel{1, {"a:1"}}, WireRefLevel{2, {"b:2", "c:3"}},
+            WireRefLevel{3, {}}, WireRefLevel{4, {"d:4"}}};
+  m.depth = 2;
+  auto back = DecodeExchangeRequest(EncodeExchangeRequest(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->initiator, "me:9");
+  EXPECT_EQ(back->epoch, 42u);
+  EXPECT_EQ(back->path, m.path);
+  EXPECT_EQ(back->refs, m.refs);
+  EXPECT_EQ(back->depth, 2u);
+}
+
+TEST(ProtocolTest, ExchangeResponseRoundTrip) {
+  ExchangeResponse m;
+  m.epoch = 9;
+  m.append_bits = P("1");
+  m.ref_updates = {WireRefLevel{3, {"x:1", "y:2"}}};
+  m.referrals = {"r:1", "r:2"};
+  m.buddy = 1;
+  m.entries = {Entry("h:5", 77, "0110011", 3)};
+  auto back = DecodeExchangeResponse(EncodeExchangeResponse(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch, 9u);
+  EXPECT_EQ(back->append_bits, m.append_bits);
+  EXPECT_EQ(back->ref_updates, m.ref_updates);
+  EXPECT_EQ(back->referrals, m.referrals);
+  EXPECT_EQ(back->buddy, 1);
+  EXPECT_EQ(back->entries, m.entries);
+}
+
+TEST(ProtocolTest, EntryPushRoundTrip) {
+  EntryPushRequest m;
+  m.entries = {Entry("h:1", 1, "0"), Entry("h:2", 2, "1")};
+  auto back = DecodeEntryPushRequest(EncodeEntryPushRequest(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->entries, m.entries);
+
+  EntryPushResponse r;
+  r.rejected = {Entry("h:1", 1, "0")};
+  auto rb = DecodeEntryPushResponse(EncodeEntryPushResponse(r));
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->rejected, r.rejected);
+}
+
+TEST(ProtocolTest, CommitRoundTrip) {
+  CommitRequest m;
+  m.level = 7;
+  m.bit = 1;
+  auto back = DecodeCommitRequest(EncodeCommitRequest(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->level, 7u);
+  EXPECT_EQ(back->bit, 1);
+  EXPECT_EQ(PeekType(EncodeCommitAck()).value(), MsgType::kCommitAck);
+}
+
+TEST(ProtocolTest, DecodingWrongTypeFails) {
+  EXPECT_FALSE(DecodeQueryRequest(EncodePing()).ok());
+  EXPECT_FALSE(DecodeExchangeRequest(EncodeQueryRequest(QueryRequest{})).ok());
+  EXPECT_FALSE(DecodePublishAck(EncodeError("x")).ok());
+}
+
+TEST(ProtocolTest, DecodingTruncatedMessagesFails) {
+  std::string full = EncodeExchangeRequest(ExchangeRequest{
+      "a:1", 1, P("01"), {WireRefLevel{1, {"b:2"}}}, 0});
+  for (size_t cut = 1; cut + 1 < full.size(); cut += 3) {
+    EXPECT_FALSE(DecodeExchangeRequest(full.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pgrid

@@ -1,0 +1,111 @@
+#include "key/range.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace pgrid {
+namespace {
+
+KeyPath P(const char* bits) { return KeyPath::FromString(bits).value(); }
+
+uint64_t Value(const KeyPath& k) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < k.length(); ++i) v = (v << 1) | static_cast<uint64_t>(k.bit(i));
+  return v;
+}
+
+/// All full-length keys covered by a set of prefixes.
+std::set<uint64_t> Covered(const std::vector<KeyPath>& prefixes, size_t length) {
+  std::set<uint64_t> out;
+  for (const KeyPath& p : prefixes) {
+    const size_t free_bits = length - p.length();
+    const uint64_t base = Value(p) << free_bits;
+    for (uint64_t i = 0; i < (uint64_t{1} << free_bits); ++i) {
+      EXPECT_TRUE(out.insert(base + i).second) << "prefixes overlap";
+    }
+  }
+  return out;
+}
+
+TEST(RangeTest, SingleKeyRange) {
+  auto r = DecomposeRange(P("0110"), P("0110"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], P("0110"));
+}
+
+TEST(RangeTest, FullSpaceCollapsesToOnePrefix) {
+  auto r = DecomposeRange(P("0000"), P("1111"));
+  ASSERT_TRUE(r.ok());
+  // The whole 4-bit space is one aligned block: the 0-length prefix is not
+  // representable at length >= 1, so the decomposition yields "0" and "1".
+  EXPECT_LE(r->size(), 2u);
+  EXPECT_EQ(Covered(*r, 4).size(), 16u);
+}
+
+TEST(RangeTest, ClassicDecomposition) {
+  // [0011, 1011] over 4 bits: 3..11 inclusive = 9 keys.
+  auto r = DecomposeRange(P("0011"), P("1011"));
+  ASSERT_TRUE(r.ok());
+  std::set<uint64_t> covered = Covered(*r, 4);
+  std::set<uint64_t> expected;
+  for (uint64_t v = 3; v <= 11; ++v) expected.insert(v);
+  EXPECT_EQ(covered, expected);
+  // Minimality sanity: classic decomposition of [3, 11] is 0011, 01*, 10*, hence 3.
+  EXPECT_LE(r->size(), 4u);
+}
+
+TEST(RangeTest, RejectsMalformedBounds) {
+  EXPECT_FALSE(DecomposeRange(P("01"), P("011")).ok());   // unequal lengths
+  EXPECT_FALSE(DecomposeRange(P("11"), P("00")).ok());    // lo > hi
+  EXPECT_FALSE(DecomposeRange(KeyPath(), KeyPath()).ok());  // zero length
+}
+
+TEST(RangeTest, BoundaryRanges) {
+  // Entire lower half.
+  auto r = DecomposeRange(P("000"), P("011"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], P("0"));
+  // A range ending at the maximum key.
+  auto top = DecomposeRange(P("101"), P("111"));
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(Covered(*top, 3), (std::set<uint64_t>{5, 6, 7}));
+}
+
+// Property: for random ranges, the decomposition tiles exactly the range with
+// disjoint prefixes, ordered low to high.
+class RangePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RangePropertyTest, TilesExactly) {
+  const size_t length = GetParam();
+  Rng rng(length * 7 + 1);
+  for (int t = 0; t < 50; ++t) {
+    uint64_t a = rng.UniformInt(0, (uint64_t{1} << length) - 1);
+    uint64_t b = rng.UniformInt(0, (uint64_t{1} << length) - 1);
+    if (a > b) std::swap(a, b);
+    auto r = DecomposeRange(KeyPath::FromUint64(a, length),
+                            KeyPath::FromUint64(b, length));
+    ASSERT_TRUE(r.ok());
+    std::set<uint64_t> covered = Covered(*r, length);
+    EXPECT_EQ(covered.size(), b - a + 1);
+    EXPECT_EQ(*covered.begin(), a);
+    EXPECT_EQ(*covered.rbegin(), b);
+    // Number of prefixes is O(2 * length).
+    EXPECT_LE(r->size(), 2 * length);
+    // Ordered low to high.
+    for (size_t i = 1; i < r->size(); ++i) {
+      EXPECT_LT(Value((*r)[i - 1]) << (length - (*r)[i - 1].length()),
+                Value((*r)[i]) << (length - (*r)[i].length()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RangePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16));
+
+}  // namespace
+}  // namespace pgrid

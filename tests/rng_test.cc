@@ -1,0 +1,154 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pgrid {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.UniformInt(0, 1'000'000'000) == b.UniformInt(0, 1'000'000'000)) ++agree;
+  }
+  EXPECT_LT(agree, 2);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(RngTest, UniformIndexCoversDomain) {
+  Rng rng(11);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformIndex(4));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 3u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BitProducesBothValues) {
+  Rng rng(13);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i) ones += rng.Bit();
+  EXPECT_GT(ones, 400);
+  EXPECT_LT(ones, 600);
+}
+
+TEST(RngTest, TakeRandomRemovesElement) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::set<int> taken;
+  while (!v.empty()) taken.insert(rng.TakeRandom(&v));
+  EXPECT_EQ(taken, (std::set<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(RngTest, SampleWithoutReplacementSizeAndDistinctness) {
+  Rng rng(19);
+  std::vector<int> pool{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sample = rng.SampleWithoutReplacement(pool, 3);
+  EXPECT_EQ(sample.size(), 3u);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (int x : sample) {
+    EXPECT_NE(std::find(pool.begin(), pool.end(), x), pool.end());
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementReturnsAllWhenKTooLarge) {
+  Rng rng(23);
+  std::vector<int> pool{1, 2, 3};
+  auto sample = rng.SampleWithoutReplacement(pool, 10);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct, (std::set<int>{1, 2, 3}));
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
+  // Each element of a 4-element pool should appear in a 2-sample ~half the time.
+  Rng rng(29);
+  std::vector<int> counts(4, 0);
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) {
+    auto sample = rng.SampleWithoutReplacement(std::vector<int>{0, 1, 2, 3}, 2);
+    for (int x : sample) ++counts[x];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.5, 0.05);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  // The child stream should not mirror the parent stream.
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.UniformInt(0, 1'000'000'000) == child.UniformInt(0, 1'000'000'000)) {
+      ++agree;
+    }
+  }
+  EXPECT_LT(agree, 2);
+}
+
+TEST(RngDeathTest, TakeRandomFromEmptyAborts) {
+  Rng rng(41);
+  std::vector<int> empty;
+  EXPECT_DEATH({ rng.TakeRandom(&empty); }, "PGRID_CHECK failed");
+}
+
+}  // namespace
+}  // namespace pgrid

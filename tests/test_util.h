@@ -1,0 +1,48 @@
+// Shared helpers for core-module tests: building converged grids with one call.
+
+#pragma once
+
+#include <memory>
+
+#include "core/exchange.h"
+#include "core/grid.h"
+#include "core/grid_builder.h"
+#include "key/key_path.h"
+#include "sim/meeting_scheduler.h"
+#include "util/rng.h"
+
+namespace pgrid {
+namespace testing_util {
+
+/// A grid built to convergence plus everything needed to keep operating on it.
+struct BuiltGrid {
+  ExchangeConfig config;
+  std::unique_ptr<Grid> grid;
+  std::unique_ptr<Rng> rng;
+  BuildReport report;
+};
+
+/// Builds a grid of `num_peers` to 99% of maxl average depth (fully online).
+inline BuiltGrid Build(size_t num_peers, size_t maxl, size_t refmax, size_t recmax,
+                       uint64_t seed, bool manage_data = true,
+                       uint64_t max_meetings = 20'000'000) {
+  BuiltGrid out;
+  out.config.maxl = maxl;
+  out.config.refmax = refmax;
+  out.config.recmax = recmax;
+  out.config.recursion_fanout = 2;
+  out.config.manage_data = manage_data;
+  out.grid = std::make_unique<Grid>(num_peers);
+  out.rng = std::make_unique<Rng>(seed);
+  ExchangeEngine exchange(out.grid.get(), out.config, out.rng.get());
+  MeetingScheduler scheduler(num_peers);
+  GridBuilder builder(out.grid.get(), &exchange, &scheduler, out.rng.get());
+  out.report = builder.BuildToFractionOfMaxDepth(0.99, max_meetings);
+  return out;
+}
+
+/// Parses a key path literal; the input must be valid.
+inline KeyPath Key(const char* bits) { return KeyPath::FromString(bits).value(); }
+
+}  // namespace testing_util
+}  // namespace pgrid

@@ -1,0 +1,112 @@
+#include "key/text_key.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pgrid {
+namespace {
+
+TEST(TextKeyTest, RoundTrip) {
+  for (const char* s : {"", "a", "abc", "hello world", "file-01.mp3",
+                        "the_quick.brown-fox 99"}) {
+    auto key = EncodeText(s);
+    ASSERT_TRUE(key.ok()) << s;
+    EXPECT_EQ(key->length(), std::string(s).size() * kTextKeyBitsPerChar);
+    auto back = DecodeText(*key);
+    ASSERT_TRUE(back.ok()) << s;
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(TextKeyTest, UppercaseFoldsToLowercase) {
+  auto a = EncodeText("Beatles");
+  auto b = EncodeText("beatles");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(TextKeyTest, RejectsUnsupportedCharacters) {
+  EXPECT_FALSE(EncodeText("caf\xc3\xa9").ok());
+  EXPECT_FALSE(EncodeText("semi;colon").ok());
+  EXPECT_FALSE(EncodeText("tab\there").ok());
+}
+
+TEST(TextKeyTest, AlphabetIsSortedAndDeduplicated) {
+  std::string_view alpha = TextKeyAlphabet();
+  ASSERT_FALSE(alpha.empty());
+  ASSERT_LE(alpha.size(), size_t{1} << kTextKeyBitsPerChar);
+  for (size_t i = 1; i < alpha.size(); ++i) EXPECT_LT(alpha[i - 1], alpha[i]);
+}
+
+TEST(TextKeyTest, PrefixPreservation) {
+  // s prefix of t  <=>  enc(s) path-prefix of enc(t).
+  auto ab = EncodeText("ab").value();
+  auto abc = EncodeText("abc").value();
+  auto abd = EncodeText("abd").value();
+  EXPECT_TRUE(ab.IsPrefixOf(abc));
+  EXPECT_TRUE(ab.IsPrefixOf(abd));
+  EXPECT_FALSE(abc.IsPrefixOf(abd));
+  EXPECT_FALSE(EncodeText("ac").value().IsPrefixOf(abc));
+}
+
+TEST(TextKeyTest, OrderPreservation) {
+  std::vector<std::string> words = {"apple", "apples",  "banana", "band",
+                                    "bandit", "can-01", "can.02", "zebra",
+                                    "0day",  "a",       " space"};
+  std::vector<std::string> by_text = words;
+  std::sort(by_text.begin(), by_text.end());
+  std::vector<std::string> by_key = words;
+  std::sort(by_key.begin(), by_key.end(),
+            [](const std::string& a, const std::string& b) {
+              return EncodeText(a).value() < EncodeText(b).value();
+            });
+  EXPECT_EQ(by_text, by_key);
+}
+
+TEST(TextKeyTest, DecodeRejectsMisalignedLengths) {
+  KeyPath k = EncodeText("ab").value();
+  k.PushBack(1);  // 13 bits: not a multiple of 6
+  EXPECT_FALSE(DecodeText(k).ok());
+}
+
+TEST(TextKeyTest, DecodeRejectsCodesOutsideAlphabet) {
+  // 0b111111 = 63 is beyond the 40-character alphabet.
+  KeyPath k;
+  for (int i = 0; i < 6; ++i) k.PushBack(1);
+  EXPECT_FALSE(DecodeText(k).ok());
+}
+
+// Property sweep: random words round-trip and preserve order pairwise.
+class TextKeyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TextKeyPropertyTest, RandomWordsRoundTripAndOrder) {
+  Rng rng(GetParam());
+  std::string_view alpha = TextKeyAlphabet();
+  auto random_word = [&]() {
+    std::string s;
+    const size_t len = rng.UniformInt(0, 12);
+    for (size_t i = 0; i < len; ++i) s.push_back(alpha[rng.UniformIndex(alpha.size())]);
+    return s;
+  };
+  for (int t = 0; t < 200; ++t) {
+    std::string a = random_word(), b = random_word();
+    KeyPath ka = EncodeText(a).value(), kb = EncodeText(b).value();
+    EXPECT_EQ(DecodeText(ka).value(), a);
+    // Lexicographic comparison must agree.
+    EXPECT_EQ(a < b, ka < kb) << "'" << a << "' vs '" << b << "'";
+    EXPECT_EQ(a.substr(0, std::min(a.size(), b.size())) ==
+                  b.substr(0, std::min(a.size(), b.size())) &&
+                  a.size() <= b.size(),
+              ka.IsPrefixOf(kb));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextKeyPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pgrid

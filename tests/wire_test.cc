@@ -1,0 +1,130 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pgrid {
+namespace net {
+namespace {
+
+TEST(WireTest, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteString("hello");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, EmptyStringAndZeroValues) {
+  ByteWriter w;
+  w.WriteU32(0);
+  w.WriteString("");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.ReadU32().value(), 0u);
+  EXPECT_EQ(r.ReadString().value(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, StringWithEmbeddedNulBytes) {
+  std::string s("a\0b\0c", 5);
+  ByteWriter w;
+  w.WriteString(s);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.ReadString().value(), s);
+}
+
+TEST(WireTest, TruncatedReadsFail) {
+  ByteWriter w;
+  w.WriteU32(42);
+  {
+    ByteReader r(std::string_view(w.data()).substr(0, 2));
+    EXPECT_FALSE(r.ReadU32().ok());
+  }
+  {
+    ByteReader r("");
+    EXPECT_FALSE(r.ReadU8().ok());
+    EXPECT_FALSE(r.ReadU64().ok());
+    EXPECT_FALSE(r.ReadString().ok());
+    EXPECT_FALSE(r.ReadKeyPath().ok());
+  }
+}
+
+TEST(WireTest, StringLengthPrefixBeyondDataFails) {
+  ByteWriter w;
+  w.WriteU32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(WireTest, HostileLengthPrefixIsRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.WriteU32(0xFFFFFFFF);
+  ByteReader r(w.data());
+  Status s = r.ReadString().status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("cap"), std::string::npos);
+}
+
+TEST(WireTest, KeyPathRoundTripVariousLengths) {
+  Rng rng(1);
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 63u, 64u, 65u, 200u}) {
+    KeyPath k = KeyPath::Random(&rng, len);
+    ByteWriter w;
+    w.WriteKeyPath(k);
+    ByteReader r(w.data());
+    Result<KeyPath> back = r.ReadKeyPath();
+    ASSERT_TRUE(back.ok()) << "len " << len;
+    EXPECT_EQ(*back, k) << "len " << len;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(WireTest, KeyPathEncodingIsCompact) {
+  ByteWriter w;
+  w.WriteKeyPath(KeyPath::FromUint64(0b10110101, 8));
+  // 4 bytes length + 1 byte payload.
+  EXPECT_EQ(w.data().size(), 5u);
+}
+
+TEST(WireTest, KeyPathTruncatedPayloadFails) {
+  ByteWriter w;
+  w.WriteKeyPath(KeyPath::FromUint64(0xFF, 8));
+  ByteReader r(std::string_view(w.data()).substr(0, 4));  // length but no bits
+  EXPECT_FALSE(r.ReadKeyPath().ok());
+}
+
+TEST(WireTest, StringListRoundTrip) {
+  ByteWriter w;
+  w.WriteStringList({"a", "", "long-address:1234", "x"});
+  ByteReader r(w.data());
+  auto back = r.ReadStringList();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, (std::vector<std::string>{"a", "", "long-address:1234", "x"}));
+}
+
+TEST(WireTest, SequentialMixedDecode) {
+  Rng rng(2);
+  KeyPath k = KeyPath::Random(&rng, 33);
+  ByteWriter w;
+  w.WriteString("node-a");
+  w.WriteKeyPath(k);
+  w.WriteU64(77);
+  w.WriteStringList({"p", "q"});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.ReadString().value(), "node-a");
+  EXPECT_EQ(r.ReadKeyPath().value(), k);
+  EXPECT_EQ(r.ReadU64().value(), 77u);
+  EXPECT_EQ(r.ReadStringList().value().size(), 2u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pgrid

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/stats.h"
+#include "tests/test_util.h"
+#include "workload/corpus.h"
+#include "workload/key_generator.h"
+#include "workload/zipf.h"
+
+namespace pgrid {
+namespace {
+
+TEST(KeyGeneratorTest, UniformKeysHaveRequestedLength) {
+  Rng rng(1);
+  KeyGenerator gen(KeyGenerator::Mode::kUniform, 12);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(gen.Next(&rng).length(), 12u);
+}
+
+TEST(KeyGeneratorTest, UniformBitsAreBalanced) {
+  Rng rng(2);
+  KeyGenerator gen(KeyGenerator::Mode::kUniform, 16);
+  size_t ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    KeyPath k = gen.Next(&rng);
+    for (size_t b = 0; b < k.length(); ++b) ones += static_cast<size_t>(k.bit(b));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / (trials * 16), 0.5, 0.02);
+}
+
+TEST(KeyGeneratorTest, BiasedBitsFollowBias) {
+  Rng rng(3);
+  KeyGenerator gen(KeyGenerator::Mode::kBiasedBits, 16, 0.8);
+  size_t ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    KeyPath k = gen.Next(&rng);
+    for (size_t b = 0; b < k.length(); ++b) ones += static_cast<size_t>(k.bit(b));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / (trials * 16), 0.8, 0.02);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(4);
+  ZipfGenerator zipf(10, 0.0);
+  std::map<size_t, size_t> counts;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Next(&rng)];
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(5);
+  ZipfGenerator zipf(1000, 1.0);
+  std::map<size_t, size_t> counts;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Next(&rng)];
+  // Rank 0 must dominate rank 99 by roughly the theoretical 100x.
+  EXPECT_GT(counts[0], counts[99] * 20);
+  // All ranks stay in range.
+  EXPECT_LT(counts.rbegin()->first, 1000u);
+}
+
+TEST(ZipfTest, ThetaIncreasesConcentration) {
+  Rng rng(6);
+  auto top10_share = [&rng](double theta) {
+    ZipfGenerator zipf(500, theta);
+    size_t top = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+      if (zipf.Next(&rng) < 10) ++top;
+    }
+    return static_cast<double>(top) / trials;
+  };
+  EXPECT_LT(top10_share(0.2), top10_share(1.2));
+}
+
+TEST(CorpusTest, MakeCorpusAssignsIdsKeysHolders) {
+  Rng rng(7);
+  KeyGenerator gen(KeyGenerator::Mode::kUniform, 10);
+  std::vector<PeerId> holders;
+  auto corpus = MakeCorpus(50, 16, gen, &rng, &holders);
+  ASSERT_EQ(corpus.size(), 50u);
+  ASSERT_EQ(holders.size(), 50u);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus[i].id, i + 1);
+    EXPECT_EQ(corpus[i].key.length(), 10u);
+    EXPECT_EQ(corpus[i].version, 1u);
+    EXPECT_LT(holders[i], 16u);
+    EXPECT_FALSE(corpus[i].payload.empty());
+  }
+}
+
+TEST(CorpusTest, SeedGridPerfectlyCoversEveryReplica) {
+  auto built = testing_util::Build(128, 4, 2, 2, 8);
+  Rng rng(9);
+  KeyGenerator gen(KeyGenerator::Mode::kUniform, 8);
+  std::vector<PeerId> holders;
+  auto corpus = MakeCorpus(10, 128, gen, &rng, &holders);
+  SeedGridPerfectly(built.grid.get(), corpus, holders);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    // The holder physically stores the item.
+    EXPECT_NE(built.grid->peer(holders[i]).store().Get(corpus[i].id), nullptr);
+    // Every co-responsible peer has the index entry.
+    for (PeerId r : GridStats::ReplicasOf(*built.grid, corpus[i].key)) {
+      EXPECT_NE(built.grid->peer(r).index().Find(holders[i], corpus[i].id), nullptr)
+          << "replica " << r << " missing entry for item " << corpus[i].id;
+    }
+  }
+}
+
+TEST(CorpusTest, SeedGridAtHoldersInstallsExactlyOneEntryPerItem) {
+  auto built = testing_util::Build(64, 3, 1, 2, 10);
+  Rng rng(11);
+  KeyGenerator gen(KeyGenerator::Mode::kUniform, 6);
+  std::vector<PeerId> holders;
+  auto corpus = MakeCorpus(20, 64, gen, &rng, &holders);
+  size_t installed = SeedGridAtHolders(built.grid.get(), corpus, holders);
+  EXPECT_EQ(installed, 20u);
+  size_t total_entries = 0;
+  for (const PeerState& p : *built.grid) total_entries += p.index().size();
+  EXPECT_EQ(total_entries, 20u);
+}
+
+}  // namespace
+}  // namespace pgrid

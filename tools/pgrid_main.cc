@@ -1,0 +1,15 @@
+// Entry point of the `pgrid` command line tool. All logic lives in cli/cli.h so it
+// can be unit tested; this translation unit only adapts argv and the streams.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return pgrid::cli::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,161 @@
+// pgrid_node: a standalone P-Grid peer daemon.
+//
+// Runs one networked peer on a TCP address, optionally joining an existing grid
+// through a seed peer, and gossips autonomously: at a fixed interval it meets a
+// random known peer (references + buddies), which is all the construction
+// algorithm needs to self-organize. Every interaction is the binary protocol of
+// docs/PROTOCOL.md, so daemons interoperate across machines.
+//
+//   # first node
+//   pgrid_node --listen=127.0.0.1:7000
+//   # the rest join through any existing peer
+//   pgrid_node --listen=127.0.0.1:7001 --join=127.0.0.1:7000
+//
+// Flags: --listen=HOST:PORT (required), --join=HOST:PORT, --maxl, --refmax,
+//        --recmax, --fanout, --gossip_ms (default 500), --seed,
+//        --rounds (exit after N gossip rounds; 0 = run until SIGINT/SIGTERM),
+//        --publish=BITS:PAYLOAD (publish one item after joining; repeatable).
+//
+// Status lines go to stdout once per ~10 gossip rounds.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/node.h"
+#include "net/tcp_transport.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw_args;
+  for (int i = 1; i < argc; ++i) raw_args.emplace_back(argv[i]);
+  pgrid::FlagSet flags(raw_args);
+
+  const std::string listen = flags.GetString("listen", "");
+  if (listen.empty()) {
+    std::fprintf(stderr,
+                 "usage: pgrid_node --listen=HOST:PORT [--join=HOST:PORT] "
+                 "[--maxl=8] [--refmax=4] [--recmax=2] [--fanout=2] "
+                 "[--gossip_ms=500] [--rounds=0] [--seed=...]\n");
+    return 1;
+  }
+
+  pgrid::net::NodeConfig config;
+  auto maxl = flags.GetInt("maxl", 8);
+  auto refmax = flags.GetInt("refmax", 4);
+  auto recmax = flags.GetInt("recmax", 2);
+  auto fanout = flags.GetInt("fanout", 2);
+  auto gossip_ms = flags.GetInt("gossip_ms", 500);
+  auto rounds_flag = flags.GetInt("rounds", 0);
+  auto seed = flags.GetInt("seed", static_cast<int64_t>(
+                                       std::hash<std::string>{}(listen)));
+  for (const auto* r : {&maxl, &refmax, &recmax, &fanout, &gossip_ms, &rounds_flag,
+                        &seed}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "error: %s\n", r->status().ToString().c_str());
+      return 1;
+    }
+  }
+  config.maxl = static_cast<size_t>(maxl.value());
+  config.refmax = static_cast<size_t>(refmax.value());
+  config.recmax = static_cast<size_t>(recmax.value());
+  config.recursion_fanout = static_cast<size_t>(fanout.value());
+
+  pgrid::net::TcpTransport transport;
+  pgrid::net::PGridNode node(listen, &transport, config,
+                             static_cast<uint64_t>(seed.value()));
+  if (pgrid::Status s = node.Start(); !s.ok()) {
+    std::fprintf(stderr, "error: cannot serve %s: %s\n", listen.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("pgrid_node serving on %s (maxl=%zu refmax=%zu)\n", listen.c_str(),
+              config.maxl, config.refmax);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  pgrid::Rng rng(static_cast<uint64_t>(seed.value()) + 1);
+  std::vector<std::string> contacts;
+  const std::string join = flags.GetString("join", "");
+  if (!join.empty()) {
+    contacts.push_back(join);
+    if (pgrid::Status s = node.MeetWith(join); s.ok()) {
+      std::printf("joined via %s\n", join.c_str());
+    } else {
+      std::fprintf(stderr, "warning: initial join with %s failed: %s\n",
+                   join.c_str(), s.ToString().c_str());
+    }
+  }
+
+  if (flags.Has("publish")) {
+    const std::string spec = flags.GetString("publish", "");
+    const size_t colon = spec.find(':');
+    auto key = pgrid::KeyPath::FromString(
+        colon == std::string::npos ? spec : spec.substr(0, colon));
+    if (!key.ok()) {
+      std::fprintf(stderr, "error: bad --publish key: %s\n",
+                   key.status().ToString().c_str());
+      return 1;
+    }
+    pgrid::DataItem item;
+    item.id = rng.UniformInt(1, UINT64_MAX / 2);
+    item.key = *key;
+    item.payload = colon == std::string::npos ? "" : spec.substr(colon + 1);
+    item.version = 1;
+    if (pgrid::Status s = node.Publish(item); !s.ok()) {
+      std::fprintf(stderr, "warning: publish failed (will rely on gossip): %s\n",
+                   s.ToString().c_str());
+    } else {
+      std::printf("published item %llu under %s\n",
+                  static_cast<unsigned long long>(item.id),
+                  item.key.ToString().c_str());
+    }
+  }
+
+  const int64_t max_rounds = rounds_flag.value();
+  int64_t round = 0;
+  while (!g_stop.load() && (max_rounds == 0 || round < max_rounds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(gossip_ms.value()));
+    ++round;
+    // Refresh the gossip pool from the routing state and meet someone.
+    for (const std::string& peer : node.KnownPeers()) {
+      if (std::find(contacts.begin(), contacts.end(), peer) == contacts.end()) {
+        contacts.push_back(peer);
+      }
+    }
+    if (!contacts.empty()) {
+      const std::string& target = contacts[rng.UniformIndex(contacts.size())];
+      (void)node.MeetWith(target);
+    }
+    if (round % 10 == 0) {
+      pgrid::net::NodeStats stats = node.stats();
+      std::printf("[round %lld] path=%s known_peers=%zu entries=%zu "
+                  "exchanges=%llu/%llu queries_served=%llu\n",
+                  static_cast<long long>(round), node.path().ToString().c_str(),
+                  contacts.size(), node.entries().size(),
+                  static_cast<unsigned long long>(stats.exchanges_initiated),
+                  static_cast<unsigned long long>(stats.exchanges_served),
+                  static_cast<unsigned long long>(stats.queries_served));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("shutting down %s (final path %s)\n", listen.c_str(),
+              node.path().ToString().c_str());
+  node.Stop();
+  return 0;
+}
