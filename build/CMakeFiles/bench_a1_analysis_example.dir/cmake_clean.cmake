@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_analysis_example.dir/bench/bench_a1_analysis_example.cc.o"
+  "CMakeFiles/bench_a1_analysis_example.dir/bench/bench_a1_analysis_example.cc.o.d"
+  "bench/bench_a1_analysis_example"
+  "bench/bench_a1_analysis_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_analysis_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

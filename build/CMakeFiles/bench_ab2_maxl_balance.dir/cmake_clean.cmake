@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab2_maxl_balance.dir/bench/bench_ab2_maxl_balance.cc.o"
+  "CMakeFiles/bench_ab2_maxl_balance.dir/bench/bench_ab2_maxl_balance.cc.o.d"
+  "bench/bench_ab2_maxl_balance"
+  "bench/bench_ab2_maxl_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab2_maxl_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

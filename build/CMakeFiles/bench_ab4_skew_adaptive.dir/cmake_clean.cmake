@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab4_skew_adaptive.dir/bench/bench_ab4_skew_adaptive.cc.o"
+  "CMakeFiles/bench_ab4_skew_adaptive.dir/bench/bench_ab4_skew_adaptive.cc.o.d"
+  "bench/bench_ab4_skew_adaptive"
+  "bench/bench_ab4_skew_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab4_skew_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

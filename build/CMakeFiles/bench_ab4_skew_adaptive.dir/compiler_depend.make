@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ab4_skew_adaptive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab4_skew_adaptive.
+# This may be replaced when dependencies are built.

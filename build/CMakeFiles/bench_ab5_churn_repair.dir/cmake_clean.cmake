@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab5_churn_repair.dir/bench/bench_ab5_churn_repair.cc.o"
+  "CMakeFiles/bench_ab5_churn_repair.dir/bench/bench_ab5_churn_repair.cc.o.d"
+  "bench/bench_ab5_churn_repair"
+  "bench/bench_ab5_churn_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab5_churn_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab5_churn_repair.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab6_load_fairness.dir/bench/bench_ab6_load_fairness.cc.o"
+  "CMakeFiles/bench_ab6_load_fairness.dir/bench/bench_ab6_load_fairness.cc.o.d"
+  "bench/bench_ab6_load_fairness"
+  "bench/bench_ab6_load_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab6_load_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_d1_baseline_comparison.dir/bench/bench_d1_baseline_comparison.cc.o"
+  "CMakeFiles/bench_d1_baseline_comparison.dir/bench/bench_d1_baseline_comparison.cc.o.d"
+  "bench/bench_d1_baseline_comparison"
+  "bench/bench_d1_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_d1_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f4_replica_distribution.cc" "CMakeFiles/bench_f4_replica_distribution.dir/bench/bench_f4_replica_distribution.cc.o" "gcc" "CMakeFiles/bench_f4_replica_distribution.dir/bench/bench_f4_replica_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pgrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/key/CMakeFiles/pgrid_key.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

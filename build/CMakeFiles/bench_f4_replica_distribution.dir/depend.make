@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f4_replica_distribution.
+# This may be replaced when dependencies are built.

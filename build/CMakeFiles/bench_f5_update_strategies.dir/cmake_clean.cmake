@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_update_strategies.dir/bench/bench_f5_update_strategies.cc.o"
+  "CMakeFiles/bench_f5_update_strategies.dir/bench/bench_f5_update_strategies.cc.o.d"
+  "bench/bench_f5_update_strategies"
+  "bench/bench_f5_update_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_update_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

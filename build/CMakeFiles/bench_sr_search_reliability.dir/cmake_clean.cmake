@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sr_search_reliability.dir/bench/bench_sr_search_reliability.cc.o"
+  "CMakeFiles/bench_sr_search_reliability.dir/bench/bench_sr_search_reliability.cc.o.d"
+  "bench/bench_sr_search_reliability"
+  "bench/bench_sr_search_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sr_search_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sr_search_reliability.
+# This may be replaced when dependencies are built.

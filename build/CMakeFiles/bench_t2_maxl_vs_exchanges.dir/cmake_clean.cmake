@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_maxl_vs_exchanges.dir/bench/bench_t2_maxl_vs_exchanges.cc.o"
+  "CMakeFiles/bench_t2_maxl_vs_exchanges.dir/bench/bench_t2_maxl_vs_exchanges.cc.o.d"
+  "bench/bench_t2_maxl_vs_exchanges"
+  "bench/bench_t2_maxl_vs_exchanges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_maxl_vs_exchanges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_recmax_sweep.dir/bench/bench_t3_recmax_sweep.cc.o"
+  "CMakeFiles/bench_t3_recmax_sweep.dir/bench/bench_t3_recmax_sweep.cc.o.d"
+  "bench/bench_t3_recmax_sweep"
+  "bench/bench_t3_recmax_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_recmax_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_refmax_unbounded.dir/bench/bench_t4_refmax_unbounded.cc.o"
+  "CMakeFiles/bench_t4_refmax_unbounded.dir/bench/bench_t4_refmax_unbounded.cc.o.d"
+  "bench/bench_t4_refmax_unbounded"
+  "bench/bench_t4_refmax_unbounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_refmax_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

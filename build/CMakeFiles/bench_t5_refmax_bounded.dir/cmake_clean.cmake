@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_refmax_bounded.dir/bench/bench_t5_refmax_bounded.cc.o"
+  "CMakeFiles/bench_t5_refmax_bounded.dir/bench/bench_t5_refmax_bounded.cc.o.d"
+  "bench/bench_t5_refmax_bounded"
+  "bench/bench_t5_refmax_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_refmax_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_update_query_tradeoff.dir/bench/bench_t6_update_query_tradeoff.cc.o"
+  "CMakeFiles/bench_t6_update_query_tradeoff.dir/bench/bench_t6_update_query_tradeoff.cc.o.d"
+  "bench/bench_t6_update_query_tradeoff"
+  "bench/bench_t6_update_query_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_update_query_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_cluster.dir/network_cluster.cpp.o"
+  "CMakeFiles/network_cluster.dir/network_cluster.cpp.o.d"
+  "network_cluster"
+  "network_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_baseline.dir/central_server.cc.o"
+  "CMakeFiles/pgrid_baseline.dir/central_server.cc.o.d"
+  "CMakeFiles/pgrid_baseline.dir/flooding.cc.o"
+  "CMakeFiles/pgrid_baseline.dir/flooding.cc.o.d"
+  "CMakeFiles/pgrid_baseline.dir/random_graph.cc.o"
+  "CMakeFiles/pgrid_baseline.dir/random_graph.cc.o.d"
+  "libpgrid_baseline.a"
+  "libpgrid_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

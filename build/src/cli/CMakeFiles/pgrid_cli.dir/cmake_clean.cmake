@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_cli.dir/cli.cc.o"
+  "CMakeFiles/pgrid_cli.dir/cli.cc.o.d"
+  "libpgrid_cli.a"
+  "libpgrid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

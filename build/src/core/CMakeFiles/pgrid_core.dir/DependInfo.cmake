@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/pgrid_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/churn.cc" "src/core/CMakeFiles/pgrid_core.dir/churn.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/churn.cc.o.d"
+  "/root/repo/src/core/exchange.cc" "src/core/CMakeFiles/pgrid_core.dir/exchange.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/exchange.cc.o.d"
+  "/root/repo/src/core/grid_builder.cc" "src/core/CMakeFiles/pgrid_core.dir/grid_builder.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/grid_builder.cc.o.d"
+  "/root/repo/src/core/insert.cc" "src/core/CMakeFiles/pgrid_core.dir/insert.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/insert.cc.o.d"
+  "/root/repo/src/core/peer_state.cc" "src/core/CMakeFiles/pgrid_core.dir/peer_state.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/peer_state.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/pgrid_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/search.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/pgrid_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/core/CMakeFiles/pgrid_core.dir/update.cc.o" "gcc" "src/core/CMakeFiles/pgrid_core.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/key/CMakeFiles/pgrid_key.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

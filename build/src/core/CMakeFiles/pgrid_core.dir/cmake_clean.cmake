@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_core.dir/analysis.cc.o"
+  "CMakeFiles/pgrid_core.dir/analysis.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/churn.cc.o"
+  "CMakeFiles/pgrid_core.dir/churn.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/exchange.cc.o"
+  "CMakeFiles/pgrid_core.dir/exchange.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/grid_builder.cc.o"
+  "CMakeFiles/pgrid_core.dir/grid_builder.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/insert.cc.o"
+  "CMakeFiles/pgrid_core.dir/insert.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/peer_state.cc.o"
+  "CMakeFiles/pgrid_core.dir/peer_state.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/search.cc.o"
+  "CMakeFiles/pgrid_core.dir/search.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/stats.cc.o"
+  "CMakeFiles/pgrid_core.dir/stats.cc.o.d"
+  "CMakeFiles/pgrid_core.dir/update.cc.o"
+  "CMakeFiles/pgrid_core.dir/update.cc.o.d"
+  "libpgrid_core.a"
+  "libpgrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/key/key_path.cc" "src/key/CMakeFiles/pgrid_key.dir/key_path.cc.o" "gcc" "src/key/CMakeFiles/pgrid_key.dir/key_path.cc.o.d"
+  "/root/repo/src/key/range.cc" "src/key/CMakeFiles/pgrid_key.dir/range.cc.o" "gcc" "src/key/CMakeFiles/pgrid_key.dir/range.cc.o.d"
+  "/root/repo/src/key/text_key.cc" "src/key/CMakeFiles/pgrid_key.dir/text_key.cc.o" "gcc" "src/key/CMakeFiles/pgrid_key.dir/text_key.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

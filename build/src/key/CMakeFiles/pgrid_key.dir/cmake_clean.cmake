@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_key.dir/key_path.cc.o"
+  "CMakeFiles/pgrid_key.dir/key_path.cc.o.d"
+  "CMakeFiles/pgrid_key.dir/range.cc.o"
+  "CMakeFiles/pgrid_key.dir/range.cc.o.d"
+  "CMakeFiles/pgrid_key.dir/text_key.cc.o"
+  "CMakeFiles/pgrid_key.dir/text_key.cc.o.d"
+  "libpgrid_key.a"
+  "libpgrid_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inproc_transport.cc" "src/net/CMakeFiles/pgrid_net.dir/inproc_transport.cc.o" "gcc" "src/net/CMakeFiles/pgrid_net.dir/inproc_transport.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/pgrid_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/pgrid_net.dir/node.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/net/CMakeFiles/pgrid_net.dir/protocol.cc.o" "gcc" "src/net/CMakeFiles/pgrid_net.dir/protocol.cc.o.d"
+  "/root/repo/src/net/tcp_transport.cc" "src/net/CMakeFiles/pgrid_net.dir/tcp_transport.cc.o" "gcc" "src/net/CMakeFiles/pgrid_net.dir/tcp_transport.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/pgrid_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/pgrid_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/key/CMakeFiles/pgrid_key.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgrid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/pgrid_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/pgrid_net.dir/node.cc.o"
+  "CMakeFiles/pgrid_net.dir/node.cc.o.d"
+  "CMakeFiles/pgrid_net.dir/protocol.cc.o"
+  "CMakeFiles/pgrid_net.dir/protocol.cc.o.d"
+  "CMakeFiles/pgrid_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/pgrid_net.dir/tcp_transport.cc.o.d"
+  "CMakeFiles/pgrid_net.dir/wire.cc.o"
+  "CMakeFiles/pgrid_net.dir/wire.cc.o.d"
+  "libpgrid_net.a"
+  "libpgrid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

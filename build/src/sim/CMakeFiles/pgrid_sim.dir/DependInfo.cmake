@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/meeting_scheduler.cc" "src/sim/CMakeFiles/pgrid_sim.dir/meeting_scheduler.cc.o" "gcc" "src/sim/CMakeFiles/pgrid_sim.dir/meeting_scheduler.cc.o.d"
+  "/root/repo/src/sim/message_stats.cc" "src/sim/CMakeFiles/pgrid_sim.dir/message_stats.cc.o" "gcc" "src/sim/CMakeFiles/pgrid_sim.dir/message_stats.cc.o.d"
+  "/root/repo/src/sim/online_model.cc" "src/sim/CMakeFiles/pgrid_sim.dir/online_model.cc.o" "gcc" "src/sim/CMakeFiles/pgrid_sim.dir/online_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_sim.dir/meeting_scheduler.cc.o"
+  "CMakeFiles/pgrid_sim.dir/meeting_scheduler.cc.o.d"
+  "CMakeFiles/pgrid_sim.dir/message_stats.cc.o"
+  "CMakeFiles/pgrid_sim.dir/message_stats.cc.o.d"
+  "CMakeFiles/pgrid_sim.dir/online_model.cc.o"
+  "CMakeFiles/pgrid_sim.dir/online_model.cc.o.d"
+  "libpgrid_sim.a"
+  "libpgrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

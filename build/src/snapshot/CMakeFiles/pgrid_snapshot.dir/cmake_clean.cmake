@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_snapshot.dir/snapshot.cc.o"
+  "CMakeFiles/pgrid_snapshot.dir/snapshot.cc.o.d"
+  "libpgrid_snapshot.a"
+  "libpgrid_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

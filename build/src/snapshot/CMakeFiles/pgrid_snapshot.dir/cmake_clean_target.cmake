@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgrid_snapshot.a"
+)

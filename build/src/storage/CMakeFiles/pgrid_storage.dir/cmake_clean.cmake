@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_storage.dir/data_store.cc.o"
+  "CMakeFiles/pgrid_storage.dir/data_store.cc.o.d"
+  "CMakeFiles/pgrid_storage.dir/leaf_index.cc.o"
+  "CMakeFiles/pgrid_storage.dir/leaf_index.cc.o.d"
+  "libpgrid_storage.a"
+  "libpgrid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_util.dir/logging.cc.o"
+  "CMakeFiles/pgrid_util.dir/logging.cc.o.d"
+  "CMakeFiles/pgrid_util.dir/status.cc.o"
+  "CMakeFiles/pgrid_util.dir/status.cc.o.d"
+  "libpgrid_util.a"
+  "libpgrid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_workload.dir/corpus.cc.o"
+  "CMakeFiles/pgrid_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/pgrid_workload.dir/key_generator.cc.o"
+  "CMakeFiles/pgrid_workload.dir/key_generator.cc.o.d"
+  "CMakeFiles/pgrid_workload.dir/zipf.cc.o"
+  "CMakeFiles/pgrid_workload.dir/zipf.cc.o.d"
+  "libpgrid_workload.a"
+  "libpgrid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_path_test.dir/key_path_test.cc.o"
+  "CMakeFiles/key_path_test.dir/key_path_test.cc.o.d"
+  "key_path_test"
+  "key_path_test.pdb"
+  "key_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_index_test.dir/leaf_index_test.cc.o"
+  "CMakeFiles/leaf_index_test.dir/leaf_index_test.cc.o.d"
+  "leaf_index_test"
+  "leaf_index_test.pdb"
+  "leaf_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

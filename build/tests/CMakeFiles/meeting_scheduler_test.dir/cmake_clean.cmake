@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_scheduler_test.dir/meeting_scheduler_test.cc.o"
+  "CMakeFiles/meeting_scheduler_test.dir/meeting_scheduler_test.cc.o.d"
+  "meeting_scheduler_test"
+  "meeting_scheduler_test.pdb"
+  "meeting_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

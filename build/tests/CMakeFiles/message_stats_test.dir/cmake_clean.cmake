@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_stats_test.dir/message_stats_test.cc.o"
+  "CMakeFiles/message_stats_test.dir/message_stats_test.cc.o.d"
+  "message_stats_test"
+  "message_stats_test.pdb"
+  "message_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_sim_agreement_test.dir/net_sim_agreement_test.cc.o"
+  "CMakeFiles/net_sim_agreement_test.dir/net_sim_agreement_test.cc.o.d"
+  "net_sim_agreement_test"
+  "net_sim_agreement_test.pdb"
+  "net_sim_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_sim_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

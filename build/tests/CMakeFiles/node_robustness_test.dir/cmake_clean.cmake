@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_robustness_test.dir/node_robustness_test.cc.o"
+  "CMakeFiles/node_robustness_test.dir/node_robustness_test.cc.o.d"
+  "node_robustness_test"
+  "node_robustness_test.pdb"
+  "node_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_model_test.dir/online_model_test.cc.o"
+  "CMakeFiles/online_model_test.dir/online_model_test.cc.o.d"
+  "online_model_test"
+  "online_model_test.pdb"
+  "online_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_state_test.dir/peer_state_test.cc.o"
+  "CMakeFiles/peer_state_test.dir/peer_state_test.cc.o.d"
+  "peer_state_test"
+  "peer_state_test.pdb"
+  "peer_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

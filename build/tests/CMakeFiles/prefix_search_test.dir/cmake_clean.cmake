@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_search_test.dir/prefix_search_test.cc.o"
+  "CMakeFiles/prefix_search_test.dir/prefix_search_test.cc.o.d"
+  "prefix_search_test"
+  "prefix_search_test.pdb"
+  "prefix_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_policy_test.dir/split_policy_test.cc.o"
+  "CMakeFiles/split_policy_test.dir/split_policy_test.cc.o.d"
+  "split_policy_test"
+  "split_policy_test.pdb"
+  "split_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

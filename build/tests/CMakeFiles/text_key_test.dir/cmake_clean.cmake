@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_key_test.dir/text_key_test.cc.o"
+  "CMakeFiles/text_key_test.dir/text_key_test.cc.o.d"
+  "text_key_test"
+  "text_key_test.pdb"
+  "text_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[NetSimAgreementTest.StructuresDevelopTheSameShape]=]  /root/repo/build/tests/net_sim_agreement_test [==[--gtest_filter=NetSimAgreementTest.StructuresDevelopTheSameShape]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[NetSimAgreementTest.StructuresDevelopTheSameShape]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  net_sim_agreement_test_TESTS NetSimAgreementTest.StructuresDevelopTheSameShape)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid.dir/pgrid_main.cc.o"
+  "CMakeFiles/pgrid.dir/pgrid_main.cc.o.d"
+  "pgrid"
+  "pgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pgrid.
+# This may be replaced when dependencies are built.

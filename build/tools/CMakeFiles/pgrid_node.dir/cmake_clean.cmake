@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgrid_node.dir/pgrid_node_main.cc.o"
+  "CMakeFiles/pgrid_node.dir/pgrid_node_main.cc.o.d"
+  "pgrid_node"
+  "pgrid_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgrid_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
