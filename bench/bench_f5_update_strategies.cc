@@ -94,6 +94,7 @@ void Run(const bench::Args& args) {
   }
   std::printf("\n(BFS uses recbreadth=2 per level; DFS variants route single-path "
               "per pass; one fresh availability snapshot per pass.)\n");
+  bench::MaybeDumpMetrics(args, *s.grid);
 }
 
 }  // namespace

@@ -66,6 +66,7 @@ void Run(const bench::Args& args) {
               static_cast<unsigned long long>(max_messages));
   std::printf("eq. (3) bound:     %.4f   ((1-(1-p)^refmax)^k, worst case)\n",
               SearchSuccessProbability(online_prob, refmax, key_len));
+  bench::MaybeDumpMetrics(args, *s.grid);
 }
 
 }  // namespace

@@ -149,6 +149,7 @@ void Run(const bench::Args& args) {
               "137->13, insertion cost 78->2086\n");
   std::printf("paper reference (non-repetitive): successrate 0.65->0.994, query "
               "cost ~5.5, insertion cost 72->2080\n");
+  bench::MaybeDumpMetrics(args, *s.grid);
 }
 
 }  // namespace

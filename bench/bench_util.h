@@ -18,6 +18,7 @@
 #include "core/exchange.h"
 #include "core/grid.h"
 #include "core/grid_builder.h"
+#include "obs/export.h"
 #include "sim/meeting_scheduler.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -44,6 +45,13 @@ class Args {
     std::string value;
     if (!Lookup(name, &value)) return fallback;
     return std::strtod(value.c_str(), nullptr);
+  }
+
+  /// Returns the string value of --name=<v>, or `fallback`.
+  std::string GetString(const std::string& name, const std::string& fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return value;
   }
 
   /// True iff --name was passed (with or without a value).
@@ -109,6 +117,28 @@ inline void Banner(const char* experiment, const char* paper_ref,
   std::printf("== %s ==\n", experiment);
   std::printf("paper: %s\n", paper_ref);
   std::printf("expected shape: %s\n\n", expectation);
+}
+
+/// Honors --metrics-json=FILE: writes the grid's metrics registry as JSON so a
+/// run's counters (exchange.count, search.messages, update.fanout, ...) can be
+/// consumed by scripts alongside the printed table. Call once at the end of a
+/// bench binary; a no-op when the flag is absent.
+inline void MaybeDumpMetrics(const Args& args, const Grid& grid) {
+  if (!args.Has("metrics-json")) return;
+  const std::string file = args.GetString("metrics-json", "");
+  if (file.empty()) {
+    std::fprintf(stderr, "warning: --metrics-json needs a file path\n");
+    return;
+  }
+  FILE* f = std::fopen(file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
+    return;
+  }
+  const std::string json = obs::ToJson(grid.metrics().Snapshot());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("metrics written to %s\n", file.c_str());
 }
 
 }  // namespace bench

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <fstream>
 #include <iomanip>
 
 #include "core/exchange.h"
@@ -7,6 +8,7 @@
 #include "core/search.h"
 #include "core/stats.h"
 #include "key/text_key.h"
+#include "obs/export.h"
 #include "sim/meeting_scheduler.h"
 #include "snapshot/snapshot.h"
 #include "util/flags.h"
@@ -19,22 +21,25 @@ namespace {
 std::string UsageFor(const std::string& command) {
   if (command == "build") {
     return "pgrid build --peers=N --out=FILE [--maxl=8] [--refmax=4] [--recmax=2]"
-           " [--fanout=2] [--threshold=0.99] [--seed=42]";
+           " [--fanout=2] [--threshold=0.99] [--seed=42] [--metrics-json=FILE]";
   }
   if (command == "info") return "pgrid info --in=FILE";
   if (command == "verify") return "pgrid verify --in=FILE";
   if (command == "search") {
-    return "pgrid search --in=FILE --key=BITS [--start=ID] [--online=P] [--seed=1]";
+    return "pgrid search --in=FILE --key=BITS [--start=ID] [--online=P] [--seed=1]"
+           " [--metrics-json=FILE]";
   }
   if (command == "prefix") {
-    return "pgrid prefix --in=FILE (--key=BITS | --text=STR) [--fanout=8] [--seed=1]";
+    return "pgrid prefix --in=FILE (--key=BITS | --text=STR) [--fanout=8] [--seed=1]"
+           " [--metrics-json=FILE]";
   }
   if (command == "range") {
-    return "pgrid range --in=FILE --lo=BITS --hi=BITS [--fanout=8] [--seed=1]";
+    return "pgrid range --in=FILE --lo=BITS --hi=BITS [--fanout=8] [--seed=1]"
+           " [--metrics-json=FILE]";
   }
   if (command == "bench-search") {
     return "pgrid bench-search --in=FILE [--queries=1000] [--online=0.3]"
-           " [--keylen=maxl] [--seed=1]";
+           " [--keylen=maxl] [--seed=1] [--metrics-json=FILE]";
   }
   return UsageText();
 }
@@ -43,6 +48,22 @@ Status RequireFlag(const FlagSet& flags, const std::string& name) {
   if (!flags.Has(name)) {
     return Status::InvalidArgument("missing required flag --" + name);
   }
+  return Status::OK();
+}
+
+/// Honors --metrics-json=FILE: dumps the grid's metrics registry as JSON after
+/// the command ran. Every command that exercises the engines supports it.
+Status MaybeDumpMetrics(const FlagSet& flags, const Grid& grid, std::ostream& out) {
+  if (!flags.Has("metrics-json")) return Status::OK();
+  const std::string file = flags.GetString("metrics-json", "");
+  if (file.empty()) {
+    return Status::InvalidArgument("--metrics-json needs a file path");
+  }
+  std::ofstream f(file, std::ios::trunc);
+  if (!f) return Status::Internal("cannot open " + file + " for writing");
+  f << obs::ToJson(grid.metrics().Snapshot());
+  if (!f.good()) return Status::Internal("write to " + file + " failed");
+  out << "metrics written to " << file << "\n";
   return Status::OK();
 }
 
@@ -83,7 +104,7 @@ Status CmdBuild(const FlagSet& flags, std::ostream& out) {
   const std::string file = flags.GetString("out", "");
   PGRID_RETURN_IF_ERROR(SaveGrid(grid, config, file));
   out << "snapshot written to " << file << "\n";
-  return Status::OK();
+  return MaybeDumpMetrics(flags, grid, out);
 }
 
 Status CmdInfo(const FlagSet& flags, std::ostream& out) {
@@ -157,6 +178,7 @@ Status CmdSearch(const FlagSet& flags, std::ostream& out) {
   QueryResult r = search.Query(start, key);
   if (!r.found) {
     out << "NOT FOUND (from peer " << start << ", " << r.messages << " messages)\n";
+    PGRID_RETURN_IF_ERROR(MaybeDumpMetrics(flags, *loaded.grid, out));
     return Status::NotFound("no responsible peer reachable");
   }
   const PeerState& responder = loaded.grid->peer(r.responder);
@@ -168,7 +190,7 @@ Status CmdSearch(const FlagSet& flags, std::ostream& out) {
     out << "  item " << e.item_id << " v" << e.version << " key " << e.key
         << " held by peer " << e.holder << "\n";
   }
-  return Status::OK();
+  return MaybeDumpMetrics(flags, *loaded.grid, out);
 }
 
 Status CmdPrefix(const FlagSet& flags, std::ostream& out) {
@@ -191,7 +213,7 @@ Status CmdPrefix(const FlagSet& flags, std::ostream& out) {
     if (text.ok()) out << " (\"" << *text << "\")";
     out << " held by peer " << e.holder << "\n";
   }
-  return Status::OK();
+  return MaybeDumpMetrics(flags, *loaded.grid, out);
 }
 
 Status CmdRange(const FlagSet& flags, std::ostream& out) {
@@ -216,7 +238,7 @@ Status CmdRange(const FlagSet& flags, std::ostream& out) {
     out << "  item " << e.item_id << " key " << e.key << " held by peer "
         << e.holder << "\n";
   }
-  return Status::OK();
+  return MaybeDumpMetrics(flags, *loaded.grid, out);
 }
 
 Status CmdBenchSearch(const FlagSet& flags, std::ostream& out) {
@@ -249,7 +271,7 @@ Status CmdBenchSearch(const FlagSet& flags, std::ostream& out) {
       << "%  avg messages: " << std::setprecision(3)
       << static_cast<double>(messages) / static_cast<double>(queries)
       << "  (online " << online_prob << ", " << queries << " queries)\n";
-  return Status::OK();
+  return MaybeDumpMetrics(flags, *loaded.grid, out);
 }
 
 }  // namespace
@@ -265,6 +287,9 @@ std::string UsageText() {
          "  prefix        interval/prefix search (supports --text via text keys)\n"
          "  range         range search between two equal-length keys\n"
          "  bench-search  measure search reliability under churn\n"
+         "\n"
+         "every command that exercises the engines accepts --metrics-json=FILE to\n"
+         "dump the run's metrics registry as JSON (see docs/observability.md).\n"
          "\n"
          "run `pgrid <command>` with no flags to see its usage.\n";
 }

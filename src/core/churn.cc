@@ -74,6 +74,8 @@ uint64_t ChurnDriver::Retire(PeerId peer, bool graceful) {
         if (handed > 0) {
           grid_->stats().Record(MessageType::kDataTransfer, handed);
           grid_->stats().Record(MessageType::kControl);  // the handover session
+          grid_->metrics().GetCounter("churn.entries_handed_over")->Increment(handed);
+          grid_->metrics().GetCounter("churn.handovers")->Increment();
         }
       }
     }

@@ -39,6 +39,12 @@ ExchangeEngine::ExchangeEngine(Grid* grid, const ExchangeConfig& config, Rng* rn
       split_policy_(split_policy) {
   PGRID_CHECK(grid != nullptr && rng != nullptr);
   PGRID_CHECK(config.Validate().ok());
+  obs::MetricsRegistry& m = grid->metrics();
+  exchanges_ = m.GetCounter("exchange.count");
+  splits_ = m.GetCounter("exchange.splits");
+  entries_moved_ = m.GetCounter("exchange.entries_moved");
+  recursion_depth_ = m.GetHistogram("exchange.recursion_depth", obs::CountBounds());
+  PGRID_CHECK(exchanges_ && splits_ && entries_moved_ && recursion_depth_);
 }
 
 bool ExchangeEngine::IsOnline(PeerId p) const {
@@ -56,6 +62,17 @@ void ExchangeEngine::Exchange(PeerId a1, PeerId a2) { ExchangeImpl(a1, a2, 0); }
 void ExchangeEngine::ExchangeImpl(PeerId id1, PeerId id2, size_t depth) {
   if (id1 == id2) return;
   grid_->stats().Record(MessageType::kExchange);
+  exchanges_->Increment();
+  recursion_depth_->Record(depth);
+  obs::TraceRecorder* trace = grid_->trace();
+  obs::TraceSpan span(depth == 0 ? trace : nullptr, "exchange");
+  if (trace != nullptr && depth > 0) {
+    // Recursive invocations are point events; the enclosing depth-0 span owns the
+    // wall-clock duration of the whole meeting tree.
+    trace->Event(0, "exchange.recurse",
+                 "a=" + std::to_string(id1) + " b=" + std::to_string(id2),
+                 static_cast<uint32_t>(depth));
+  }
 
   PeerState& a1 = grid_->peer(id1);
   PeerState& a2 = grid_->peer(id2);
@@ -71,6 +88,7 @@ void ExchangeEngine::ExchangeImpl(PeerId id1, PeerId id2, size_t depth) {
     a1.AppendPathBit(0);
     a2.AppendPathBit(1);
     grid_->NotePathGrowth(2);
+    splits_->Increment(2);
     a1.SetRefsAt(lc + 1, {id2});
     a2.SetRefsAt(lc + 1, {id1});
     if (config_.manage_data) ReconcileData(&a1, &a2);
@@ -135,6 +153,7 @@ void ExchangeEngine::SplitShorter(PeerState* shorter, PeerState* longer, size_t 
   const int bit = ComplementBit(longer->PathBit(lc + 1));
   shorter->AppendPathBit(bit);
   grid_->NotePathGrowth(1);
+  splits_->Increment();
   shorter->SetRefsAt(lc + 1, {longer->id()});
   std::vector<PeerId> refs =
       Union({shorter->id()}, longer->RefsAt(lc + 1));
@@ -151,6 +170,7 @@ void ExchangeEngine::CloneShorter(PeerState* shorter, PeerState* longer, size_t 
   const int bit = longer->PathBit(lc + 1);
   shorter->AppendPathBit(bit);
   grid_->NotePathGrowth(1);
+  splits_->Increment();
   shorter->SetRefsAt(
       lc + 1, rng_->SampleWithoutReplacement(longer->RefsAt(lc + 1), config_.refmax));
 }
@@ -166,7 +186,10 @@ void ExchangeEngine::MergeReplicas(PeerState* a1, PeerState* a2,
   }
   size_t moved = a1->index().MergeFrom(a2->index());
   moved += a2->index().MergeFrom(a1->index());
-  if (moved > 0) grid_->stats().Record(MessageType::kDataTransfer, moved);
+  if (moved > 0) {
+    grid_->stats().Record(MessageType::kDataTransfer, moved);
+    entries_moved_->Increment(moved);
+  }
 }
 
 void ExchangeEngine::ReconcileData(PeerState* x, PeerState* y) {
@@ -189,7 +212,10 @@ void ExchangeEngine::ReconcileData(PeerState* x, PeerState* y) {
         from->foreign_entries().push_back(std::move(e));
       }
     }
-    if (moved > 0) grid_->stats().Record(MessageType::kDataTransfer, moved);
+    if (moved > 0) {
+      grid_->stats().Record(MessageType::kDataTransfer, moved);
+      entries_moved_->Increment(moved);
+    }
   }
 }
 

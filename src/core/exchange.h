@@ -30,6 +30,7 @@
 #include "core/config.h"
 #include "core/grid.h"
 #include "core/split_policy.h"
+#include "obs/metrics.h"
 #include "sim/online_model.h"
 #include "util/rng.h"
 
@@ -92,6 +93,12 @@ class ExchangeEngine {
   Rng* rng_;
   const OnlineModel* online_;
   const SplitPolicy* split_policy_;
+
+  // Cached registry instruments (owned by the grid; see docs/observability.md).
+  obs::Counter* exchanges_;  // mirrors MessageStats kExchange exactly
+  obs::Counter* splits_;
+  obs::Counter* entries_moved_;  // mirrors MessageStats kDataTransfer (this engine)
+  obs::Histogram* recursion_depth_;
 };
 
 }  // namespace pgrid

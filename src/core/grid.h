@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/peer_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/message_stats.h"
 #include "sim/types.h"
 #include "util/macros.h"
@@ -48,6 +50,18 @@ class Grid {
   MessageStats& stats() { return stats_; }
   const MessageStats& stats() const { return stats_; }
 
+  /// The unified metrics registry all engines record into. The protocol engines
+  /// keep it in agreement with the MessageStats ledger (e.g. the counter
+  /// "search.messages" equals stats().count(MessageType::kQuery)); see
+  /// docs/observability.md for the metric-name mapping.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Optional per-operation trace sink for the engines. Null by default (tracing
+  /// off); the recorder must outlive the grid's engines.
+  obs::TraceRecorder* trace() const { return trace_; }
+  void SetTraceRecorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
+
   /// Called by the exchange engine whenever a path grows by one bit.
   void NotePathGrowth(size_t bits = 1) { total_path_bits_ += bits; }
 
@@ -81,6 +95,8 @@ class Grid {
  private:
   std::vector<PeerState> peers_;
   MessageStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder* trace_ = nullptr;
   size_t total_path_bits_ = 0;
   std::vector<uint64_t> query_load_;
 };

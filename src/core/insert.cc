@@ -26,9 +26,11 @@ Result<InsertOutcome> InsertEngine::Insert(const DataItem& item, PeerId holder,
 
   InsertOutcome out;
   out.messages = reached.messages;
+  obs::Counter* installed = grid_->metrics().GetCounter("insert.entries_installed");
   for (PeerId p : reached.reached) {
     if (grid_->peer(p).index().InsertOrRefresh(entry)) {
       grid_->stats().Record(MessageType::kDataTransfer);
+      installed->Increment();
     }
     ++out.replicas_reached;
   }

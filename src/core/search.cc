@@ -11,16 +11,33 @@ namespace pgrid {
 SearchEngine::SearchEngine(Grid* grid, const OnlineModel* online, Rng* rng)
     : grid_(grid), online_(online), rng_(rng) {
   PGRID_CHECK(grid != nullptr && rng != nullptr);
+  obs::MetricsRegistry& m = grid->metrics();
+  queries_ = m.GetCounter("search.queries");
+  messages_ = m.GetCounter("search.messages");
+  backtracks_ = m.GetCounter("search.backtracks");
+  offline_skips_ = m.GetCounter("search.offline_skips");
+  failures_ = m.GetCounter("search.failures");
+  hops_ = m.GetHistogram("search.hops", obs::CountBounds());
+  PGRID_CHECK(queries_ && messages_ && backtracks_ && offline_skips_ && failures_ &&
+              hops_);
 }
 
 QueryResult SearchEngine::Query(PeerId start, const KeyPath& key) {
   QueryResult out;
-  out.found = QueryImpl(start, key, /*consumed=*/0, /*hops=*/0, &out);
+  queries_->Increment();
+  obs::TraceSpan span(grid_->trace(), "search.query");
+  out.found = QueryImpl(start, key, /*consumed=*/0, /*hops=*/0, &out, &span);
+  if (out.found) {
+    hops_->Record(out.hops);
+  } else {
+    failures_->Increment();
+  }
   return out;
 }
 
 bool SearchEngine::QueryImpl(PeerId peer, const KeyPath& p, size_t consumed,
-                             size_t hops, QueryResult* out) {
+                             size_t hops, QueryResult* out, obs::TraceSpan* span) {
+  const bool tracing = grid_->trace() != nullptr;
   const PeerState& a = grid_->peer(peer);
   const KeyPath rempath = a.path().SuffixFrom(consumed);
   const size_t lc = p.CommonPrefixLength(rempath);
@@ -41,11 +58,30 @@ bool SearchEngine::QueryImpl(PeerId peer, const KeyPath& p, size_t consumed,
   std::vector<PeerId> refs = a.RefsAt(consumed + lc + 1);  // copy: we draw and remove
   while (!refs.empty()) {
     PeerId r = rng_->TakeRandom(&refs);
-    if (online_ != nullptr && !online_->IsOnline(r, rng_)) continue;
+    if (online_ != nullptr && !online_->IsOnline(r, rng_)) {
+      offline_skips_->Increment();
+      if (tracing) {
+        span->Event("search.offline_skip", "peer=" + std::to_string(r),
+                    static_cast<uint32_t>(hops));
+      }
+      continue;
+    }
     grid_->stats().Record(MessageType::kQuery);
+    messages_->Increment();
     grid_->NoteServed(r);
     ++out->messages;
-    if (QueryImpl(r, querypath, consumed + lc, hops + 1, out)) return true;
+    if (tracing) {
+      span->Event("search.hop",
+                  "peer=" + std::to_string(r) +
+                      " level=" + std::to_string(consumed + lc + 1),
+                  static_cast<uint32_t>(hops + 1));
+    }
+    if (QueryImpl(r, querypath, consumed + lc, hops + 1, out, span)) return true;
+    backtracks_->Increment();
+    if (tracing) {
+      span->Event("search.backtrack", "peer=" + std::to_string(r),
+                  static_cast<uint32_t>(hops + 1));
+    }
   }
   return false;
 }
@@ -55,7 +91,8 @@ PrefixSearchResult SearchEngine::PrefixSearch(PeerId start, const KeyPath& prefi
   PGRID_CHECK_GT(fanout, 0u);
   PrefixSearchResult out;
   std::vector<uint8_t> visited(grid_->size(), 0);
-  PrefixImpl(start, prefix, /*consumed=*/0, fanout, &visited, &out);
+  obs::TraceSpan span(grid_->trace(), "search.prefix");
+  PrefixImpl(start, prefix, /*consumed=*/0, fanout, &visited, &out, &span);
   // Deduplicate entries gathered from multiple replicas.
   std::unordered_set<uint64_t> seen;
   std::vector<IndexEntry> unique;
@@ -71,7 +108,7 @@ PrefixSearchResult SearchEngine::PrefixSearch(PeerId start, const KeyPath& prefi
 
 void SearchEngine::PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed,
                               size_t fanout, std::vector<uint8_t>* visited,
-                              PrefixSearchResult* out) {
+                              PrefixSearchResult* out, obs::TraceSpan* span) {
   if ((*visited)[peer]) return;
   (*visited)[peer] = 1;
   const PeerState& a = grid_->peer(peer);
@@ -84,12 +121,20 @@ void SearchEngine::PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed,
     size_t contacted = 0;
     while (!candidates.empty() && contacted < fanout) {
       PeerId r = rng_->TakeRandom(&candidates);
-      if (online_ != nullptr && !online_->IsOnline(r, rng_)) continue;
+      if (online_ != nullptr && !online_->IsOnline(r, rng_)) {
+        offline_skips_->Increment();
+        continue;
+      }
       grid_->stats().Record(MessageType::kQuery);
+      messages_->Increment();
       grid_->NoteServed(r);
       ++out->messages;
       ++contacted;
-      PrefixImpl(r, next, consumed_next, fanout, visited, out);
+      if (grid_->trace() != nullptr) {
+        span->Event("search.hop", "peer=" + std::to_string(r),
+                    static_cast<uint32_t>(consumed_next));
+      }
+      PrefixImpl(r, next, consumed_next, fanout, visited, out, span);
     }
   };
 

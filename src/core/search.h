@@ -19,6 +19,8 @@
 
 #include "core/config.h"
 #include "core/grid.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/online_model.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -108,14 +110,23 @@ class SearchEngine {
 
  private:
   bool QueryImpl(PeerId peer, const KeyPath& p, size_t consumed, size_t hops,
-                 QueryResult* out);
+                 QueryResult* out, obs::TraceSpan* span);
 
   void PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed, size_t fanout,
-                  std::vector<uint8_t>* visited, PrefixSearchResult* out);
+                  std::vector<uint8_t>* visited, PrefixSearchResult* out,
+                  obs::TraceSpan* span);
 
   Grid* grid_;
   const OnlineModel* online_;
   Rng* rng_;
+
+  // Cached registry instruments (owned by the grid; see docs/observability.md).
+  obs::Counter* queries_;
+  obs::Counter* messages_;  // mirrors MessageStats kQuery exactly
+  obs::Counter* backtracks_;
+  obs::Counter* offline_skips_;
+  obs::Counter* failures_;
+  obs::Histogram* hops_;
 };
 
 }  // namespace pgrid

@@ -20,6 +20,11 @@ const char* UpdateStrategyName(UpdateStrategy s) {
 UpdateEngine::UpdateEngine(Grid* grid, const OnlineModel* online, Rng* rng)
     : grid_(grid), online_(online), rng_(rng) {
   PGRID_CHECK(grid != nullptr && rng != nullptr);
+  obs::MetricsRegistry& m = grid->metrics();
+  updates_ = m.GetCounter("update.runs");
+  messages_ = m.GetCounter("update.messages");
+  fanout_ = m.GetHistogram("update.fanout", obs::CountBounds());
+  PGRID_CHECK(updates_ && messages_ && fanout_);
 }
 
 bool UpdateEngine::IsOnline(PeerId p) const {
@@ -44,6 +49,8 @@ UpdateOutcome UpdateEngine::Probe(const KeyPath& key, UpdateStrategy strategy,
 UpdateOutcome UpdateEngine::Run(const KeyPath& key, UpdateStrategy strategy,
                                 const UpdateConfig& config) {
   PGRID_CHECK(config.Validate().ok());
+  updates_->Increment();
+  obs::TraceSpan span(grid_->trace(), "update.propagate");
   std::unordered_set<PeerId> reached;
   uint64_t messages = 0;
   SearchEngine search(grid_, online_, rng_);
@@ -66,6 +73,12 @@ UpdateOutcome UpdateEngine::Run(const KeyPath& key, UpdateStrategy strategy,
   UpdateOutcome out;
   out.messages = messages;
   out.reached.assign(reached.begin(), reached.end());
+  fanout_->Record(out.reached.size());
+  if (grid_->trace() != nullptr) {
+    span.Event("update.reached",
+               "replicas=" + std::to_string(out.reached.size()) +
+                   " messages=" + std::to_string(out.messages));
+  }
   return out;
 }
 
@@ -85,6 +98,7 @@ void UpdateEngine::DfsPass(const KeyPath& key, bool with_buddies,
     if (reached->contains(b)) continue;
     if (!IsOnline(b)) continue;
     grid_->stats().Record(MessageType::kUpdate);
+    messages_->Increment();
     ++*messages;
     reached->insert(b);
   }
@@ -136,6 +150,7 @@ void UpdateEngine::BfsFanOut(const std::vector<PeerId>& refs, const KeyPath& que
     PeerId r = rng_->TakeRandom(&candidates);
     if (!IsOnline(r)) continue;
     grid_->stats().Record(MessageType::kUpdate);
+    messages_->Increment();
     grid_->NoteServed(r);
     ++*messages;
     ++contacted;

@@ -23,6 +23,7 @@
 
 #include "core/config.h"
 #include "core/grid.h"
+#include "obs/metrics.h"
 #include "sim/online_model.h"
 #include "util/rng.h"
 
@@ -88,6 +89,11 @@ class UpdateEngine {
   Grid* grid_;
   const OnlineModel* online_;
   Rng* rng_;
+
+  // Cached registry instruments (owned by the grid; see docs/observability.md).
+  obs::Counter* updates_;   // runs of the propagation algorithm
+  obs::Counter* messages_;  // mirrors MessageStats kUpdate exactly
+  obs::Histogram* fanout_;  // replicas reached per propagation
 };
 
 }  // namespace pgrid

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/export.h"
 #include "util/logging.h"
 #include "util/macros.h"
 
@@ -26,13 +27,30 @@ void RemoveAddr(std::vector<std::string>* v, const std::string& addr) {
 }  // namespace
 
 PGridNode::PGridNode(std::string address, RpcTransport* transport,
-                     const NodeConfig& config, uint64_t seed)
+                     const NodeConfig& config, uint64_t seed,
+                     obs::MetricsRegistry* registry)
     : address_(std::move(address)),
       transport_(transport),
       config_(config),
       rng_(seed) {
   PGRID_CHECK(transport != nullptr);
   PGRID_CHECK(config.Validate().ok());
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_metrics_.get();
+  }
+  metrics_ = registry;
+  c_exchanges_initiated_ = metrics_->GetCounter("node.exchanges_initiated");
+  c_exchanges_served_ = metrics_->GetCounter("node.exchanges_served");
+  c_queries_served_ = metrics_->GetCounter("node.queries_served");
+  c_publishes_served_ = metrics_->GetCounter("node.publishes_served");
+  c_entries_adopted_ = metrics_->GetCounter("node.entries_adopted");
+  c_route_offline_skips_ = metrics_->GetCounter("node.route_offline_skips");
+  c_route_backtracks_ = metrics_->GetCounter("node.route_backtracks");
+  h_route_attempts_ = metrics_->GetHistogram("node.route_attempts", obs::CountBounds());
+  PGRID_CHECK(c_exchanges_initiated_ && c_exchanges_served_ && c_queries_served_ &&
+              c_publishes_served_ && c_entries_adopted_ && c_route_offline_skips_ &&
+              c_route_backtracks_ && h_route_attempts_);
 }
 
 PGridNode::~PGridNode() { Stop(); }
@@ -80,8 +98,13 @@ std::vector<WireEntry> PGridNode::foreign_entries() const {
 }
 
 NodeStats PGridNode::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  NodeStats out;
+  out.exchanges_initiated = c_exchanges_initiated_->value();
+  out.exchanges_served = c_exchanges_served_->value();
+  out.queries_served = c_queries_served_->value();
+  out.publishes_served = c_publishes_served_->value();
+  out.entries_adopted = c_entries_adopted_->value();
+  return out;
 }
 
 std::vector<std::string> PGridNode::KnownPeers() const {
@@ -112,7 +135,7 @@ bool PGridNode::AdoptEntryLocked(const WireEntry& entry) {
     }
   }
   entries_.push_back(entry);
-  ++stats_.entries_adopted;
+  c_entries_adopted_->Increment();
   return true;
 }
 
@@ -176,16 +199,24 @@ std::string PGridNode::Handle(const std::string& from, const std::string& reques
       return HandleCommit(from, request);
     case MsgType::kEntryPushReq:
       return HandleEntryPush(request);
+    case MsgType::kStatsReq:
+      return HandleStats();
     default:
       return EncodeError("unexpected request type");
   }
 }
 
+std::string PGridNode::HandleStats() {
+  StatsResponse resp;
+  resp.json = obs::ToJson(metrics_->Snapshot());
+  return EncodeStatsResponse(resp);
+}
+
 std::string PGridNode::HandleQuery(const std::string& request) {
   Result<QueryRequest> req = DecodeQueryRequest(request);
   if (!req.ok()) return EncodeError(req.status().ToString());
+  c_queries_served_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.queries_served;
   LocalMatch m = MatchLocked(req->key, req->consumed);
   if (m.found) {
     QueryResponseFound resp;
@@ -206,9 +237,9 @@ std::string PGridNode::HandlePublish(const std::string& request) {
   if (!req.ok()) return EncodeError(req.status().ToString());
   PublishAck ack;
   std::vector<std::string> buddies_to_notify;
+  c_publishes_served_->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.publishes_served;
     if (PathsOverlap(path_, req->entry.key)) {
       AdoptEntryLocked(req->entry);
       ack.installed = 1;
@@ -292,9 +323,9 @@ std::string PGridNode::HandleExchange(const std::string& from,
     return {};
   };
 
+  c_exchanges_served_->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.exchanges_served;
     const size_t lc = req.path.CommonPrefixLength(path_);
     const size_t l1 = req.path.length() - lc;
     const size_t l2 = path_.length() - lc;
@@ -398,9 +429,9 @@ Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
   ExchangeRequest req;
   req.initiator = address_;
   req.depth = depth;
+  c_exchanges_initiated_->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.exchanges_initiated;
     req.epoch = epoch_;
     req.path = path_;
     for (size_t level = 1; level <= refs_.size(); ++level) {
@@ -557,6 +588,8 @@ Status PGridNode::Publish(const DataItem& item) {
 }
 
 Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
+  obs::TraceSpan span(trace_, "node.route");
+  if (trace_ != nullptr) span.Event("node.route.key", key.ToString());
   // Depth-first iterative routing: each frame is a candidate address plus the
   // query suffix/consumed level to present to it.
   struct Frame {
@@ -569,7 +602,10 @@ Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     LocalMatch m = MatchLocked(key, 0);
-    if (m.found) return RouteResult{address_, std::move(m.matching)};
+    if (m.found) {
+      h_route_attempts_->Record(0);
+      return RouteResult{address_, std::move(m.matching)};
+    }
     std::vector<std::string> candidates = m.candidates;
     rng_.Shuffle(&candidates);
     for (const std::string& c : candidates) {
@@ -587,12 +623,17 @@ Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
     qreq.consumed = frame.consumed;
     Result<std::string> raw =
         transport_->Call(frame.address, address_, EncodeQueryRequest(qreq));
-    if (!raw.ok()) continue;  // offline candidate: backtrack
+    if (!raw.ok()) {  // offline candidate: backtrack
+      c_route_offline_skips_->Increment();
+      span.Event("node.route.offline_skip", frame.address);
+      continue;
+    }
     Result<MsgType> type = PeekType(*raw);
     if (!type.ok()) continue;
     if (*type == MsgType::kQueryRespFound) {
       Result<QueryResponseFound> resp = DecodeQueryResponseFound(*raw);
       if (!resp.ok()) continue;
+      h_route_attempts_->Record(attempts);
       return RouteResult{std::move(resp->responder), std::move(resp->entries)};
     }
     if (*type == MsgType::kQueryRespForward) {
@@ -606,10 +647,25 @@ Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
       for (const std::string& c : candidates) {
         stack.push_back(Frame{c, resp->remaining, resp->consumed});
       }
+      continue;
     }
     // Miss or error: backtrack to the next candidate.
+    c_route_backtracks_->Increment();
+    span.Event("node.route.backtrack", frame.address);
   }
+  h_route_attempts_->Record(attempts);
   return Status::NotFound("no responsible peer reachable for key " + key.ToString());
+}
+
+Result<std::string> PGridNode::FetchPeerStats(const std::string& peer) {
+  PGRID_ASSIGN_OR_RETURN(std::string raw,
+                         transport_->Call(peer, address_, EncodeStatsRequest()));
+  Result<MsgType> type = PeekType(raw);
+  if (!type.ok() || *type != MsgType::kStatsResp) {
+    return Status::Internal("bad stats response from " + peer);
+  }
+  PGRID_ASSIGN_OR_RETURN(StatsResponse resp, DecodeStatsResponse(raw));
+  return std::move(resp.json);
 }
 
 Result<std::vector<WireEntry>> PGridNode::Search(const KeyPath& key) {

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -33,6 +34,8 @@
 #include "key/key_path.h"
 #include "net/protocol.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/data_store.h"
 #include "util/rng.h"
 
@@ -58,7 +61,9 @@ struct NodeConfig {
   }
 };
 
-/// Point-in-time counters for observability.
+/// Point-in-time copy of a node's protocol counters. The live values are atomic
+/// counters in the node's metrics registry ("node.*" names); this struct is a
+/// convenience snapshot for callers that do not want to walk the registry.
 struct NodeStats {
   uint64_t exchanges_initiated = 0;
   uint64_t exchanges_served = 0;
@@ -71,8 +76,11 @@ struct NodeStats {
 class PGridNode {
  public:
   /// `transport` must outlive the node. The node does not serve until Start().
+  /// `registry` is where the node's counters live; pass one shared with the
+  /// transport to scrape both through a single kStats request, or null to let
+  /// the node own a private registry.
   PGridNode(std::string address, RpcTransport* transport, const NodeConfig& config,
-            uint64_t seed);
+            uint64_t seed, obs::MetricsRegistry* registry = nullptr);
   ~PGridNode();
 
   PGridNode(const PGridNode&) = delete;
@@ -105,7 +113,20 @@ class PGridNode {
   /// buddies, deduplicated). The gossip pool for autonomous meeting loops.
   std::vector<std::string> KnownPeers() const;
 
+  /// Snapshot of the protocol counters (reads the registry atomics; lock-free).
   NodeStats stats() const;
+
+  /// The registry backing this node's counters (shared or owned, see ctor).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Optional per-operation trace sink (null = tracing off). The recorder must
+  /// outlive the node.
+  void SetTraceRecorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
+
+  /// Scrapes `peer`'s metrics registry over the transport (a kStats request) and
+  /// returns the JSON snapshot it answered with.
+  Result<std::string> FetchPeerStats(const std::string& peer);
 
   /// Runs one exchange with `peer` (the paper's exchange(this, peer, 0)).
   /// Unavailable if the peer cannot be reached; OK even if the exchange was
@@ -135,6 +156,7 @@ class PGridNode {
 
   // ---- handler side ----
   std::string Handle(const std::string& from, const std::string& request);
+  std::string HandleStats();
   std::string HandleQuery(const std::string& request);
   std::string HandlePublish(const std::string& request);
   std::string HandleExchange(const std::string& from, const std::string& request);
@@ -184,8 +206,21 @@ class PGridNode {
   DataStore store_;
   uint64_t epoch_ = 0;
   Rng rng_;
-  NodeStats stats_;
   bool serving_ = false;
+
+  // Registry-backed protocol counters: handler threads bump these concurrently,
+  // so they must be atomic -- which registry counters are by construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // set iff none was passed
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* c_exchanges_initiated_;
+  obs::Counter* c_exchanges_served_;
+  obs::Counter* c_queries_served_;
+  obs::Counter* c_publishes_served_;
+  obs::Counter* c_entries_adopted_;
+  obs::Counter* c_route_offline_skips_;
+  obs::Counter* c_route_backtracks_;
+  obs::Histogram* h_route_attempts_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace net

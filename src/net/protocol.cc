@@ -171,6 +171,22 @@ std::string EncodeCommitRequest(const CommitRequest& m) {
 
 std::string EncodeCommitAck() { return Tagged(MsgType::kCommitAck).Take(); }
 
+std::string EncodeStatsRequest() { return Tagged(MsgType::kStatsReq).Take(); }
+
+std::string EncodeStatsResponse(const StatsResponse& m) {
+  ByteWriter w = Tagged(MsgType::kStatsResp);
+  w.WriteString(m.json);
+  return w.Take();
+}
+
+Result<StatsResponse> DecodeStatsResponse(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kStatsResp));
+  StatsResponse m;
+  PGRID_ASSIGN_OR_RETURN(m.json, r.ReadString());
+  return m;
+}
+
 Result<CommitRequest> DecodeCommitRequest(const std::string& payload) {
   ByteReader r(payload);
   PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kCommitReq));
@@ -184,7 +200,7 @@ Result<MsgType> PeekType(const std::string& payload) {
   if (payload.empty()) return Status::InvalidArgument("empty message");
   const uint8_t tag = static_cast<uint8_t>(payload[0]);
   if (tag < static_cast<uint8_t>(MsgType::kPing) ||
-      tag > static_cast<uint8_t>(MsgType::kCommitAck)) {
+      tag > static_cast<uint8_t>(MsgType::kStatsResp)) {
     return Status::InvalidArgument("unknown message type " + std::to_string(tag));
   }
   return static_cast<MsgType>(tag);

@@ -15,6 +15,10 @@
 //   - EntryPush       hand over index entries (data reconciliation after splits);
 //                     the receiver returns the entries it rejected so nothing is
 //                     ever silently dropped.
+//   - Stats           remote scrape: the target answers with a JSON snapshot of
+//                     its metrics registry (see docs/observability.md), so any
+//                     node in a deployment can be monitored over the ordinary
+//                     transport without a side channel.
 //
 // Every message is length-safe to decode (see wire.h); malformed input yields an
 // error response rather than a crash.
@@ -49,6 +53,8 @@ enum class MsgType : uint8_t {
   kError = 13,
   kCommitReq = 14,
   kCommitAck = 15,
+  kStatsReq = 16,
+  kStatsResp = 17,
 };
 
 /// An index entry on the wire: holders are transport addresses.
@@ -130,6 +136,15 @@ struct CommitRequest {
   uint8_t bit = 0;
 };
 
+// ---- Stats ----
+
+/// Remote metrics scrape. The JSON document is the registry snapshot produced by
+/// obs::ToJson (kept as an opaque string on the wire so the metric schema can
+/// evolve without protocol changes).
+struct StatsResponse {
+  std::string json;
+};
+
 // ---- EntryPush ----
 
 struct EntryPushRequest {
@@ -157,6 +172,8 @@ std::string EncodeEntryPushRequest(const EntryPushRequest& m);
 std::string EncodeEntryPushResponse(const EntryPushResponse& m);
 std::string EncodeCommitRequest(const CommitRequest& m);
 std::string EncodeCommitAck();
+std::string EncodeStatsRequest();
+std::string EncodeStatsResponse(const StatsResponse& m);
 
 /// Reads the leading type tag (does not consume anything else).
 Result<MsgType> PeekType(const std::string& payload);
@@ -171,6 +188,7 @@ Result<ExchangeResponse> DecodeExchangeResponse(const std::string& payload);
 Result<EntryPushRequest> DecodeEntryPushRequest(const std::string& payload);
 Result<EntryPushResponse> DecodeEntryPushResponse(const std::string& payload);
 Result<CommitRequest> DecodeCommitRequest(const std::string& payload);
+Result<StatsResponse> DecodeStatsResponse(const std::string& payload);
 Result<std::string> DecodeError(const std::string& payload);
 
 }  // namespace net

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/macros.h"
 
 namespace pgrid {
 namespace net {
@@ -94,6 +95,26 @@ struct TcpTransport::Server {
   }
 };
 
+TcpTransport::TcpTransport(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_metrics_.get();
+  }
+  metrics_ = registry;
+  c_calls_ = metrics_->GetCounter("rpc.calls");
+  c_connect_errors_ = metrics_->GetCounter("rpc.connect_errors");
+  c_timeouts_ = metrics_->GetCounter("rpc.timeouts");
+  c_bytes_sent_ = metrics_->GetCounter("rpc.bytes_sent");
+  c_bytes_received_ = metrics_->GetCounter("rpc.bytes_received");
+  c_requests_served_ = metrics_->GetCounter("rpc.requests_served");
+  h_call_latency_us_ = metrics_->GetHistogram("rpc.call_latency_us", obs::LatencyBoundsUs());
+  h_request_bytes_ = metrics_->GetHistogram("rpc.request_bytes", obs::SizeBoundsBytes());
+  h_response_bytes_ = metrics_->GetHistogram("rpc.response_bytes", obs::SizeBoundsBytes());
+  PGRID_CHECK(c_calls_ && c_connect_errors_ && c_timeouts_ && c_bytes_sent_ &&
+              c_bytes_received_ && c_requests_served_ && h_call_latency_us_ &&
+              h_request_bytes_ && h_response_bytes_);
+}
+
 TcpTransport::~TcpTransport() {
   std::vector<std::string> addresses;
   {
@@ -160,7 +181,10 @@ Status TcpTransport::ServeInternal(const std::string& host, int port, Handler ha
   }
 
   const int timeout_ms = timeout_ms_;
-  server->acceptor = std::thread([server, timeout_ms]() {
+  // The served counter is safe to capture raw: StopServing (and thus the
+  // transport destructor) joins the acceptor and waits for connection threads.
+  obs::Counter* served = c_requests_served_;
+  server->acceptor = std::thread([server, timeout_ms, served]() {
     while (!server->stopping.load()) {
       int conn = ::accept(server->listen_fd, nullptr, nullptr);
       if (conn < 0) {
@@ -171,7 +195,7 @@ Status TcpTransport::ServeInternal(const std::string& host, int port, Handler ha
       int flag = 1;
       ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
       server->active_connections.fetch_add(1);
-      std::thread([server, conn]() {
+      std::thread([server, conn, served]() {
         std::string frame;
         if (ReadFrame(conn, &frame)) {
           // Frame: u32 from-length + from + request payload.
@@ -183,6 +207,7 @@ Status TcpTransport::ServeInternal(const std::string& host, int port, Handler ha
               from.assign(frame, 4, from_len);
               request.assign(frame, 4 + from_len, std::string::npos);
               std::string response = server->handler(from, request);
+              served->Increment();
               WriteFrame(conn, response);
             }
           }
@@ -218,6 +243,8 @@ void TcpTransport::StopServing(const std::string& address) {
 
 Result<std::string> TcpTransport::Call(const std::string& to, const std::string& from,
                                        const std::string& request) {
+  c_calls_->Increment();
+  const auto start = std::chrono::steady_clock::now();
   std::string host;
   int port = 0;
   PGRID_RETURN_IF_ERROR(ParseAddress(to, &host, &port));
@@ -237,6 +264,7 @@ Result<std::string> TcpTransport::Call(const std::string& to, const std::string&
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
+    c_connect_errors_->Increment();
     return Status::Unavailable("connect to " + to + " failed");
   }
 
@@ -247,14 +275,24 @@ Result<std::string> TcpTransport::Call(const std::string& to, const std::string&
   frame.append(request);
   if (!WriteFrame(fd, frame)) {
     ::close(fd);
+    c_timeouts_->Increment();
     return Status::Unavailable("send to " + to + " failed");
   }
+  c_bytes_sent_->Increment(4 + frame.size());
+  h_request_bytes_->Record(request.size());
   std::string response;
   if (!ReadFrame(fd, &response)) {
     ::close(fd);
+    c_timeouts_->Increment();
     return Status::Unavailable("no response from " + to);
   }
   ::close(fd);
+  c_bytes_received_->Increment(4 + response.size());
+  h_response_bytes_->Record(response.size());
+  h_call_latency_us_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   return response;
 }
 

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace pgrid {
 namespace net {
@@ -25,7 +26,10 @@ namespace net {
 /// RPC transport over TCP sockets.
 class TcpTransport : public RpcTransport {
  public:
-  TcpTransport() = default;
+  /// `registry` is where the transport's RPC metrics live ("rpc.*" names); pass
+  /// one shared with the node it carries so a single kStats scrape covers both,
+  /// or null to let the transport own a private registry.
+  explicit TcpTransport(obs::MetricsRegistry* registry = nullptr);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -43,6 +47,9 @@ class TcpTransport : public RpcTransport {
   /// Per-call socket timeout (connect/read/write), milliseconds.
   void set_timeout_ms(int ms) { timeout_ms_ = ms; }
 
+  /// The registry backing the transport's RPC metrics (shared or owned).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
  private:
   struct Server;
 
@@ -52,6 +59,19 @@ class TcpTransport : public RpcTransport {
   std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Server>> servers_;
   int timeout_ms_ = 5000;
+
+  // Client-side RPC instruments, cached once at construction (see Call).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // set iff none was passed
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* c_calls_;
+  obs::Counter* c_connect_errors_;
+  obs::Counter* c_timeouts_;
+  obs::Counter* c_bytes_sent_;
+  obs::Counter* c_bytes_received_;
+  obs::Counter* c_requests_served_;
+  obs::Histogram* h_call_latency_us_;
+  obs::Histogram* h_request_bytes_;
+  obs::Histogram* h_response_bytes_;
 };
 
 }  // namespace net

@@ -1,0 +1,151 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace pgrid {
+namespace obs {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "pgrid_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string pname = PrometheusName(h.name);
+    out << "# TYPE " << pname << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out << pname << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << pname << "_sum " << h.sum << "\n";
+    out << pname << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void AppendHistogramJson(std::ostringstream& out, const HistogramSnapshot& h,
+                         const char* indent) {
+  out << "{\n";
+  out << indent << "  \"count\": " << h.count << ",\n";
+  out << indent << "  \"sum\": " << h.sum << ",\n";
+  out << indent << "  \"min\": " << h.min << ",\n";
+  out << indent << "  \"max\": " << h.max << ",\n";
+  out << indent << "  \"p50\": " << h.p50 << ",\n";
+  out << indent << "  \"p95\": " << h.p95 << ",\n";
+  out << indent << "  \"p99\": " << h.p99 << ",\n";
+  out << indent << "  \"bounds\": [";
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << h.bounds[i];
+  }
+  out << "],\n";
+  out << indent << "  \"buckets\": [";
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << h.buckets[i];
+  }
+  out << "]\n";
+  out << indent << "}";
+}
+
+}  // namespace
+
+std::string ToJson(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << JsonEscape(snapshot.counters[i].first)
+        << "\": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << JsonEscape(snapshot.gauges[i].first)
+        << "\": " << snapshot.gauges[i].second;
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << JsonEscape(snapshot.histograms[i].name) << "\": ";
+    AppendHistogramJson(out, snapshot.histograms[i], "    ");
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string TraceToJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "  {\"trace_id\": " << e.trace_id << ", \"name\": \""
+        << JsonEscape(e.name) << "\", \"detail\": \"" << JsonEscape(e.detail)
+        << "\", \"ts_ns\": " << e.ts_ns << ", \"dur_ns\": " << e.dur_ns
+        << ", \"depth\": " << e.depth << "}";
+  }
+  out << (events.empty() ? "" : "\n") << "]\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace pgrid

@@ -1,0 +1,40 @@
+// Exporters: turn registry snapshots and trace buffers into the two formats every
+// external system speaks -- the Prometheus text exposition format and JSON.
+//
+// Metric names inside the registry are dotted ("search.messages"); the Prometheus
+// exporter maps them to the conventional form with a `pgrid_` prefix and
+// underscores ("pgrid_search_messages"). The JSON exporter keeps the dotted names
+// verbatim. Both outputs are deterministic (instruments sorted by name) so golden
+// tests can compare whole documents.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pgrid {
+namespace obs {
+
+/// Prometheus text exposition format (one # TYPE line per instrument; histograms
+/// expand to cumulative _bucket{le=...} series plus _sum and _count).
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+
+/// Pretty-printed JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, min, max, p50, p95, p99, bounds, buckets}}}.
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+/// JSON array of trace event objects, in recording order.
+std::string TraceToJson(const std::vector<TraceEvent>& events);
+
+/// Maps a dotted registry name to its Prometheus name: "search.messages" ->
+/// "pgrid_search_messages" (any character outside [a-zA-Z0-9_] becomes '_').
+std::string PrometheusName(const std::string& name);
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace pgrid

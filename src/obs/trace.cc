@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+
+namespace pgrid {
+namespace obs {
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceRecorder::NowNs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+uint64_t TraceRecorder::BeginTrace(std::string_view name) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return id;  // id is still valid for Event/EndTrace; they will drop too
+  }
+  TraceEvent e;
+  e.trace_id = id;
+  e.name = std::string(name);
+  e.ts_ns = now;
+  open_.emplace_back(id, events_.size());
+  events_.push_back(std::move(e));
+  return id;
+}
+
+void TraceRecorder::EndTrace(uint64_t trace_id) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [trace_id](const auto& p) { return p.first == trace_id; });
+  if (it == open_.end()) return;
+  TraceEvent& begin = events_[it->second];
+  begin.dur_ns = now > begin.ts_ns ? now - begin.ts_ns : 0;
+  open_.erase(it);
+}
+
+void TraceRecorder::Event(uint64_t trace_id, std::string_view name,
+                          std::string_view detail, uint32_t depth) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent e;
+  e.trace_id = trace_id;
+  e.name = std::string(name);
+  e.detail = std::string(detail);
+  e.ts_ns = now;
+  e.depth = depth;
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  open_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ToJson() const { return TraceToJson(events()); }
+
+}  // namespace obs
+}  // namespace pgrid

@@ -1,0 +1,114 @@
+// Structured per-operation traces: what happened inside one query, exchange, or
+// update, with nanosecond timing from a steady clock.
+//
+// A trace is a span (BeginTrace/EndTrace, or the RAII TraceSpan) plus any number
+// of point events attached to its id: search hops including backtracks and
+// offline skips, exchange recursion steps, update fan-out. Events carry the
+// nesting depth so a hop tree can be reconstructed offline. The recorder is
+// bounded: once `capacity` events are buffered, further events are counted in
+// dropped() instead of growing memory -- tracing a heavy run degrades gracefully
+// instead of taking the process down.
+//
+// Engines take the recorder as an optional pointer (nullptr = tracing off) and
+// every recording call tolerates null, so instrumented hot paths cost one branch
+// when tracing is disabled.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgrid {
+namespace obs {
+
+/// One trace record. Spans have dur_ns > 0 once ended; point events have 0.
+struct TraceEvent {
+  uint64_t trace_id = 0;   ///< groups all events of one operation
+  std::string name;        ///< e.g. "search.query", "search.hop"
+  std::string detail;      ///< free-form context ("peer=17 level=3")
+  uint64_t ts_ns = 0;      ///< steady-clock ns since recorder construction
+  uint64_t dur_ns = 0;     ///< span duration; 0 for point events / open spans
+  uint32_t depth = 0;      ///< hop / recursion depth within the operation
+};
+
+/// Thread-safe bounded event recorder.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 1 << 16);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span and returns its trace id (never 0).
+  uint64_t BeginTrace(std::string_view name);
+
+  /// Closes the span: fills dur_ns on its begin event. Unknown ids are ignored
+  /// (the begin event may have been dropped at capacity).
+  void EndTrace(uint64_t trace_id);
+
+  /// Appends a point event to an open or closed trace.
+  void Event(uint64_t trace_id, std::string_view name, std::string_view detail = {},
+             uint32_t depth = 0);
+
+  /// Copy of all buffered events, in recording order.
+  std::vector<TraceEvent> events() const;
+
+  /// Events discarded because the buffer was full.
+  uint64_t dropped() const;
+
+  /// Number of buffered events.
+  size_t size() const;
+
+  void Clear();
+
+  /// JSON array of event objects (schema documented in docs/observability.md).
+  std::string ToJson() const;
+
+  /// Nanoseconds since recorder construction (steady clock).
+  uint64_t NowNs() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  // Open spans: (trace_id, index into events_); small and short-lived.
+  std::vector<std::pair<uint64_t, size_t>> open_;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span: begins on construction, ends on destruction. A null recorder makes
+/// every operation a no-op, so call sites need no branching of their own.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, std::string_view name)
+      : recorder_(recorder),
+        id_(recorder == nullptr ? 0 : recorder->BeginTrace(name)) {}
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) recorder_->EndTrace(id_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a point event to this span (no-op without a recorder).
+  void Event(std::string_view name, std::string_view detail = {},
+             uint32_t depth = 0) {
+    if (recorder_ != nullptr) recorder_->Event(id_, name, detail, depth);
+  }
+
+  uint64_t id() const { return id_; }
+
+ private:
+  TraceRecorder* recorder_;
+  uint64_t id_;
+};
+
+}  // namespace obs
+}  // namespace pgrid

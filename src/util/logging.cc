@@ -1,10 +1,15 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <functional>
+#include <iomanip>
 #include <mutex>
+#include <thread>
 
 namespace pgrid {
 namespace {
@@ -50,8 +55,25 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
   if (enabled_) {
+    // Wall-clock timestamp with millisecond precision.
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    char ts[32];
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%S", &tm);
+    // A short stable per-thread tag (the full std::thread::id is unwieldy).
+    const auto tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff;
     const char* base = std::strrchr(file, '/');
-    stream_ << "[" << LevelName(level_) << " " << (base ? base + 1 : file) << ":" << line
+    stream_ << "[" << ts << "." << std::setw(3) << std::setfill('0') << ms
+            << std::setfill(' ') << " " << LevelName(level_) << " " << std::hex
+            << std::setw(6) << std::setfill('0') << tid << std::setfill(' ')
+            << std::dec << " " << (base ? base + 1 : file) << ":" << line
             << "] ";
   }
 }

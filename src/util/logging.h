@@ -1,8 +1,16 @@
 // Minimal leveled logging to stderr.
 //
 // Usage: PGRID_LOG(Info) << "built grid with " << n << " peers";
+// Every line carries a wall-clock timestamp, the level tag, the thread id, and
+// the source location:
+//   [2026-08-05T12:34:56.789 INFO 7f3a1c source.cc:42] built grid with 64 peers
 // The global level defaults to Warning so library code is silent in tests and
 // benchmarks unless explicitly enabled (SetLogLevel or PGRID_LOG_LEVEL env var).
+//
+// Debug statements on hot paths use PGRID_DLOG: the whole streaming expression
+// sits behind the level check, so operands are not even evaluated (zero
+// formatting cost) unless the debug level is enabled.
+//   PGRID_DLOG << "exchange " << a << "<->" << b << " depth " << depth;
 
 #pragma once
 
@@ -48,8 +56,22 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a LogMessage in the dead branch of PGRID_DLOG. `&` binds looser
+/// than `<<`, so the whole streamed chain is its single (unevaluated) operand.
+struct Voidify {
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace internal
 }  // namespace pgrid
 
 #define PGRID_LOG(severity)                                                      \
   ::pgrid::internal::LogMessage(::pgrid::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// Debug logging whose operands cost nothing when the debug level is disabled:
+/// the ternary short-circuits before the LogMessage (and every streamed operand)
+/// is constructed.
+#define PGRID_DLOG                                                               \
+  (::pgrid::GetLogLevel() > ::pgrid::LogLevel::kDebug)                           \
+      ? (void)0                                                                  \
+      : ::pgrid::internal::Voidify() & PGRID_LOG(Debug)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace pgrid {
@@ -143,6 +144,44 @@ TEST(CliTest, StartOutOfRangeFails) {
   CliResult r = RunArgs({"search", "--in=" + file, "--key=01", "--start=999"});
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.err.find("out of range"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, MetricsJsonFlagDumpsRegistry) {
+  const std::string file = TempSnapshot("cli_metrics.pgrid");
+  const std::string metrics = TempSnapshot("cli_metrics.json");
+  ASSERT_EQ(RunArgs({"build", "--peers=64", "--maxl=4", "--out=" + file}).exit_code,
+            0);
+
+  CliResult r = RunArgs({"bench-search", "--in=" + file, "--queries=100",
+                         "--online=0.5", "--metrics-json=" + metrics});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("metrics written to"), std::string::npos);
+
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  // The run's counters are present and the document has the exporter's shape.
+  EXPECT_EQ(json.rfind("{\n", 0), 0u);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"search.messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"search.queries\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"search.hops\""), std::string::npos);
+
+  std::remove(file.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(CliTest, MetricsJsonToUnwritablePathFails) {
+  const std::string file = TempSnapshot("cli_metrics_bad.pgrid");
+  ASSERT_EQ(RunArgs({"build", "--peers=32", "--maxl=3", "--out=" + file}).exit_code,
+            0);
+  CliResult r = RunArgs({"search", "--in=" + file, "--key=01",
+                         "--metrics-json=/nonexistent-dir/metrics.json"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
   std::remove(file.c_str());
 }
 

@@ -1,0 +1,145 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pgrid {
+namespace obs {
+namespace {
+
+TEST(PrometheusNameTest, MapsDotsAndKeepsLegalChars) {
+  EXPECT_EQ(PrometheusName("search.messages"), "pgrid_search_messages");
+  EXPECT_EQ(PrometheusName("rpc.call_latency_us"), "pgrid_rpc_call_latency_us");
+  EXPECT_EQ(PrometheusName("weird-name:x"), "pgrid_weird_name_x");
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+/// A small fixed registry both golden tests share.
+RegistrySnapshot GoldenSnapshot() {
+  MetricsRegistry reg;
+  reg.GetCounter("search.messages")->Increment(42);
+  reg.GetCounter("exchange.count")->Increment(7);
+  reg.GetGauge("queue.depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("search.hops", {1, 2, 4});
+  h->Record(1);
+  h->Record(2);
+  h->Record(2);
+  h->Record(9);  // overflow
+  return reg.Snapshot();
+}
+
+TEST(PrometheusExportTest, GoldenOutput) {
+  const std::string expected =
+      "# TYPE pgrid_exchange_count counter\n"
+      "pgrid_exchange_count 7\n"
+      "# TYPE pgrid_search_messages counter\n"
+      "pgrid_search_messages 42\n"
+      "# TYPE pgrid_queue_depth gauge\n"
+      "pgrid_queue_depth -3\n"
+      "# TYPE pgrid_search_hops histogram\n"
+      "pgrid_search_hops_bucket{le=\"1\"} 1\n"
+      "pgrid_search_hops_bucket{le=\"2\"} 3\n"
+      "pgrid_search_hops_bucket{le=\"4\"} 3\n"
+      "pgrid_search_hops_bucket{le=\"+Inf\"} 4\n"
+      "pgrid_search_hops_sum 14\n"
+      "pgrid_search_hops_count 4\n";
+  EXPECT_EQ(ToPrometheusText(GoldenSnapshot()), expected);
+}
+
+/// Structural sanity of the Prometheus text format: every non-comment line is
+/// "name[{labels}] value", every histogram's +Inf bucket equals its _count, and
+/// cumulative bucket counts never decrease.
+TEST(PrometheusExportTest, OutputParses) {
+  const std::string text = ToPrometheusText(GoldenSnapshot());
+  std::istringstream in(text);
+  std::string line;
+  uint64_t prev_bucket = 0;
+  bool in_histogram = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      in_histogram = line.find(" histogram") != std::string::npos;
+      prev_bucket = 0;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(name.empty()) << line;
+    ASSERT_FALSE(value.empty()) << line;
+    // The value must be an integer (possibly negative for gauges).
+    size_t pos = 0;
+    (void)std::stoll(value, &pos);
+    EXPECT_EQ(pos, value.size()) << line;
+    if (in_histogram && name.find("_bucket{") != std::string::npos) {
+      const uint64_t v = std::stoull(value);
+      EXPECT_GE(v, prev_bucket) << "cumulative buckets must not decrease: " << line;
+      prev_bucket = v;
+    }
+  }
+}
+
+TEST(JsonExportTest, GoldenOutput) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"exchange.count\": 7,\n"
+      "    \"search.messages\": 42\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"queue.depth\": -3\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"search.hops\": {\n"
+      "      \"count\": 4,\n"
+      "      \"sum\": 14,\n"
+      "      \"min\": 1,\n"
+      "      \"max\": 9,\n"
+      "      \"p50\": 2,\n"
+      "      \"p95\": 9,\n"
+      "      \"p99\": 9,\n"
+      "      \"bounds\": [1, 2, 4],\n"
+      "      \"buckets\": [1, 2, 0, 1]\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(ToJson(GoldenSnapshot()), expected);
+}
+
+TEST(JsonExportTest, EmptyRegistry) {
+  MetricsRegistry reg;
+  EXPECT_EQ(ToJson(reg.Snapshot()),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+}
+
+TEST(TraceJsonTest, EmptyAndNonEmpty) {
+  EXPECT_EQ(TraceToJson({}), "[]\n");
+  TraceEvent e;
+  e.trace_id = 3;
+  e.name = "search.hop";
+  e.detail = "peer=1";
+  e.ts_ns = 100;
+  e.dur_ns = 0;
+  e.depth = 2;
+  const std::string json = TraceToJson({e});
+  EXPECT_EQ(json,
+            "[\n  {\"trace_id\": 3, \"name\": \"search.hop\", \"detail\": "
+            "\"peer=1\", \"ts_ns\": 100, \"dur_ns\": 0, \"depth\": 2}\n]\n");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pgrid

@@ -198,5 +198,70 @@ TEST(SearchTest, ReadVersionSeesNewVersionAfterFullPropagation) {
   EXPECT_EQ(r.version, 2u);
 }
 
+TEST(SearchTest, MetricsLedgerAgreesWithMessageStats) {
+  // The acceptance contract of the observability layer: the registry counter
+  // "search.messages" and the paper's MessageStats ledger count the same
+  // messages, so either can be used to reproduce the paper's numbers.
+  auto built = testing_util::Build(96, 4, 2, 2, 21);
+  Rng rng(22);
+  OnlineModel online(OnlineMode::kSnapshot, built.grid->size(), 0.5, &rng);
+  SearchEngine search(built.grid.get(), &online, &rng);
+  const uint64_t queries_before = built.grid->stats().count(MessageType::kQuery);
+  ASSERT_EQ(queries_before, 0u);
+
+  size_t found = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (t % 50 == 0) online.Resample(&rng);
+    auto start = search.RandomOnlinePeer();
+    if (!start.has_value()) continue;
+    QueryResult r = search.Query(*start, KeyPath::Random(&rng, 4));
+    if (r.found) ++found;
+  }
+  ASSERT_GT(found, 0u);
+
+  const obs::RegistrySnapshot snap = built.grid->metrics().Snapshot();
+  uint64_t messages = 0, queries = 0, failures = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "search.messages") messages = value;
+    if (name == "search.queries") queries = value;
+    if (name == "search.failures") failures = value;
+  }
+  EXPECT_EQ(messages, built.grid->stats().count(MessageType::kQuery));
+  EXPECT_GT(messages, 0u);
+  EXPECT_EQ(queries, 200u);
+  EXPECT_EQ(found, queries - failures);
+
+  // The hop histogram saw exactly the successful queries.
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == "search.hops") {
+      EXPECT_EQ(h.count, found);
+    }
+  }
+}
+
+TEST(SearchTest, TraceRecorderCapturesQuerySpans) {
+  auto built = testing_util::Build(64, 4, 2, 2, 23);
+  Rng rng(24);
+  obs::TraceRecorder trace;
+  built.grid->SetTraceRecorder(&trace);
+  SearchEngine search(built.grid.get(), nullptr, &rng);
+  QueryResult r = search.Query(0, KeyPath::Random(&rng, 4));
+  ASSERT_TRUE(r.found);
+
+  std::vector<obs::TraceEvent> events = trace.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].name, "search.query");
+  EXPECT_GT(events[0].dur_ns, 0u);
+  // Every hop event belongs to the query's span.
+  size_t hops = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "search.hop") {
+      EXPECT_EQ(e.trace_id, events[0].trace_id);
+      ++hops;
+    }
+  }
+  EXPECT_EQ(hops, r.hops);
+}
+
 }  // namespace
 }  // namespace pgrid

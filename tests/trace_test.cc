@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pgrid {
+namespace obs {
+namespace {
+
+TEST(TraceRecorderTest, SpanLifecycle) {
+  TraceRecorder rec;
+  uint64_t id = rec.BeginTrace("search.query");
+  ASSERT_NE(id, 0u);
+  rec.Event(id, "search.hop", "peer=3", /*depth=*/1);
+  rec.EndTrace(id);
+
+  std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, id);
+  EXPECT_EQ(events[0].name, "search.query");
+  EXPECT_GT(events[0].dur_ns, 0u);  // filled by EndTrace
+  EXPECT_EQ(events[1].name, "search.hop");
+  EXPECT_EQ(events[1].detail, "peer=3");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[1].dur_ns, 0u);  // point event
+  EXPECT_GE(events[1].ts_ns, events[0].ts_ns);
+}
+
+TEST(TraceRecorderTest, DistinctTraceIds) {
+  TraceRecorder rec;
+  uint64_t a = rec.BeginTrace("a");
+  uint64_t b = rec.BeginTrace("b");
+  EXPECT_NE(a, b);
+  rec.EndTrace(a);
+  rec.EndTrace(b);
+}
+
+TEST(TraceRecorderTest, CapacityBoundsBufferAndCountsDropped) {
+  TraceRecorder rec(/*capacity=*/4);
+  uint64_t id = rec.BeginTrace("op");
+  for (int i = 0; i < 10; ++i) rec.Event(id, "e");
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 7u);  // 1 begin + 10 events - 4 kept
+  rec.EndTrace(id);              // ignored gracefully even at capacity
+}
+
+TEST(TraceRecorderTest, EndOfUnknownTraceIsIgnored) {
+  TraceRecorder rec;
+  rec.EndTrace(12345);
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceRecorderTest, ClearResetsBuffer) {
+  TraceRecorder rec;
+  uint64_t id = rec.BeginTrace("op");
+  rec.EndTrace(id);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorderTest, ToJsonContainsEventFields) {
+  TraceRecorder rec;
+  uint64_t id = rec.BeginTrace("update.propagate");
+  rec.Event(id, "update.reached", "replicas=5");
+  rec.EndTrace(id);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"update.propagate\""), std::string::npos);
+  EXPECT_NE(json.find("\"replicas=5\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur_ns\""), std::string::npos);
+}
+
+TEST(TraceSpanTest, RecordsBeginAndEnd) {
+  TraceRecorder rec;
+  {
+    TraceSpan span(&rec, "exchange");
+    span.Event("exchange.recurse", "a=1 b=2", /*depth=*/1);
+  }
+  std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "exchange");
+  EXPECT_GT(events[0].dur_ns, 0u);
+  EXPECT_EQ(events[1].trace_id, events[0].trace_id);
+}
+
+TEST(TraceSpanTest, NullRecorderIsNoop) {
+  TraceSpan span(nullptr, "anything");
+  span.Event("e", "detail");
+  EXPECT_EQ(span.id(), 0u);
+  // Destruction must not crash either.
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pgrid

@@ -14,7 +14,10 @@
 // Flags: --listen=HOST:PORT (required), --join=HOST:PORT, --maxl, --refmax,
 //        --recmax, --fanout, --gossip_ms (default 500), --seed,
 //        --rounds (exit after N gossip rounds; 0 = run until SIGINT/SIGTERM),
-//        --publish=BITS:PAYLOAD (publish one item after joining; repeatable).
+//        --publish=BITS:PAYLOAD (publish one item after joining; repeatable),
+//        --metrics-json=FILE (dump the metrics registry as JSON on shutdown;
+//        while running, any peer can scrape the same registry with a kStats
+//        request -- see docs/observability.md).
 //
 // Status lines go to stdout once per ~10 gossip rounds.
 
@@ -28,7 +31,10 @@
 
 #include "net/node.h"
 #include "net/tcp_transport.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace {
@@ -74,9 +80,12 @@ int main(int argc, char** argv) {
   config.recmax = static_cast<size_t>(recmax.value());
   config.recursion_fanout = static_cast<size_t>(fanout.value());
 
-  pgrid::net::TcpTransport transport;
+  // One registry shared by the transport and the node: a single kStats scrape
+  // (or the shutdown dump below) covers both the protocol and the RPC layer.
+  pgrid::obs::MetricsRegistry registry;
+  pgrid::net::TcpTransport transport(&registry);
   pgrid::net::PGridNode node(listen, &transport, config,
-                             static_cast<uint64_t>(seed.value()));
+                             static_cast<uint64_t>(seed.value()), &registry);
   if (pgrid::Status s = node.Start(); !s.ok()) {
     std::fprintf(stderr, "error: cannot serve %s: %s\n", listen.c_str(),
                  s.ToString().c_str());
@@ -139,6 +148,7 @@ int main(int argc, char** argv) {
     }
     if (!contacts.empty()) {
       const std::string& target = contacts[rng.UniformIndex(contacts.size())];
+      PGRID_DLOG << "round " << round << ": gossip meet with " << target;
       (void)node.MeetWith(target);
     }
     if (round % 10 == 0) {
@@ -157,5 +167,16 @@ int main(int argc, char** argv) {
   std::printf("shutting down %s (final path %s)\n", listen.c_str(),
               node.path().ToString().c_str());
   node.Stop();
+  if (flags.Has("metrics-json")) {
+    const std::string file = flags.GetString("metrics-json", "");
+    if (FILE* f = std::fopen(file.c_str(), "w")) {
+      const std::string json = pgrid::obs::ToJson(registry.Snapshot());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", file.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
+    }
+  }
   return 0;
 }
