@@ -1,0 +1,153 @@
+// NR: networked search reliability under scripted message loss.
+//
+// The SR experiment (Sec. 5.2) replayed over the real node + transport stack:
+// a community of networked peers self-organizes over an in-process bus wrapped
+// in the seeded fault-injection layer, then random-key searches run while the
+// layer drops a configurable fraction of all messages. Printed side by side:
+// the single-shot baseline and the same scenario with the retry policy armed,
+// plus the retry layer's own counters -- the cost of the recovered reliability.
+//
+// Everything is seeded; a given flag set reproduces the identical scenario.
+//
+// Flags: --peers, --maxl, --refmax, --meetings, --queries, --drop,
+//        --attempts, --backoff_ms, --multiplier, --max_backoff_ms,
+//        --deadline_ms, --seed, --metrics-json=FILE (dump the retry run's
+//        shared registry).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/fault_transport.h"
+#include "net/inproc_transport.h"
+#include "net/node.h"
+#include "util/macros.h"
+
+namespace pgrid {
+namespace {
+
+struct RunResult {
+  size_t ok = 0;
+  uint64_t retries = 0;
+  uint64_t exhausted = 0;
+  uint64_t dropped = 0;
+  std::string metrics_json;
+};
+
+RunResult RunScenario(size_t n, size_t maxl, size_t refmax, size_t meetings,
+                      size_t queries, double drop, uint64_t seed,
+                      const net::RetryConfig& retry) {
+  obs::MetricsRegistry registry;
+  net::InProcTransport inner;
+  net::FaultInjectingTransport faults(&inner, seed, &registry);
+  net::NodeConfig config;
+  config.maxl = maxl;
+  config.refmax = refmax;
+  config.retry = retry;
+  std::vector<std::unique_ptr<net::PGridNode>> nodes;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<net::PGridNode>(
+        "node:" + std::to_string(i), &faults, config, seed * 1000 + i,
+        &registry));
+    PGRID_CHECK(nodes.back()->Start().ok());
+  }
+  Rng rng(seed);
+  for (size_t m = 0; m < meetings; ++m) {
+    const size_t a = rng.UniformIndex(n);
+    const size_t b = rng.UniformIndex(n);
+    if (a != b) (void)nodes[a]->MeetWith(nodes[b]->address());
+  }
+
+  if (drop > 0) faults.DropWithProbability("*", drop);
+  Rng qrng(seed + 1);
+  RunResult r;
+  for (size_t q = 0; q < queries; ++q) {
+    const size_t start = qrng.UniformIndex(n);
+    if (nodes[start]->RouteToResponsible(KeyPath::Random(&qrng, maxl)).ok()) {
+      ++r.ok;
+    }
+  }
+  r.retries = registry.GetCounter("rpc.retries")->value();
+  r.exhausted = registry.GetCounter("rpc.retry_exhausted")->value();
+  r.dropped = faults.dropped_calls();
+  r.metrics_json = obs::ToJson(registry.Snapshot());
+  return r;
+}
+
+void Run(const bench::Args& args) {
+  const size_t n = static_cast<size_t>(args.GetInt("peers", 64));
+  const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 4));
+  const size_t refmax = static_cast<size_t>(args.GetInt("refmax", 4));
+  const size_t meetings = static_cast<size_t>(args.GetInt("meetings", 8000));
+  const size_t queries = static_cast<size_t>(args.GetInt("queries", 500));
+  const double drop = args.GetDouble("drop", 0.3);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  net::RetryConfig retry;
+  retry.max_attempts = static_cast<size_t>(args.GetInt("attempts", 4));
+  retry.initial_backoff_ms = static_cast<uint64_t>(args.GetInt("backoff_ms", 1));
+  retry.backoff_multiplier = args.GetDouble("multiplier", 2.0);
+  retry.max_backoff_ms =
+      static_cast<uint64_t>(args.GetInt("max_backoff_ms", 8));
+  retry.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline_ms", 0));
+  retry.sleep_between_attempts = false;  // virtual backoff: pure arithmetic
+  PGRID_CHECK(retry.Validate().ok());
+
+  bench::Banner(
+      "NR: networked search reliability under message loss",
+      "Sec. 5.2 SR experiment over the node/transport stack + fault layer",
+      "retries recover most of the reliability lost to message drops");
+
+  std::printf("community: %zu peers, maxl %zu, refmax %zu, %zu meetings\n",
+              n, maxl, refmax, meetings);
+  std::printf("scenario:  drop %.0f%% of all messages (seed %llu), %zu queries\n\n",
+              100.0 * drop, static_cast<unsigned long long>(seed), queries);
+
+  net::RetryConfig single;
+  single.max_attempts = 1;
+  const RunResult base =
+      RunScenario(n, maxl, refmax, meetings, queries, drop, seed, single);
+  const RunResult with_retry =
+      RunScenario(n, maxl, refmax, meetings, queries, drop, seed, retry);
+
+  const auto pct = [queries](size_t ok) {
+    return 100.0 * static_cast<double>(ok) / static_cast<double>(queries);
+  };
+  std::printf("%-22s %10s %10s %10s %10s\n", "", "success", "rate", "retries",
+              "exhausted");
+  std::printf("%-22s %10zu %9.2f%% %10llu %10llu\n", "single-shot baseline",
+              base.ok, pct(base.ok),
+              static_cast<unsigned long long>(base.retries),
+              static_cast<unsigned long long>(base.exhausted));
+  std::printf("%-22s %10zu %9.2f%% %10llu %10llu\n",
+              ("retry x" + std::to_string(retry.max_attempts)).c_str(),
+              with_retry.ok, pct(with_retry.ok),
+              static_cast<unsigned long long>(with_retry.retries),
+              static_cast<unsigned long long>(with_retry.exhausted));
+  std::printf("\ndropped calls: %llu (baseline) vs %llu (retry)\n",
+              static_cast<unsigned long long>(base.dropped),
+              static_cast<unsigned long long>(with_retry.dropped));
+
+  if (args.Has("metrics-json")) {
+    const std::string file = args.GetString("metrics-json", "");
+    if (FILE* f = file.empty() ? nullptr : std::fopen(file.c_str(), "w")) {
+      std::fwrite(with_retry.metrics_json.data(), 1,
+                  with_retry.metrics_json.size(), f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", file.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write --metrics-json file\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

@@ -3,10 +3,7 @@
 namespace pgrid {
 namespace net {
 
-InProcTransport::InProcTransport(double loss_probability, uint64_t seed)
-    : loss_probability_(loss_probability), rng_(seed) {}
-
-Status InProcTransport::Serve(const std::string& address, Handler handler) {
+Status InProcTransport::Bus::Serve(const std::string& address, Handler handler) {
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = handlers_.emplace(address, std::move(handler));
   (void)it;
@@ -16,23 +13,17 @@ Status InProcTransport::Serve(const std::string& address, Handler handler) {
   return Status::OK();
 }
 
-void InProcTransport::StopServing(const std::string& address) {
+void InProcTransport::Bus::StopServing(const std::string& address) {
   std::lock_guard<std::mutex> lock(mu_);
   handlers_.erase(address);
 }
 
-Result<std::string> InProcTransport::Call(const std::string& to,
-                                          const std::string& from,
-                                          const std::string& request) {
+Result<std::string> InProcTransport::Bus::Call(const std::string& to,
+                                               const std::string& from,
+                                               const std::string& request) {
   Handler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (outages_.contains(to)) {
-      return Status::Unavailable("injected outage at " + to);
-    }
-    if (loss_probability_ > 0.0 && rng_.Bernoulli(loss_probability_)) {
-      return Status::Unavailable("message to " + to + " lost");
-    }
     auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       return Status::Unavailable("no node serving " + to);
@@ -43,20 +34,41 @@ Result<std::string> InProcTransport::Call(const std::string& to,
   return handler(from, request);
 }
 
-void InProcTransport::InjectOutage(const std::string& address) {
-  std::lock_guard<std::mutex> lock(mu_);
-  outages_.insert(address);
-}
-
-void InProcTransport::ClearOutage(const std::string& address) {
-  std::lock_guard<std::mutex> lock(mu_);
-  outages_.erase(address);
-}
-
-uint64_t InProcTransport::delivered_calls() const {
+uint64_t InProcTransport::Bus::delivered_calls() const {
   std::lock_guard<std::mutex> lock(mu_);
   return delivered_;
 }
+
+InProcTransport::InProcTransport(double loss_probability, uint64_t seed)
+    : faults_(&bus_, seed) {
+  if (loss_probability > 0.0) {
+    faults_.DropWithProbability("*", loss_probability);
+  }
+}
+
+Status InProcTransport::Serve(const std::string& address, Handler handler) {
+  return faults_.Serve(address, std::move(handler));
+}
+
+void InProcTransport::StopServing(const std::string& address) {
+  faults_.StopServing(address);
+}
+
+Result<std::string> InProcTransport::Call(const std::string& to,
+                                          const std::string& from,
+                                          const std::string& request) {
+  return faults_.Call(to, from, request);
+}
+
+void InProcTransport::InjectOutage(const std::string& address) {
+  faults_.InjectOutage(address);
+}
+
+void InProcTransport::ClearOutage(const std::string& address) {
+  faults_.ClearOutage(address);
+}
+
+uint64_t InProcTransport::delivered_calls() const { return bus_.delivered_calls(); }
 
 }  // namespace net
 }  // namespace pgrid

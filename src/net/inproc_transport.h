@@ -1,26 +1,29 @@
 // Process-local RPC transport: a registry of handlers keyed by address.
 //
-// Calls are executed synchronously on the caller's thread. Optional fault injection
-// (message loss probability, per-address outages) makes it the vehicle for testing
-// node behaviour under failure without sockets.
+// Calls are executed synchronously on the caller's thread. Fault injection is
+// not implemented here: the bus is wrapped in a FaultInjectingTransport, so
+// every scenario the rule table can express (seeded loss, outages, partitions,
+// scripted schedules) is available on an in-process cluster via faults(). The
+// historical (loss_probability, seed) constructor remains as a shim that arms
+// one probabilistic drop rule.
 
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "net/fault_transport.h"
 #include "net/transport.h"
-#include "util/rng.h"
 
 namespace pgrid {
 namespace net {
 
-/// In-process transport with fault injection.
+/// In-process transport with rule-table fault injection.
 class InProcTransport : public RpcTransport {
  public:
-  /// `loss_probability` drops each call with that probability (as Unavailable).
+  /// `loss_probability` > 0 arms a drop-everything-with-probability-p rule on
+  /// the embedded fault layer (the legacy lossy-bus behaviour).
   explicit InProcTransport(double loss_probability = 0.0, uint64_t seed = 0);
 
   Status Serve(const std::string& address, Handler handler) override;
@@ -32,16 +35,31 @@ class InProcTransport : public RpcTransport {
   void InjectOutage(const std::string& address);
   void ClearOutage(const std::string& address);
 
+  /// The fault layer every call passes through; arm rules here for scripted
+  /// scenarios (drops, delays, duplicates, errors, partitions).
+  FaultInjectingTransport& faults() { return faults_; }
+
   /// Number of calls that reached a handler.
   uint64_t delivered_calls() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Handler> handlers_;
-  std::unordered_set<std::string> outages_;
-  double loss_probability_;
-  Rng rng_;
-  uint64_t delivered_ = 0;
+  /// The fault-free local bus the fault layer decorates.
+  class Bus : public RpcTransport {
+   public:
+    Status Serve(const std::string& address, Handler handler) override;
+    void StopServing(const std::string& address) override;
+    Result<std::string> Call(const std::string& to, const std::string& from,
+                             const std::string& request) override;
+    uint64_t delivered_calls() const;
+
+   private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Handler> handlers_;
+    uint64_t delivered_ = 0;
+  };
+
+  Bus bus_;
+  FaultInjectingTransport faults_;
 };
 
 }  // namespace net

@@ -47,10 +47,24 @@ PGridNode::PGridNode(std::string address, RpcTransport* transport,
   c_entries_adopted_ = metrics_->GetCounter("node.entries_adopted");
   c_route_offline_skips_ = metrics_->GetCounter("node.route_offline_skips");
   c_route_backtracks_ = metrics_->GetCounter("node.route_backtracks");
+  c_call_deadline_exceeded_ = metrics_->GetCounter("node.call_deadline_exceeded");
   h_route_attempts_ = metrics_->GetHistogram("node.route_attempts", obs::CountBounds());
   PGRID_CHECK(c_exchanges_initiated_ && c_exchanges_served_ && c_queries_served_ &&
               c_publishes_served_ && c_entries_adopted_ && c_route_offline_skips_ &&
-              c_route_backtracks_ && h_route_attempts_);
+              c_route_backtracks_ && c_call_deadline_exceeded_ && h_route_attempts_);
+  // An independent retry RNG stream: the node's protocol randomness (rng_) must
+  // not shift when retries draw jitter.
+  retry_ = std::make_unique<RetryPolicy>(config_.retry,
+                                         seed ^ 0x9E3779B97F4A7C15ull, metrics_);
+}
+
+Result<std::string> PGridNode::CallWithRetry(const std::string& to,
+                                             const std::string& request) {
+  Result<std::string> result = retry_->Call(transport_, to, address_, request);
+  if (!result.ok() && result.status().code() == StatusCode::kDeadlineExceeded) {
+    c_call_deadline_exceeded_->Increment();
+  }
+  return result;
 }
 
 PGridNode::~PGridNode() { Stop(); }
@@ -254,7 +268,7 @@ std::string PGridNode::HandlePublish(const std::string& request) {
     forward.forward_to_buddies = 0;
     const std::string bytes = EncodePublishRequest(forward);
     for (const std::string& buddy : buddies_to_notify) {
-      if (transport_->Call(buddy, address_, bytes).ok()) ++ack.buddies_notified;
+      if (CallWithRetry(buddy, bytes).ok()) ++ack.buddies_notified;
     }
   }
   return EncodePublishAck(ack);
@@ -442,8 +456,7 @@ Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
     }
   }
 
-  Result<std::string> raw =
-      transport_->Call(peer, address_, EncodeExchangeRequest(req));
+  Result<std::string> raw = CallWithRetry(peer, EncodeExchangeRequest(req));
   if (!raw.ok()) return raw.status();
   Result<MsgType> type = PeekType(*raw);
   if (!type.ok() || *type != MsgType::kExchangeResp) {
@@ -508,7 +521,7 @@ Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
   // Confirm the applied append directives so the responder may now reference us
   // (see HandleCommit).
   for (const CommitRequest& commit : commits) {
-    (void)transport_->Call(peer, address_, EncodeCommitRequest(commit));
+    (void)CallWithRetry(peer, EncodeCommitRequest(commit));
   }
   if (!push.empty()) PushEntries(peer, std::move(push));
   for (const std::string& referral : resp.referrals) {
@@ -520,8 +533,7 @@ Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
 void PGridNode::PushEntries(const std::string& peer, std::vector<WireEntry> entries) {
   EntryPushRequest req;
   req.entries = std::move(entries);
-  Result<std::string> raw =
-      transport_->Call(peer, address_, EncodeEntryPushRequest(req));
+  Result<std::string> raw = CallWithRetry(peer, EncodeEntryPushRequest(req));
   std::vector<WireEntry> rejected;
   if (raw.ok()) {
     Result<EntryPushResponse> resp = DecodeEntryPushResponse(*raw);
@@ -569,15 +581,14 @@ Status PGridNode::Publish(const DataItem& item) {
     forward.forward_to_buddies = 0;
     const std::string bytes = EncodePublishRequest(forward);
     for (const std::string& buddy : buddies_copy) {
-      (void)transport_->Call(buddy, address_, bytes);
+      (void)CallWithRetry(buddy, bytes);
     }
     return Status::OK();
   }
   PublishRequest preq;
   preq.entry = entry;
   preq.forward_to_buddies = 1;
-  Result<std::string> raw =
-      transport_->Call(*responder, address_, EncodePublishRequest(preq));
+  Result<std::string> raw = CallWithRetry(*responder, EncodePublishRequest(preq));
   if (!raw.ok()) return raw.status();
   Result<PublishAck> ack = DecodePublishAck(*raw);
   if (!ack.ok()) return ack.status();
@@ -621,8 +632,7 @@ Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
     QueryRequest qreq;
     qreq.key = frame.remaining;
     qreq.consumed = frame.consumed;
-    Result<std::string> raw =
-        transport_->Call(frame.address, address_, EncodeQueryRequest(qreq));
+    Result<std::string> raw = CallWithRetry(frame.address, EncodeQueryRequest(qreq));
     if (!raw.ok()) {  // offline candidate: backtrack
       c_route_offline_skips_->Increment();
       span.Event("node.route.offline_skip", frame.address);
@@ -658,8 +668,7 @@ Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
 }
 
 Result<std::string> PGridNode::FetchPeerStats(const std::string& peer) {
-  PGRID_ASSIGN_OR_RETURN(std::string raw,
-                         transport_->Call(peer, address_, EncodeStatsRequest()));
+  PGRID_ASSIGN_OR_RETURN(std::string raw, CallWithRetry(peer, EncodeStatsRequest()));
   Result<MsgType> type = PeekType(raw);
   if (!type.ok() || *type != MsgType::kStatsResp) {
     return Status::Internal("bad stats response from " + peer);

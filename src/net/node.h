@@ -33,6 +33,7 @@
 
 #include "key/key_path.h"
 #include "net/protocol.h"
+#include "net/retry.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -51,13 +52,18 @@ struct NodeConfig {
   /// Bound on remote hops one Search may spend before giving up.
   size_t max_route_attempts = 128;
 
+  /// Retry policy for every outbound call (routing hops, exchange recursion,
+  /// publish fan-out, commits, stats scrapes). The default (max_attempts = 1)
+  /// keeps the historical single-shot behaviour.
+  RetryConfig retry;
+
   Status Validate() const {
     if (maxl == 0) return Status::InvalidArgument("maxl must be >= 1");
     if (refmax == 0) return Status::InvalidArgument("refmax must be >= 1");
     if (max_route_attempts == 0) {
       return Status::InvalidArgument("max_route_attempts must be >= 1");
     }
-    return Status::OK();
+    return retry.Validate();
   }
 };
 
@@ -164,6 +170,12 @@ class PGridNode {
   std::string HandleEntryPush(const std::string& request);
 
   // ---- client side ----
+  /// Every outbound call funnels through here: the retry policy handles
+  /// transient Unavailable failures, and deadline overruns are counted on
+  /// node.call_deadline_exceeded.
+  Result<std::string> CallWithRetry(const std::string& to,
+                                    const std::string& request);
+
   Status MeetWithDepth(const std::string& peer, uint32_t depth);
 
   /// Sends entries to `peer`; whatever it rejects is parked in foreign_.
@@ -219,7 +231,9 @@ class PGridNode {
   obs::Counter* c_entries_adopted_;
   obs::Counter* c_route_offline_skips_;
   obs::Counter* c_route_backtracks_;
+  obs::Counter* c_call_deadline_exceeded_;
   obs::Histogram* h_route_attempts_;
+  std::unique_ptr<RetryPolicy> retry_;  // shares the node's registry
   obs::TraceRecorder* trace_ = nullptr;
 };
 

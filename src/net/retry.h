@@ -1,0 +1,116 @@
+// Bounded retry with exponential backoff for transport calls.
+//
+// P-Grid's reliability story (refmax-fold redundancy, repeated queries) assumes
+// that transient failures -- a dropped message, a briefly unreachable peer --
+// are retried before the higher layers give up on a reference. RetryPolicy is
+// that layer: bounded attempts, exponential backoff with seeded jitter, an
+// overall per-call deadline, and a cross-call retry budget that caps how much
+// extra load a degraded network may generate.
+//
+// Determinism: backoff values (including jitter) are drawn from a seeded RNG,
+// so the exact backoff sequence is a function of the seed. With
+// `sleep_between_attempts = false` the policy never touches the wall clock --
+// the deadline is then enforced against the *virtual* sum of backoffs, which
+// is what the scenario tests pin down.
+//
+// Only Unavailable is retryable: it is the transport's word for "the peer did
+// not receive this" (offline node, refused connection, dropped message). Every
+// other failure came from the peer itself and retrying would not change it.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace pgrid {
+namespace net {
+
+/// Knobs of one retry policy (the CLI/daemon flags map 1:1 onto these).
+struct RetryConfig {
+  /// Total attempts per call, including the first. 1 = no retries (the
+  /// historical single-shot behaviour; the default keeps existing callers
+  /// byte-for-byte unchanged).
+  size_t max_attempts = 1;
+
+  /// Backoff before retry k (0-based) is
+  ///   min(initial_backoff_ms * backoff_multiplier^k, max_backoff_ms)
+  /// scaled by (1 - jitter * u), u ~ U[0,1) from the policy's seeded RNG.
+  uint64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ms = 5000;
+  double jitter = 0.0;  // fraction of the backoff that may be shaved off, [0,1]
+
+  /// Overall budget for one Call() including backoff waits; exceeded attempts
+  /// are not started and the call fails with DeadlineExceeded. 0 = no deadline.
+  uint64_t deadline_ms = 0;
+
+  /// Total retries this policy may spend across all calls (a deployment-wide
+  /// brake against retry storms). 0 = unlimited.
+  uint64_t retry_budget = 0;
+
+  /// Sleep for the backoff between attempts. Disable in deterministic tests;
+  /// the backoff arithmetic (and the deadline) still applies virtually.
+  bool sleep_between_attempts = true;
+
+  Status Validate() const;
+};
+
+/// Retrying wrapper around RpcTransport::Call. Thread-safe; one policy is
+/// shared by all outbound calls of a node.
+class RetryPolicy {
+ public:
+  /// `registry` hosts the rpc.retry* metrics; null = private registry.
+  RetryPolicy(const RetryConfig& config, uint64_t seed,
+              obs::MetricsRegistry* registry = nullptr);
+
+  /// True for statuses worth retrying (only Unavailable).
+  static bool IsRetryable(const Status& status) {
+    return status.code() == StatusCode::kUnavailable;
+  }
+
+  /// Calls `transport->Call(to, from, request)` under this policy. Returns the
+  /// first success, the first non-retryable failure, the last retryable
+  /// failure once attempts/budget are exhausted, or DeadlineExceeded when the
+  /// next backoff would overrun the deadline.
+  Result<std::string> Call(RpcTransport* transport, const std::string& to,
+                           const std::string& from, const std::string& request);
+
+  /// The backoff (ms) for the k-th retry (0-based), consuming one jitter draw.
+  /// Exposed for tests pinning the exact sequence.
+  uint64_t NextBackoffMs(size_t retry_index);
+
+  const RetryConfig& config() const { return config_; }
+
+  /// Retries performed so far (all calls).
+  uint64_t retries() const { return c_retries_->value(); }
+  /// Calls that failed with attempts exhausted / deadline exceeded.
+  uint64_t exhausted() const { return c_exhausted_->value(); }
+  uint64_t deadline_exceeded() const { return c_deadline_->value(); }
+
+  /// The registry holding the rpc.retry* instruments (shared or owned).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  const RetryConfig config_;
+
+  std::mutex mu_;  // guards rng_ and budget_left_
+  Rng rng_;
+  uint64_t budget_left_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // set iff none was passed
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* c_retries_;
+  obs::Counter* c_exhausted_;
+  obs::Counter* c_budget_exhausted_;
+  obs::Counter* c_deadline_;
+  obs::Histogram* h_backoff_ms_;
+};
+
+}  // namespace net
+}  // namespace pgrid

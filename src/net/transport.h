@@ -3,9 +3,14 @@
 // P-Grid's interactions (query routing, exchanges, publishes) are all
 // request/response, so the transport is a blocking RPC interface: a node serves a
 // handler under its address, and anyone can Call(address, request) and wait for the
-// reply. Two implementations:
-//   - InProcTransport: a process-local bus for tests and examples (optionally lossy),
-//   - TcpTransport:    real sockets on localhost/LAN (length-prefixed frames).
+// reply. Implementations:
+//   - InProcTransport:          a process-local bus for tests and examples,
+//   - TcpTransport:             real sockets on localhost/LAN (length-prefixed
+//                               frames),
+//   - FaultInjectingTransport:  a decorator applying a seeded fault-rule table
+//                               (drops, delays, duplicates, errors, partitions)
+//                               to any inner transport -- see fault_transport.h.
+// Retries around Call are layered on top (retry.h), not inside the transports.
 //
 // Handlers may issue outbound Calls (multi-hop routing, recursive exchanges) but
 // must never do so while holding locks that an inbound call could need -- see

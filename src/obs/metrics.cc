@@ -91,6 +91,10 @@ std::vector<uint64_t> SizeBoundsBytes() {
   return out;
 }
 
+std::vector<uint64_t> BackoffBoundsMs() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000};
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   if (gauges_.contains(name) || histograms_.contains(name)) return nullptr;

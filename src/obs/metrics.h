@@ -92,6 +92,9 @@ std::vector<uint64_t> CountBounds();
 /// Default bucket bounds for payload sizes in bytes (64 B .. 64 MiB).
 std::vector<uint64_t> SizeBoundsBytes();
 
+/// Default bucket bounds for retry backoff delays in milliseconds (1 ms .. 60 s).
+std::vector<uint64_t> BackoffBoundsMs();
+
 /// Point-in-time copy of one histogram, with quantiles precomputed.
 struct HistogramSnapshot {
   std::string name;

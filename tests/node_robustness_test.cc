@@ -266,6 +266,113 @@ TEST(NodeRobustnessTest, NetworkPartitionDegradesGracefullyAndHeals) {
   EXPECT_EQ(healed, n);
 }
 
+TEST(NodeRobustnessTest, RetryRecoversScriptedDropsWithExactArithmetic) {
+  // Two peers, one meeting: both specialize to depth 1 and reference each
+  // other. Script "drop the first 2 calls to node:b" and check the scenario's
+  // arithmetic on both sides of the retry knob.
+  struct Pair {
+    std::unique_ptr<InProcTransport> transport;
+    std::unique_ptr<PGridNode> a, b;
+  };
+  auto build = [](size_t attempts) {
+    Pair p;
+    p.transport = std::make_unique<InProcTransport>();
+    NodeConfig config;
+    config.maxl = 1;
+    config.retry.max_attempts = attempts;
+    config.retry.initial_backoff_ms = 1;
+    config.retry.sleep_between_attempts = false;
+    p.a = std::make_unique<PGridNode>("node:a", p.transport.get(), config, 31);
+    p.b = std::make_unique<PGridNode>("node:b", p.transport.get(), config, 32);
+    EXPECT_TRUE(p.a->Start().ok());
+    EXPECT_TRUE(p.b->Start().ok());
+    EXPECT_TRUE(p.a->MeetWith("node:b").ok());
+    EXPECT_EQ(p.a->path().length(), 1u);
+    EXPECT_EQ(p.b->path().length(), 1u);
+    EXPECT_EQ(p.a->RefsAt(1), std::vector<std::string>{"node:b"});
+    return p;
+  };
+
+  // With retries: the two scripted drops are absorbed, the search succeeds, and
+  // the counters show exactly 2 retries and no offline skip.
+  {
+    Pair p = build(/*attempts=*/3);
+    const KeyPath target = p.b->path();  // the key b is responsible for
+    ASSERT_NE(p.a->path().bit(0), target.bit(0));
+    p.transport->faults().DropFirst("node:b", 2);
+    auto r = p.a->Search(target);
+    EXPECT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(p.a->metrics().GetCounter("rpc.retries")->value(), 2u);
+    EXPECT_EQ(p.a->metrics().GetCounter("node.route_offline_skips")->value(), 0u);
+    EXPECT_EQ(p.a->metrics().GetCounter("rpc.retry_exhausted")->value(), 0u);
+  }
+
+  // The no-retry baseline fails the same scenario: the single shot is dropped,
+  // the only candidate is skipped as offline, routing exhausts.
+  {
+    Pair p = build(/*attempts=*/1);
+    const KeyPath target = p.b->path();
+    p.transport->faults().DropFirst("node:b", 2);
+    auto r = p.a->Search(target);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsNotFound());
+    EXPECT_EQ(p.a->metrics().GetCounter("rpc.retries")->value(), 0u);
+    EXPECT_EQ(p.a->metrics().GetCounter("node.route_offline_skips")->value(), 1u);
+  }
+}
+
+TEST(NodeRobustnessTest, TimeWindowedPartitionHealsOnSchedule) {
+  // Like NetworkPartitionDegradesGracefullyAndHeals, but the partition is a
+  // scheduled rule on the fault layer: it heals when the virtual clock leaves
+  // the window, with no Clear* intervention.
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 4;
+  std::vector<std::unique_ptr<PGridNode>> nodes;
+  const size_t n = 16;
+  std::vector<std::string> half_a, half_b;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<PGridNode>("node:" + std::to_string(i),
+                                                &transport, config, 7000 + i));
+    ASSERT_TRUE(nodes.back()->Start().ok());
+    (i < n / 2 ? half_a : half_b).push_back(nodes.back()->address());
+  }
+  Rng rng(23);
+  for (int m = 0; m < 3000; ++m) {
+    size_t a = rng.UniformIndex(n), b = rng.UniformIndex(n);
+    if (a != b) (void)nodes[a]->MeetWith(nodes[b]->address());
+  }
+  DataItem item;
+  item.id = 9;
+  item.key = KeyPath::FromString("011").value();
+  item.version = 1;
+  ASSERT_TRUE(nodes[0]->Publish(item).ok());
+
+  // Partition the halves for a window starting now.
+  const uint64_t now = transport.faults().virtual_now();
+  transport.faults().Partition(half_a, half_b, now, now + 1'000'000);
+
+  size_t ok = 0, clean_failures = 0;
+  for (size_t i = 0; i < n / 2; ++i) {
+    auto r = nodes[i]->Search(item.key);
+    if (r.ok()) {
+      ++ok;
+    } else if (r.status().IsNotFound()) {
+      ++clean_failures;
+    }
+  }
+  EXPECT_EQ(ok + clean_failures, n / 2);  // degraded but never hung or crashed
+
+  // The schedule runs out; service is whole again without touching the rules.
+  transport.faults().AdvanceTime(2'000'000);
+  size_t healed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (nodes[i]->Search(item.key).ok()) ++healed;
+  }
+  EXPECT_EQ(healed, n);
+}
+
 TEST(NodeRobustnessTest, EntryPushWithHostileLengthsIsRejected) {
   InProcTransport transport;
   NodeConfig config;

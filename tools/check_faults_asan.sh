@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the fault-injection/robustness suite (ctest label `faults`) under
+# AddressSanitizer, in a build tree separate from the regular one. The fault
+# layer and the retry loop are the code paths most exposed to races and
+# lifetime bugs (decorated transports, handlers called twice on duplicates,
+# retries outrunning shutdown), so they get a dedicated sanitized pass.
+#
+#   tools/check_faults_asan.sh                 # configure + build + ctest -L faults
+#   tools/check_faults_asan.sh -L faults -V    # extra args are passed to ctest
+#
+# Env: BUILD_DIR (default build-asan), SANITIZER (address | undefined).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build-asan}"
+sanitizer="${SANITIZER:-address}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DPGRID_SANITIZE="${sanitizer}" \
+  -DPGRID_BUILD_BENCHMARKS=OFF \
+  -DPGRID_BUILD_EXAMPLES=OFF
+
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+  fault_transport_test retry_policy_test node_robustness_test \
+  net_reliability_test
+
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir "${build_dir}" --output-on-failure "$@"
+else
+  ctest --test-dir "${build_dir}" --output-on-failure -L faults
+fi

@@ -19,6 +19,13 @@
 //        while running, any peer can scrape the same registry with a kStats
 //        request -- see docs/observability.md).
 //
+// Retry flags (docs/robustness.md; a real network deserves retries, so the
+// daemon defaults differ from the library's single-shot default):
+//        --retry_attempts (default 3; 1 disables retries),
+//        --retry_backoff_ms (default 50), --retry_multiplier (default 2),
+//        --retry_max_backoff_ms (default 2000), --retry_jitter (default 0.2),
+//        --retry_deadline_ms (default 0 = none).
+//
 // Status lines go to stdout once per ~10 gossip rounds.
 
 #include <atomic>
@@ -68,8 +75,21 @@ int main(int argc, char** argv) {
   auto rounds_flag = flags.GetInt("rounds", 0);
   auto seed = flags.GetInt("seed", static_cast<int64_t>(
                                        std::hash<std::string>{}(listen)));
+  auto retry_attempts = flags.GetInt("retry_attempts", 3);
+  auto retry_backoff_ms = flags.GetInt("retry_backoff_ms", 50);
+  auto retry_multiplier = flags.GetDouble("retry_multiplier", 2.0);
+  auto retry_max_backoff_ms = flags.GetInt("retry_max_backoff_ms", 2000);
+  auto retry_jitter = flags.GetDouble("retry_jitter", 0.2);
+  auto retry_deadline_ms = flags.GetInt("retry_deadline_ms", 0);
   for (const auto* r : {&maxl, &refmax, &recmax, &fanout, &gossip_ms, &rounds_flag,
-                        &seed}) {
+                        &seed, &retry_attempts, &retry_backoff_ms,
+                        &retry_max_backoff_ms, &retry_deadline_ms}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "error: %s\n", r->status().ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto* r : {&retry_multiplier, &retry_jitter}) {
     if (!r->ok()) {
       std::fprintf(stderr, "error: %s\n", r->status().ToString().c_str());
       return 1;
@@ -79,6 +99,18 @@ int main(int argc, char** argv) {
   config.refmax = static_cast<size_t>(refmax.value());
   config.recmax = static_cast<size_t>(recmax.value());
   config.recursion_fanout = static_cast<size_t>(fanout.value());
+  config.retry.max_attempts = static_cast<size_t>(retry_attempts.value());
+  config.retry.initial_backoff_ms =
+      static_cast<uint64_t>(retry_backoff_ms.value());
+  config.retry.backoff_multiplier = retry_multiplier.value();
+  config.retry.max_backoff_ms =
+      static_cast<uint64_t>(retry_max_backoff_ms.value());
+  config.retry.jitter = retry_jitter.value();
+  config.retry.deadline_ms = static_cast<uint64_t>(retry_deadline_ms.value());
+  if (pgrid::Status s = config.Validate(); !s.ok()) {
+    std::fprintf(stderr, "error: bad retry flags: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   // One registry shared by the transport and the node: a single kStats scrape
   // (or the shutdown dump below) covers both the protocol and the RPC layer.
