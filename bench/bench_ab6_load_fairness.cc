@@ -23,6 +23,7 @@ void Run(const bench::Args& args) {
   const size_t peers = static_cast<size_t>(args.GetInt("peers", 1024));
   const size_t queries = static_cast<size_t>(args.GetInt("queries", 50000));
   const uint64_t seed = args.GetInt("seed", 42);
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
   const size_t maxl = 6;
 
   bench::Banner("AB6: per-peer communication load",
@@ -35,7 +36,10 @@ void Run(const bench::Args& args) {
               "max", "max/mean", "idle");
   std::printf("-----------+---------------------------------------------------\n");
   for (size_t refmax : {1u, 2u, 4u, 8u}) {
-    auto s = bench::BuildGrid(peers, maxl, refmax, 2, 2, seed + refmax);
+    auto s = bench::BuildGrid(peers, maxl, refmax, 2, 2, seed + refmax,
+                              /*target_avg_depth=*/-1.0,
+                              /*max_meetings=*/200'000'000, /*manage_data=*/true,
+                              threads);
     Rng rng(seed + 100 + refmax);
     SearchEngine search(s.grid.get(), nullptr, &rng);
     s.grid->ResetQueryLoad();

@@ -22,6 +22,7 @@ namespace {
 
 void Run(const bench::Args& args) {
   const uint64_t seed = args.GetInt("seed", 42);
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
 
   bench::Banner("D1: P-Grid vs central server vs flooding",
                 "Sec. 6 comparison table",
@@ -42,7 +43,9 @@ void Run(const bench::Args& args) {
     size_t depth = 1;
     while ((n >> (depth + 4)) >= 1) ++depth;
     auto s = bench::BuildGrid(n, depth, /*refmax=*/4, /*recmax=*/2, /*fanout=*/2,
-                              seed + n);
+                              seed + n, /*target_avg_depth=*/-1.0,
+                              /*max_meetings=*/200'000'000, /*manage_data=*/true,
+                              threads);
 
     Rng rng(seed + n + 1);
     KeyGenerator gen(KeyGenerator::Mode::kUniform, depth + 6);

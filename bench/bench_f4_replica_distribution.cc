@@ -21,12 +21,15 @@ void Run(const bench::Args& args) {
   const size_t refmax = static_cast<size_t>(args.GetInt("refmax", 20));
   const double target = args.GetDouble("target", 9.43);
   const uint64_t seed = args.GetInt("seed", 42);
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
 
   bench::Banner("F4: replica distribution",
                 "Sec. 5.2 Fig. 4 (N=20000, maxl=10, refmax=20, avg depth 9.43)",
                 "balanced bell-shaped histogram; paper avg replication factor 19.46");
 
-  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target);
+  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target,
+                            /*max_meetings=*/200'000'000, /*manage_data=*/true,
+                            threads);
   std::printf("built: avg depth %.3f after %llu exchanges (%.1f per peer), %.2fs "
               "(paper: 1250743 exchanges, 62/peer, ~10 hours)\n\n",
               s.report.avg_path_length,

@@ -32,13 +32,16 @@ void Run(const bench::Args& args) {
   const size_t num_keys = static_cast<size_t>(args.GetInt("keys", 50));
   const double online_prob = args.GetDouble("online", 0.3);
   const uint64_t seed = args.GetInt("seed", 42);
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
   const size_t key_len = static_cast<size_t>(args.GetInt("keylen", 9));
 
   bench::Banner("F5: finding all replicas (update strategies)",
                 "Sec. 5.2 Fig. 5 (messages vs %% replicas identified)",
                 "BFS >> DFS+buddies ~ DFS; hundreds of messages for high coverage");
 
-  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target);
+  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target,
+                            /*max_meetings=*/200'000'000, /*manage_data=*/true,
+                            threads);
   std::printf("built: avg depth %.3f, %llu exchanges, %.2fs\n\n",
               s.report.avg_path_length,
               static_cast<unsigned long long>(s.report.exchanges), s.report.seconds);

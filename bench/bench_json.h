@@ -1,0 +1,116 @@
+// Minimal machine-readable result reporter for the bench binaries.
+//
+// A bench run appends flat rows (string/number fields, insertion-ordered) and
+// writes them as one JSON document:
+//
+//   {
+//     "benchmark": "parallel_build",
+//     "rows": [
+//       {"peers": 20000, "threads": 4, "meetings_per_sec": 181234.5, ...},
+//       ...
+//     ]
+//   }
+//
+// so scaling tables (BENCH_parallel_build.json, BENCH_micro_ops.json) can be
+// consumed by scripts without scraping the human-readable stdout tables. No
+// external JSON dependency; numbers are emitted with enough digits to round-trip.
+
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pgrid {
+namespace bench {
+
+/// One flat JSON object; fields keep insertion order.
+class JsonRow {
+ public:
+  JsonRow& Int(const std::string& name, uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    fields_.emplace_back(name, buf);
+    return *this;
+  }
+
+  JsonRow& Num(const std::string& name, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    fields_.emplace_back(name, buf);
+    return *this;
+  }
+
+  JsonRow& Str(const std::string& name, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    fields_.emplace_back(name, std::move(quoted));
+    return *this;
+  }
+
+  void AppendTo(std::string* out) const {
+    out->push_back('{');
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out->append(", ");
+      out->push_back('"');
+      out->append(fields_[i].first);
+      out->append("\": ");
+      out->append(fields_[i].second);
+    }
+    out->push_back('}');
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // name -> rendered value
+};
+
+/// Accumulates rows for one benchmark and writes them as a JSON file.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+  JsonRow& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"benchmark\": \"" + benchmark_ + "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out.append("    ");
+      rows_[i].AppendTo(&out);
+      if (i + 1 < rows_.size()) out.push_back(',');
+      out.push_back('\n');
+    }
+    out.append("  ]\n}\n");
+    return out;
+  }
+
+  /// Writes the document; prints a note on success, a warning on failure.
+  bool WriteTo(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("results written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<JsonRow> rows_;
+};
+
+}  // namespace bench
+}  // namespace pgrid

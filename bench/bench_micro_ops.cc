@@ -5,10 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "core/parallel_workload.h"
 #include "core/search.h"
 #include "core/update.h"
 #include "key/key_path.h"
+#include "util/stopwatch.h"
 
 namespace pgrid {
 namespace {
@@ -27,6 +30,30 @@ void BM_KeyPathCommonPrefix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KeyPathCommonPrefix)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_KeyPathSuffixFrom(benchmark::State& state) {
+  Rng rng(8);
+  const size_t len = static_cast<size_t>(state.range(0));
+  KeyPath a = KeyPath::Random(&rng, len);
+  // Unaligned cut in the middle: the word-packed extraction's general case, and
+  // what every QueryImpl routing hop executes.
+  const size_t pos = len / 2 + 1 < len ? len / 2 + 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.SuffixFrom(pos));
+  }
+}
+BENCHMARK(BM_KeyPathSuffixFrom)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_KeyPathConcat(benchmark::State& state) {
+  Rng rng(9);
+  const size_t len = static_cast<size_t>(state.range(0));
+  KeyPath a = KeyPath::Random(&rng, len / 2 + 3);  // unaligned join point
+  KeyPath b = KeyPath::Random(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Concat(b));
+  }
+}
+BENCHMARK(BM_KeyPathConcat)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_KeyPathRandom(benchmark::State& state) {
   Rng rng(2);
@@ -86,7 +113,98 @@ void BM_BfsUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_BfsUpdate);
 
+/// Manual-timing section: measures the operations whose scaling the JSON report
+/// tracks across commits -- key algebra ns/op, sequential exchange throughput, and
+/// parallel build/query throughput per thread count -- without google-benchmark's
+/// per-run variance in the output format.
+void WriteJsonReport(const bench::Args& args) {
+  bench::JsonReport report("micro_ops");
+  Rng rng(10);
+
+  // Key algebra: ops/sec over a fixed iteration budget.
+  {
+    const size_t len = 256;
+    const KeyPath a = KeyPath::Random(&rng, len);
+    KeyPath b = a;
+    b.PopBack();
+    b.PushBack(ComplementBit(a.bit(len - 1)));
+    constexpr uint64_t kIters = 2'000'000;
+    Stopwatch watch;
+    size_t sink = 0;
+    for (uint64_t i = 0; i < kIters; ++i) sink += a.CommonPrefixLength(b);
+    double secs = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(sink);
+    report.AddRow()
+        .Str("op", "key_common_prefix_256")
+        .Int("iters", kIters)
+        .Num("seconds", secs)
+        .Num("ops_per_sec", secs > 0 ? kIters / secs : 0);
+
+    Stopwatch watch2;
+    for (uint64_t i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(a.SuffixFrom(129));
+    }
+    secs = watch2.ElapsedSeconds();
+    report.AddRow()
+        .Str("op", "key_suffix_from_256")
+        .Int("iters", kIters)
+        .Num("seconds", secs)
+        .Num("ops_per_sec", secs > 0 ? kIters / secs : 0);
+  }
+
+  // Parallel build + query throughput per thread count (deterministic: every
+  // thread count produces the identical grid; see core/parallel_builder.h).
+  // The parallel builder runs even at threads=1 -- bench::BuildGrid would fall
+  // back to the sequential legacy builder there, which converges on a different
+  // (equally valid) grid and would break the rows' like-for-like comparison.
+  const size_t peers = static_cast<size_t>(args.GetInt("par-peers", 4096));
+  const uint64_t queries = static_cast<uint64_t>(args.GetInt("par-queries", 8192));
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    bench::GridSetup s;
+    s.config.maxl = 8;
+    s.config.refmax = 4;
+    s.config.recmax = 2;
+    s.config.recursion_fanout = 2;
+    s.grid = std::make_unique<Grid>(peers);
+    s.rng = std::make_unique<Rng>(11);
+    ExchangeEngine exchange(s.grid.get(), s.config, s.rng.get());
+    MeetingScheduler scheduler(peers);
+    ParallelBuildOptions opts;
+    opts.threads = threads;
+    ParallelGridBuilder builder(s.grid.get(), &exchange, &scheduler, s.rng.get(),
+                                opts);
+    s.report = builder.BuildToFractionOfMaxDepth(0.99, 200'000'000);
+    ParallelQueryOptions q;
+    q.threads = threads;
+    q.num_queries = queries;
+    q.key_length = 8;
+    q.seed = 12;
+    ParallelQueryReport qr = RunParallelQueries(s.grid.get(), nullptr, q);
+    report.AddRow()
+        .Str("op", "parallel_build_query")
+        .Int("peers", peers)
+        .Int("threads", threads)
+        .Int("meetings", s.report.meetings)
+        .Num("meetings_per_sec",
+             s.report.seconds > 0
+                 ? static_cast<double>(s.report.meetings) / s.report.seconds
+                 : 0)
+        .Num("build_seconds", s.report.seconds)
+        .Num("queries_per_sec", qr.queries_per_second)
+        .Num("query_seconds", qr.seconds);
+  }
+
+  report.WriteTo(args.GetString("json", "BENCH_micro_ops.json"));
+}
+
 }  // namespace
 }  // namespace pgrid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags only
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pgrid::bench::Args args(argc, argv);
+  pgrid::WriteJsonReport(args);
+  return 0;
+}

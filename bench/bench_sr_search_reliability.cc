@@ -25,13 +25,16 @@ void Run(const bench::Args& args) {
   const size_t queries = static_cast<size_t>(args.GetInt("queries", 10000));
   const double online_prob = args.GetDouble("online", 0.3);
   const uint64_t seed = args.GetInt("seed", 42);
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
   const size_t key_len = static_cast<size_t>(args.GetInt("keylen", 9));
 
   bench::Banner("SR: search reliability under churn",
                 "Sec. 5.2 in-text (10000 searches, key length 9, 30% online)",
                 "paper: 99.97% success, 5.5576 messages/search");
 
-  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target);
+  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target,
+                            /*max_meetings=*/200'000'000, /*manage_data=*/true,
+                            threads);
   std::printf("built: avg depth %.3f, %llu exchanges, %.2fs\n\n",
               s.report.avg_path_length,
               static_cast<unsigned long long>(s.report.exchanges), s.report.seconds);

@@ -5,16 +5,96 @@
 // N (linear total cost).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "core/parallel_workload.h"
 
 namespace pgrid {
 namespace {
+
+/// Parses a comma-separated --name=1,2,4 list of thread counts.
+std::vector<size_t> ThreadList(const bench::Args& args, const std::string& name,
+                               const std::string& fallback) {
+  std::vector<size_t> out;
+  std::string csv = args.GetString(name, fallback);
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const long v = std::strtol(csv.substr(pos, comma - pos).c_str(), nullptr, 10);
+    if (v > 0) out.push_back(static_cast<size_t>(v));
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+/// Parallel-construction scaling: one large build per thread count, same seed, so
+/// rows are directly comparable (the deterministic builder produces the same grid
+/// in every row; only the wall clock changes). Each grid then serves a read-only
+/// parallel query workload at the same thread count.
+void RunParallelScaling(const bench::Args& args) {
+  const uint64_t seed = args.GetInt("seed", 42);
+  const size_t peers = static_cast<size_t>(args.GetInt("par-peers", 20000));
+  const size_t maxl = static_cast<size_t>(args.GetInt("par-maxl", 8));
+  const uint64_t queries = static_cast<uint64_t>(args.GetInt("par-queries", 20000));
+  const std::vector<size_t> threads = ThreadList(args, "par-threads", "1,2,4,8");
+
+  std::printf("\n-- parallel construction + query scaling (N=%zu, maxl=%zu) --\n",
+              peers, maxl);
+  std::printf("%7s | %10s %12s %9s | %12s %9s\n", "threads", "meetings",
+              "meetings/s", "build s", "queries/s", "query s");
+  bench::JsonReport report("parallel_build");
+  for (size_t t : threads) {
+    // Always the parallel builder, even at t=1, so every row constructs the
+    // identical grid and the rows compare pure scheduling overhead + scaling.
+    ExchangeConfig config;
+    config.maxl = maxl;
+    config.refmax = 4;
+    config.recmax = 2;
+    config.recursion_fanout = 2;
+    Grid grid(peers);
+    Rng rng(seed);
+    ExchangeEngine exchange(&grid, config, &rng);
+    MeetingScheduler scheduler(peers);
+    ParallelBuildOptions opts;
+    opts.threads = t;
+    ParallelGridBuilder builder(&grid, &exchange, &scheduler, &rng, opts);
+    BuildReport br = builder.BuildToFractionOfMaxDepth(0.99, 200'000'000);
+
+    ParallelQueryOptions q;
+    q.threads = t;
+    q.num_queries = queries;
+    q.key_length = maxl;
+    q.seed = seed + 1;
+    ParallelQueryReport qr = RunParallelQueries(&grid, nullptr, q);
+    const double mps =
+        br.seconds > 0.0 ? static_cast<double>(br.meetings) / br.seconds : 0.0;
+    std::printf("%7zu | %10llu %12.0f %9.3f | %12.0f %9.3f\n", t,
+                static_cast<unsigned long long>(br.meetings), mps, br.seconds,
+                qr.queries_per_second, qr.seconds);
+    report.AddRow()
+        .Int("peers", peers)
+        .Int("threads", t)
+        .Int("meetings", br.meetings)
+        .Num("meetings_per_sec", mps)
+        .Num("build_seconds", br.seconds)
+        .Int("queries", qr.queries)
+        .Num("queries_per_sec", qr.queries_per_second)
+        .Num("query_seconds", qr.seconds)
+        .Num("avg_path_length", br.avg_path_length);
+  }
+  report.WriteTo(args.GetString("json", "BENCH_parallel_build.json"));
+}
 
 void Run(const bench::Args& args) {
   const uint64_t seed = args.GetInt("seed", 42);
   const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 6));
   const int trials = static_cast<int>(args.GetInt("trials", 5));
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
   // Paper reference e/N per (N, recmax) for orientation in the output.
   const double paper_rec0[] = {79.71, 69.08, 72.39, 74.01, 74.61};
   const double paper_rec2[] = {24.68, 25.95, 25.38, 23.22, 25.16};
@@ -29,7 +109,10 @@ void Run(const bench::Args& args) {
     uint64_t sum = 0;
     for (int t = 0; t < trials; ++t) {
       auto s = bench::BuildGrid(n, maxl, /*refmax=*/1, recmax,
-                                /*fanout=*/0, seed + salt + 977 * t);
+                                /*fanout=*/0, seed + salt + 977 * t,
+                                /*target_avg_depth=*/-1.0,
+                                /*max_meetings=*/200'000'000,
+                                /*manage_data=*/true, threads);
       sum += s.report.exchanges;
     }
     return static_cast<double>(sum) / trials;
@@ -48,6 +131,8 @@ void Run(const bench::Args& args) {
                 e2 / static_cast<double>(n), paper_rec2[row]);
     ++row;
   }
+
+  RunParallelScaling(args);
 }
 
 }  // namespace

@@ -43,6 +43,7 @@ void Run(const bench::Args& args) {
       static_cast<size_t>(args.GetInt("queries_per_update", 10));
   const double online_prob = args.GetDouble("online", 0.3);
   const uint64_t seed = args.GetInt("seed", 42);
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
   const size_t key_len = static_cast<size_t>(args.GetInt("keylen", 9));
   // Fraction of peers whose availability cycles between propagation passes and
   // between the update and its queries (see PartialResample). 0 pins the whole
@@ -54,7 +55,9 @@ void Run(const bench::Args& args) {
                 "repetitive search: successrate ~1, cost falls with insertion effort;"
                 " non-repetitive: ~5.5 msg, successrate 0.65..0.99");
 
-  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target);
+  auto s = bench::BuildGrid(n, maxl, refmax, /*recmax=*/2, /*fanout=*/2, seed, target,
+                            /*max_meetings=*/200'000'000, /*manage_data=*/true,
+                            threads);
   std::printf("built: avg depth %.3f, %llu exchanges, %.2fs\n\n",
               s.report.avg_path_length,
               static_cast<unsigned long long>(s.report.exchanges), s.report.seconds);

@@ -18,6 +18,7 @@
 #include "core/exchange.h"
 #include "core/grid.h"
 #include "core/grid_builder.h"
+#include "core/parallel_builder.h"
 #include "obs/export.h"
 #include "sim/meeting_scheduler.h"
 #include "util/rng.h"
@@ -88,12 +89,15 @@ struct GridSetup {
 };
 
 /// Builds a grid to `target_avg_depth` (or 0.99 * maxl when < 0) with fully online
-/// construction, the paper's setting.
+/// construction, the paper's setting. `threads <= 1` runs the sequential
+/// GridBuilder (the bit-exact legacy path); larger values run the deterministic
+/// ParallelGridBuilder (core/parallel_builder.h), whose result is the same for
+/// every thread count but differs from the sequential interleaving.
 inline GridSetup BuildGrid(size_t num_peers, size_t maxl, size_t refmax, size_t recmax,
                            size_t recursion_fanout, uint64_t seed,
                            double target_avg_depth = -1.0,
                            uint64_t max_meetings = 200'000'000,
-                           bool manage_data = true) {
+                           bool manage_data = true, size_t threads = 1) {
   GridSetup s;
   s.config.maxl = maxl;
   s.config.refmax = refmax;
@@ -104,10 +108,18 @@ inline GridSetup BuildGrid(size_t num_peers, size_t maxl, size_t refmax, size_t 
   s.rng = std::make_unique<Rng>(seed);
   ExchangeEngine exchange(s.grid.get(), s.config, s.rng.get());
   MeetingScheduler scheduler(num_peers);
-  GridBuilder builder(s.grid.get(), &exchange, &scheduler, s.rng.get());
   const double target =
       target_avg_depth < 0 ? 0.99 * static_cast<double>(maxl) : target_avg_depth;
-  s.report = builder.BuildToAverageDepth(target, max_meetings);
+  if (threads <= 1) {
+    GridBuilder builder(s.grid.get(), &exchange, &scheduler, s.rng.get());
+    s.report = builder.BuildToAverageDepth(target, max_meetings);
+  } else {
+    ParallelBuildOptions opts;
+    opts.threads = threads;
+    ParallelGridBuilder builder(s.grid.get(), &exchange, &scheduler, s.rng.get(),
+                                opts);
+    s.report = builder.BuildToAverageDepth(target, max_meetings);
+  }
   return s;
 }
 

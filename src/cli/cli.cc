@@ -5,6 +5,7 @@
 
 #include "core/exchange.h"
 #include "core/grid_builder.h"
+#include "core/parallel_builder.h"
 #include "core/search.h"
 #include "core/stats.h"
 #include "key/text_key.h"
@@ -21,7 +22,8 @@ namespace {
 std::string UsageFor(const std::string& command) {
   if (command == "build") {
     return "pgrid build --peers=N --out=FILE [--maxl=8] [--refmax=4] [--recmax=2]"
-           " [--fanout=2] [--threshold=0.99] [--seed=42] [--metrics-json=FILE]";
+           " [--fanout=2] [--threshold=0.99] [--seed=42] [--threads=1]"
+           " [--metrics-json=FILE]";
   }
   if (command == "info") return "pgrid info --in=FILE";
   if (command == "verify") return "pgrid verify --in=FILE";
@@ -79,6 +81,7 @@ Status CmdBuild(const FlagSet& flags, std::ostream& out) {
   PGRID_ASSIGN_OR_RETURN(int64_t fanout, flags.GetInt("fanout", 2));
   PGRID_ASSIGN_OR_RETURN(double threshold, flags.GetDouble("threshold", 0.99));
   PGRID_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  PGRID_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 1));
   config.maxl = static_cast<size_t>(maxl);
   config.refmax = static_cast<size_t>(refmax);
   config.recmax = static_cast<size_t>(recmax);
@@ -87,13 +90,25 @@ Status CmdBuild(const FlagSet& flags, std::ostream& out) {
   if (threshold <= 0 || threshold > 1) {
     return Status::InvalidArgument("--threshold must be in (0, 1]");
   }
+  if (threads < 1) return Status::InvalidArgument("--threads must be >= 1");
 
   Grid grid(static_cast<size_t>(peers));
   Rng rng(static_cast<uint64_t>(seed));
   ExchangeEngine exchange(&grid, config, &rng);
   MeetingScheduler scheduler(grid.size());
-  GridBuilder builder(&grid, &exchange, &scheduler, &rng);
-  BuildReport report = builder.BuildToFractionOfMaxDepth(threshold, 500'000'000);
+  BuildReport report;
+  if (threads <= 1) {
+    // Sequential legacy path: bit-identical to every previous release.
+    GridBuilder builder(&grid, &exchange, &scheduler, &rng);
+    report = builder.BuildToFractionOfMaxDepth(threshold, 500'000'000);
+  } else {
+    // Deterministic parallel path: the same (seed, threads>=2) always yields the
+    // same snapshot, regardless of the actual thread count.
+    ParallelBuildOptions opts;
+    opts.threads = static_cast<size_t>(threads);
+    ParallelGridBuilder builder(&grid, &exchange, &scheduler, &rng, opts);
+    report = builder.BuildToFractionOfMaxDepth(threshold, 500'000'000);
+  }
   out << "built " << peers << " peers to avg depth " << std::fixed
       << std::setprecision(2) << report.avg_path_length << " ("
       << report.exchanges << " exchanges, " << std::setprecision(0)

@@ -47,8 +47,8 @@ ExchangeEngine::ExchangeEngine(Grid* grid, const ExchangeConfig& config, Rng* rn
   PGRID_CHECK(exchanges_ && splits_ && entries_moved_ && recursion_depth_);
 }
 
-bool ExchangeEngine::IsOnline(PeerId p) const {
-  return online_ == nullptr || online_->IsOnline(p, rng_);
+bool ExchangeEngine::IsOnline(PeerId p, Rng* rng) const {
+  return online_ == nullptr || online_->IsOnline(p, rng);
 }
 
 bool ExchangeEngine::MaySplit(const PeerState& a, const PeerState& partner,
@@ -57,11 +57,27 @@ bool ExchangeEngine::MaySplit(const PeerState& a, const PeerState& partner,
   return split_policy_ == nullptr || split_policy_->MaySplit(a, partner, lc);
 }
 
-void ExchangeEngine::Exchange(PeerId a1, PeerId a2) { ExchangeImpl(a1, a2, 0); }
+void ExchangeEngine::Exchange(PeerId a1, PeerId a2) {
+  // Sequential entry point: the engine's own Rng, the grid's ledger, inline
+  // recursion. Path growth accumulates in the shard and is applied before
+  // returning, so callers observe the same AveragePathLength as ever.
+  ExchangeShard shard;
+  shard.rng = rng_;
+  shard.stats = &grid_->stats();
+  ExchangeImpl(a1, a2, 0, &shard);
+  if (shard.path_bits > 0) grid_->NotePathGrowth(shard.path_bits);
+}
 
-void ExchangeEngine::ExchangeImpl(PeerId id1, PeerId id2, size_t depth) {
+void ExchangeEngine::ExchangeSharded(PeerId a1, PeerId a2, uint32_t depth,
+                                     ExchangeShard* shard) {
+  PGRID_CHECK(shard != nullptr && shard->rng != nullptr && shard->stats != nullptr);
+  ExchangeImpl(a1, a2, depth, shard);
+}
+
+void ExchangeEngine::ExchangeImpl(PeerId id1, PeerId id2, size_t depth,
+                                  ExchangeShard* shard) {
   if (id1 == id2) return;
-  grid_->stats().Record(MessageType::kExchange);
+  shard->stats->Record(MessageType::kExchange);
   exchanges_->Increment();
   recursion_depth_->Record(depth);
   obs::TraceRecorder* trace = grid_->trace();
@@ -78,7 +94,7 @@ void ExchangeEngine::ExchangeImpl(PeerId id1, PeerId id2, size_t depth) {
   PeerState& a2 = grid_->peer(id2);
 
   const size_t lc = a1.path().CommonPrefixLength(a2.path());
-  if (lc > 0) CrossPollinateRefs(&a1, &a2, lc);
+  if (lc > 0) CrossPollinateRefs(&a1, &a2, lc, shard);
 
   const size_t l1 = a1.depth() - lc;
   const size_t l2 = a2.depth() - lc;
@@ -87,81 +103,103 @@ void ExchangeEngine::ExchangeImpl(PeerId id1, PeerId id2, size_t depth) {
     // Case 1: identical paths below the split bound -- introduce a new level.
     a1.AppendPathBit(0);
     a2.AppendPathBit(1);
-    grid_->NotePathGrowth(2);
+    shard->path_bits += 2;
     splits_->Increment(2);
     a1.SetRefsAt(lc + 1, {id2});
     a2.SetRefsAt(lc + 1, {id1});
-    if (config_.manage_data) ReconcileData(&a1, &a2);
+    if (config_.manage_data) ReconcileData(&a1, &a2, shard);
   } else if (l1 == 0 && l2 > 0 && MaySplit(a1, a2, lc)) {
     // Case 2: a1's path is a proper prefix of a2's -- a1 specializes (or clones to
     // the data-dense side under replication balancing).
     if (split_policy_ != nullptr && split_policy_->PreferClone(a1, a2, lc)) {
-      CloneShorter(&a1, &a2, lc);
+      CloneShorter(&a1, &a2, lc, shard);
     } else {
-      SplitShorter(&a1, &a2, lc);
+      SplitShorter(&a1, &a2, lc, shard);
     }
-    if (config_.manage_data) ReconcileData(&a1, &a2);
+    if (config_.manage_data) ReconcileData(&a1, &a2, shard);
   } else if (l1 > 0 && l2 == 0 && MaySplit(a2, a1, lc)) {
     // Case 3: symmetric to case 2.
     if (split_policy_ != nullptr && split_policy_->PreferClone(a2, a1, lc)) {
-      CloneShorter(&a2, &a1, lc);
+      CloneShorter(&a2, &a1, lc, shard);
     } else {
-      SplitShorter(&a2, &a1, lc);
+      SplitShorter(&a2, &a1, lc, shard);
     }
-    if (config_.manage_data) ReconcileData(&a1, &a2);
+    if (config_.manage_data) ReconcileData(&a1, &a2, shard);
   } else if (l1 > 0 && l2 > 0 && depth < config_.recmax) {
     // Case 4: paths diverge -- forward each peer to the other's references on the
     // matching side and recurse.
     std::vector<PeerId> refs1 = Without(a1.RefsAt(lc + 1), id2);
     std::vector<PeerId> refs2 = Without(a2.RefsAt(lc + 1), id1);
+    Rng* rng = shard->rng;
     if (config_.recursion_fanout > 0) {
-      refs1 = rng_->SampleWithoutReplacement(std::move(refs1), config_.recursion_fanout);
-      refs2 = rng_->SampleWithoutReplacement(std::move(refs2), config_.recursion_fanout);
+      refs1 = rng->SampleWithoutReplacement(std::move(refs1), config_.recursion_fanout);
+      refs2 = rng->SampleWithoutReplacement(std::move(refs2), config_.recursion_fanout);
     }
-    // NOTE: a1/a2 may specialize further inside these recursive calls; peers are
-    // addressed by id, and Grid storage is stable, so this is safe.
-    for (PeerId r1 : refs1) {
-      if (IsOnline(r1)) ExchangeImpl(id2, r1, depth + 1);
-    }
-    for (PeerId r2 : refs2) {
-      if (IsOnline(r2)) ExchangeImpl(id1, r2, depth + 1);
+    if (shard->deferred != nullptr) {
+      // Sharded execution: recursion targets are third peers a concurrent meeting
+      // may own, so the recursive calls are captured for the driver to schedule in
+      // a later conflict-free wave. Online filtering stays on this shard's stream,
+      // keeping the capture deterministic.
+      for (PeerId r1 : refs1) {
+        if (IsOnline(r1, rng)) {
+          shard->deferred->push_back({id2, r1, static_cast<uint32_t>(depth + 1)});
+        }
+      }
+      for (PeerId r2 : refs2) {
+        if (IsOnline(r2, rng)) {
+          shard->deferred->push_back({id1, r2, static_cast<uint32_t>(depth + 1)});
+        }
+      }
+    } else {
+      // NOTE: a1/a2 may specialize further inside these recursive calls; peers are
+      // addressed by id, and Grid storage is stable, so this is safe.
+      for (PeerId r1 : refs1) {
+        if (IsOnline(r1, rng)) ExchangeImpl(id2, r1, depth + 1, shard);
+      }
+      for (PeerId r2 : refs2) {
+        if (IsOnline(r2, rng)) ExchangeImpl(id1, r2, depth + 1, shard);
+      }
     }
   } else if (l1 == 0 && l2 == 0 && config_.manage_data) {
     // Replica case: identical paths that may not split (at maxl, or refused by the
     // split policy). Merge leaf indexes either way; register buddies only at maxl,
     // where paths are final (a policy-refused pair may still specialize later once
     // it accumulates data, which would invalidate the buddy relation).
-    MergeReplicas(&a1, &a2, /*record_buddies=*/lc >= config_.maxl);
+    MergeReplicas(&a1, &a2, /*record_buddies=*/lc >= config_.maxl, shard);
   }
 }
 
-void ExchangeEngine::CrossPollinateRefs(PeerState* a1, PeerState* a2, size_t level) {
+void ExchangeEngine::CrossPollinateRefs(PeerState* a1, PeerState* a2, size_t level,
+                                        ExchangeShard* shard) {
+  Rng* rng = shard->rng;
   std::vector<PeerId> common = Union(a1->RefsAt(level), a2->RefsAt(level));
   if (config_.prune_unreachable_refs && online_ != nullptr) {
     // Gossip-time failure detection: drop targets that cannot be reached right
     // now. Temporarily offline peers lose some incoming references and regain
     // them through later exchanges; permanently dead ones are flushed for good.
-    std::erase_if(common, [this](PeerId r) { return !IsOnline(r); });
+    std::erase_if(common, [this, rng](PeerId r) { return !IsOnline(r, rng); });
   }
-  a1->SetRefsAt(level, rng_->SampleWithoutReplacement(common, config_.refmax));
-  a2->SetRefsAt(level, rng_->SampleWithoutReplacement(std::move(common), config_.refmax));
+  a1->SetRefsAt(level, rng->SampleWithoutReplacement(common, config_.refmax));
+  a2->SetRefsAt(level, rng->SampleWithoutReplacement(std::move(common), config_.refmax));
 }
 
-void ExchangeEngine::SplitShorter(PeerState* shorter, PeerState* longer, size_t lc) {
+void ExchangeEngine::SplitShorter(PeerState* shorter, PeerState* longer, size_t lc,
+                                  ExchangeShard* shard) {
   PGRID_CHECK_EQ(shorter->depth(), lc);
   PGRID_CHECK_GT(longer->depth(), lc);
   const int bit = ComplementBit(longer->PathBit(lc + 1));
   shorter->AppendPathBit(bit);
-  grid_->NotePathGrowth(1);
+  shard->path_bits += 1;
   splits_->Increment();
   shorter->SetRefsAt(lc + 1, {longer->id()});
   std::vector<PeerId> refs =
       Union({shorter->id()}, longer->RefsAt(lc + 1));
-  longer->SetRefsAt(lc + 1, rng_->SampleWithoutReplacement(std::move(refs),
-                                                           config_.refmax));
+  longer->SetRefsAt(lc + 1, shard->rng->SampleWithoutReplacement(std::move(refs),
+                                                                 config_.refmax));
 }
 
-void ExchangeEngine::CloneShorter(PeerState* shorter, PeerState* longer, size_t lc) {
+void ExchangeEngine::CloneShorter(PeerState* shorter, PeerState* longer, size_t lc,
+                                  ExchangeShard* shard) {
   PGRID_CHECK_EQ(shorter->depth(), lc);
   PGRID_CHECK_GT(longer->depth(), lc);
   // Adopt the partner's bit: the shorter peer joins the data-dense side. Its
@@ -169,14 +207,14 @@ void ExchangeEngine::CloneShorter(PeerState* shorter, PeerState* longer, size_t 
   // is exactly what the partner's references at that level do.
   const int bit = longer->PathBit(lc + 1);
   shorter->AppendPathBit(bit);
-  grid_->NotePathGrowth(1);
+  shard->path_bits += 1;
   splits_->Increment();
-  shorter->SetRefsAt(
-      lc + 1, rng_->SampleWithoutReplacement(longer->RefsAt(lc + 1), config_.refmax));
+  shorter->SetRefsAt(lc + 1, shard->rng->SampleWithoutReplacement(
+                                 longer->RefsAt(lc + 1), config_.refmax));
 }
 
-void ExchangeEngine::MergeReplicas(PeerState* a1, PeerState* a2,
-                                   bool record_buddies) {
+void ExchangeEngine::MergeReplicas(PeerState* a1, PeerState* a2, bool record_buddies,
+                                   ExchangeShard* shard) {
   if (record_buddies) {
     a1->AddBuddy(a2->id());
     a2->AddBuddy(a1->id());
@@ -187,12 +225,12 @@ void ExchangeEngine::MergeReplicas(PeerState* a1, PeerState* a2,
   size_t moved = a1->index().MergeFrom(a2->index());
   moved += a2->index().MergeFrom(a1->index());
   if (moved > 0) {
-    grid_->stats().Record(MessageType::kDataTransfer, moved);
+    shard->stats->Record(MessageType::kDataTransfer, moved);
     entries_moved_->Increment(moved);
   }
 }
 
-void ExchangeEngine::ReconcileData(PeerState* x, PeerState* y) {
+void ExchangeEngine::ReconcileData(PeerState* x, PeerState* y, ExchangeShard* shard) {
   for (int round = 0; round < 2; ++round) {
     PeerState* from = round == 0 ? x : y;
     PeerState* to = round == 0 ? y : x;
@@ -213,7 +251,7 @@ void ExchangeEngine::ReconcileData(PeerState* x, PeerState* y) {
       }
     }
     if (moved > 0) {
-      grid_->stats().Record(MessageType::kDataTransfer, moved);
+      shard->stats->Record(MessageType::kDataTransfer, moved);
       entries_moved_->Increment(moved);
     }
   }

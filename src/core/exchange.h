@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/config.h"
 #include "core/grid.h"
@@ -35,6 +36,32 @@
 #include "util/rng.h"
 
 namespace pgrid {
+
+/// A recursive exchange (Fig. 3 case 4) captured during sharded execution instead
+/// of executed inline. The parallel driver schedules it into a later conflict-free
+/// wave; its randomness comes from the deterministic per-slot stream it is
+/// assigned to (see core/parallel_builder.h), never from thread timing.
+struct PendingExchange {
+  PeerId initiator = 0;
+  PeerId target = 0;
+  uint32_t depth = 0;
+};
+
+/// Sinks for one sharded exchange execution (see ParallelGridBuilder). A shard
+/// isolates everything an exchange touches besides the two peers' own state, so
+/// conflict-free meetings can run concurrently:
+///  - all random draws come from `rng` (a per-meeting counter-derived stream),
+///  - message accounting goes to the `stats` shard, merged at the batch barrier,
+///  - path growth accumulates in `path_bits`, applied at the barrier,
+///  - case-4 recursion is captured into `deferred` (when set) instead of executed
+///    inline, because recursion targets are third peers another concurrent meeting
+///    may own. A null `deferred` recurses inline (the sequential behavior).
+struct ExchangeShard {
+  Rng* rng = nullptr;
+  MessageStats* stats = nullptr;
+  uint64_t path_bits = 0;
+  std::vector<PendingExchange>* deferred = nullptr;
+};
 
 /// Executes the construction algorithm against a Grid.
 class ExchangeEngine {
@@ -50,6 +77,14 @@ class ExchangeEngine {
   /// Runs one meeting between two distinct peers (the paper's exchange(a1, a2, 0)).
   void Exchange(PeerId a1, PeerId a2);
 
+  /// Runs one (possibly recursive, depth > 0) exchange recording into `shard`
+  /// instead of the engine's Rng and the grid's ledger. Mutates only the states of
+  /// `a1`, `a2` (and, with a null `shard->deferred`, of inline recursion targets);
+  /// grid-level accounting lands in the shard for a deterministic barrier merge.
+  /// Metrics-registry instruments are atomic and recorded directly. Thread-safe
+  /// for concurrent calls whose peer pairs are disjoint.
+  void ExchangeSharded(PeerId a1, PeerId a2, uint32_t depth, ExchangeShard* shard);
+
   /// Total exchange executions recorded so far (the paper's `e`).
   uint64_t num_exchanges() const {
     return grid_->stats().count(MessageType::kExchange);
@@ -58,30 +93,34 @@ class ExchangeEngine {
   const ExchangeConfig& config() const { return config_; }
 
  private:
-  void ExchangeImpl(PeerId id1, PeerId id2, size_t depth);
+  void ExchangeImpl(PeerId id1, PeerId id2, size_t depth, ExchangeShard* shard);
 
   /// Level-lc reference cross-pollination: union both sets, each keeps a random
   /// refmax-subset.
-  void CrossPollinateRefs(PeerState* a1, PeerState* a2, size_t level);
+  void CrossPollinateRefs(PeerState* a1, PeerState* a2, size_t level,
+                          ExchangeShard* shard);
 
   /// Cases 2/3: `shorter` (whose path equals the common prefix) specializes with the
   /// complement of `longer`'s bit at level lc+1; installs mutual references.
-  void SplitShorter(PeerState* shorter, PeerState* longer, size_t lc);
+  void SplitShorter(PeerState* shorter, PeerState* longer, size_t lc,
+                    ExchangeShard* shard);
 
   /// Replication-balancing variant of cases 2/3: `shorter` adopts the partner's bit
   /// (joins its side) and inherits a sample of the partner's references at the new
   /// level. Triggered by SplitPolicy::PreferClone.
-  void CloneShorter(PeerState* shorter, PeerState* longer, size_t lc);
+  void CloneShorter(PeerState* shorter, PeerState* longer, size_t lc,
+                    ExchangeShard* shard);
 
   /// Replica meeting: leaf index merge, plus mutual buddy registration when the
   /// paths are final (at maxl).
-  void MergeReplicas(PeerState* a1, PeerState* a2, bool record_buddies);
+  void MergeReplicas(PeerState* a1, PeerState* a2, bool record_buddies,
+                     ExchangeShard* shard);
 
   /// Moves leaf index entries between the two peers so that each retained entry
   /// overlaps its holder's (possibly just-extended) path.
-  void ReconcileData(PeerState* x, PeerState* y);
+  void ReconcileData(PeerState* x, PeerState* y, ExchangeShard* shard);
 
-  bool IsOnline(PeerId p) const;
+  bool IsOnline(PeerId p, Rng* rng) const;
 
   /// True iff `a` may extend its path when meeting `partner` with common prefix
   /// length `lc`: always bounded by maxl, optionally further restricted by the

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -22,7 +23,7 @@ namespace pgrid {
 class Grid {
  public:
   /// Creates `num_peers` peers, all initially responsible for the whole key space.
-  explicit Grid(size_t num_peers) {
+  explicit Grid(size_t num_peers) : query_load_(num_peers) {
     peers_.reserve(num_peers);
     for (size_t i = 0; i < num_peers; ++i) peers_.emplace_back(static_cast<PeerId>(i));
   }
@@ -31,10 +32,18 @@ class Grid {
 
   /// Adds a fresh peer (empty path, responsible for the whole key space) and
   /// returns its id. Supports dynamic membership: new peers integrate through
-  /// ordinary exchanges. Do not call while an exchange is executing.
+  /// ordinary exchanges. Do not call while an exchange or any parallel workload
+  /// is executing.
   PeerId AddPeer() {
     const PeerId id = static_cast<PeerId>(peers_.size());
     peers_.emplace_back(id);
+    // Atomics are not movable, so the load vector is rebuilt instead of resized.
+    std::vector<std::atomic<uint64_t>> grown(peers_.size());
+    for (size_t i = 0; i < query_load_.size(); ++i) {
+      grown[i].store(query_load_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    query_load_ = std::move(grown);
     return id;
   }
 
@@ -47,6 +56,9 @@ class Grid {
     return peers_[id];
   }
 
+  /// The simulation's message ledger. Not internally synchronized: parallel
+  /// drivers record into per-item MessageStats shards and MergeFrom them here at
+  /// batch barriers (see core/parallel_builder.h, core/parallel_workload.h).
   MessageStats& stats() { return stats_; }
   const MessageStats& stats() const { return stats_; }
 
@@ -67,18 +79,28 @@ class Grid {
 
   /// Called by the search/update engines when `peer` serves a message. Feeds the
   /// per-peer load statistics behind the paper's "scales ... equally for all
-  /// peers" claim (see GridStats::QueryLoadProfile).
+  /// peers" claim (see GridStats::QueryLoadProfile). The counter vector is sized
+  /// with the community (constructor / AddPeer), so this hot path is branch-free,
+  /// and the increment is a relaxed atomic so concurrent read-only workloads
+  /// (core/parallel_workload.h) can serve from many threads at once.
   void NoteServed(PeerId peer) {
-    if (query_load_.size() < peers_.size()) query_load_.resize(peers_.size(), 0);
-    ++query_load_[peer];
+    PGRID_DCHECK(peer < query_load_.size());
+    query_load_[peer].fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Messages served per peer so far (index = PeerId; may be shorter than size()
-  /// if nothing was ever served).
-  const std::vector<uint64_t>& query_load() const { return query_load_; }
+  /// Messages served per peer so far (index = PeerId; always size() entries).
+  std::vector<uint64_t> query_load() const {
+    std::vector<uint64_t> out(query_load_.size());
+    for (size_t i = 0; i < query_load_.size(); ++i) {
+      out[i] = query_load_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
 
   /// Zeroes the per-peer load counters.
-  void ResetQueryLoad() { query_load_.assign(peers_.size(), 0); }
+  void ResetQueryLoad() {
+    for (auto& c : query_load_) c.store(0, std::memory_order_relaxed);
+  }
 
   /// Average path length over all peers, in O(1).
   double AveragePathLength() const {
@@ -98,7 +120,7 @@ class Grid {
   obs::MetricsRegistry metrics_;
   obs::TraceRecorder* trace_ = nullptr;
   size_t total_path_bits_ = 0;
-  std::vector<uint64_t> query_load_;
+  std::vector<std::atomic<uint64_t>> query_load_;
 };
 
 }  // namespace pgrid

@@ -1,0 +1,121 @@
+#include "core/parallel_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/stopwatch.h"
+
+namespace pgrid {
+
+ParallelGridBuilder::ParallelGridBuilder(Grid* grid, ExchangeEngine* exchange,
+                                         MeetingScheduler* scheduler, Rng* master,
+                                         const ParallelBuildOptions& options)
+    : grid_(grid),
+      exchange_(exchange),
+      scheduler_(scheduler),
+      master_(master),
+      options_(options),
+      pool_(options.threads),
+      stream_base_(master != nullptr ? master->engine()() : 0) {
+  PGRID_CHECK(grid != nullptr && exchange != nullptr && scheduler != nullptr &&
+              master != nullptr);
+  PGRID_CHECK_GT(options_.threads, 0u);
+  PGRID_CHECK_GT(options_.batch_size, 0u);
+  PGRID_CHECK_EQ(grid->size(), scheduler->num_peers());
+}
+
+BuildReport ParallelGridBuilder::BuildToAverageDepth(double target_avg_depth,
+                                                     uint64_t max_meetings) {
+  Stopwatch watch;
+  BuildReport report;
+  const uint64_t exchanges_before = grid_->stats().count(MessageType::kExchange);
+  while (grid_->AveragePathLength() < target_avg_depth &&
+         report.meetings < max_meetings) {
+    const size_t batch = static_cast<size_t>(
+        std::min<uint64_t>(options_.batch_size, max_meetings - report.meetings));
+    // Schedule serially on the master stream. The schedule depends only on the
+    // seed and the number of meetings drawn so far -- never on how earlier
+    // batches were executed.
+    std::vector<Meeting> meetings;
+    meetings.reserve(batch);
+    scheduler_->NextBatch(master_, batch, &meetings);
+    std::vector<WorkItem> items;
+    items.reserve(batch);
+    for (const Meeting& m : meetings) items.push_back({m.a, m.b, /*depth=*/0});
+    RunBatch(std::move(items));
+    report.meetings += batch;
+  }
+  report.exchanges = grid_->stats().count(MessageType::kExchange) - exchanges_before;
+  report.avg_path_length = grid_->AveragePathLength();
+  report.converged = report.avg_path_length >= target_avg_depth;
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+BuildReport ParallelGridBuilder::BuildToFractionOfMaxDepth(double fraction,
+                                                           uint64_t max_meetings) {
+  PGRID_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const double target = fraction * static_cast<double>(exchange_->config().maxl);
+  return BuildToAverageDepth(target, max_meetings);
+}
+
+void ParallelGridBuilder::EnsureSlots(size_t n) {
+  while (slots_.size() < n) {
+    slots_.push_back(
+        std::make_unique<Slot>(DeriveStreamSeed(stream_base_, slots_.size())));
+  }
+}
+
+void ParallelGridBuilder::RunBatch(std::vector<WorkItem> items) {
+  if (claims_.size() < grid_->size()) claims_.resize(grid_->size(), 0);
+
+  std::vector<WorkItem> wave;
+  std::vector<WorkItem> leftover;
+  while (!items.empty()) {
+    // Greedy in-order wave partition: an item joins the wave iff neither endpoint
+    // is claimed yet this wave; the rest keep their relative order.
+    ++claim_epoch_;
+    wave.clear();
+    leftover.clear();
+    for (const WorkItem& it : items) {
+      if (claims_[it.a] == claim_epoch_ || claims_[it.b] == claim_epoch_) {
+        leftover.push_back(it);
+        continue;
+      }
+      claims_[it.a] = claim_epoch_;
+      claims_[it.b] = claim_epoch_;
+      wave.push_back(it);
+    }
+    // Progress is guaranteed: the first unclaimed item always enters the wave.
+    PGRID_CHECK(!wave.empty());
+    EnsureSlots(wave.size());
+
+    pool_.ParallelFor(wave.size(), [&](size_t i) {
+      Slot& slot = *slots_[i];
+      ExchangeShard shard;
+      shard.rng = &slot.rng;
+      shard.stats = &slot.stats;
+      shard.deferred = &slot.deferred;
+      exchange_->ExchangeSharded(wave[i].a, wave[i].b, wave[i].depth, &shard);
+      slot.path_bits = shard.path_bits;
+    });
+
+    // Barrier merge, strictly in slot order: ledger shards and path growth fold
+    // into the grid; deferred children queue up behind this wave's leftovers.
+    for (size_t i = 0; i < wave.size(); ++i) {
+      Slot& slot = *slots_[i];
+      grid_->stats().MergeFrom(slot.stats);
+      slot.stats.Reset();
+      if (slot.path_bits > 0) grid_->NotePathGrowth(slot.path_bits);
+      slot.path_bits = 0;
+      for (const PendingExchange& p : slot.deferred) {
+        leftover.push_back({p.initiator, p.target, p.depth});
+      }
+      slot.deferred.clear();
+    }
+    std::swap(items, leftover);
+  }
+}
+
+}  // namespace pgrid

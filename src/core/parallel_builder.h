@@ -1,0 +1,127 @@
+// Multi-threaded grid construction with a deterministic result.
+//
+// The sequential GridBuilder interleaves meeting scheduling, exchange execution,
+// and ledger accounting on one RNG stream, so its result is a function of the seed
+// but inherently serial. This builder restructures the same workload so meetings
+// run concurrently while the final grid stays a pure function of (seed,
+// batch_size) -- in particular, independent of the thread count:
+//
+//   1. Deterministic schedule. Each round draws `batch_size` meetings from the
+//      master RNG, serially, before any execution. The schedule never depends on
+//      how the previous batch was executed, only on how many meetings it held.
+//   2. Conflict-free waves. A greedy in-order pass claims both endpoints of each
+//      work item; items whose endpoints are both unclaimed form the wave, the rest
+//      keep their order for the next wave. Within a wave no peer appears twice, and
+//      the exchange cases outside recursion mutate only the two endpoint peers, so
+//      wave items are data-race free by construction.
+//   3. Per-slot streams. Wave slot i owns a persistent Rng seeded as stream i of a
+//      value drawn once from the master (util/rng.h DeriveStreamSeed). The wave
+//      partition -- and therefore the item -> slot assignment -- is computed
+//      serially, so slot streams advance identically for every thread count.
+//      Persistent streams also keep the hot path free of std::mt19937_64
+//      re-seeding (~2us per fresh engine, comparable to a whole exchange).
+//   4. Sharded execution. Slot i runs ExchangeEngine::ExchangeSharded against its
+//      own stream, a private MessageStats shard, a private path-growth
+//      accumulator, and a private deferred-recursion list (case-4 recursion
+//      targets third peers, so it is captured, not executed inline).
+//   5. Deterministic barrier merge. After the wave joins, shards fold into the
+//      grid ledger in slot order and deferred children are appended to the
+//      worklist in slot order. Every merge-visible quantity is ordered by the
+//      schedule, not by thread timing.
+//
+// Convergence (average path length vs threshold) is checked at batch boundaries,
+// after each batch has fully drained.
+//
+// With threads == 1 the identical wave machinery runs inline on the calling
+// thread; 1-, 2-, and N-thread runs of the same seed produce byte-identical grids
+// (tests/parallel_builder_test.cc snapshots them). The sequential GridBuilder
+// remains the bit-exact legacy path for existing single-threaded experiments.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/exchange.h"
+#include "core/grid.h"
+#include "core/grid_builder.h"
+#include "sim/meeting_scheduler.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace pgrid {
+
+struct ParallelBuildOptions {
+  /// Worker threads (>= 1). Affects wall-clock only, never the result.
+  size_t threads = 1;
+
+  /// Meetings drawn per round. Part of the deterministic schedule: changing it
+  /// changes the result (convergence is checked at batch boundaries). It must
+  /// never be derived from the thread count.
+  size_t batch_size = 256;
+};
+
+/// Drives grid construction over a worker pool. The engine must have been created
+/// on the same grid; the master Rng seeds the schedule and all slot streams.
+class ParallelGridBuilder {
+ public:
+  ParallelGridBuilder(Grid* grid, ExchangeEngine* exchange,
+                      MeetingScheduler* scheduler, Rng* master,
+                      const ParallelBuildOptions& options);
+
+  /// Runs until grid->AveragePathLength() >= target_avg_depth, or until
+  /// `max_meetings` top-level meetings have been executed. Exchange counts are
+  /// measured relative to the start of this call.
+  BuildReport BuildToAverageDepth(double target_avg_depth, uint64_t max_meetings);
+
+  /// Convenience: threshold as a fraction of maxl (the paper uses 0.99).
+  BuildReport BuildToFractionOfMaxDepth(double fraction, uint64_t max_meetings);
+
+  const ParallelBuildOptions& options() const { return options_; }
+
+ private:
+  /// One scheduled exchange: a meeting from the master schedule (depth 0) or a
+  /// deferred case-4 recursion (depth > 0).
+  struct WorkItem {
+    PeerId a = 0;
+    PeerId b = 0;
+    uint32_t depth = 0;
+  };
+
+  /// Execution state of one wave slot: a persistent deterministic stream plus the
+  /// shard sinks the slot's item records into. Heap-allocated so the slot vector
+  /// can grow without moving live Rng state.
+  struct Slot {
+    explicit Slot(uint64_t seed) : rng(seed) {}
+    Rng rng;
+    MessageStats stats;
+    uint64_t path_bits = 0;
+    std::vector<PendingExchange> deferred;
+  };
+
+  /// Ensures slots_ covers indices [0, n).
+  void EnsureSlots(size_t n);
+
+  /// Executes `items` (one batch of top-level meetings) to completion, including
+  /// all deferred recursion, merging shards into the grid at each wave barrier.
+  void RunBatch(std::vector<WorkItem> items);
+
+  Grid* grid_;
+  ExchangeEngine* exchange_;
+  MeetingScheduler* scheduler_;
+  Rng* master_;
+  ParallelBuildOptions options_;
+  ThreadPool pool_;
+
+  /// Base for slot-stream derivation, drawn from the master at construction.
+  uint64_t stream_base_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  // Epoch-stamped endpoint claims for wave partitioning (index = PeerId). Sized
+  // lazily to the grid, stamped with claim_epoch_ instead of cleared per wave.
+  std::vector<uint64_t> claims_;
+  uint64_t claim_epoch_ = 0;
+};
+
+}  // namespace pgrid

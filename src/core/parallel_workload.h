@@ -1,0 +1,64 @@
+// Multi-threaded read-only query workloads with deterministic accounting.
+//
+// Searches never mutate peer state, so a query workload parallelizes trivially --
+// the work is making the *accounting* deterministic. Three ingredients:
+//
+//   1. Counter-derived streams. Query i always runs on
+//      Rng(DeriveStreamSeed(seed, i)): its key, entry point, and routing decisions
+//      are a function of (seed, i), independent of which thread runs it when.
+//   2. Fixed chunking. Queries are grouped into chunks of `chunk_size` (never
+//      derived from the thread count); each chunk runs on its own SearchEngine
+//      whose kQuery accounting is redirected to a private MessageStats shard
+//      (SearchEngine::set_stats_sink).
+//   3. Ordered merge. After the join, chunk shards fold into the grid ledger in
+//      chunk order, so `search.messages == stats().count(kQuery)` holds afterwards
+//      exactly as in a serial run.
+//
+// Per-peer load counters (Grid::NoteServed) are relaxed atomics recorded in place:
+// sums are exact and thread-count independent, which is all the load-balance
+// statistics consume.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/grid.h"
+#include "sim/online_model.h"
+
+namespace pgrid {
+
+struct ParallelQueryOptions {
+  /// Worker threads (>= 1). Affects wall-clock only, never found/message counts.
+  size_t threads = 1;
+
+  /// Queries to issue.
+  uint64_t num_queries = 0;
+
+  /// Bits per random query key.
+  size_t key_length = 8;
+
+  /// Master seed; query i draws from stream DeriveStreamSeed(seed, i).
+  uint64_t seed = 1;
+
+  /// Queries per accounting shard. Part of the deterministic layout; must never
+  /// be derived from the thread count.
+  size_t chunk_size = 64;
+};
+
+/// Aggregate outcome of one parallel query run.
+struct ParallelQueryReport {
+  uint64_t queries = 0;
+  uint64_t found = 0;
+  uint64_t messages = 0;  ///< kQuery messages, also merged into the grid ledger
+  double seconds = 0.0;
+  double queries_per_second = 0.0;
+};
+
+/// Fans `options.num_queries` random-key queries out over `options.threads`
+/// threads. `online` may be null (everyone online). Found/message totals are a
+/// pure function of (grid state, options.seed); see file comment.
+ParallelQueryReport RunParallelQueries(Grid* grid, const OnlineModel* online,
+                                       const ParallelQueryOptions& options);
+
+}  // namespace pgrid

@@ -9,7 +9,7 @@
 namespace pgrid {
 
 SearchEngine::SearchEngine(Grid* grid, const OnlineModel* online, Rng* rng)
-    : grid_(grid), online_(online), rng_(rng) {
+    : grid_(grid), online_(online), rng_(rng), stats_(&grid->stats()) {
   PGRID_CHECK(grid != nullptr && rng != nullptr);
   obs::MetricsRegistry& m = grid->metrics();
   queries_ = m.GetCounter("search.queries");
@@ -66,7 +66,7 @@ bool SearchEngine::QueryImpl(PeerId peer, const KeyPath& p, size_t consumed,
       }
       continue;
     }
-    grid_->stats().Record(MessageType::kQuery);
+    stats_->Record(MessageType::kQuery);
     messages_->Increment();
     grid_->NoteServed(r);
     ++out->messages;
@@ -125,7 +125,7 @@ void SearchEngine::PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed,
         offline_skips_->Increment();
         continue;
       }
-      grid_->stats().Record(MessageType::kQuery);
+      stats_->Record(MessageType::kQuery);
       messages_->Increment();
       grid_->NoteServed(r);
       ++out->messages;

@@ -108,6 +108,14 @@ class SearchEngine {
   /// if nobody is online (after sampling `tries` candidates).
   std::optional<PeerId> RandomOnlinePeer(size_t tries = 256);
 
+  /// Redirects kQuery message accounting to `stats` instead of the grid's shared
+  /// ledger. Parallel workloads point each per-thread engine at its own shard and
+  /// MergeFrom the shards at the barrier (see core/parallel_workload.h), keeping
+  /// the grid ledger single-writer. Null restores the grid's ledger.
+  void set_stats_sink(MessageStats* stats) {
+    stats_ = stats != nullptr ? stats : &grid_->stats();
+  }
+
  private:
   bool QueryImpl(PeerId peer, const KeyPath& p, size_t consumed, size_t hops,
                  QueryResult* out, obs::TraceSpan* span);
@@ -119,6 +127,7 @@ class SearchEngine {
   Grid* grid_;
   const OnlineModel* online_;
   Rng* rng_;
+  MessageStats* stats_;  // defaults to &grid_->stats(); see set_stats_sink
 
   // Cached registry instruments (owned by the grid; see docs/observability.md).
   obs::Counter* queries_;

@@ -74,7 +74,22 @@ KeyPath KeyPath::Append(int b) const {
 
 KeyPath KeyPath::Concat(const KeyPath& suffix) const {
   KeyPath out = *this;
-  for (size_t i = 0; i < suffix.length_; ++i) out.PushBack(suffix.bit(i));
+  if (suffix.length_ == 0) return out;
+  // Word-packed append: each suffix word lands across at most two output words,
+  // split at the current bit offset. Both operands are canonical (zero bits past
+  // their lengths) and resize zero-fills, so the result is canonical by
+  // construction.
+  const size_t base = length_ / kBitsPerWord;
+  const size_t offset = length_ % kBitsPerWord;
+  out.length_ = length_ + suffix.length_;
+  out.words_.resize(WordsFor(out.length_), 0);
+  for (size_t j = 0; j < suffix.words_.size(); ++j) {
+    const uint64_t v = suffix.words_[j];
+    out.words_[base + j] |= v << offset;
+    if (offset != 0 && base + j + 1 < out.words_.size()) {
+      out.words_[base + j + 1] |= v >> (kBitsPerWord - offset);
+    }
+  }
   return out;
 }
 
@@ -93,7 +108,25 @@ KeyPath KeyPath::Prefix(size_t len) const {
 KeyPath KeyPath::Sub(size_t pos, size_t len) const {
   PGRID_CHECK_LE(pos + len, length_);
   KeyPath out;
-  for (size_t i = 0; i < len; ++i) out.PushBack(bit(pos + i));
+  if (len == 0) return out;
+  // Word-packed extraction: output word w gathers the low part of source word
+  // (first + w) and, when the cut is unaligned, the high part from the next word.
+  // This runs on every routing hop (SuffixFrom), so it must not be per-bit.
+  out.length_ = len;
+  out.words_.resize(WordsFor(len), 0);
+  const size_t first = pos / kBitsPerWord;
+  const size_t shift = pos % kBitsPerWord;
+  for (size_t w = 0; w < out.words_.size(); ++w) {
+    uint64_t v = words_[first + w] >> shift;
+    if (shift != 0 && first + w + 1 < words_.size()) {
+      v |= words_[first + w + 1] << (kBitsPerWord - shift);
+    }
+    out.words_[w] = v;
+  }
+  // Re-canonicalize the tail word.
+  if (len % kBitsPerWord != 0) {
+    out.words_.back() &= (uint64_t{1} << (len % kBitsPerWord)) - 1;
+  }
   return out;
 }
 

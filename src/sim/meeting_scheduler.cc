@@ -39,4 +39,10 @@ Meeting MeetingScheduler::Next(Rng* rng) {
   return Meeting{a, b};
 }
 
+void MeetingScheduler::NextBatch(Rng* rng, size_t count, std::vector<Meeting>* out) {
+  PGRID_CHECK(out != nullptr);
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) out->push_back(Next(rng));
+}
+
 }  // namespace pgrid

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "sim/types.h"
 #include "util/rng.h"
@@ -36,6 +37,12 @@ class MeetingScheduler {
 
   /// Draws the next meeting.
   Meeting Next(Rng* rng);
+
+  /// Draws `count` meetings exactly as `count` repeated Next() calls would,
+  /// appending them to `out`. Parallel drivers consume the meeting stream in
+  /// deterministic order through this batch API before fanning execution out, so
+  /// the schedule is a function of the seed alone, never of the thread count.
+  void NextBatch(Rng* rng, size_t count, std::vector<Meeting>* out);
 
   size_t num_peers() const { return num_peers_; }
 

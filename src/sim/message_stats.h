@@ -45,6 +45,14 @@ class MessageStats {
     return sum;
   }
 
+  /// Adds another ledger's counts into this one. This is the merge step of sharded
+  /// accounting: parallel drivers give every concurrent work item its own shard and
+  /// fold the shards into the grid's ledger at batch barriers, in deterministic
+  /// (work-item) order, so totals are identical to a serial run over the same items.
+  void MergeFrom(const MessageStats& other) {
+    for (int i = 0; i < kNumMessageTypes; ++i) counts_[i] += other.counts_[i];
+  }
+
   /// Zeroes all counters.
   void Reset() { counts_.fill(0); }
 

@@ -93,11 +93,31 @@ class Rng {
   /// Splits off an independent child generator (for parallel or per-peer streams).
   Rng Fork() { return Rng(engine_()); }
 
+  /// Reseeds this generator in place, as if freshly constructed with `seed`.
+  /// Lets a long-lived consumer (e.g. a SearchEngine bound to one Rng) switch to a
+  /// counter-derived stream per work item without being re-created.
+  void Reseed(uint64_t seed) { engine_.seed(seed); }
+
   /// Access to the underlying engine for std distributions not wrapped here.
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
 };
+
+/// Derives the seed of sub-stream `index` of a master seed (SplitMix64 finalizer,
+/// the standard counter-based stream-splitting mix). Stream i can be derived
+/// without drawing streams 0..i-1 first, which is what makes parallel workloads
+/// deterministic regardless of execution order: work item i always runs on
+/// Rng(DeriveStreamSeed(seed, i)) no matter which thread picks it up.
+inline uint64_t DeriveStreamSeed(uint64_t master_seed, uint64_t index) {
+  uint64_t x = master_seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
 
 }  // namespace pgrid

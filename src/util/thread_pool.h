@@ -1,0 +1,121 @@
+// Fixed-size worker pool for deterministic fork/join parallelism.
+//
+// The parallel simulation drivers (core/parallel_builder.h, core/parallel_workload.h)
+// split work into independent items whose results land in per-item slots, so the
+// *outcome* never depends on which thread ran which item -- only the wall-clock time
+// does. ParallelFor is the single primitive: run fn(0) .. fn(n-1), possibly
+// concurrently, and return when all of them finished. The calling thread always
+// participates, so a pool constructed with `threads == 1` owns no worker threads at
+// all and executes everything inline (zero synchronization on the 1-thread path).
+//
+// Memory ordering: every item claimed and completed is bracketed by the pool mutex,
+// so writes a worker makes while running fn(i) happen-before the caller's reads
+// after ParallelFor returns.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace pgrid {
+
+/// Fork/join pool over `threads` execution lanes (caller + threads-1 workers).
+class ThreadPool {
+ public:
+  /// Creates a pool that runs ParallelFor on `threads` lanes. `threads == 0` is
+  /// treated as 1. The caller participates, so only threads-1 OS threads are spawned.
+  explicit ThreadPool(size_t threads) : threads_(threads == 0 ? 1 : threads) {
+    workers_.reserve(threads_ - 1);
+    for (size_t i = 0; i + 1 < threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Number of execution lanes (including the caller).
+  size_t threads() const { return threads_; }
+
+  /// Runs fn(0) .. fn(n-1) and returns once all calls completed. Items may run on
+  /// any lane in any order; fn must therefore only touch state disjoint from other
+  /// items' (or internally synchronized). Not reentrant: fn must not call
+  /// ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    PGRID_CHECK(job_fn_ == nullptr);  // reentrant / concurrent use
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_next_ = 0;
+    job_active_ = 0;
+    lock.unlock();
+    wake_cv_.notify_all();
+    lock.lock();
+    DrainJob(&lock);
+    done_cv_.wait(lock, [this] { return job_next_ >= job_n_ && job_active_ == 0; });
+    job_fn_ = nullptr;
+  }
+
+ private:
+  /// Claims and runs items of the current job until none are left. `lock` must be
+  /// held on entry and is held again on return.
+  void DrainJob(std::unique_lock<std::mutex>* lock) {
+    while (job_fn_ != nullptr && job_next_ < job_n_) {
+      const size_t i = job_next_++;
+      const std::function<void(size_t)>* fn = job_fn_;
+      ++job_active_;
+      lock->unlock();
+      (*fn)(i);
+      lock->lock();
+      --job_active_;
+    }
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      wake_cv_.wait(lock, [this] {
+        return stop_ || (job_fn_ != nullptr && job_next_ < job_n_);
+      });
+      if (stop_) return;
+      DrainJob(&lock);
+      if (job_fn_ != nullptr && job_next_ >= job_n_ && job_active_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  const size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  const std::function<void(size_t)>* job_fn_ = nullptr;  // null = no job pending
+  size_t job_n_ = 0;
+  size_t job_next_ = 0;    // next unclaimed item
+  size_t job_active_ = 0;  // items currently executing
+};
+
+}  // namespace pgrid

@@ -264,6 +264,60 @@ TEST_P(KeyPathPropertyTest, CommonPrefixIsSymmetricAndBounded) {
   }
 }
 
+TEST_P(KeyPathPropertyTest, SubMatchesPerBitExtraction) {
+  // Guards the word-packed Sub/SuffixFrom fast path against a bit-by-bit
+  // reference, across word-boundary lengths and unaligned cut points.
+  Rng rng(GetParam() * 7 + 3);
+  KeyPath k = KeyPath::Random(&rng, GetParam());
+  for (size_t pos = 0; pos <= k.length(); pos += (pos < 70 ? 1 : 13)) {
+    const size_t max_len = k.length() - pos;
+    for (size_t len : {size_t{0}, size_t{1}, max_len / 2, max_len}) {
+      if (len > max_len) continue;
+      KeyPath sub = k.Sub(pos, len);
+      ASSERT_EQ(sub.length(), len);
+      for (size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(sub.bit(i), k.bit(pos + i)) << "pos=" << pos << " i=" << i;
+      }
+    }
+    KeyPath suffix = k.SuffixFrom(pos);
+    ASSERT_EQ(suffix.length(), k.length() - pos);
+    for (size_t i = 0; i < suffix.length(); ++i) {
+      ASSERT_EQ(suffix.bit(i), k.bit(pos + i));
+    }
+  }
+}
+
+TEST_P(KeyPathPropertyTest, ConcatMatchesPerBitAppend) {
+  Rng rng(GetParam() * 11 + 1);
+  KeyPath a = KeyPath::Random(&rng, GetParam());
+  for (size_t suffix_len : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                            size_t{65}, size_t{130}}) {
+    KeyPath b = KeyPath::Random(&rng, suffix_len);
+    KeyPath cat = a.Concat(b);
+    ASSERT_EQ(cat.length(), a.length() + b.length());
+    for (size_t i = 0; i < a.length(); ++i) ASSERT_EQ(cat.bit(i), a.bit(i));
+    for (size_t i = 0; i < b.length(); ++i) {
+      ASSERT_EQ(cat.bit(a.length() + i), b.bit(i)) << "a=" << a.length()
+                                                   << " i=" << i;
+    }
+    // Canonical form survives the word-packed splice: equal value, equal hash.
+    EXPECT_EQ(cat.Prefix(a.length()), a);
+    EXPECT_EQ(cat.SuffixFrom(a.length()), b);
+  }
+}
+
+TEST(KeyPathTest, SubRecanonicalizesTailWord) {
+  // A sub-path whose tail word has garbage above `length` would break ==/Hash;
+  // extract an unaligned slice and compare against a freshly built equal value.
+  Rng rng(1234);
+  KeyPath k = KeyPath::Random(&rng, 200);
+  KeyPath slice = k.Sub(3, 130);
+  auto rebuilt = KeyPath::FromString(slice.ToString());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(slice, rebuilt.value());
+  EXPECT_EQ(slice.Hash(), rebuilt.value().Hash());
+}
+
 INSTANTIATE_TEST_SUITE_P(Lengths, KeyPathPropertyTest,
                          ::testing::Values(0, 1, 2, 3, 5, 8, 13, 31, 32, 33, 63, 64,
                                            65, 100, 127, 128, 129, 250));

@@ -85,6 +85,38 @@ TEST(MeetingSchedulerDeathTest, SetNumPeersBelowTwoAborts) {
   EXPECT_DEATH({ sched.SetNumPeers(1); }, "PGRID_CHECK failed");
 }
 
+TEST(MeetingSchedulerTest, NextBatchEqualsRepeatedNext) {
+  // The parallel builder's contract: consuming the meeting stream through
+  // NextBatch must advance state and RNG exactly as repeated Next() calls do,
+  // for both meeting patterns.
+  for (auto pattern : {MeetingScheduler::Pattern::kUniform,
+                       MeetingScheduler::Pattern::kRecencyBiased}) {
+    MeetingScheduler serial(80, pattern);
+    MeetingScheduler batched(80, pattern);
+    Rng r1(11), r2(11);
+    std::vector<Meeting> expected;
+    for (int i = 0; i < 500; ++i) expected.push_back(serial.Next(&r1));
+    std::vector<Meeting> got;
+    for (size_t chunk : {size_t{1}, size_t{7}, size_t{64}, size_t{428}}) {
+      batched.NextBatch(&r2, chunk, &got);
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].a, expected[i].a) << "i=" << i;
+      EXPECT_EQ(got[i].b, expected[i].b) << "i=" << i;
+    }
+  }
+}
+
+TEST(MeetingSchedulerTest, NextBatchAppendsToExistingOutput) {
+  MeetingScheduler sched(10);
+  Rng rng(3);
+  std::vector<Meeting> out;
+  sched.NextBatch(&rng, 4, &out);
+  sched.NextBatch(&rng, 3, &out);
+  EXPECT_EQ(out.size(), 7u);
+}
+
 TEST(MeetingSchedulerTest, DeterministicGivenSeed) {
   MeetingScheduler s1(50), s2(50);
   Rng r1(7), r2(7);

@@ -40,6 +40,36 @@ TEST(MessageStatsTest, DeltaMeasuresWindow) {
   EXPECT_EQ(delta.Count(), 3u);
 }
 
+TEST(MessageStatsTest, MergeFromAddsEveryType) {
+  MessageStats total;
+  total.Record(MessageType::kExchange, 5);
+  MessageStats shard;
+  shard.Record(MessageType::kExchange, 2);
+  shard.Record(MessageType::kQuery, 7);
+  shard.Record(MessageType::kDataTransfer, 11);
+  total.MergeFrom(shard);
+  EXPECT_EQ(total.count(MessageType::kExchange), 7u);
+  EXPECT_EQ(total.count(MessageType::kQuery), 7u);
+  EXPECT_EQ(total.count(MessageType::kDataTransfer), 11u);
+  EXPECT_EQ(total.total(), 25u);
+  // The shard is left untouched; the sharded-accounting drivers Reset() it
+  // explicitly after each barrier merge.
+  EXPECT_EQ(shard.total(), 20u);
+}
+
+TEST(MessageStatsTest, MergeOrderDoesNotMatterForTotals) {
+  MessageStats a, b, ab, ba;
+  a.Record(MessageType::kQuery, 3);
+  b.Record(MessageType::kQuery, 4);
+  b.Record(MessageType::kControl, 1);
+  ab.MergeFrom(a);
+  ab.MergeFrom(b);
+  ba.MergeFrom(b);
+  ba.MergeFrom(a);
+  EXPECT_EQ(ab.count(MessageType::kQuery), ba.count(MessageType::kQuery));
+  EXPECT_EQ(ab.total(), ba.total());
+}
+
 TEST(MessageStatsTest, TypeNamesAreStable) {
   EXPECT_EQ(MessageTypeName(MessageType::kExchange), "exchange");
   EXPECT_EQ(MessageTypeName(MessageType::kQuery), "query");

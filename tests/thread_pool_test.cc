@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pgrid {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ZeroThreadsBehavesAsOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleThreadExecutesInlineInOrder) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(100, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ResultsInPerItemSlotsAreVisibleAfterJoin) {
+  ThreadPool pool(8);
+  constexpr size_t kN = 4096;
+  std::vector<uint64_t> out(kN, 0);  // plain (non-atomic) slots
+  pool.ParallelFor(kN, [&](size_t i) { out[i] = i * i; });
+  uint64_t sum = 0;
+  for (size_t i = 0; i < kN; ++i) sum += out[i];
+  uint64_t expected = 0;
+  for (size_t i = 0; i < kN; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(97, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 97u * 98u / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ManyMoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> count{0};
+  pool.ParallelFor(100000, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100000u);
+}
+
+}  // namespace
+}  // namespace pgrid

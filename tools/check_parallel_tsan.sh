@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the multi-threaded simulation suite (ctest label `parallel`) under
+# ThreadSanitizer, in a build tree separate from the regular one. The parallel
+# builder's correctness argument rests on waves being conflict-free and on the
+# barrier merge establishing happens-before; TSan checks exactly those claims
+# against the real thread pool (worker claiming, deferred-recursion hand-off,
+# relaxed-atomic load counters, metrics-registry instruments shared across
+# shards).
+#
+#   tools/check_parallel_tsan.sh                  # configure + build + ctest -L parallel
+#   tools/check_parallel_tsan.sh -L parallel -V   # extra args are passed to ctest
+#
+# Env: BUILD_DIR (default build-tsan).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DPGRID_SANITIZE=thread \
+  -DPGRID_BUILD_BENCHMARKS=OFF \
+  -DPGRID_BUILD_EXAMPLES=OFF
+
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+  thread_pool_test parallel_builder_test parallel_workload_test
+
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir "${build_dir}" --output-on-failure "$@"
+else
+  ctest --test-dir "${build_dir}" --output-on-failure -L parallel
+fi
