@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/analysis.h"
 
@@ -14,7 +15,6 @@ namespace pgrid {
 namespace {
 
 void Run(const bench::Args& args) {
-  (void)args;
   bench::Banner("A1: Sec. 4 sizing example",
                 "Sec. 4 (d_global=10^7, r=10B, s_peer=10^5B, i_leaf=10^4-200, "
                 "refmax=20, p=0.3)",
@@ -30,12 +30,25 @@ void Run(const bench::Args& args) {
   std::printf("search success (eq. 3):       %.6f (paper: > 0.99)\n\n",
               r.search_success);
 
+  bench::JsonReport report("a1_analysis_example");
+  report.AddRow()
+      .Str("row", "sizing")
+      .Num("i_peer", r.i_peer)
+      .Int("key_length", r.key_length)
+      .Num("index_entries", r.index_entries)
+      .Num("min_peers", r.min_peers)
+      .Num("search_success", r.search_success);
+
   std::printf("sensitivity: success probability vs refmax at p=0.3, k=10\n");
   std::printf("%7s | %10s\n", "refmax", "success");
   std::printf("--------+-----------\n");
   for (size_t refmax : {1u, 2u, 5u, 10u, 15u, 20u, 25u}) {
-    std::printf("%7zu | %10.6f\n", refmax,
-                SearchSuccessProbability(0.3, refmax, 10));
+    const double success = SearchSuccessProbability(0.3, refmax, 10);
+    std::printf("%7zu | %10.6f\n", refmax, success);
+    report.AddRow()
+        .Str("row", "refmax_sweep")
+        .Int("refmax", refmax)
+        .Num("success", success);
   }
 
   std::printf("\nsensitivity: success probability vs online probability at "
@@ -43,8 +56,14 @@ void Run(const bench::Args& args) {
   std::printf("%7s | %10s\n", "p", "success");
   std::printf("--------+-----------\n");
   for (double p : {0.05, 0.1, 0.2, 0.3, 0.5, 0.8}) {
-    std::printf("%7.2f | %10.6f\n", p, SearchSuccessProbability(p, 20, 10));
+    const double success = SearchSuccessProbability(p, 20, 10);
+    std::printf("%7.2f | %10.6f\n", p, success);
+    report.AddRow()
+        .Str("row", "online_sweep")
+        .Num("online_prob", p)
+        .Num("success", success);
   }
+  report.WriteTo(args.GetString("json", "BENCH_a1_analysis_example.json"));
 }
 
 }  // namespace

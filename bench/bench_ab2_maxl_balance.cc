@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/stats.h"
 
@@ -82,6 +83,20 @@ void Run(const bench::Args& args) {
               "range %zu..%zu vs %zu..%zu\n",
               bounded.stddev, unbounded.stddev, bounded.min_depth, bounded.max_depth,
               unbounded.min_depth, unbounded.max_depth);
+
+  bench::JsonReport report("ab2_maxl_balance");
+  const auto add_row = [&](const char* variant, size_t maxl, const Outcome& o) {
+    report.AddRow()
+        .Str("variant", variant)
+        .Int("maxl", maxl)
+        .Num("mean_depth", o.mean)
+        .Num("stddev", o.stddev)
+        .Int("min_depth", o.min_depth)
+        .Int("max_depth", o.max_depth);
+  };
+  add_row("bounded", 6, bounded);
+  add_row("unbounded", 32, unbounded);
+  report.WriteTo(args.GetString("json", "BENCH_ab2_maxl_balance.json"));
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/split_policy.h"
 #include "core/stats.h"
@@ -102,10 +103,26 @@ void RunAll(const bench::Args& args) {
               "mean", "p99", "max", "max/mean", "avg depth", "empty peers");
   std::printf("-----------------------+----------------------------------+----------"
               "-------------\n");
-  Print("uniform keys, plain", Run(peers, items, 0.5, false, seed));
-  Print("uniform keys, adaptive", Run(peers, items, 0.5, true, seed + 1));
-  Print("skewed keys, plain", Run(peers, items, bias, false, seed + 2));
-  Print("skewed keys, adaptive", Run(peers, items, bias, true, seed + 3));
+  bench::JsonReport report("ab4_skew_adaptive");
+  const auto measure = [&](const char* label, double b, bool adaptive,
+                           uint64_t salt) {
+    LoadProfile p = Run(peers, items, b, adaptive, seed + salt);
+    Print(label, p);
+    report.AddRow()
+        .Str("configuration", label)
+        .Num("bias", b)
+        .Num("mean_load", p.mean)
+        .Int("p99_load", p.p99)
+        .Int("max_load", p.max)
+        .Num("imbalance", p.imbalance)
+        .Num("avg_depth", p.avg_depth)
+        .Int("empty_peers", p.empty_peers);
+  };
+  measure("uniform keys, plain", 0.5, false, 0);
+  measure("uniform keys, adaptive", 0.5, true, 1);
+  measure("skewed keys, plain", bias, false, 2);
+  measure("skewed keys, adaptive", bias, true, 3);
+  report.WriteTo(args.GetString("json", "BENCH_ab4_skew_adaptive.json"));
 }
 
 }  // namespace

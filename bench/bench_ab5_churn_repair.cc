@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/churn.h"
 #include "core/search.h"
@@ -49,6 +50,7 @@ void Run(const bench::Args& args) {
   for (size_t r = 1; r <= rounds; ++r) std::printf(" | r%-2zu %%ok", r);
   std::printf("\n");
 
+  bench::JsonReport report("ab5_churn_repair");
   for (const Variant& variant : variants) {
     Grid grid(peers);
     Rng rng(seed);
@@ -81,9 +83,15 @@ void Run(const bench::Args& args) {
         if (search.Query(start, KeyPath::Random(&rng, maxl)).found) ++ok;
       }
       std::printf(" | %7.1f", 100.0 * static_cast<double>(ok) / trials);
+      report.AddRow()
+          .Str("variant", variant.name)
+          .Int("round", r + 1)
+          .Num("success_rate", 100.0 * static_cast<double>(ok) / trials)
+          .Int("live_peers", driver.live_count());
     }
     std::printf("\n");
   }
+  report.WriteTo(args.GetString("json", "BENCH_ab5_churn_repair.json"));
   std::printf("\n(searches run from live peers only; crashed peers are pinned "
               "offline forever, joiners start with empty paths)\n");
 }

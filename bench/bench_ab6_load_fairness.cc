@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "baseline/central_server.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/search.h"
 #include "core/stats.h"
@@ -35,6 +36,7 @@ void Run(const bench::Args& args) {
   std::printf("%10s | %8s %6s %6s %6s %10s %6s\n", "refmax", "mean", "p50", "p99",
               "max", "max/mean", "idle");
   std::printf("-----------+---------------------------------------------------\n");
+  bench::JsonReport report("ab6_load_fairness");
   for (size_t refmax : {1u, 2u, 4u, 8u}) {
     auto s = bench::BuildGrid(peers, maxl, refmax, 2, 2, seed + refmax,
                               /*target_avg_depth=*/-1.0,
@@ -52,7 +54,16 @@ void Run(const bench::Args& args) {
                 static_cast<unsigned long long>(p.p50),
                 static_cast<unsigned long long>(p.p99),
                 static_cast<unsigned long long>(p.max), p.imbalance, p.idle_peers);
+    report.AddRow()
+        .Int("refmax", refmax)
+        .Num("mean", p.mean)
+        .Int("p50", p.p50)
+        .Int("p99", p.p99)
+        .Int("max", p.max)
+        .Num("imbalance", p.imbalance)
+        .Int("idle_peers", p.idle_peers);
   }
+  report.WriteTo(args.GetString("json", "BENCH_ab6_load_fairness.json"));
 
   // Central-server contrast: every query is served by one of a handful of replicas.
   CentralServer server(4);

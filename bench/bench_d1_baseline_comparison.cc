@@ -11,6 +11,7 @@
 
 #include "baseline/central_server.h"
 #include "baseline/flooding.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/search.h"
 #include "core/stats.h"
@@ -35,6 +36,7 @@ void Run(const bench::Args& args) {
   std::printf("---------------+----------------------------+---------------------------"
               "-+--------------\n");
 
+  bench::JsonReport report("d1_baseline_comparison");
   for (size_t n : {128u, 256u, 512u, 1024u, 2048u}) {
     const size_t d = 4 * n;
     const size_t maxl = 1;  // placeholder, recomputed below
@@ -99,9 +101,20 @@ void Run(const bench::Args& args) {
                 server.StoragePerReplica(),
                 static_cast<unsigned long long>(server.TotalLoad()),
                 static_cast<double>(flood_msgs) / static_cast<double>(flood_queries));
+    report.AddRow()
+        .Int("peers", n)
+        .Int("items", d)
+        .Num("pgrid_refs_per_peer", GridStats::AverageTotalRefs(*s.grid))
+        .Num("pgrid_msgs_per_query",
+             static_cast<double>(pgrid_msgs) / static_cast<double>(n))
+        .Int("server_stored", server.StoragePerReplica())
+        .Int("server_load", server.TotalLoad())
+        .Num("flood_msgs_per_query",
+             static_cast<double>(flood_msgs) / static_cast<double>(flood_queries));
   }
   std::printf("\nreading the table: doubling N adds ~1 to pgrid msg/q (log N) while "
               "server load and flood msg/q double (linear).\n");
+  report.WriteTo(args.GetString("json", "BENCH_d1_baseline_comparison.json"));
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/stats.h"
 
@@ -44,11 +45,13 @@ void Run(const bench::Args& args) {
 
   std::printf("%7s | %6s | histogram\n", "factor", "peers");
   std::printf("--------+--------+------------------------------------------\n");
+  bench::JsonReport report("f4_replica_distribution");
   for (const auto& [factor, count] : hist) {
     const int bar = static_cast<int>(40.0 * static_cast<double>(count) /
                                      static_cast<double>(max_count));
     std::printf("%7zu | %6zu | %.*s\n", factor, count, bar,
                 "########################################");
+    report.AddRow().Int("replication_factor", factor).Int("peers", count);
   }
   std::printf("\naverage exact-path replication factor: %.2f\n", avg);
 
@@ -68,6 +71,13 @@ void Run(const bench::Args& args) {
               static_cast<double>(n) / static_cast<double>(size_t{1} << maxl));
   std::printf("distinct responsibility paths (all lengths): %zu\n",
               GridStats::ReplicaCounts(*s.grid).size());
+  // Summary row after the histogram rows; consumers can tell them apart by keys.
+  report.AddRow()
+      .Num("avg_path_replication", avg)
+      .Num("avg_key_replication", key_level / samples)
+      .Num("avg_depth", s.report.avg_path_length)
+      .Int("exchanges", s.report.exchanges);
+  report.WriteTo(args.GetString("json", "BENCH_f4_replica_distribution.json"));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/stats.h"
 #include "core/update.h"
@@ -63,6 +64,7 @@ void Run(const bench::Args& args) {
   for (size_t reps : repetition_sweep) std::printf(" | rep=%-3zu msgs  %%found", reps);
   std::printf("\n");
 
+  bench::JsonReport report("f5_update_strategies");
   for (UpdateStrategy strategy : strategies) {
     std::vector<SeriesPoint> series(repetition_sweep.size());
     for (size_t k = 0; k < num_keys; ++k) {
@@ -88,13 +90,21 @@ void Run(const bench::Args& args) {
       }
     }
     std::printf("%-12s", UpdateStrategyName(strategy));
-    for (const SeriesPoint& p : series) {
+    for (size_t i = 0; i < series.size(); ++i) {
+      const SeriesPoint& p = series[i];
       std::printf(" | %11.1f %6.1f",
                   p.messages / static_cast<double>(num_keys),
                   100.0 * p.fraction / static_cast<double>(num_keys));
+      report.AddRow()
+          .Str("strategy", UpdateStrategyName(strategy))
+          .Int("repetitions", repetition_sweep[i])
+          .Num("avg_messages", p.messages / static_cast<double>(num_keys))
+          .Num("pct_replicas_found",
+               100.0 * p.fraction / static_cast<double>(num_keys));
     }
     std::printf("\n");
   }
+  report.WriteTo(args.GetString("json", "BENCH_f5_update_strategies.json"));
   std::printf("\n(BFS uses recbreadth=2 per level; DFS variants route single-path "
               "per pass; one fresh availability snapshot per pass.)\n");
   bench::MaybeDumpMetrics(args, *s.grid);

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "net/fault_transport.h"
 #include "net/inproc_transport.h"
@@ -129,6 +130,25 @@ void Run(const bench::Args& args) {
   std::printf("\ndropped calls: %llu (baseline) vs %llu (retry)\n",
               static_cast<unsigned long long>(base.dropped),
               static_cast<unsigned long long>(with_retry.dropped));
+
+  bench::JsonReport report("nr_net_reliability");
+  const auto add_row = [&](const char* variant, size_t attempts,
+                           const RunResult& r) {
+    report.AddRow()
+        .Str("variant", variant)
+        .Int("max_attempts", attempts)
+        .Int("peers", n)
+        .Int("queries", queries)
+        .Num("drop", drop)
+        .Int("ok", r.ok)
+        .Num("success_rate", pct(r.ok))
+        .Int("retries", r.retries)
+        .Int("retry_exhausted", r.exhausted)
+        .Int("dropped_calls", r.dropped);
+  };
+  add_row("single-shot", 1, base);
+  add_row("retry", retry.max_attempts, with_retry);
+  report.WriteTo(args.GetString("json", "BENCH_nr_net_reliability.json"));
 
   if (args.Has("metrics-json")) {
     const std::string file = args.GetString("metrics-json", "");

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/analysis.h"
 #include "core/search.h"
@@ -69,6 +70,18 @@ void Run(const bench::Args& args) {
               static_cast<unsigned long long>(max_messages));
   std::printf("eq. (3) bound:     %.4f   ((1-(1-p)^refmax)^k, worst case)\n",
               SearchSuccessProbability(online_prob, refmax, key_len));
+  bench::JsonReport report("sr_search_reliability");
+  report.AddRow()
+      .Int("peers", n)
+      .Int("queries", queries)
+      .Num("online_prob", online_prob)
+      .Str("mode", mode == OnlineMode::kSnapshot ? "snapshot" : "per-contact")
+      .Num("success_rate", success)
+      .Num("avg_messages",
+           static_cast<double>(messages) / static_cast<double>(queries))
+      .Int("max_messages", max_messages)
+      .Num("eq3_bound", SearchSuccessProbability(online_prob, refmax, key_len));
+  report.WriteTo(args.GetString("json", "BENCH_sr_search_reliability.json"));
   bench::MaybeDumpMetrics(args, *s.grid);
 }
 

@@ -122,6 +122,7 @@ void Run(const bench::Args& args) {
               "paper e/N", "e(rec2)", "e/N", "paper e/N");
   std::printf("-------+----------------------------------+--------------------------"
               "--------\n");
+  bench::JsonReport table("t1_peers_vs_exchanges");
   int row = 0;
   for (size_t n : {200u, 400u, 600u, 800u, 1000u}) {
     const double e0 = average(n, 0, n);
@@ -129,8 +130,17 @@ void Run(const bench::Args& args) {
     std::printf("%6zu | %10.0f %8.2f %12.2f | %10.0f %8.2f %12.2f\n", n, e0,
                 e0 / static_cast<double>(n), paper_rec0[row], e2,
                 e2 / static_cast<double>(n), paper_rec2[row]);
+    table.AddRow()
+        .Int("peers", n)
+        .Num("exchanges_rec0", e0)
+        .Num("exchanges_per_peer_rec0", e0 / static_cast<double>(n))
+        .Num("paper_rec0", paper_rec0[row])
+        .Num("exchanges_rec2", e2)
+        .Num("exchanges_per_peer_rec2", e2 / static_cast<double>(n))
+        .Num("paper_rec2", paper_rec2[row]);
     ++row;
   }
+  table.WriteTo(args.GetString("table-json", "BENCH_t1_peers_vs_exchanges.json"));
 
   RunParallelScaling(args);
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace pgrid {
@@ -34,11 +35,22 @@ void Run(const bench::Args& args) {
     }
     return sum / static_cast<uint64_t>(trials);
   };
+  bench::JsonReport report("t2_maxl_vs_exchanges");
   uint64_t prev0 = 0, prev2 = 0;
   int row = 0;
   for (size_t maxl = 2; maxl <= 7; ++maxl) {
     const uint64_t e0 = average(maxl, 0, maxl * 2);
     const uint64_t e2 = average(maxl, 2, maxl * 2 + 1);
+    report.AddRow()
+        .Int("maxl", maxl)
+        .Int("exchanges_rec0", e0)
+        .Num("exchanges_per_peer_rec0",
+             static_cast<double>(e0) / static_cast<double>(n))
+        .Num("paper_rec0", paper_rec0[row])
+        .Int("exchanges_rec2", e2)
+        .Num("exchanges_per_peer_rec2",
+             static_cast<double>(e2) / static_cast<double>(n))
+        .Num("paper_rec2", paper_rec2[row]);
     std::printf("%5zu | %10llu %8.2f %12.2f %7s | %10llu %8.2f %12.2f %7s\n", maxl,
                 static_cast<unsigned long long>(e0),
                 static_cast<double>(e0) / static_cast<double>(n), paper_rec0[row],
@@ -56,6 +68,7 @@ void Run(const bench::Args& args) {
     prev2 = e2;
     ++row;
   }
+  report.WriteTo(args.GetString("json", "BENCH_t2_maxl_vs_exchanges.json"));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace pgrid {
@@ -23,6 +24,7 @@ void Run(const bench::Args& args) {
 
   std::printf("%7s | %10s %8s | %12s\n", "recmax", "e(avg)", "e/N", "paper e/N");
   std::printf("--------+---------------------+-------------\n");
+  bench::JsonReport report("t3_recmax_sweep");
   double best_ratio = 1e18;
   size_t best_recmax = 0;
   for (size_t recmax = 0; recmax <= 6; ++recmax) {
@@ -38,8 +40,14 @@ void Run(const bench::Args& args) {
       best_recmax = recmax;
     }
     std::printf("%7zu | %10.0f %8.2f | %12.2f\n", recmax, e, ratio, paper[recmax]);
+    report.AddRow()
+        .Int("recmax", recmax)
+        .Num("exchanges", e)
+        .Num("exchanges_per_peer", ratio)
+        .Num("paper", paper[recmax]);
   }
   std::printf("\nmeasured optimum: recmax=%zu (paper: recmax=2)\n", best_recmax);
+  report.WriteTo(args.GetString("json", "BENCH_t3_recmax_sweep.json"));
 }
 
 }  // namespace

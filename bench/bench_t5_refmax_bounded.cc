@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace pgrid {
@@ -22,6 +23,7 @@ void Run(const bench::Args& args) {
 
   std::printf("%7s | %10s %8s | %12s\n", "refmax", "e", "e/N", "paper e/N");
   std::printf("--------+---------------------+-------------\n");
+  bench::JsonReport report("t5_refmax_bounded");
   for (size_t refmax = 1; refmax <= 4; ++refmax) {
     auto s = bench::BuildGrid(n, /*maxl=*/6, refmax, /*recmax=*/2,
                               /*fanout=*/2, seed + refmax);
@@ -29,7 +31,14 @@ void Run(const bench::Args& args) {
                 static_cast<unsigned long long>(s.report.exchanges),
                 static_cast<double>(s.report.exchanges) / static_cast<double>(n),
                 paper[refmax - 1]);
+    report.AddRow()
+        .Int("refmax", refmax)
+        .Int("exchanges", s.report.exchanges)
+        .Num("exchanges_per_peer",
+             static_cast<double>(s.report.exchanges) / static_cast<double>(n))
+        .Num("paper", paper[refmax - 1]);
   }
+  report.WriteTo(args.GetString("json", "BENCH_t5_refmax_bounded.json"));
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/search.h"
 #include "core/stats.h"
@@ -133,6 +134,7 @@ void Run(const bench::Args& args) {
   };
 
   const char* header = "%11s %11s %12s %11s %15s\n";
+  bench::JsonReport report("t6_update_query_tradeoff");
   for (bool repetitive : {true, false}) {
     std::printf("%s search (quorum=%zu):\n",
                 repetitive ? "repetitive" : "non-repetitive",
@@ -144,10 +146,18 @@ void Run(const bench::Args& args) {
         Row r = run_config(recbreadth, repetition, repetitive);
         std::printf("%11zu %11zu %12.3f %11.1f %15.1f\n", r.recbreadth, r.repetition,
                     r.successrate, r.query_cost, r.insertion_cost);
+        report.AddRow()
+            .Str("search", repetitive ? "repetitive" : "non-repetitive")
+            .Int("recbreadth", r.recbreadth)
+            .Int("repetition", r.repetition)
+            .Num("successrate", r.successrate)
+            .Num("query_cost", r.query_cost)
+            .Num("insertion_cost", r.insertion_cost);
       }
     }
     std::printf("\n");
   }
+  report.WriteTo(args.GetString("json", "BENCH_t6_update_query_tradeoff.json"));
   std::printf("paper reference (repetitive):     successrate 1.0, query cost "
               "137->13, insertion cost 78->2086\n");
   std::printf("paper reference (non-repetitive): successrate 0.65->0.994, query "

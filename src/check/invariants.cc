@@ -1,0 +1,303 @@
+#include "check/invariants.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "key/key_path.h"
+#include "sim/message_stats.h"
+
+namespace pgrid {
+namespace check {
+namespace {
+
+/// Collects violations up to the configured cap.
+class Collector {
+ public:
+  explicit Collector(const InvariantOptions& options, InvariantReport* report)
+      : options_(options), report_(report) {}
+
+  bool full() const { return report_->truncated; }
+
+  void Add(Category category, PeerId peer, size_t level, std::string detail) {
+    if (report_->violations.size() >= options_.max_violations) {
+      report_->truncated = true;
+      return;
+    }
+    report_->violations.push_back(
+        Violation{category, peer, level, std::move(detail)});
+  }
+
+ private:
+  const InvariantOptions& options_;
+  InvariantReport* report_;
+};
+
+std::string Fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buf[256];
+  vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+std::string PathStr(const KeyPath& path) {
+  std::string s = path.ToString();
+  return s.empty() ? "<root>" : s;
+}
+
+// --- Per-peer access structure (paper Sec. 2: the (p_i, R_i) sequence). ---
+
+void CheckStructure(const Grid& grid, const ExchangeConfig& config,
+                    Collector* out) {
+  for (const PeerState& a : grid) {
+    if (out->full()) return;
+    if (a.depth() > config.maxl) {
+      out->Add(Category::kMaxl, a.id(), 0,
+               Fmt("path %s has %zu bits, maxl is %zu", PathStr(a.path()).c_str(),
+                   a.depth(), config.maxl));
+    }
+    for (size_t level = 1; level <= a.depth(); ++level) {
+      const std::vector<PeerId>& refs = a.RefsAt(level);
+      if (refs.size() > config.refmax) {
+        out->Add(Category::kRefmax, a.id(), level,
+                 Fmt("%zu references at level %zu, refmax is %zu", refs.size(),
+                     level, config.refmax));
+      }
+      const int want = ComplementBit(a.PathBit(level));
+      for (PeerId t : refs) {
+        if (t == a.id()) {
+          out->Add(Category::kSelfReference, a.id(), level,
+                   Fmt("level-%zu reference points at the peer itself", level));
+          continue;
+        }
+        if (t >= grid.size()) {
+          out->Add(Category::kReference, a.id(), level,
+                   Fmt("level-%zu reference targets unknown peer %u", level, t));
+          continue;
+        }
+        const PeerState& target = grid.peer(t);
+        // Reference property: agree on the first level-1 bits, complement at
+        // position `level`. A target too shallow to even have that bit cannot
+        // satisfy it either.
+        if (target.depth() < level ||
+            a.path().CommonPrefixLength(target.path()) < level - 1 ||
+            target.PathBit(level) != want) {
+          out->Add(
+              Category::kReference, a.id(), level,
+              Fmt("level-%zu ref to peer %u: path %s does not complement %s",
+                  level, t, PathStr(target.path()).c_str(),
+                  PathStr(a.path()).c_str()));
+        }
+      }
+    }
+    for (PeerId b : a.buddies()) {
+      if (b == a.id()) {
+        out->Add(Category::kBuddy, a.id(), 0, "peer lists itself as a buddy");
+        continue;
+      }
+      if (b >= grid.size() || grid.peer(b).path() != a.path()) {
+        out->Add(Category::kBuddy, a.id(), 0,
+                 Fmt("buddy %u does not share path %s", b,
+                     PathStr(a.path()).c_str()));
+      }
+    }
+  }
+}
+
+// --- Key-space coverage (the union of I(p.path) over all peers is [0,1)). ---
+
+struct TrieNode {
+  bool terminal = false;  // some peer's path ends exactly here
+  std::unique_ptr<TrieNode> child[2];
+};
+
+bool Covered(const TrieNode& node) {
+  if (node.terminal) return true;
+  return node.child[0] && node.child[1] && Covered(*node.child[0]) &&
+         Covered(*node.child[1]);
+}
+
+/// Reports the *maximal* uncovered prefixes under `node` (an uncovered subtree is
+/// one hole, not one hole per leaf).
+void ReportHoles(const TrieNode& node, const std::string& prefix,
+                 Collector* out) {
+  if (out->full() || Covered(node)) return;
+  for (int bit = 0; bit < 2; ++bit) {
+    const std::string sub = prefix + static_cast<char>('0' + bit);
+    if (!node.child[bit]) {
+      out->Add(Category::kCoverage, kInvalidPeer, 0,
+               Fmt("no peer path covers prefix %s", sub.c_str()));
+    } else {
+      ReportHoles(*node.child[bit], sub, out);
+    }
+  }
+}
+
+void CheckCoverage(const Grid& grid, Collector* out) {
+  if (grid.size() == 0) return;
+  TrieNode root;
+  for (const PeerState& p : grid) {
+    TrieNode* node = &root;
+    const KeyPath& path = p.path();
+    for (size_t i = 0; i < path.length(); ++i) {
+      const int bit = path.bit(i);
+      if (!node->child[bit]) node->child[bit] = std::make_unique<TrieNode>();
+      node = node->child[bit].get();
+    }
+    node->terminal = true;
+  }
+  ReportHoles(root, "", out);
+}
+
+// --- Data placement and replica agreement (Sec. 2: D restricted to I(path)). ---
+
+void CheckPlacement(const Grid& grid, Collector* out) {
+  for (const PeerState& p : grid) {
+    if (out->full()) return;
+    for (const IndexEntry& e : p.index().All()) {
+      if (!PathCoversKey(p.path(), e.key)) {
+        out->Add(Category::kPlacement, p.id(), 0,
+                 Fmt("entry (holder=%u item=%llu key=%s) outside path %s", e.holder,
+                     static_cast<unsigned long long>(e.item_id),
+                     PathStr(e.key).c_str(), PathStr(p.path()).c_str()));
+      }
+    }
+  }
+}
+
+void CheckReplicaAgreement(const Grid& grid, Collector* out) {
+  // First-seen key per (holder, item): every replica's entry must agree on the
+  // key. Versions legitimately lag (updates propagate asynchronously); keys never
+  // change after insertion.
+  std::map<std::pair<PeerId, ItemId>, std::pair<KeyPath, PeerId>> first;
+  for (const PeerState& p : grid) {
+    if (out->full()) return;
+    for (const IndexEntry& e : p.index().All()) {
+      auto [it, inserted] = first.try_emplace(std::make_pair(e.holder, e.item_id),
+                                              e.key, p.id());
+      if (!inserted && it->second.first != e.key) {
+        out->Add(Category::kReplicaDesync, p.id(), 0,
+                 Fmt("entry (holder=%u item=%llu) has key %s here but %s at peer "
+                     "%u",
+                     e.holder, static_cast<unsigned long long>(e.item_id),
+                     PathStr(e.key).c_str(),
+                     PathStr(it->second.first).c_str(), it->second.second));
+      }
+    }
+  }
+}
+
+// --- Ledger agreement (docs/observability.md metric-name mapping). ---
+
+uint64_t CounterOr0(const obs::RegistrySnapshot& snap, std::string_view name) {
+  for (const auto& [counter_name, value] : snap.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+void CheckLedger(const Grid& grid, Collector* out) {
+  const obs::RegistrySnapshot snap = grid.metrics().Snapshot();
+  const MessageStats& stats = grid.stats();
+  struct Row {
+    MessageType type;
+    uint64_t metric_sum;
+    const char* expression;
+  };
+  const Row rows[] = {
+      {MessageType::kExchange, CounterOr0(snap, "exchange.count"),
+       "exchange.count"},
+      {MessageType::kQuery, CounterOr0(snap, "search.messages"),
+       "search.messages"},
+      {MessageType::kUpdate, CounterOr0(snap, "update.messages"),
+       "update.messages"},
+      {MessageType::kDataTransfer,
+       CounterOr0(snap, "exchange.entries_moved") +
+           CounterOr0(snap, "insert.entries_installed") +
+           CounterOr0(snap, "churn.entries_handed_over"),
+       "exchange.entries_moved + insert.entries_installed + "
+       "churn.entries_handed_over"},
+      {MessageType::kControl, CounterOr0(snap, "churn.handovers"),
+       "churn.handovers"},
+  };
+  for (const Row& row : rows) {
+    const uint64_t ledger = stats.count(row.type);
+    if (ledger != row.metric_sum) {
+      out->Add(Category::kLedger, kInvalidPeer, 0,
+               Fmt("ledger %s=%llu but metrics %s=%llu",
+                   std::string(MessageTypeName(row.type)).c_str(),
+                   static_cast<unsigned long long>(ledger), row.expression,
+                   static_cast<unsigned long long>(row.metric_sum)));
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view CategoryName(Category c) {
+  switch (c) {
+    case Category::kReference:
+      return "reference";
+    case Category::kRefmax:
+      return "refmax";
+    case Category::kSelfReference:
+      return "self-reference";
+    case Category::kMaxl:
+      return "maxl";
+    case Category::kBuddy:
+      return "buddy";
+    case Category::kCoverage:
+      return "coverage";
+    case Category::kPlacement:
+      return "placement";
+    case Category::kReplicaDesync:
+      return "replica-desync";
+    case Category::kLedger:
+      return "ledger";
+  }
+  return "unknown";
+}
+
+size_t InvariantReport::CountOf(Category c) const {
+  size_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.category == c) ++n;
+  }
+  return n;
+}
+
+std::string InvariantReport::ToString() const {
+  if (ok()) return "ok\n";
+  std::string out;
+  for (const Violation& v : violations) {
+    out += CategoryName(v.category);
+    if (v.peer != kInvalidPeer) out += Fmt(" peer=%u", v.peer);
+    if (v.level != 0) out += Fmt(" level=%zu", v.level);
+    out += ": ";
+    out += v.detail;
+    out += '\n';
+  }
+  if (truncated) out += "... (truncated)\n";
+  return out;
+}
+
+InvariantReport GridInvariants::Check(const Grid& grid,
+                                      const ExchangeConfig& config,
+                                      const InvariantOptions& options) {
+  InvariantReport report;
+  report.peers_checked = grid.size();
+  Collector out(options, &report);
+  if (options.check_structure) CheckStructure(grid, config, &out);
+  if (options.check_coverage) CheckCoverage(grid, &out);
+  if (options.check_placement) CheckPlacement(grid, &out);
+  if (options.check_replica_agreement) CheckReplicaAgreement(grid, &out);
+  if (options.check_ledger) CheckLedger(grid, &out);
+  return report;
+}
+
+}  // namespace check
+}  // namespace pgrid

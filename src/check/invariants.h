@@ -1,0 +1,108 @@
+// Structural invariant checker with machine-readable violation reports.
+//
+// The paper's correctness argument rests on structural properties the algorithms
+// maintain, not on point behaviors: references complement the right bit (Fig. 1),
+// the peer paths cover the whole key space via I(k), leaf-index entries live only
+// at co-responsible peers, and the simulation ledger agrees with the metrics
+// registry. GridStats::CheckInvariants (core/stats.h) reports only the first
+// violation as an opaque Status; this subsystem walks the whole grid, classifies
+// every violation into a category a test can assert on, and is the check the
+// deterministic simulation harness (sim/fuzzer.h) runs at epoch barriers.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.h"
+#include "core/grid.h"
+#include "sim/types.h"
+
+namespace pgrid {
+namespace check {
+
+/// What kind of structural property a violation breaks. Stable identifiers:
+/// tests assert on categories, and the fuzzer's repro files name them.
+enum class Category : int {
+  kReference = 0,     ///< level-l ref does not agree on l-1 bits + complement bit l
+  kRefmax = 1,        ///< more than refmax references at one level
+  kSelfReference = 2, ///< a peer references itself
+  kMaxl = 3,          ///< a path longer than maxl
+  kBuddy = 4,         ///< buddy whose path differs (or self-buddy)
+  kCoverage = 5,      ///< a subtree of [0,1) no peer path covers
+  kPlacement = 6,     ///< leaf-index entry whose key does not overlap the path
+  kReplicaDesync = 7, ///< two peers disagree on an entry's key for (holder, item)
+  kLedger = 8,        ///< MessageStats ledger disagrees with the metrics registry
+};
+
+inline constexpr int kNumCategories = 9;
+
+/// Stable display name ("reference", "refmax", ...).
+std::string_view CategoryName(Category c);
+
+/// One invariant violation, pinned to the state that breaks it.
+struct Violation {
+  Category category;
+  /// Offending peer, or kInvalidPeer for grid-scope categories (coverage, ledger).
+  PeerId peer = kInvalidPeer;
+  /// 1-indexed reference level when applicable (reference/refmax), else 0.
+  size_t level = 0;
+  /// Human-readable explanation with the concrete paths / counts involved.
+  std::string detail;
+};
+
+/// Which checks to run and how many violations to collect.
+struct InvariantOptions {
+  /// Per-peer access structure: reference property, refmax, maxl, buddies.
+  bool check_structure = true;
+
+  /// The peer paths cover [0,1): every point of the key space has a responsible
+  /// peer. Sound for grids whose membership only grew through exchanges; a
+  /// community that lost whole replica groups (crashes) can legitimately fail it,
+  /// which is precisely what a churn scenario wants to detect.
+  bool check_coverage = true;
+
+  /// Leaf-index entries overlap their holder peer's path (the paper's D ⊆ ADDR x K
+  /// restricted to the peer's interval). Parked foreign entries are exempt by
+  /// design: they are the explicit not-yet-routable buffer.
+  bool check_placement = true;
+
+  /// Any two index entries for the same (holder, item) agree on the key, across
+  /// all peers. Versions may differ (pending updates propagate asynchronously);
+  /// keys never legitimately do.
+  bool check_replica_agreement = true;
+
+  /// The MessageStats ledger and the obs metrics counters agree exactly (the
+  /// mapping of docs/observability.md).
+  bool check_ledger = true;
+
+  /// Stop collecting after this many violations (the report notes truncation).
+  size_t max_violations = 64;
+};
+
+/// Result of one invariant sweep.
+struct InvariantReport {
+  std::vector<Violation> violations;
+  bool truncated = false;     ///< true iff max_violations was hit
+  size_t peers_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+
+  /// Number of collected violations in one category.
+  size_t CountOf(Category c) const;
+
+  /// One line per violation: "category peer=3 level=2: <detail>".
+  std::string ToString() const;
+};
+
+/// Walks a Grid and verifies the structural invariants selected in `options`.
+class GridInvariants {
+ public:
+  static InvariantReport Check(const Grid& grid, const ExchangeConfig& config,
+                               const InvariantOptions& options = {});
+};
+
+}  // namespace check
+}  // namespace pgrid

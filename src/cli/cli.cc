@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 
+#include "check/invariants.h"
 #include "core/exchange.h"
 #include "core/grid_builder.h"
 #include "core/parallel_builder.h"
@@ -10,7 +11,9 @@
 #include "core/stats.h"
 #include "key/text_key.h"
 #include "obs/export.h"
+#include "sim/fuzzer.h"
 #include "sim/meeting_scheduler.h"
+#include "sim/scenario.h"
 #include "snapshot/snapshot.h"
 #include "util/flags.h"
 
@@ -43,6 +46,11 @@ std::string UsageFor(const std::string& command) {
     return "pgrid bench-search --in=FILE [--queries=1000] [--online=0.3]"
            " [--keylen=maxl] [--seed=1] [--metrics-json=FILE]";
   }
+  if (command == "fuzz") {
+    return "pgrid fuzz [--seeds=50] [--base-seed=1] [--min-steps=10]"
+           " [--max-steps=40] [--max-peers=48] [--out=REPRO.pgs] [--keep-going]";
+  }
+  if (command == "replay") return "pgrid replay FILE  (or --in=FILE)";
   return UsageText();
 }
 
@@ -155,9 +163,15 @@ Status CmdInfo(const FlagSet& flags, std::ostream& out) {
 Status CmdVerify(const FlagSet& flags, std::ostream& out) {
   PGRID_RETURN_IF_ERROR(RequireFlag(flags, "in"));
   PGRID_ASSIGN_OR_RETURN(LoadedGrid loaded, LoadGrid(flags.GetString("in", "")));
-  PGRID_RETURN_IF_ERROR(GridStats::CheckInvariants(*loaded.grid, loaded.config));
-  out << "OK: all structural invariants hold (" << loaded.grid->size()
-      << " peers)\n";
+  const check::InvariantReport report =
+      check::GridInvariants::Check(*loaded.grid, loaded.config);
+  if (!report.ok()) {
+    out << report.ToString();
+    return Status::FailedPrecondition(
+        std::to_string(report.violations.size()) +
+        std::string(report.truncated ? "+" : "") + " invariant violation(s)");
+  }
+  out << "OK: all invariants hold (" << report.peers_checked << " peers)\n";
   return Status::OK();
 }
 
@@ -289,6 +303,80 @@ Status CmdBenchSearch(const FlagSet& flags, std::ostream& out) {
   return MaybeDumpMetrics(flags, *loaded.grid, out);
 }
 
+Status CmdFuzz(const FlagSet& flags, std::ostream& out) {
+  sim::FuzzOptions options;
+  PGRID_ASSIGN_OR_RETURN(int64_t seeds,
+                         flags.GetInt("seeds", static_cast<int64_t>(options.num_seeds)));
+  PGRID_ASSIGN_OR_RETURN(int64_t base_seed,
+                         flags.GetInt("base-seed", static_cast<int64_t>(options.base_seed)));
+  PGRID_ASSIGN_OR_RETURN(int64_t min_steps,
+                         flags.GetInt("min-steps", static_cast<int64_t>(options.min_steps)));
+  PGRID_ASSIGN_OR_RETURN(int64_t max_steps,
+                         flags.GetInt("max-steps", static_cast<int64_t>(options.max_steps)));
+  PGRID_ASSIGN_OR_RETURN(int64_t max_peers,
+                         flags.GetInt("max-peers", static_cast<int64_t>(options.max_peers)));
+  if (seeds < 1) return Status::InvalidArgument("--seeds must be >= 1");
+  if (min_steps < 1 || max_steps < min_steps) {
+    return Status::InvalidArgument("need 1 <= --min-steps <= --max-steps");
+  }
+  if (static_cast<size_t>(max_peers) < options.min_peers) {
+    return Status::InvalidArgument("--max-peers must be >= " +
+                                   std::to_string(options.min_peers));
+  }
+  options.num_seeds = static_cast<size_t>(seeds);
+  options.base_seed = static_cast<uint64_t>(base_seed);
+  options.min_steps = static_cast<size_t>(min_steps);
+  options.max_steps = static_cast<size_t>(max_steps);
+  options.max_peers = static_cast<size_t>(max_peers);
+  options.stop_on_failure = !flags.Has("keep-going");
+
+  const sim::FuzzOutcome outcome = sim::ScenarioFuzzer::Fuzz(options);
+  out << outcome.seeds_run << " seed(s) run, " << outcome.failures
+      << " failure(s)\n";
+  if (outcome.failures == 0) return Status::OK();
+
+  out << "first failing seed: " << outcome.failing_seed << "\n"
+      << outcome.failure.report.ToString();
+  if (flags.Has("out")) {
+    const std::string file = flags.GetString("out", "");
+    if (file.empty()) return Status::InvalidArgument("--out needs a file path");
+    PGRID_RETURN_IF_ERROR(sim::SaveScenario(outcome.minimal, file));
+    out << "minimal repro (" << outcome.minimal.steps.size()
+        << " step(s)) written to " << file << " -- replay with `pgrid replay "
+        << file << "`\n";
+  } else {
+    out << "minimal repro (" << outcome.minimal.steps.size()
+        << " step(s)), pass --out=FILE to save it:\n"
+        << sim::SerializeScenario(outcome.minimal);
+  }
+  return Status::FailedPrecondition("fuzzing found invariant violations");
+}
+
+Status CmdReplay(const FlagSet& flags, std::ostream& out) {
+  std::string file = flags.GetString("in", "");
+  if (file.empty() && !flags.positional().empty()) file = flags.positional()[0];
+  if (file.empty()) {
+    return Status::InvalidArgument("pass a scenario file (positional or --in=FILE)");
+  }
+  PGRID_ASSIGN_OR_RETURN(sim::Scenario scenario, sim::LoadScenario(file));
+  sim::ScenarioRunner runner(scenario);
+  const sim::ScenarioResult result = runner.Run();
+  out << "replayed " << result.steps_executed << "/" << scenario.steps.size()
+      << " step(s), seed " << scenario.config.seed << ", digest "
+      << result.digest << "\n";
+  if (result.probes > 0) {
+    out << "probes: " << result.probes_found << "/" << result.probes
+        << " found\n";
+  }
+  if (result.failed) {
+    out << "FAILED at step " << result.failed_step << ":\n"
+        << result.report.ToString();
+    return Status::FailedPrecondition("invariant violations during replay");
+  }
+  out << "OK: all barriers passed\n";
+  return MaybeDumpMetrics(flags, runner.grid(), out);
+}
+
 }  // namespace
 
 std::string UsageText() {
@@ -302,6 +390,8 @@ std::string UsageText() {
          "  prefix        interval/prefix search (supports --text via text keys)\n"
          "  range         range search between two equal-length keys\n"
          "  bench-search  measure search reliability under churn\n"
+         "  fuzz          run the seeded scenario fuzzer; shrink any failure\n"
+         "  replay        re-execute a saved scenario file and check invariants\n"
          "\n"
          "every command that exercises the engines accepts --metrics-json=FILE to\n"
          "dump the run's metrics registry as JSON (see docs/observability.md).\n"
@@ -332,6 +422,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdRange(flags, out);
   } else if (command == "bench-search") {
     status = CmdBenchSearch(flags, out);
+  } else if (command == "fuzz") {
+    status = CmdFuzz(flags, out);
+  } else if (command == "replay") {
+    status = CmdReplay(flags, out);
   } else {
     err << "unknown command '" << command << "'\n\n" << UsageText();
     return 1;

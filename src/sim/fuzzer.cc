@@ -1,0 +1,169 @@
+#include "sim/fuzzer.h"
+
+#include <utility>
+
+#include "util/rng.h"
+
+namespace pgrid {
+namespace sim {
+namespace {
+
+/// Stream index separating the generator's draws from the runner's per-step
+/// streams (which use indices 1 .. steps+1 of the scenario seed).
+constexpr uint64_t kGeneratorStream = 0xF0220000ull;
+
+ScenarioStep RandomStep(Rng* rng, const ScenarioConfig& config) {
+  ScenarioStep step;
+  // Weighted kinds: exchanges dominate (they are the protocol's engine), data
+  // and fault steps stress the invariants, barriers pin failures to a step.
+  const uint64_t roll = rng->UniformInt(0, 99);
+  if (roll < 35) {
+    step.kind = StepKind::kExchange;
+    step.a = rng->UniformInt(1, 4 * config.num_peers);
+  } else if (roll < 55) {
+    step.kind = StepKind::kInsert;
+    step.a = rng->UniformInt(0, config.num_peers - 1);
+    step.b = rng->UniformInt(0, (1ull << config.maxl) - 1);
+    step.c = rng->UniformInt(0, config.maxl - 1);
+    step.d = rng->UniformInt(0, 15);
+  } else if (roll < 65) {
+    step.kind = StepKind::kUpdate;
+    step.a = rng->UniformInt(0, 1ull << 32);
+    step.b = rng->UniformInt(0, 2);
+  } else if (roll < 75) {
+    step.kind = StepKind::kChurn;
+    step.a = rng->UniformInt(0, 2);  // crashes
+    step.b = rng->UniformInt(0, 1);  // graceful leaves
+    step.c = rng->UniformInt(0, 2);  // joins
+    step.d = rng->UniformInt(0, 2 * config.num_peers);  // repair meetings
+  } else if (roll < 90) {
+    step.kind = StepKind::kFault;
+    step.a = rng->UniformInt(0, 5);
+    step.b = rng->UniformInt(0, 1ull << 32);
+    step.c = rng->UniformInt(0, 4095);
+  } else {
+    step.kind = StepKind::kBarrier;
+    step.a = rng->UniformInt(0, 8);  // probe queries
+  }
+  return step;
+}
+
+}  // namespace
+
+Scenario ScenarioFuzzer::Generate(uint64_t seed, const FuzzOptions& options) {
+  Rng rng(DeriveStreamSeed(seed, kGeneratorStream));
+  Scenario scenario;
+  ScenarioConfig& c = scenario.config;
+  c.seed = seed;
+  c.fault_seed = DeriveStreamSeed(seed, kGeneratorStream + 1);
+  c.num_peers = options.min_peers +
+                rng.UniformIndex(options.max_peers - options.min_peers + 1);
+  c.maxl = rng.UniformInt(2, 5);
+  c.refmax = rng.UniformInt(1, 3);
+  c.recmax = rng.UniformInt(0, 2);
+  c.recursion_fanout = rng.Bernoulli(0.7) ? 2 : 0;
+  c.manage_data = true;  // data invariants need managed leaf indexes
+  c.prune_unreachable_refs = rng.Bernoulli(0.5);
+  c.recbreadth = rng.UniformInt(1, 3);
+  c.repetition = rng.UniformInt(1, 3);
+  c.online_prob = rng.Bernoulli(0.5) ? 1.0 : 0.6 + 0.4 * rng.UniformDouble();
+
+  // Warm-up: enough meetings that most scenarios exercise a partly built grid
+  // rather than a flat one.
+  scenario.steps.push_back(
+      ScenarioStep{StepKind::kExchange,
+                   rng.UniformInt(2 * c.num_peers, 8 * c.num_peers), 0, 0, 0});
+  const size_t steps =
+      options.min_steps + rng.UniformIndex(options.max_steps - options.min_steps + 1);
+  for (size_t i = 0; i < steps; ++i) {
+    scenario.steps.push_back(RandomStep(&rng, c));
+  }
+  return scenario;
+}
+
+ScenarioResult RunScenario(const Scenario& scenario) {
+  ScenarioRunner runner(scenario);
+  return runner.Run();
+}
+
+namespace {
+
+Scenario WithSteps(const Scenario& base, std::vector<ScenarioStep> steps) {
+  Scenario out;
+  out.config = base.config;
+  out.steps = std::move(steps);
+  return out;
+}
+
+bool Fails(const Scenario& s) { return RunScenario(s).failed; }
+
+}  // namespace
+
+Scenario ScenarioFuzzer::Shrink(const Scenario& failing) {
+  if (!Fails(failing)) return failing;
+
+  // Phase 1: binary-search the shortest failing prefix. The runner's implicit
+  // final barrier makes every prefix a complete scenario, so a prefix fails iff
+  // the violation was already present after its last step.
+  std::vector<ScenarioStep> steps = failing.steps;
+  {
+    size_t lo = 0, hi = steps.size();  // invariant: prefix of length hi fails
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      std::vector<ScenarioStep> prefix(steps.begin(), steps.begin() + mid);
+      if (Fails(WithSteps(failing, std::move(prefix)))) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    steps.resize(hi);
+  }
+
+  // Phase 2: ddmin-style deletion, halving the chunk size until single steps.
+  // Note deleting a step shifts the per-step Rng streams of its successors, so
+  // each candidate is re-run from scratch -- cheap at these scenario sizes.
+  for (size_t chunk = steps.size() / 2; chunk >= 1; chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (size_t start = 0; start + chunk <= steps.size();) {
+        std::vector<ScenarioStep> candidate;
+        candidate.reserve(steps.size() - chunk);
+        candidate.insert(candidate.end(), steps.begin(), steps.begin() + start);
+        candidate.insert(candidate.end(), steps.begin() + start + chunk,
+                         steps.end());
+        if (Fails(WithSteps(failing, candidate))) {
+          steps = std::move(candidate);
+          removed_any = true;
+        } else {
+          start += chunk;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return WithSteps(failing, std::move(steps));
+}
+
+FuzzOutcome ScenarioFuzzer::Fuzz(const FuzzOptions& options) {
+  FuzzOutcome outcome;
+  for (size_t i = 0; i < options.num_seeds; ++i) {
+    const uint64_t seed = options.base_seed + i;
+    Scenario scenario = Generate(seed, options);
+    ScenarioResult result = RunScenario(scenario);
+    ++outcome.seeds_run;
+    if (!result.failed) continue;
+    ++outcome.failures;
+    if (outcome.failures == 1) {
+      outcome.failing_seed = seed;
+      outcome.minimal = Shrink(scenario);
+      outcome.failure = RunScenario(outcome.minimal);
+    }
+    if (options.stop_on_failure) break;
+  }
+  return outcome;
+}
+
+}  // namespace sim
+}  // namespace pgrid

@@ -1,0 +1,68 @@
+// Seeded scenario fuzzing with automatic shrinking.
+//
+// The fuzzer turns a 64-bit seed into a random but fully determined Scenario
+// (sim/scenario.h): community parameters plus an interleaving of exchanges,
+// inserts, updates, churn rounds, and transport faults, punctuated by invariant
+// barriers. Running many seeds is the deterministic-simulation-testing loop: any
+// seed that produces an invariant violation is reproducible forever, and the
+// shrinker reduces its scenario to a minimal failing step list (first a binary
+// search for the shortest failing prefix, then greedy segment deletion down to
+// single steps) that SaveScenario writes as a replayable repro file for
+// `pgrid replay`.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/scenario.h"
+
+namespace pgrid {
+namespace sim {
+
+/// Bounds on generated scenarios, and how many seeds one Fuzz() call sweeps.
+struct FuzzOptions {
+  uint64_t base_seed = 1;   ///< seeds base_seed .. base_seed + num_seeds - 1
+  size_t num_seeds = 50;
+  size_t min_steps = 10;    ///< generated steps after the warm-up exchange
+  size_t max_steps = 40;
+  size_t min_peers = 8;
+  size_t max_peers = 48;
+  /// Stop sweeping at the first failing seed (the shrunk repro is in the
+  /// outcome either way).
+  bool stop_on_failure = true;
+};
+
+/// Result of one Fuzz() sweep.
+struct FuzzOutcome {
+  size_t seeds_run = 0;
+  size_t failures = 0;
+
+  /// Set iff failures > 0: the first failing seed, its shrunk scenario, and the
+  /// failure that scenario still reproduces.
+  uint64_t failing_seed = 0;
+  Scenario minimal;
+  ScenarioResult failure;
+};
+
+class ScenarioFuzzer {
+ public:
+  /// Deterministically derives a scenario from `seed` within `options`' bounds.
+  /// The same (seed, bounds) always yields the same scenario, byte for byte.
+  static Scenario Generate(uint64_t seed, const FuzzOptions& options = {});
+
+  /// Shrinks a failing scenario to a minimal step list that still fails.
+  /// Requires Run(failing).failed; returns `failing` unchanged otherwise.
+  static Scenario Shrink(const Scenario& failing);
+
+  /// Sweeps seeds: generate, run, and on failure shrink. Pure function of
+  /// `options`.
+  static FuzzOutcome Fuzz(const FuzzOptions& options);
+};
+
+/// Runs `scenario` and returns its result (convenience wrapper constructing a
+/// fresh ScenarioRunner).
+ScenarioResult RunScenario(const Scenario& scenario);
+
+}  // namespace sim
+}  // namespace pgrid

@@ -1,0 +1,549 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/churn.h"
+#include "core/exchange.h"
+#include "core/grid.h"
+#include "core/insert.h"
+#include "core/search.h"
+#include "core/update.h"
+#include "net/fault_transport.h"
+#include "net/inproc_transport.h"
+#include "sim/meeting_scheduler.h"
+#include "sim/online_model.h"
+#include "storage/data_item.h"
+#include "util/rng.h"
+
+namespace pgrid {
+namespace sim {
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string_view StepKindName(StepKind k) {
+  switch (k) {
+    case StepKind::kExchange:
+      return "exchange";
+    case StepKind::kInsert:
+      return "insert";
+    case StepKind::kUpdate:
+      return "update";
+    case StepKind::kChurn:
+      return "churn";
+    case StepKind::kFault:
+      return "fault";
+    case StepKind::kBarrier:
+      return "barrier";
+    case StepKind::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool StepKindFromName(std::string_view name, StepKind* out) {
+  for (int i = 0; i < kNumStepKinds; ++i) {
+    const StepKind k = static_cast<StepKind>(i);
+    if (StepKindName(k) == name) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+constexpr char kHeader[] = "pgrid-scenario v1";
+
+}  // namespace
+
+std::string SerializeScenario(const Scenario& scenario) {
+  const ScenarioConfig& c = scenario.config;
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "seed " << c.seed << "\n";
+  out << "num_peers " << c.num_peers << "\n";
+  out << "maxl " << c.maxl << "\n";
+  out << "refmax " << c.refmax << "\n";
+  out << "recmax " << c.recmax << "\n";
+  out << "recursion_fanout " << c.recursion_fanout << "\n";
+  out << "manage_data " << (c.manage_data ? 1 : 0) << "\n";
+  out << "prune_unreachable_refs " << (c.prune_unreachable_refs ? 1 : 0) << "\n";
+  out << "recbreadth " << c.recbreadth << "\n";
+  out << "repetition " << c.repetition << "\n";
+  {
+    // %.17g round-trips every double exactly.
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.17g", c.online_prob);
+    out << "online_prob " << buf << "\n";
+  }
+  out << "fault_seed " << c.fault_seed << "\n";
+  for (const ScenarioStep& s : scenario.steps) {
+    out << "step " << StepKindName(s.kind) << " " << s.a << " " << s.b << " "
+        << s.c << " " << s.d << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<Scenario> ParseScenario(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  auto fail = [&lineno](const std::string& what) {
+    return Status::InvalidArgument("scenario line " + std::to_string(lineno) +
+                                   ": " + what);
+  };
+
+  if (!std::getline(in, line)) return Status::InvalidArgument("empty scenario");
+  ++lineno;
+  if (line != kHeader) return fail("expected header '" + std::string(kHeader) + "'");
+
+  Scenario scenario;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    ScenarioConfig& c = scenario.config;
+    if (key == "step") {
+      std::string name;
+      ScenarioStep step;
+      fields >> name >> step.a >> step.b >> step.c >> step.d;
+      if (fields.fail()) return fail("malformed step");
+      if (!StepKindFromName(name, &step.kind)) {
+        return fail("unknown step kind '" + name + "'");
+      }
+      scenario.steps.push_back(step);
+      continue;
+    }
+    uint64_t u = 0;
+    double d = 0.0;
+    if (key == "online_prob") {
+      fields >> d;
+    } else {
+      fields >> u;
+    }
+    if (fields.fail()) return fail("malformed value for '" + key + "'");
+    if (key == "seed") {
+      c.seed = u;
+    } else if (key == "num_peers") {
+      c.num_peers = u;
+    } else if (key == "maxl") {
+      c.maxl = u;
+    } else if (key == "refmax") {
+      c.refmax = u;
+    } else if (key == "recmax") {
+      c.recmax = u;
+    } else if (key == "recursion_fanout") {
+      c.recursion_fanout = u;
+    } else if (key == "manage_data") {
+      c.manage_data = u != 0;
+    } else if (key == "prune_unreachable_refs") {
+      c.prune_unreachable_refs = u != 0;
+    } else if (key == "recbreadth") {
+      c.recbreadth = u;
+    } else if (key == "repetition") {
+      c.repetition = u;
+    } else if (key == "online_prob") {
+      c.online_prob = d;
+    } else if (key == "fault_seed") {
+      c.fault_seed = u;
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_end) return Status::InvalidArgument("scenario missing 'end' line");
+  if (scenario.config.num_peers < 2) {
+    return Status::InvalidArgument("scenario needs num_peers >= 2");
+  }
+  if (scenario.config.maxl == 0 || scenario.config.refmax == 0 ||
+      scenario.config.recbreadth == 0 || scenario.config.repetition == 0) {
+    return Status::InvalidArgument("scenario has zero-valued algorithm parameter");
+  }
+  return scenario;
+}
+
+Status SaveScenario(const Scenario& scenario, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  out << SerializeScenario(scenario);
+  out.close();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<Scenario> LoadScenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseScenario(buf.str());
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string PeerAddress(PeerId p) { return "peer:" + std::to_string(p); }
+
+/// FNV-1a over the byte stream fed to it; the scenario digest hash.
+class Digest {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  uint64_t value() const { return hash_; }
+  std::string Hex() const {
+    char buf[20];
+    snprintf(buf, sizeof(buf), "%016" PRIx64, hash_);
+    return std::string(buf);
+  }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+struct ScenarioRunner::Impl {
+  explicit Impl(const Scenario& s)
+      : scenario(s),
+        grid(s.config.num_peers),
+        engine_rng(s.config.seed),
+        model_rng(DeriveStreamSeed(s.config.seed, 0x0e11)),
+        online(OnlineMode::kSnapshot, s.config.num_peers, s.config.online_prob,
+               &model_rng),
+        scheduler(s.config.num_peers),
+        inner_transport(),
+        transport(&inner_transport, s.config.fault_seed),
+        exchange_config{.maxl = s.config.maxl,
+                        .recmax = s.config.recmax,
+                        .refmax = s.config.refmax,
+                        .recursion_fanout = s.config.recursion_fanout,
+                        .manage_data = s.config.manage_data,
+                        .prune_unreachable_refs = s.config.prune_unreachable_refs},
+        update_config{.recbreadth = s.config.recbreadth,
+                      .repetition = s.config.repetition},
+        exchange(&grid, exchange_config, &engine_rng, &online),
+        churn(&grid, &exchange, &scheduler, &online, &engine_rng),
+        inserter(&grid, &online, &engine_rng),
+        updater(&grid, &online, &engine_rng),
+        searcher(&grid, &online, &engine_rng) {
+    for (PeerId p = 0; p < grid.size(); ++p) ServePeer(p);
+  }
+
+  /// Registers a trivial responder so the fault transport can gate calls to the
+  /// peer. The payload is irrelevant: only delivery vs failure matters.
+  void ServePeer(PeerId p) {
+    inner_transport.Serve(PeerAddress(p),
+                          [](const std::string&, const std::string&) {
+                            return std::string("ok");
+                          });
+  }
+
+  /// A meeting (or operation entry) happens only if the initiator can reach the
+  /// target through the fault layer: outages, partitions, and drop rules all
+  /// suppress it. This is how transport faults shape the interleaving.
+  bool Reachable(PeerId from, PeerId to) {
+    return transport.Call(PeerAddress(to), PeerAddress(from), "meet").ok();
+  }
+
+  void RunExchanges(uint64_t meetings) {
+    for (uint64_t m = 0; m < meetings; ++m) {
+      Meeting meeting = scheduler.Next(&engine_rng);
+      if (churn.IsDead(meeting.a) || churn.IsDead(meeting.b)) continue;
+      if (!Reachable(meeting.a, meeting.b)) continue;
+      exchange.Exchange(meeting.a, meeting.b);
+    }
+  }
+
+  void RunInsert(const ScenarioStep& step) {
+    std::vector<PeerId> live = churn.LivePeers();
+    if (live.empty()) return;
+    const PeerId holder = live[step.a % live.size()];
+    DataItem item;
+    item.id = next_item_id++;
+    const size_t key_len = 1 + step.c % scenario.config.maxl;
+    item.key = KeyPath::FromUint64(step.b, key_len);
+    item.payload = std::string(step.d % 16, 'x');
+    item.version = 1;
+    if (!Reachable(holder, holder)) return;  // holder itself under outage
+    Result<InsertOutcome> r = inserter.Insert(item, holder, update_config);
+    (void)r;  // FailedPrecondition (no replica reached) is a legal outcome
+    inserted.push_back(item);
+  }
+
+  void RunUpdate(const ScenarioStep& step) {
+    if (inserted.empty()) return;
+    DataItem& item = inserted[step.a % inserted.size()];
+    ++item.version;
+    const UpdateStrategy strategy = static_cast<UpdateStrategy>(step.b % 3);
+    updater.Propagate(item.key, item.id, item.version, strategy, update_config);
+  }
+
+  void RunChurn(const ScenarioStep& step) {
+    // ChurnConfig speaks fractions of the live population; recover the exact
+    // requested counts (the +0.5 defeats floor() landing one short under FP).
+    const double live = static_cast<double>(churn.live_count());
+    ChurnConfig config;
+    config.crash_fraction =
+        std::min(1.0, (static_cast<double>(step.a) + 0.5) / live);
+    config.leave_fraction =
+        std::min(1.0, (static_cast<double>(step.b) + 0.5) / live);
+    config.join_fraction = (static_cast<double>(step.c) + 0.5) / live;
+    config.meetings_per_round = step.d;
+    config.join_online_prob = scenario.config.online_prob;
+    const size_t before = grid.size();
+    churn.Round(config);
+    for (PeerId p = before; p < grid.size(); ++p) ServePeer(p);
+  }
+
+  void RunFault(const ScenarioStep& step) {
+    const size_t n = grid.size();
+    switch (step.a % 6) {
+      case 0: {  // outage: unreachable at the transport AND offline to engines
+        const PeerId p = static_cast<PeerId>(step.b % n);
+        transport.InjectOutage(PeerAddress(p));
+        if (!churn.IsDead(p)) online.Pin(p, false);
+        break;
+      }
+      case 1: {  // restore (dead peers stay pinned offline by the churn driver)
+        const PeerId p = static_cast<PeerId>(step.b % n);
+        transport.ClearOutage(PeerAddress(p));
+        if (!churn.IsDead(p)) online.Pin(p, std::nullopt);
+        break;
+      }
+      case 2:  // drop a fraction of all meetings; b parts per 1024
+        transport.DropWithProbability(
+            "peer:*", static_cast<double>(step.b % 1024) / 1024.0);
+        break;
+      case 3:  // heal: remove all probabilistic rules and partitions
+        transport.ClearRules();
+        break;
+      case 4: {  // partition peers below/above a pivot for c virtual-time units
+        const PeerId pivot =
+            static_cast<PeerId>(1 + step.b % (n > 1 ? n - 1 : 1));
+        std::vector<std::string> lo, hi;
+        for (PeerId p = 0; p < n; ++p) {
+          (p < pivot ? lo : hi).push_back(PeerAddress(p));
+        }
+        const uint64_t now = transport.virtual_now();
+        transport.Partition(lo, hi, now, now + 1 + step.c % 4096);
+        break;
+      }
+      case 5:  // let a partition window elapse
+        transport.AdvanceTime(1 + step.b % 4096);
+        break;
+    }
+  }
+
+  void RunProbes(uint64_t count, ScenarioResult* result) {
+    for (uint64_t i = 0; i < count; ++i) {
+      if (inserted.empty()) return;
+      const DataItem& item =
+          inserted[engine_rng.UniformIndex(inserted.size())];
+      std::vector<PeerId> live = churn.LivePeers();
+      if (live.empty()) return;
+      const PeerId start = live[engine_rng.UniformIndex(live.size())];
+      QueryResult q = searcher.Query(start, item.key);
+      ++result->probes;
+      if (q.found) ++result->probes_found;
+    }
+  }
+
+  void RunCorrupt(const ScenarioStep& step) {
+    const size_t n = grid.size();
+    switch (step.a % 3) {
+      case 0: {  // reference corruption: point a ref back at the peer itself
+        for (size_t off = 0; off < n; ++off) {
+          PeerState& p = grid.peer(static_cast<PeerId>((step.b + off) % n));
+          if (p.depth() == 0) continue;
+          const size_t level = 1 + step.c % p.depth();
+          p.SetRefsAt(level, {p.id()});
+          return;
+        }
+        break;
+      }
+      case 1: {  // placement corruption: entry outside the peer's interval
+        for (size_t off = 0; off < n; ++off) {
+          PeerState& p = grid.peer(static_cast<PeerId>((step.b + off) % n));
+          if (p.depth() == 0) continue;
+          IndexEntry e;
+          e.holder = p.id();
+          e.item_id = 0xC0FFEE + step.c;
+          e.key = KeyPath::FromUint64(p.PathBit(1) == 0 ? 1 : 0, 1);
+          e.version = 1;
+          p.index().InsertOrRefresh(e);
+          return;
+        }
+        break;
+      }
+      case 2: {  // replica desync: same (holder, item), different keys
+        PeerState& first = grid.peer(static_cast<PeerId>(step.b % n));
+        PeerState& second = grid.peer(static_cast<PeerId>((step.b + 1) % n));
+        IndexEntry e;
+        e.holder = first.id();
+        e.item_id = 0xDE57 + step.c;
+        e.key = first.path().length() > 0 ? first.path()
+                                          : KeyPath::FromUint64(0, 1);
+        e.version = 1;
+        first.index().InsertOrRefresh(e);
+        e.key = e.key.length() < scenario.config.maxl
+                    ? e.key.Append(0)
+                    : KeyPath::FromUint64(~step.c, e.key.length());
+        second.index().InsertOrRefresh(e);
+        break;
+      }
+    }
+  }
+
+  check::InvariantReport CheckInvariants() {
+    check::InvariantOptions options;
+    // Without data management, path splits legitimately strand entries outside
+    // the new interval; only managed grids promise placement.
+    options.check_placement = scenario.config.manage_data;
+    return check::GridInvariants::Check(grid, exchange_config, options);
+  }
+
+  std::string ComputeDigest() {
+    Digest d;
+    d.U64(grid.size());
+    for (const PeerState& p : grid) {
+      d.Str(p.path().ToString());
+      for (size_t level = 1; level <= p.depth(); ++level) {
+        const std::vector<PeerId>& refs = p.RefsAt(level);
+        d.U64(refs.size());
+        for (PeerId r : refs) d.U64(r);
+      }
+      d.U64(p.buddies().size());
+      for (PeerId b : p.buddies()) d.U64(b);
+      d.U64(p.index().size());
+      uint64_t index_sum = 0;  // order-independent fold over the entry set
+      for (const IndexEntry& e : p.index().All()) {
+        Digest entry;
+        entry.U64(e.holder);
+        entry.U64(e.item_id);
+        entry.Str(e.key.ToString());
+        entry.U64(e.version);
+        index_sum += entry.value();
+      }
+      d.U64(index_sum);
+      d.U64(p.foreign_entries().size());
+    }
+    for (int t = 0; t < kNumMessageTypes; ++t) {
+      d.U64(grid.stats().count(static_cast<MessageType>(t)));
+    }
+    d.U64(transport.virtual_now());
+    d.U64(churn.live_count());
+    return d.Hex();
+  }
+
+  ScenarioResult Run() {
+    ScenarioResult result;
+    const std::vector<ScenarioStep>& steps = scenario.steps;
+    for (size_t i = 0; i <= steps.size(); ++i) {
+      const bool final_barrier = i == steps.size();
+      // Each step draws from its own counter-derived stream: execution of step i
+      // is independent of how many draws earlier steps consumed, which is what
+      // lets the shrinker delete steps without perturbing the survivors.
+      engine_rng.Reseed(DeriveStreamSeed(scenario.config.seed, i + 1));
+      const ScenarioStep step =
+          final_barrier ? ScenarioStep{StepKind::kBarrier, 4, 0, 0, 0} : steps[i];
+      switch (step.kind) {
+        case StepKind::kExchange:
+          RunExchanges(step.a);
+          break;
+        case StepKind::kInsert:
+          RunInsert(step);
+          break;
+        case StepKind::kUpdate:
+          RunUpdate(step);
+          break;
+        case StepKind::kChurn:
+          RunChurn(step);
+          break;
+        case StepKind::kFault:
+          RunFault(step);
+          break;
+        case StepKind::kCorrupt:
+          RunCorrupt(step);
+          break;
+        case StepKind::kBarrier: {
+          check::InvariantReport report = CheckInvariants();
+          if (!report.ok()) {
+            result.failed = true;
+            result.failed_step = i;
+            result.report = std::move(report);
+            result.steps_executed = final_barrier ? steps.size() : i;
+            result.digest = ComputeDigest();
+            return result;
+          }
+          RunProbes(step.a, &result);
+          break;
+        }
+      }
+      if (!final_barrier) ++result.steps_executed;
+    }
+    result.digest = ComputeDigest();
+    return result;
+  }
+
+  Scenario scenario;
+  Grid grid;
+  Rng engine_rng;
+  Rng model_rng;
+  OnlineModel online;
+  MeetingScheduler scheduler;
+  net::InProcTransport inner_transport;
+  net::FaultInjectingTransport transport;
+  ExchangeConfig exchange_config;
+  UpdateConfig update_config;
+  ExchangeEngine exchange;
+  ChurnDriver churn;
+  InsertEngine inserter;
+  UpdateEngine updater;
+  SearchEngine searcher;
+  std::vector<DataItem> inserted;
+  ItemId next_item_id = 1;
+};
+
+ScenarioRunner::ScenarioRunner(const Scenario& scenario)
+    : impl_(std::make_unique<Impl>(scenario)) {}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+ScenarioResult ScenarioRunner::Run() { return impl_->Run(); }
+
+Grid& ScenarioRunner::grid() { return impl_->grid; }
+
+const ExchangeConfig& ScenarioRunner::exchange_config() const {
+  return impl_->exchange_config;
+}
+
+}  // namespace sim
+}  // namespace pgrid

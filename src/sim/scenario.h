@@ -1,0 +1,159 @@
+// Scenarios: deterministic, replayable protocol interleavings.
+//
+// A Scenario is a *value* -- a configuration plus a flat list of steps
+// (exchanges, inserts, updates, churn rounds, fault injections, invariant
+// barriers). Every random decision is either materialized into the step's
+// parameters at generation time or drawn from an Rng reseeded per step with
+// DeriveStreamSeed(seed, step_index), so executing a scenario is a pure
+// function of the value: same scenario in, same grid, same ledger, same
+// digest out -- regardless of what ran before. That is what makes fuzzing
+// findings reproducible (sim/fuzzer.h) and shrunk repros replayable
+// (`pgrid replay <file>`).
+//
+// The text serialization is intentionally line-based and diff-friendly: a
+// repro file checked into a bug report can be read, edited, and replayed by
+// hand.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/invariants.h"
+#include "util/result.h"
+
+namespace pgrid {
+
+class Grid;
+struct ExchangeConfig;
+
+namespace sim {
+
+/// One step of a scenario. The meaning of parameters a..d depends on the kind;
+/// unused parameters must be zero (serialization round-trips them verbatim).
+enum class StepKind : int {
+  /// Run `a` pairwise meetings through the fault-gated transport.
+  kExchange = 0,
+  /// Insert item (id = runner-assigned counter) at holder selector `a`, with key
+  /// bits `b` of length 1 + c % maxl, payload size d % 16.
+  kInsert = 1,
+  /// Re-propagate inserted item selector `a` with strategy `b` % 3, bumping its
+  /// version by one.
+  kUpdate = 2,
+  /// Churn round: `a` crashes, `b` graceful leaves, `c` joins, then `d` meetings.
+  kChurn = 3,
+  /// Fault-injection control; `a` selects the operation (see scenario.cc):
+  /// outage / restore / probabilistic drop / clear rules / partition / advance
+  /// virtual clock.
+  kFault = 4,
+  /// Check all invariants now, and run `a` probe queries for inserted items.
+  kBarrier = 5,
+  /// Deliberately corrupt the grid (test-only; the generator never emits this):
+  /// `a` % 3 picks self-reference / misplaced entry / replica key desync at peer
+  /// selector `b`.
+  kCorrupt = 6,
+};
+
+inline constexpr int kNumStepKinds = 7;
+
+/// Stable step name used in the text format ("exchange", "insert", ...).
+std::string_view StepKindName(StepKind k);
+
+struct ScenarioStep {
+  StepKind kind = StepKind::kExchange;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t d = 0;
+
+  friend bool operator==(const ScenarioStep&, const ScenarioStep&) = default;
+};
+
+/// The community and algorithm parameters a scenario runs under.
+struct ScenarioConfig {
+  uint64_t seed = 1;          ///< master seed for all per-step streams
+  size_t num_peers = 32;
+  size_t maxl = 4;
+  size_t refmax = 2;
+  size_t recmax = 2;
+  size_t recursion_fanout = 2;
+  bool manage_data = true;
+  bool prune_unreachable_refs = true;
+  size_t recbreadth = 2;      ///< update propagation fan-out
+  size_t repetition = 2;      ///< update propagation restarts
+  double online_prob = 1.0;   ///< snapshot availability of the community
+  uint64_t fault_seed = 0;    ///< seed of the fault transport's rule RNG
+
+  friend bool operator==(const ScenarioConfig&, const ScenarioConfig&) = default;
+};
+
+struct Scenario {
+  ScenarioConfig config;
+  std::vector<ScenarioStep> steps;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Renders the scenario in the line-based text format (ends with "end\n").
+std::string SerializeScenario(const Scenario& scenario);
+
+/// Parses the text format. InvalidArgument with a line-number message on any
+/// malformed input; serialization and parsing round-trip exactly.
+Result<Scenario> ParseScenario(const std::string& text);
+
+/// File convenience wrappers around the text format.
+Status SaveScenario(const Scenario& scenario, const std::string& path);
+Result<Scenario> LoadScenario(const std::string& path);
+
+/// Outcome of running one scenario to completion.
+struct ScenarioResult {
+  /// True iff some barrier (or the implicit final one) reported violations.
+  bool failed = false;
+
+  /// Step index whose barrier failed; steps.size() means the implicit final
+  /// barrier. Valid iff failed.
+  size_t failed_step = 0;
+
+  /// The first failing invariant report (empty when !failed).
+  check::InvariantReport report;
+
+  /// Probe queries run at barriers and how many found a responsible peer.
+  uint64_t probes = 0;
+  uint64_t probes_found = 0;
+
+  /// Steps actually executed (== steps.size() unless a barrier failed).
+  size_t steps_executed = 0;
+
+  /// FNV-1a digest of the final state (peer paths, refs, indexes, ledger,
+  /// virtual clock). Two runs of the same scenario produce the same digest;
+  /// this is the "byte-identical trace" the harness asserts on.
+  std::string digest;
+};
+
+/// Executes scenarios. One runner executes one scenario; construct fresh per run.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const Scenario& scenario);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Runs every step, checking invariants at each kBarrier and once more after
+  /// the last step. Stops at the first failing barrier.
+  ScenarioResult Run();
+
+  /// The grid after Run() (snapshot round-trip tests persist it).
+  Grid& grid();
+  const ExchangeConfig& exchange_config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sim
+}  // namespace pgrid

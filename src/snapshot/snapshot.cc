@@ -1,6 +1,8 @@
 #include "snapshot/snapshot.h"
 
+#include <algorithm>
 #include <fstream>
+#include <tuple>
 
 #include "net/wire.h"
 
@@ -59,7 +61,15 @@ Status SaveGrid(const Grid& grid, const ExchangeConfig& config,
     }
     w.WriteU32(static_cast<uint32_t>(p.buddies().size()));
     for (PeerId b : p.buddies()) w.WriteU32(b);
-    const auto entries = p.index().All();
+    // All() iterates the index's hash map, whose order depends on insertion
+    // history; sorting makes the snapshot canonical, so save -> load -> save
+    // round-trips byte-identically.
+    auto entries = p.index().All();
+    std::sort(entries.begin(), entries.end(),
+              [](const IndexEntry& a, const IndexEntry& b) {
+                return std::tie(a.holder, a.item_id) <
+                       std::tie(b.holder, b.item_id);
+              });
     w.WriteU32(static_cast<uint32_t>(entries.size()));
     for (const IndexEntry& e : entries) WriteEntry(&w, e);
     w.WriteU32(static_cast<uint32_t>(p.foreign_entries().size()));

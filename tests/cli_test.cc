@@ -6,6 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/fuzzer.h"
+#include "sim/scenario.h"
+
 namespace pgrid {
 namespace cli {
 namespace {
@@ -182,6 +185,65 @@ TEST(CliTest, MetricsJsonToUnwritablePathFails) {
                          "--metrics-json=/nonexistent-dir/metrics.json"});
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, FuzzCleanSweepSucceeds) {
+  CliResult r = RunArgs({"fuzz", "--seeds=3", "--base-seed=1", "--max-steps=15"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("3 seed(s) run, 0 failure(s)"), std::string::npos);
+}
+
+TEST(CliTest, FuzzRejectsBadBounds) {
+  CliResult r = RunArgs({"fuzz", "--min-steps=20", "--max-steps=5"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, ReplayCleanScenarioSucceedsAndIsDeterministic) {
+  const std::string file = TempSnapshot("cli_replay.pgs");
+  sim::Scenario s = sim::ScenarioFuzzer::Generate(11);
+  ASSERT_TRUE(sim::SaveScenario(s, file).ok());
+
+  CliResult a = RunArgs({"replay", file});       // positional form
+  ASSERT_EQ(a.exit_code, 0) << a.err;
+  EXPECT_NE(a.out.find("OK: all barriers passed"), std::string::npos);
+  CliResult b = RunArgs({"replay", "--in=" + file});  // flag form
+  ASSERT_EQ(b.exit_code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);  // same seed -> same digest line, byte for byte
+
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, ReplayReportsViolationsWithNonzeroExit) {
+  const std::string file = TempSnapshot("cli_replay_bad.pgs");
+  sim::Scenario s = sim::ScenarioFuzzer::Generate(11);
+  s.steps.push_back({sim::StepKind::kCorrupt, 0, 0, 0, 0});  // self-reference
+  ASSERT_TRUE(sim::SaveScenario(s, file).ok());
+
+  CliResult r = RunArgs({"replay", file});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("FAILED at step"), std::string::npos);
+  EXPECT_NE(r.out.find("self-reference"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, ReplayWithoutFileFails) {
+  CliResult r = RunArgs({"replay"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("scenario file"), std::string::npos);
+}
+
+TEST(CliTest, VerifyPrintsCategorizedReportOnCorruptSnapshot) {
+  // Round-trip a fuzzed grid through a snapshot, then corrupt one peer's refs
+  // in-memory is not possible via CLI -- instead verify the report shape on a
+  // clean snapshot and rely on invariants_test for negative coverage.
+  const std::string file = TempSnapshot("cli_verify2.pgrid");
+  ASSERT_EQ(
+      RunArgs({"build", "--peers=64", "--maxl=4", "--out=" + file}).exit_code, 0);
+  CliResult r = RunArgs({"verify", "--in=" + file});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("all invariants hold"), std::string::npos);
   std::remove(file.c_str());
 }
 

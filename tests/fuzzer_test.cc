@@ -1,0 +1,109 @@
+#include "sim/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.h"
+
+namespace pgrid {
+namespace sim {
+namespace {
+
+TEST(ScenarioFuzzerTest, GenerationIsDeterministic) {
+  Scenario a = ScenarioFuzzer::Generate(123);
+  Scenario b = ScenarioFuzzer::Generate(123);
+  EXPECT_EQ(a, b);
+  // And the serialized trace is byte-identical -- the replay-file guarantee.
+  EXPECT_EQ(SerializeScenario(a), SerializeScenario(b));
+  EXPECT_NE(SerializeScenario(a), SerializeScenario(ScenarioFuzzer::Generate(124)));
+}
+
+TEST(ScenarioFuzzerTest, GeneratedScenariosRespectBounds) {
+  FuzzOptions options;
+  options.min_peers = 8;
+  options.max_peers = 20;
+  options.min_steps = 5;
+  options.max_steps = 12;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario s = ScenarioFuzzer::Generate(seed, options);
+    EXPECT_GE(s.config.num_peers, options.min_peers);
+    EXPECT_LE(s.config.num_peers, options.max_peers);
+    // +1 for the warm-up exchange step.
+    EXPECT_GE(s.steps.size(), options.min_steps + 1);
+    EXPECT_LE(s.steps.size(), options.max_steps + 1);
+    EXPECT_EQ(s.config.seed, seed);
+    for (const ScenarioStep& step : s.steps) {
+      EXPECT_NE(step.kind, StepKind::kCorrupt);  // never generated, test-only
+    }
+  }
+}
+
+TEST(ScenarioFuzzerTest, SameSeedSameExecutionDigest) {
+  Scenario s = ScenarioFuzzer::Generate(7);
+  ScenarioResult a = RunScenario(s);
+  ScenarioResult b = RunScenario(s);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.failed, b.failed);
+}
+
+// The acceptance bar of the harness: a seed sweep over generated interleavings
+// of exchanges, inserts, updates, churn, and transport faults completes with
+// zero invariant violations.
+TEST(ScenarioFuzzerTest, FiftySeedsRunClean) {
+  FuzzOptions options;
+  options.base_seed = 1;
+  options.num_seeds = 50;
+  options.stop_on_failure = false;
+  FuzzOutcome outcome = ScenarioFuzzer::Fuzz(options);
+  EXPECT_EQ(outcome.seeds_run, 50u);
+  EXPECT_EQ(outcome.failures, 0u)
+      << "seed " << outcome.failing_seed << " shrank to:\n"
+      << SerializeScenario(outcome.minimal) << "\nfailing with:\n"
+      << outcome.failure.report.ToString();
+}
+
+// End-to-end shrink: plant a corruption in the middle of a generated scenario
+// and check the shrinker reduces the failure to (essentially) just that step.
+TEST(ScenarioShrinkTest, ShrinksInjectedCorruptionToMinimalRepro) {
+  Scenario s = ScenarioFuzzer::Generate(21);
+  // Replica-key desync: the one corruption that fails even on a flat grid, so
+  // a perfect shrink needs no other step, not even the warm-up exchange. It
+  // goes at the end: earlier placement would let later exchanges park the
+  // desynced entries in foreign buffers, legitimately hiding them.
+  ScenarioStep corrupt{StepKind::kCorrupt, 2, 4, 2, 0};
+  s.steps.push_back(corrupt);
+  ASSERT_TRUE(RunScenario(s).failed);
+
+  Scenario minimal = ScenarioFuzzer::Shrink(s);
+  ScenarioResult result = RunScenario(minimal);
+  EXPECT_TRUE(result.failed);
+  EXPECT_GE(result.report.CountOf(check::Category::kReplicaDesync), 1u)
+      << result.report.ToString();
+  // The corruption step alone suffices: everything else must be gone.
+  ASSERT_EQ(minimal.steps.size(), 1u) << SerializeScenario(minimal);
+  EXPECT_EQ(minimal.steps[0].kind, StepKind::kCorrupt);
+  // The repro is a valid replay file.
+  Result<Scenario> reparsed = ParseScenario(SerializeScenario(minimal));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), minimal);
+}
+
+TEST(ScenarioShrinkTest, ShrinkKeepsNonFailingScenarioIntact) {
+  Scenario s = ScenarioFuzzer::Generate(3);
+  ASSERT_FALSE(RunScenario(s).failed);
+  EXPECT_EQ(ScenarioFuzzer::Shrink(s), s);
+}
+
+TEST(ScenarioFuzzerTest, FuzzReportsAndShrinksPlantedFailure) {
+  // A corrupt scenario cannot come out of Generate, so synthesize the sweep:
+  // run Fuzz on clean seeds, then verify the failure path via Shrink directly.
+  Scenario bad = ScenarioFuzzer::Generate(5);
+  bad.steps.push_back(ScenarioStep{StepKind::kCorrupt, 0, 0, 0, 0});
+  Scenario minimal = ScenarioFuzzer::Shrink(bad);
+  ScenarioResult result = RunScenario(minimal);
+  EXPECT_TRUE(result.failed);
+  EXPECT_LE(minimal.steps.size(), 2u) << SerializeScenario(minimal);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pgrid

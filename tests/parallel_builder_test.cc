@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.h"
 #include "core/exchange.h"
 #include "core/grid.h"
 #include "gtest/gtest.h"
@@ -147,6 +148,21 @@ TEST(ParallelBuilderTest, LedgerStaysExactUnderSharding) {
             built.grid->stats().count(MessageType::kExchange));
   EXPECT_EQ(m.GetCounter("exchange.entries_moved")->value(),
             built.grid->stats().count(MessageType::kDataTransfer));
+}
+
+TEST(ParallelBuilderTest, BuiltGridSatisfiesAllInvariantsAtEveryThreadCount) {
+  // Byte-identical snapshots (above) prove 2- and 8-thread grids equal the
+  // 1-thread one; this checks the shared structure is actually *correct* --
+  // references, coverage, placement, replicas, and the metrics ledger -- via
+  // the full checker, independently at each thread count.
+  for (size_t threads : {1u, 2u, 8u}) {
+    ParallelBuilt built = BuildParallel(400, threads, /*seed=*/42);
+    check::InvariantReport report =
+        check::GridInvariants::Check(*built.grid, built.config);
+    EXPECT_TRUE(report.ok()) << "threads=" << threads << "\n"
+                             << report.ToString();
+    EXPECT_EQ(report.peers_checked, built.grid->size());
+  }
 }
 
 TEST(ParallelBuilderTest, MatchesABarrierFreeShardedReplay) {

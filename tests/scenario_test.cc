@@ -1,0 +1,175 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "check/invariants.h"
+#include "sim/fuzzer.h"
+
+namespace pgrid {
+namespace sim {
+namespace {
+
+Scenario SmallScenario() {
+  Scenario s;
+  s.config.seed = 42;
+  s.config.num_peers = 16;
+  s.config.maxl = 3;
+  s.config.refmax = 2;
+  s.steps = {
+      {StepKind::kExchange, 120, 0, 0, 0},
+      {StepKind::kInsert, 3, 5, 2, 4},
+      {StepKind::kInsert, 7, 2, 1, 0},
+      {StepKind::kBarrier, 2, 0, 0, 0},
+      {StepKind::kUpdate, 0, 2, 0, 0},
+      {StepKind::kChurn, 1, 1, 2, 40},
+      {StepKind::kFault, 2, 300, 0, 0},
+      {StepKind::kExchange, 60, 0, 0, 0},
+  };
+  return s;
+}
+
+// --- serialization ---------------------------------------------------------
+
+TEST(ScenarioFormatTest, SerializeParseRoundTrips) {
+  Scenario s = SmallScenario();
+  s.config.online_prob = 0.7314159265358979;  // needs %.17g to round-trip
+  Result<Scenario> parsed = ParseScenario(SerializeScenario(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value(), s);
+  // Byte-identical on a second serialization of the parsed value.
+  EXPECT_EQ(SerializeScenario(parsed.value()), SerializeScenario(s));
+}
+
+TEST(ScenarioFormatTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseScenario("").ok());
+  EXPECT_FALSE(ParseScenario("not a scenario\nend\n").ok());
+  // Missing "end".
+  EXPECT_FALSE(ParseScenario("pgrid-scenario v1\nnum_peers 8\n").ok());
+  // Unknown key.
+  EXPECT_FALSE(
+      ParseScenario("pgrid-scenario v1\nbogus 1\nend\n").ok());
+  // Unknown step kind.
+  EXPECT_FALSE(
+      ParseScenario("pgrid-scenario v1\nstep explode 1 2 3 4\nend\n").ok());
+  // Too few peers.
+  EXPECT_FALSE(ParseScenario("pgrid-scenario v1\nnum_peers 1\nend\n").ok());
+}
+
+TEST(ScenarioFormatTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/scenario_roundtrip.pgs";
+  Scenario s = SmallScenario();
+  ASSERT_TRUE(SaveScenario(s, path).ok());
+  Result<Scenario> loaded = LoadScenario(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value(), s);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadScenario(path).ok());
+}
+
+// --- execution determinism -------------------------------------------------
+
+TEST(ScenarioRunnerTest, CleanScenarioPassesAllBarriers) {
+  ScenarioResult result = RunScenario(SmallScenario());
+  EXPECT_FALSE(result.failed) << result.report.ToString();
+  EXPECT_EQ(result.steps_executed, SmallScenario().steps.size());
+  EXPECT_FALSE(result.digest.empty());
+}
+
+TEST(ScenarioRunnerTest, SameScenarioSameDigest) {
+  ScenarioResult a = RunScenario(SmallScenario());
+  ScenarioResult b = RunScenario(SmallScenario());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.probes_found, b.probes_found);
+}
+
+TEST(ScenarioRunnerTest, DifferentSeedDifferentDigest) {
+  Scenario other = SmallScenario();
+  other.config.seed = 43;
+  EXPECT_NE(RunScenario(SmallScenario()).digest, RunScenario(other).digest);
+}
+
+TEST(ScenarioRunnerTest, RunnerExposesFinalGrid) {
+  Scenario s = SmallScenario();
+  ScenarioRunner runner(s);
+  ScenarioResult result = runner.Run();
+  ASSERT_FALSE(result.failed);
+  EXPECT_GE(runner.grid().size(), s.config.num_peers);  // churn may have joined
+  EXPECT_GT(runner.grid().AveragePathLength(), 0.0);
+  EXPECT_EQ(runner.exchange_config().maxl, s.config.maxl);
+}
+
+// --- corruption steps fail at the right barrier ----------------------------
+
+TEST(ScenarioRunnerTest, CorruptionFailsAtNextBarrier) {
+  Scenario s = SmallScenario();
+  s.steps.push_back({StepKind::kCorrupt, 0, 1, 0, 0});  // self-reference
+  s.steps.push_back({StepKind::kBarrier, 0, 0, 0, 0});
+  ScenarioResult result = RunScenario(s);
+  ASSERT_TRUE(result.failed);
+  // The explicit barrier right after the corruption catches it, not the
+  // implicit final one.
+  EXPECT_EQ(result.failed_step, s.steps.size() - 1);
+  EXPECT_FALSE(result.report.ok());
+}
+
+TEST(ScenarioRunnerTest, EachCorruptionKindViolatesTheExpectedCategory) {
+  struct Case {
+    uint64_t kind;
+    check::Category expected;
+  };
+  const Case cases[] = {
+      {0, check::Category::kSelfReference},
+      {1, check::Category::kPlacement},
+      {2, check::Category::kReplicaDesync},
+  };
+  for (const Case& c : cases) {
+    Scenario s = SmallScenario();
+    s.steps.push_back({StepKind::kCorrupt, c.kind, 2, 1, 0});
+    ScenarioResult result = RunScenario(s);
+    ASSERT_TRUE(result.failed) << "corrupt kind " << c.kind;
+    EXPECT_GE(result.report.CountOf(c.expected), 1u)
+        << "corrupt kind " << c.kind << ":\n"
+        << result.report.ToString();
+  }
+}
+
+// --- faults and churn shape execution but never break invariants -----------
+
+TEST(ScenarioRunnerTest, OutageAndPartitionScenarioStaysClean) {
+  Scenario s = SmallScenario();
+  s.steps = {
+      {StepKind::kExchange, 100, 0, 0, 0},
+      {StepKind::kFault, 0, 3, 0, 0},     // outage on a peer
+      {StepKind::kExchange, 50, 0, 0, 0},
+      {StepKind::kFault, 4, 8, 200, 0},   // partition for 200 time units
+      {StepKind::kExchange, 50, 0, 0, 0},
+      {StepKind::kBarrier, 4, 0, 0, 0},
+      {StepKind::kFault, 1, 3, 0, 0},     // restore the peer
+      {StepKind::kFault, 3, 0, 0, 0},     // clear rules
+      {StepKind::kExchange, 50, 0, 0, 0},
+  };
+  ScenarioResult result = RunScenario(s);
+  EXPECT_FALSE(result.failed) << result.report.ToString();
+}
+
+TEST(ScenarioRunnerTest, HeavyChurnScenarioStaysClean) {
+  Scenario s = SmallScenario();
+  s.steps = {
+      {StepKind::kExchange, 150, 0, 0, 0},
+      {StepKind::kInsert, 1, 3, 2, 1},
+      {StepKind::kChurn, 3, 2, 4, 60},
+      {StepKind::kBarrier, 2, 0, 0, 0},
+      {StepKind::kChurn, 2, 2, 0, 60},
+      {StepKind::kChurn, 0, 0, 5, 60},
+  };
+  ScenarioResult result = RunScenario(s);
+  EXPECT_FALSE(result.failed) << result.report.ToString();
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pgrid

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the deterministic-simulation-test suite (ctest label `dst`) plus a
+# standalone fuzz sweep under AddressSanitizer and ThreadSanitizer, each in its
+# own build tree. The harness's guarantees -- same seed, same interleaving,
+# byte-identical digests -- only hold if the scenario runner itself is free of
+# memory errors and data races; this script checks both claims against the
+# real binaries.
+#
+#   tools/check_dst.sh                 # asan + tsan: build, ctest -L dst, fuzz sweep
+#   tools/check_dst.sh address         # just the ASan leg
+#   tools/check_dst.sh thread          # just the TSan leg
+#
+# Env: BUILD_DIR_PREFIX (default <repo>/build), SEEDS (default 50).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${BUILD_DIR_PREFIX:-${repo_root}/build}"
+seeds="${SEEDS:-50}"
+
+run_leg() {
+  local sanitizer="$1"
+  local build_dir="${prefix}-${sanitizer}-dst"
+  echo "== ${sanitizer} sanitizer leg (${build_dir}) =="
+
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DPGRID_SANITIZE="${sanitizer}" \
+    -DPGRID_BUILD_BENCHMARKS=OFF \
+    -DPGRID_BUILD_EXAMPLES=OFF
+
+  cmake --build "${build_dir}" -j "$(nproc)" --target \
+    invariants_test scenario_test fuzzer_test scenario_snapshot_test pgrid
+
+  ctest --test-dir "${build_dir}" --output-on-failure -L dst
+
+  # Seed sweep through the CLI: exercises the whole generate -> run -> check
+  # pipeline (and, on failure, the shrinker + repro writer) under the sanitizer.
+  "${build_dir}/tools/pgrid" fuzz --seeds="${seeds}" --keep-going \
+    --out="${build_dir}/fuzz_repro.pgs"
+}
+
+case "${1:-all}" in
+  address|thread) run_leg "$1" ;;
+  all)
+    run_leg address
+    run_leg thread
+    ;;
+  *)
+    echo "usage: $0 [address|thread]" >&2
+    exit 2
+    ;;
+esac
+
+echo "dst suite clean under the requested sanitizer(s) (${seeds} fuzz seeds)."
