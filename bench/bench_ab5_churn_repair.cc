@@ -1,13 +1,17 @@
 // AB5 (ablation, Sec. 6 extension): self-healing under sustained churn.
 //
-// A converged grid is subjected to rounds of crashes and joins. Three variants:
+// A converged grid is subjected to rounds of crashes and joins. Four variants:
 //  - frozen:     no further exchanges (the structure decays as references die),
 //  - gossip:     exchanges continue, but dead references are never pruned,
 //  - gossip+prune: exchanges continue with gossip-time failure detection
-//                  (ExchangeConfig::prune_unreachable_refs).
+//                  (ExchangeConfig::prune_unreachable_refs),
+//  - active:     gossip+prune plus RepairEngine maintenance rounds (probe/evict,
+//                targeted recruitment, buddy anti-entropy) after every churn
+//                round -- the full self-healing stack of repair/repair.h.
 // After each round we measure search success over live peers. The self-organizing
 // claim of the paper predicts that continued exchanges keep the structure
-// navigable; pruning additionally flushes dead references.
+// navigable; pruning additionally flushes dead references, and active repair
+// refills the holes instead of waiting for chance meetings.
 //
 // Flags: --peers, --rounds, --crash (fraction/round), --join, --seed.
 
@@ -17,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "core/churn.h"
 #include "core/search.h"
+#include "repair/repair.h"
 
 namespace pgrid {
 namespace {
@@ -25,6 +30,7 @@ struct Variant {
   const char* name;
   bool gossip;
   bool prune;
+  bool repair;
 };
 
 void Run(const bench::Args& args) {
@@ -40,9 +46,10 @@ void Run(const bench::Args& args) {
                 "search success decays when the structure is frozen; continued "
                 "exchanges (+pruning) keep it high");
 
-  const Variant variants[] = {{"frozen", false, false},
-                              {"gossip", true, false},
-                              {"gossip+prune", true, true}};
+  const Variant variants[] = {{"frozen", false, false, false},
+                              {"gossip", true, false, false},
+                              {"gossip+prune", true, true, false},
+                              {"active", true, true, true}};
 
   std::printf("%zu peers, %.0f%% crash + %.0f%% join per round, %zu rounds\n\n",
               peers, 100 * crash, 100 * join, rounds);
@@ -66,6 +73,12 @@ void Run(const bench::Args& args) {
     GridBuilder builder(&grid, &exchange, &scheduler, &rng);
     builder.BuildToFractionOfMaxDepth(0.99, 100'000'000);
     ChurnDriver driver(&grid, &exchange, &scheduler, &online, &rng);
+    SearchEngine repair_search(&grid, &online, &rng);
+    repair::RepairEngine repairer(&grid, config, repair::RepairConfig{},
+                                  &repair_search, &online, &rng);
+    repairer.set_liveness([&driver](PeerId p) { return !driver.IsDead(p); });
+    repairer.set_probe_fn(
+        [&driver](PeerId, PeerId to) { return !driver.IsDead(to); });
 
     std::printf("%-14s", variant.name);
     for (size_t r = 0; r < rounds; ++r) {
@@ -74,6 +87,10 @@ void Run(const bench::Args& args) {
       churn.join_fraction = join;
       churn.meetings_per_round = variant.gossip ? peers * 25 : 0;
       driver.Round(churn);
+      if (variant.repair) {
+        repairer.Tick();
+        repairer.Tick();
+      }
 
       SearchEngine search(&grid, &online, &rng);
       size_t ok = 0;

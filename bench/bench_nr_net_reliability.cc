@@ -77,6 +77,70 @@ RunResult RunScenario(size_t n, size_t maxl, size_t refmax, size_t meetings,
   return r;
 }
 
+struct CrashWaveResult {
+  size_t before_ok = 0;   ///< successful routes right after the wave
+  size_t after_ok = 0;    ///< successful routes after the maintenance rounds
+  uint64_t evicted = 0;   ///< references drained by the failure detector
+  uint64_t recruited = 0; ///< references refilled by targeted recruitment
+};
+
+// The self-healing arm: a crash wave takes out a fraction of the community at
+// once, survivors run MaintainReferences rounds (probe -> evict -> recruit),
+// and search reliability is measured before and after the heal window.
+CrashWaveResult RunCrashWave(size_t n, size_t maxl, size_t refmax,
+                             size_t meetings, size_t queries, double crash,
+                             uint64_t seed, const net::RetryConfig& retry,
+                             size_t repair_rounds) {
+  obs::MetricsRegistry registry;
+  net::InProcTransport inner;
+  net::FaultInjectingTransport faults(&inner, seed, &registry);
+  net::NodeConfig config;
+  config.maxl = maxl;
+  config.refmax = refmax;
+  config.retry = retry;
+  std::vector<std::unique_ptr<net::PGridNode>> nodes;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<net::PGridNode>(
+        "node:" + std::to_string(i), &faults, config, seed * 1000 + i,
+        &registry));
+    PGRID_CHECK(nodes.back()->Start().ok());
+  }
+  Rng rng(seed);
+  for (size_t m = 0; m < meetings; ++m) {
+    const size_t a = rng.UniformIndex(n);
+    const size_t b = rng.UniformIndex(n);
+    if (a != b) (void)nodes[a]->MeetWith(nodes[b]->address());
+  }
+
+  // The wave: the tail of the community goes dark in one instant.
+  const size_t survivors = n - static_cast<size_t>(static_cast<double>(n) * crash);
+  for (size_t i = survivors; i < n; ++i) {
+    nodes[i]->Stop();
+    faults.InjectOutage(nodes[i]->address());
+  }
+
+  CrashWaveResult r;
+  Rng qrng(seed + 1);
+  for (size_t q = 0; q < queries; ++q) {
+    const size_t start = qrng.UniformIndex(survivors);
+    if (nodes[start]->RouteToResponsible(KeyPath::Random(&qrng, maxl)).ok()) {
+      ++r.before_ok;
+    }
+  }
+  for (size_t round = 0; round < repair_rounds; ++round) {
+    for (size_t i = 0; i < survivors; ++i) (void)nodes[i]->MaintainReferences();
+  }
+  for (size_t q = 0; q < queries; ++q) {
+    const size_t start = qrng.UniformIndex(survivors);
+    if (nodes[start]->RouteToResponsible(KeyPath::Random(&qrng, maxl)).ok()) {
+      ++r.after_ok;
+    }
+  }
+  r.evicted = registry.GetCounter("node.refs_evicted")->value();
+  r.recruited = registry.GetCounter("node.refs_recruited")->value();
+  return r;
+}
+
 void Run(const bench::Args& args) {
   const size_t n = static_cast<size_t>(args.GetInt("peers", 64));
   const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 4));
@@ -148,6 +212,37 @@ void Run(const bench::Args& args) {
   };
   add_row("single-shot", 1, base);
   add_row("retry", retry.max_attempts, with_retry);
+
+  // Crash-wave arm: message loss is replaced by sudden permanent node loss,
+  // and the retry layer by the self-healing maintenance loop.
+  const double crash = args.GetDouble("crash", 0.3);
+  const size_t repair_rounds =
+      static_cast<size_t>(args.GetInt("repair_rounds", 6));
+  const CrashWaveResult wave = RunCrashWave(n, maxl, refmax, meetings, queries,
+                                            crash, seed, retry, repair_rounds);
+  std::printf("\ncrash wave: %.0f%% of nodes fail at once; %zu maintenance "
+              "rounds heal the survivors\n",
+              100.0 * crash, repair_rounds);
+  std::printf("%-22s %10zu %9.2f%%\n", "before repair", wave.before_ok,
+              pct(wave.before_ok));
+  std::printf("%-22s %10zu %9.2f%%   (%llu refs evicted, %llu recruited)\n",
+              "after repair", wave.after_ok, pct(wave.after_ok),
+              static_cast<unsigned long long>(wave.evicted),
+              static_cast<unsigned long long>(wave.recruited));
+  const auto add_wave_row = [&](const char* variant, size_t ok) {
+    report.AddRow()
+        .Str("variant", variant)
+        .Int("peers", n)
+        .Int("queries", queries)
+        .Num("crash", crash)
+        .Int("repair_rounds", repair_rounds)
+        .Int("ok", ok)
+        .Num("success_rate", pct(ok))
+        .Int("refs_evicted", wave.evicted)
+        .Int("refs_recruited", wave.recruited);
+  };
+  add_wave_row("crash-wave-before-repair", wave.before_ok);
+  add_wave_row("crash-wave-after-repair", wave.after_ok);
   report.WriteTo(args.GetString("json", "BENCH_nr_net_reliability.json"));
 
   if (args.Has("metrics-json")) {

@@ -1,0 +1,178 @@
+// RC: repair convergence after crash waves (robustness extension, Sec. 6).
+//
+// A converged, data-bearing grid loses a fraction of its peers in one instant.
+// Two arms then run the same number of maintenance rounds:
+//  - passive: RepairEngine with every mechanism disabled (no failure detection,
+//             no recruitment, no anti-entropy) -- the paper's baseline where
+//             only chance meetings could ever repair anything, and none run,
+//  - active:  the full self-healing stack of repair/repair.h.
+// After every round the repair-convergence invariants (check/invariants.h) are
+// evaluated over the survivors with repair_min_live_refs = refmax: the round in
+// which dead references + underfull levels disappear and the round in which all
+// live replica pairs agree are recorded per arm. The claim under test: the
+// active arm converges within a bounded number of rounds at every crash
+// fraction, and the passive arm never does.
+//
+// Flags: --peers, --maxl, --refmax, --rounds, --items, --seed, --json.
+
+#include <cstdio>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "check/invariants.h"
+#include "core/churn.h"
+#include "core/insert.h"
+#include "core/search.h"
+#include "core/update.h"
+#include "repair/repair.h"
+
+namespace pgrid {
+namespace {
+
+struct Arm {
+  const char* name;
+  repair::RepairConfig config;
+};
+
+void Run(const bench::Args& args) {
+  const size_t peers = static_cast<size_t>(args.GetInt("peers", 256));
+  const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 4));
+  const size_t refmax = static_cast<size_t>(args.GetInt("refmax", 3));
+  const size_t rounds = static_cast<size_t>(args.GetInt("rounds", 12));
+  const size_t items = static_cast<size_t>(args.GetInt("items", 200));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  bench::Banner("RC: repair convergence after crash waves",
+                "robustness extension (self-healing, docs/robustness.md)",
+                "active repair converges within a bounded round count; the "
+                "passive arm never does");
+
+  repair::RepairConfig passive;
+  passive.suspicion_threshold = 0;
+  passive.recruit = false;
+  passive.anti_entropy = false;
+  const Arm arms[] = {{"passive", passive}, {"active", repair::RepairConfig{}}};
+  const double crash_fractions[] = {0.1, 0.2, 0.3, 0.4};
+
+  std::printf("%zu peers, maxl %zu, refmax %zu, %zu items, %zu-round heal "
+              "window\n\n",
+              peers, maxl, refmax, items, rounds);
+  std::printf("%-8s %-6s | %-14s %-16s %s\n", "arm", "crash", "refs healed",
+              "replicas agree", "converged");
+
+  bench::JsonReport report("rc_repair_convergence");
+  for (const Arm& arm : arms) {
+    for (const double crash : crash_fractions) {
+      Grid grid(peers);
+      Rng rng(seed);
+      OnlineModel online = OnlineModel::AlwaysOn(peers);
+      ExchangeConfig config;
+      config.maxl = maxl;
+      config.refmax = refmax;
+      config.recmax = 2;
+      config.recursion_fanout = 2;
+      ExchangeEngine exchange(&grid, config, &rng, &online);
+      MeetingScheduler scheduler(peers);
+      GridBuilder builder(&grid, &exchange, &scheduler, &rng);
+      builder.BuildToFractionOfMaxDepth(0.99, 100'000'000);
+
+      // Populate the leaf indexes, then leave some replicas one version behind
+      // (single-shot DFS updates reach exactly one replica each) so the
+      // anti-entropy target is real, not vacuous.
+      InsertEngine inserter(&grid, &online, &rng);
+      UpdateEngine updater(&grid, &online, &rng);
+      UpdateConfig update_config;
+      update_config.recbreadth = 2;
+      update_config.repetition = 2;
+      for (size_t i = 0; i < items; ++i) {
+        DataItem item;
+        item.id = i + 1;
+        item.key = KeyPath::Random(&rng, maxl);
+        item.version = 1;
+        (void)inserter.Insert(item, static_cast<PeerId>(rng.UniformIndex(peers)),
+                              update_config);
+        if (i % 4 == 0) {
+          UpdateConfig narrow;
+          narrow.recbreadth = 1;
+          narrow.repetition = 1;
+          updater.Propagate(item.key, item.id, 2, UpdateStrategy::kRepeatedDfs,
+                            narrow);
+        }
+      }
+
+      ChurnDriver driver(&grid, &exchange, &scheduler, &online, &rng);
+      ChurnConfig wave;
+      wave.crash_fraction = crash;
+      wave.join_fraction = 0.0;
+      wave.meetings_per_round = 0;
+      driver.Round(wave);
+
+      SearchEngine search(&grid, &online, &rng);
+      repair::RepairEngine repairer(&grid, config, arm.config, &search, &online,
+                                    &rng);
+      repairer.set_liveness([&driver](PeerId p) { return !driver.IsDead(p); });
+      repairer.set_probe_fn(
+          [&driver](PeerId, PeerId to) { return !driver.IsDead(to); });
+
+      const auto convergence = [&]() {
+        check::InvariantOptions opt;
+        opt.check_structure = false;
+        opt.check_coverage = false;
+        opt.check_placement = false;
+        opt.check_replica_agreement = false;
+        opt.check_ledger = false;
+        opt.check_repair_convergence = true;
+        opt.dead = &driver.dead_mask();
+        opt.repair_min_live_refs = refmax;
+        opt.max_violations = 100000;
+        return check::GridInvariants::Check(grid, config, opt);
+      };
+
+      int64_t refs_round = -1;      // first round with no dead/underfull refs
+      int64_t replicas_round = -1;  // first round with no stale replica pair
+      for (size_t r = 1; r <= rounds; ++r) {
+        repairer.Tick();
+        const check::InvariantReport rep = convergence();
+        const bool refs_clean =
+            rep.CountOf(check::Category::kDeadReference) == 0 &&
+            rep.CountOf(check::Category::kRefUnderfull) == 0;
+        const bool replicas_clean =
+            rep.CountOf(check::Category::kReplicaStale) == 0;
+        if (refs_clean && refs_round < 0) refs_round = static_cast<int64_t>(r);
+        if (replicas_clean && replicas_round < 0) {
+          replicas_round = static_cast<int64_t>(r);
+        }
+        if (refs_round >= 0 && replicas_round >= 0) break;
+      }
+      const bool converged = refs_round >= 0 && replicas_round >= 0;
+
+      const auto round_str = [](int64_t r) {
+        return r < 0 ? std::string("never") : "round " + std::to_string(r);
+      };
+      std::printf("%-8s %5.0f%% | %-14s %-16s %s\n", arm.name, 100 * crash,
+                  round_str(refs_round).c_str(),
+                  round_str(replicas_round).c_str(), converged ? "yes" : "NO");
+      report.AddRow()
+          .Str("arm", arm.name)
+          .Num("crash_fraction", crash)
+          .Int("rounds_window", rounds)
+          .Int("rounds_to_full_refs", refs_round)
+          .Int("rounds_to_replica_agreement", replicas_round)
+          .Int("converged", converged ? 1 : 0)
+          .Int("live_peers", driver.live_count());
+    }
+  }
+  report.WriteTo(args.GetString("json", "BENCH_repair_convergence.json"));
+  std::printf("\n(convergence = no live peer references a dead one, every "
+              "level holds min(refmax, live supply) live refs, and all live "
+              "buddy pairs agree on entries and versions)\n");
+}
+
+}  // namespace
+}  // namespace pgrid
+
+int main(int argc, char** argv) {
+  pgrid::bench::Args args(argc, argv);
+  pgrid::Run(args);
+  return 0;
+}

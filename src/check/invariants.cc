@@ -1,9 +1,11 @@
 #include "check/invariants.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "key/key_path.h"
@@ -191,6 +193,89 @@ void CheckReplicaAgreement(const Grid& grid, Collector* out) {
   }
 }
 
+// --- Repair convergence (the self-healing target, docs/robustness.md). ---
+
+bool LiveAt(const std::vector<uint8_t>* dead, PeerId p) {
+  // Peers beyond the mask joined after it was captured, hence are live.
+  return dead == nullptr || p >= dead->size() || (*dead)[p] == 0;
+}
+
+void CheckRepairConvergence(const Grid& grid, const ExchangeConfig& config,
+                            const InvariantOptions& options, Collector* out) {
+  const std::vector<uint8_t>* dead = options.dead;
+  std::set<std::pair<PeerId, PeerId>> buddy_pairs;
+  for (const PeerState& a : grid) {
+    if (out->full()) return;
+    if (!LiveAt(dead, a.id())) continue;
+
+    for (size_t level = 1; level <= a.depth(); ++level) {
+      size_t live_refs = 0;
+      for (PeerId t : a.RefsAt(level)) {
+        if (!LiveAt(dead, t)) {
+          out->Add(Category::kDeadReference, a.id(), level,
+                   Fmt("level-%zu reference still points at dead peer %u", level,
+                       t));
+        } else {
+          ++live_refs;
+        }
+      }
+      // The demand is capped by supply: a level can only be as full as the
+      // number of live peers that satisfy its reference property at all.
+      const int want = ComplementBit(a.PathBit(level));
+      size_t candidates = 0;
+      for (const PeerState& t : grid) {
+        if (t.id() == a.id() || !LiveAt(dead, t.id())) continue;
+        if (t.depth() >= level &&
+            a.path().CommonPrefixLength(t.path()) >= level - 1 &&
+            t.PathBit(level) == want) {
+          ++candidates;
+        }
+      }
+      const size_t required = std::min(
+          {config.refmax, options.repair_min_live_refs, candidates});
+      if (live_refs < required) {
+        out->Add(Category::kRefUnderfull, a.id(), level,
+                 Fmt("%zu live references at level %zu, %zu required "
+                     "(%zu live candidates exist)",
+                     live_refs, level, required, candidates));
+      }
+    }
+
+    // Live buddy pairs must hold identical entry sets at identical versions.
+    // Buddy lists may be asymmetric, so each unordered pair is compared once.
+    for (PeerId b : a.buddies()) {
+      if (b >= grid.size() || !LiveAt(dead, b) ||
+          !buddy_pairs
+               .insert({std::min(a.id(), b), std::max(a.id(), b)})
+               .second) {
+        continue;
+      }
+      const PeerState& buddy = grid.peer(b);
+      const PeerState* sides[2] = {&a, &buddy};
+      for (int dir = 0; dir < 2 && !out->full(); ++dir) {
+        for (const IndexEntry& e : sides[dir]->index().All()) {
+          const IndexEntry* other =
+              sides[1 - dir]->index().Find(e.holder, e.item_id);
+          if (other == nullptr) {
+            out->Add(Category::kReplicaStale, sides[1 - dir]->id(), 0,
+                     Fmt("buddy of peer %u misses entry (holder=%u item=%llu)",
+                         sides[dir]->id(), e.holder,
+                         static_cast<unsigned long long>(e.item_id)));
+          } else if (other->version < e.version) {
+            out->Add(Category::kReplicaStale, sides[1 - dir]->id(), 0,
+                     Fmt("entry (holder=%u item=%llu) at version %llu, buddy %u "
+                         "has %llu",
+                         e.holder, static_cast<unsigned long long>(e.item_id),
+                         static_cast<unsigned long long>(other->version),
+                         sides[dir]->id(),
+                         static_cast<unsigned long long>(e.version)));
+          }
+        }
+      }
+    }
+  }
+}
+
 // --- Ledger agreement (docs/observability.md metric-name mapping). ---
 
 uint64_t CounterOr0(const obs::RegistrySnapshot& snap, std::string_view name) {
@@ -218,11 +303,16 @@ void CheckLedger(const Grid& grid, Collector* out) {
       {MessageType::kDataTransfer,
        CounterOr0(snap, "exchange.entries_moved") +
            CounterOr0(snap, "insert.entries_installed") +
-           CounterOr0(snap, "churn.entries_handed_over"),
+           CounterOr0(snap, "churn.entries_handed_over") +
+           CounterOr0(snap, "repair.entries_reconciled"),
        "exchange.entries_moved + insert.entries_installed + "
-       "churn.entries_handed_over"},
-      {MessageType::kControl, CounterOr0(snap, "churn.handovers"),
-       "churn.handovers"},
+       "churn.entries_handed_over + repair.entries_reconciled"},
+      {MessageType::kControl,
+       CounterOr0(snap, "churn.handovers") + CounterOr0(snap, "repair.probes") +
+           CounterOr0(snap, "repair.sync_sessions") +
+           CounterOr0(snap, "repair.read_repairs"),
+       "churn.handovers + repair.probes + repair.sync_sessions + "
+       "repair.read_repairs"},
   };
   for (const Row& row : rows) {
     const uint64_t ledger = stats.count(row.type);
@@ -258,6 +348,12 @@ std::string_view CategoryName(Category c) {
       return "replica-desync";
     case Category::kLedger:
       return "ledger";
+    case Category::kDeadReference:
+      return "dead-reference";
+    case Category::kRefUnderfull:
+      return "ref-underfull";
+    case Category::kReplicaStale:
+      return "replica-stale";
   }
   return "unknown";
 }
@@ -295,6 +391,9 @@ InvariantReport GridInvariants::Check(const Grid& grid,
   if (options.check_coverage) CheckCoverage(grid, &out);
   if (options.check_placement) CheckPlacement(grid, &out);
   if (options.check_replica_agreement) CheckReplicaAgreement(grid, &out);
+  if (options.check_repair_convergence) {
+    CheckRepairConvergence(grid, config, options, &out);
+  }
   if (options.check_ledger) CheckLedger(grid, &out);
   return report;
 }

@@ -35,9 +35,12 @@ enum class Category : int {
   kPlacement = 6,     ///< leaf-index entry whose key does not overlap the path
   kReplicaDesync = 7, ///< two peers disagree on an entry's key for (holder, item)
   kLedger = 8,        ///< MessageStats ledger disagrees with the metrics registry
+  kDeadReference = 9, ///< a live peer still references a dead one
+  kRefUnderfull = 10, ///< a live peer's level has fewer live refs than required
+  kReplicaStale = 11, ///< live buddies disagree on entry sets or versions
 };
 
-inline constexpr int kNumCategories = 9;
+inline constexpr int kNumCategories = 12;
 
 /// Stable display name ("reference", "refmax", ...).
 std::string_view CategoryName(Category c);
@@ -77,6 +80,24 @@ struct InvariantOptions {
   /// The MessageStats ledger and the obs metrics counters agree exactly (the
   /// mapping of docs/observability.md).
   bool check_ledger = true;
+
+  /// Repair convergence (the self-healing target state, docs/robustness.md):
+  /// among *live* peers -- liveness given by `dead` -- no reference points at a
+  /// dead peer, every reference level holds at least min(refmax,
+  /// repair_min_live_refs, live candidate count) live references, and live
+  /// buddies hold identical entry sets at identical versions. Off by default:
+  /// these are goals of the repair protocol, not invariants of construction.
+  bool check_repair_convergence = false;
+
+  /// Liveness mask indexed by PeerId (non-zero = dead), e.g.
+  /// ChurnDriver::dead_mask(). Null means everyone is live. Peers beyond the
+  /// mask's size are live (joiners appended after the snapshot was taken).
+  const std::vector<uint8_t>* dead = nullptr;
+
+  /// Minimum live references demanded per level by kRefUnderfull (capped by
+  /// refmax and by how many live satisfying peers exist at all). 1 = "the level
+  /// still routes"; refmax = "fully healed".
+  size_t repair_min_live_refs = 1;
 
   /// Stop collecting after this many violations (the report notes truncation).
   size_t max_violations = 64;

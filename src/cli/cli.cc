@@ -48,7 +48,8 @@ std::string UsageFor(const std::string& command) {
   }
   if (command == "fuzz") {
     return "pgrid fuzz [--seeds=50] [--base-seed=1] [--min-steps=10]"
-           " [--max-steps=40] [--max-peers=48] [--out=REPRO.pgs] [--keep-going]";
+           " [--max-steps=40] [--max-peers=48] [--heal-tail] [--out=REPRO.pgs]"
+           " [--keep-going]";
   }
   if (command == "replay") return "pgrid replay FILE  (or --in=FILE)";
   return UsageText();
@@ -328,6 +329,7 @@ Status CmdFuzz(const FlagSet& flags, std::ostream& out) {
   options.min_steps = static_cast<size_t>(min_steps);
   options.max_steps = static_cast<size_t>(max_steps);
   options.max_peers = static_cast<size_t>(max_peers);
+  options.heal_tail = flags.Has("heal-tail");
   options.stop_on_failure = !flags.Has("keep-going");
 
   const sim::FuzzOutcome outcome = sim::ScenarioFuzzer::Fuzz(options);

@@ -35,7 +35,10 @@ struct ChurnConfig {
   /// Fraction of live peers that leave gracefully each round.
   double leave_fraction = 0.0;
 
-  /// New peers per round, as a fraction of the current live population.
+  /// New peers per round, as a fraction of the current live population. Bounded
+  /// at 1: the population can at most double per round, which keeps joiner
+  /// integration (exchanges with established peers) from being swamped by a
+  /// majority of empty-path peers meeting each other.
   double join_fraction = 0.02;
 
   /// Exchanges driven between the membership events of consecutive rounds.
@@ -46,7 +49,7 @@ struct ChurnConfig {
 
   Status Validate() const {
     if (crash_fraction < 0 || crash_fraction > 1 || leave_fraction < 0 ||
-        leave_fraction > 1 || join_fraction < 0) {
+        leave_fraction > 1 || join_fraction < 0 || join_fraction > 1) {
       return Status::InvalidArgument("churn fractions out of range");
     }
     return Status::OK();
@@ -75,8 +78,19 @@ class ChurnDriver {
   /// between live peers.
   ChurnRound Round(const ChurnConfig& config);
 
+  /// Removes one specific peer outside the round machinery: graceful departures
+  /// hand their leaf entries to a live co-responsible peer (buddies preferred)
+  /// exactly as in Round. The peer must currently be live. Returns the number of
+  /// entries handed over (always 0 for crashes).
+  uint64_t Depart(PeerId peer, bool graceful) { return Retire(peer, graceful); }
+
   bool IsDead(PeerId peer) const { return dead_[peer] != 0; }
   size_t live_count() const { return live_count_; }
+
+  /// Liveness mask indexed by PeerId (non-zero = dead). The repair-convergence
+  /// invariant checks take this to scope "every live peer has live references"
+  /// to the actual survivors.
+  const std::vector<uint8_t>& dead_mask() const { return dead_; }
 
   /// Ids of all live peers.
   std::vector<PeerId> LivePeers() const;

@@ -24,6 +24,37 @@ void RemoveAddr(std::vector<std::string>* v, const std::string& addr) {
   v->erase(std::remove(v->begin(), v->end(), addr), v->end());
 }
 
+/// Order-independent FNV-1a digest of an entry set (entry order on two replicas
+/// is not canonical, so the fold must commute). Matches the simulator's
+/// IndexDigest idiom: equal sets at equal versions iff equal digests. Each
+/// per-entry hash is finalized with Mix64 before summing -- raw FNV values are
+/// linear enough in the trailing version field that version skew on two entries
+/// can cancel across the sum (see sim/digest.h).
+uint64_t EntrySetDigest(const std::vector<WireEntry>& entries) {
+  uint64_t sum = entries.size() * 0x9e3779b97f4a7c15ull;
+  for (const WireEntry& e : entries) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    const auto fold = [&h](const void* data, size_t n) {
+      const unsigned char* p = static_cast<const unsigned char*>(data);
+      for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+      }
+    };
+    const auto fold_u64 = [&fold](uint64_t v) { fold(&v, sizeof(v)); };
+    const auto fold_str = [&](const std::string& s) {
+      fold_u64(s.size());
+      fold(s.data(), s.size());
+    };
+    fold_str(e.holder);
+    fold_u64(e.item_id);
+    fold_str(e.key.ToString());
+    fold_u64(e.version);
+    sum += Mix64(h);
+  }
+  return sum;
+}
+
 }  // namespace
 
 PGridNode::PGridNode(std::string address, RpcTransport* transport,
@@ -48,10 +79,14 @@ PGridNode::PGridNode(std::string address, RpcTransport* transport,
   c_route_offline_skips_ = metrics_->GetCounter("node.route_offline_skips");
   c_route_backtracks_ = metrics_->GetCounter("node.route_backtracks");
   c_call_deadline_exceeded_ = metrics_->GetCounter("node.call_deadline_exceeded");
+  c_probes_sent_ = metrics_->GetCounter("node.probes_sent");
+  c_refs_evicted_ = metrics_->GetCounter("node.refs_evicted");
+  c_refs_recruited_ = metrics_->GetCounter("node.refs_recruited");
   h_route_attempts_ = metrics_->GetHistogram("node.route_attempts", obs::CountBounds());
   PGRID_CHECK(c_exchanges_initiated_ && c_exchanges_served_ && c_queries_served_ &&
               c_publishes_served_ && c_entries_adopted_ && c_route_offline_skips_ &&
-              c_route_backtracks_ && c_call_deadline_exceeded_ && h_route_attempts_);
+              c_route_backtracks_ && c_call_deadline_exceeded_ && c_probes_sent_ &&
+              c_refs_evicted_ && c_refs_recruited_ && h_route_attempts_);
   // An independent retry RNG stream: the node's protocol randomness (rng_) must
   // not shift when retries draw jitter.
   retry_ = std::make_unique<RetryPolicy>(config_.retry,
@@ -64,7 +99,33 @@ Result<std::string> PGridNode::CallWithRetry(const std::string& to,
   if (!result.ok() && result.status().code() == StatusCode::kDeadlineExceeded) {
     c_call_deadline_exceeded_->Increment();
   }
+  NoteCallOutcome(to, result.ok());
   return result;
+}
+
+void PGridNode::NoteCallOutcome(const std::string& to, bool ok) {
+  if (config_.suspicion_threshold == 0 || to == address_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    suspicion_.erase(to);
+    return;
+  }
+  // The failure is only final after the retry policy gave up, so the counter
+  // tracks consecutive *exhausted* calls, not individual packets.
+  if (++suspicion_[to] < config_.suspicion_threshold) return;
+  suspicion_.erase(to);  // eviction resets the slate for a later re-recruitment
+  uint64_t removed = 0;
+  for (std::vector<std::string>& level : refs_) {
+    const size_t before = level.size();
+    RemoveAddr(&level, to);
+    removed += before - level.size();
+  }
+  // Buddies go too: a confirmed-dead replica would otherwise be re-probed on
+  // every maintenance round and fanned out to on every publish, forever.
+  const size_t buddies_before = buddies_.size();
+  RemoveAddr(&buddies_, to);
+  removed += buddies_before - buddies_.size();
+  c_refs_evicted_->Increment(removed);
 }
 
 PGridNode::~PGridNode() { Stop(); }
@@ -215,6 +276,8 @@ std::string PGridNode::Handle(const std::string& from, const std::string& reques
       return HandleEntryPush(request);
     case MsgType::kStatsReq:
       return HandleStats();
+    case MsgType::kProbeReq:
+      return HandleProbe();
     default:
       return EncodeError("unexpected request type");
   }
@@ -224,6 +287,15 @@ std::string PGridNode::HandleStats() {
   StatsResponse resp;
   resp.json = obs::ToJson(metrics_->Snapshot());
   return EncodeStatsResponse(resp);
+}
+
+std::string PGridNode::HandleProbe() {
+  ProbeResponse resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  resp.path = path_;
+  resp.entry_count = static_cast<uint32_t>(entries_.size());
+  resp.index_digest = EntrySetDigest(entries_);
+  return EncodeProbeResponse(resp);
 }
 
 std::string PGridNode::HandleQuery(const std::string& request) {
@@ -685,6 +757,65 @@ Result<std::vector<WireEntry>> PGridNode::Search(const KeyPath& key) {
 Result<std::string> PGridNode::RouteToResponsible(const KeyPath& key) {
   PGRID_ASSIGN_OR_RETURN(RouteResult route, Route(key));
   return std::move(route.responder);
+}
+
+Result<ProbeResponse> PGridNode::Probe(const std::string& peer) {
+  c_probes_sent_->Increment();
+  PGRID_ASSIGN_OR_RETURN(std::string raw, CallWithRetry(peer, EncodeProbeRequest()));
+  Result<MsgType> type = PeekType(raw);
+  if (!type.ok() || *type != MsgType::kProbeResp) {
+    return Status::Internal("bad probe response from " + peer);
+  }
+  return DecodeProbeResponse(raw);
+}
+
+size_t PGridNode::MaintainReferences() {
+  // Probe everyone we know. Delivered probes clear suspicion; failures count
+  // toward it, and the threshold eviction happens inside the call funnel
+  // (NoteCallOutcome), so crashed peers drain out of the reference levels.
+  for (const std::string& peer : KnownPeers()) (void)Probe(peer);
+
+  // Refill: snapshot which levels sit below refmax, then recruit per level by
+  // routing a lookup into the complementary subtree.
+  KeyPath my_path;
+  std::vector<size_t> underfull;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    my_path = path_;
+    for (size_t level = 1; level <= refs_.size(); ++level) {
+      if (refs_[level - 1].size() < config_.refmax) underfull.push_back(level);
+    }
+  }
+  size_t recruited = 0;
+  for (size_t level : underfull) {
+    KeyPath key = my_path.Prefix(level - 1).Append(ComplementBit(my_path.bit(level - 1)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (key.length() < config_.maxl) key.PushBack(rng_.Bit());
+    }
+    Result<std::string> responder = RouteToResponsible(key);
+    if (!responder.ok() || *responder == address_) continue;
+    // Verify the reference property against the responder's *probed* path
+    // before adopting: routing found it responsible for a complementary key,
+    // but only its own path statement proves the level bit.
+    Result<ProbeResponse> info = Probe(*responder);
+    if (!info.ok()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (level > path_.length() || level > refs_.size()) continue;
+    if (info->path.length() < level ||
+        path_.CommonPrefixLength(info->path) < level - 1 ||
+        info->path.bit(level - 1) != ComplementBit(path_.bit(level - 1))) {
+      continue;
+    }
+    std::vector<std::string>& refs = refs_[level - 1];
+    if (refs.size() < config_.refmax &&
+        std::find(refs.begin(), refs.end(), *responder) == refs.end()) {
+      refs.push_back(*responder);
+      c_refs_recruited_->Increment();
+      ++recruited;
+    }
+  }
+  return recruited;
 }
 
 }  // namespace net

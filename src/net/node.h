@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "key/key_path.h"
@@ -51,6 +52,13 @@ struct NodeConfig {
   size_t recursion_fanout = 2;
   /// Bound on remote hops one Search may spend before giving up.
   size_t max_route_attempts = 128;
+
+  /// Consecutive outbound-call failures to one address before it is evicted
+  /// from every reference level (failure detection with hysteresis, see
+  /// docs/robustness.md). 0 disables eviction. The count is consecutive:
+  /// any successful call to the address resets it, so a single dropped
+  /// packet under a lossy transport never costs a good reference.
+  size_t suspicion_threshold = 3;
 
   /// Retry policy for every outbound call (routing hops, exchange recursion,
   /// publish fan-out, commits, stats scrapes). The default (max_attempts = 1)
@@ -151,6 +159,19 @@ class PGridNode {
   /// Routes a query and returns the address of the responsible peer that answered.
   Result<std::string> RouteToResponsible(const KeyPath& key);
 
+  /// Probes `peer` for its health summary (path, entry count, entry digest).
+  /// Unavailable if it cannot be reached -- which feeds the failure detector
+  /// like any other outbound call.
+  Result<ProbeResponse> Probe(const std::string& peer);
+
+  /// One active self-healing round: probes every known peer (failures feed the
+  /// failure detector; enough consecutive ones evict), then refills each
+  /// under-full reference level by routing a lookup into its complementary
+  /// subtree and adopting the probed-and-verified responder. Returns the number
+  /// of references recruited. Meant to be called from the same maintenance loop
+  /// that drives gossip meetings (see tools/pgrid_node).
+  size_t MaintainReferences();
+
  private:
   struct RouteResult {
     std::string responder;
@@ -168,6 +189,7 @@ class PGridNode {
   std::string HandleExchange(const std::string& from, const std::string& request);
   std::string HandleCommit(const std::string& from, const std::string& request);
   std::string HandleEntryPush(const std::string& request);
+  std::string HandleProbe();
 
   // ---- client side ----
   /// Every outbound call funnels through here: the retry policy handles
@@ -175,6 +197,11 @@ class PGridNode {
   /// node.call_deadline_exceeded.
   Result<std::string> CallWithRetry(const std::string& to,
                                     const std::string& request);
+
+  /// Failure-detector hook on the outbound funnel: successes rehabilitate the
+  /// address, consecutive failures past the threshold evict it from every
+  /// reference level.
+  void NoteCallOutcome(const std::string& to, bool ok);
 
   Status MeetWithDepth(const std::string& peer, uint32_t depth);
 
@@ -216,6 +243,7 @@ class PGridNode {
   std::vector<WireEntry> entries_;
   std::vector<WireEntry> foreign_;
   DataStore store_;
+  std::unordered_map<std::string, size_t> suspicion_;  // consecutive call failures
   uint64_t epoch_ = 0;
   Rng rng_;
   bool serving_ = false;
@@ -232,6 +260,9 @@ class PGridNode {
   obs::Counter* c_route_offline_skips_;
   obs::Counter* c_route_backtracks_;
   obs::Counter* c_call_deadline_exceeded_;
+  obs::Counter* c_probes_sent_;
+  obs::Counter* c_refs_evicted_;
+  obs::Counter* c_refs_recruited_;
   obs::Histogram* h_route_attempts_;
   std::unique_ptr<RetryPolicy> retry_;  // shares the node's registry
   obs::TraceRecorder* trace_ = nullptr;

@@ -187,6 +187,26 @@ Result<StatsResponse> DecodeStatsResponse(const std::string& payload) {
   return m;
 }
 
+std::string EncodeProbeRequest() { return Tagged(MsgType::kProbeReq).Take(); }
+
+std::string EncodeProbeResponse(const ProbeResponse& m) {
+  ByteWriter w = Tagged(MsgType::kProbeResp);
+  w.WriteKeyPath(m.path);
+  w.WriteU32(m.entry_count);
+  w.WriteU64(m.index_digest);
+  return w.Take();
+}
+
+Result<ProbeResponse> DecodeProbeResponse(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kProbeResp));
+  ProbeResponse m;
+  PGRID_ASSIGN_OR_RETURN(m.path, r.ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(m.entry_count, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(m.index_digest, r.ReadU64());
+  return m;
+}
+
 Result<CommitRequest> DecodeCommitRequest(const std::string& payload) {
   ByteReader r(payload);
   PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kCommitReq));
@@ -200,7 +220,7 @@ Result<MsgType> PeekType(const std::string& payload) {
   if (payload.empty()) return Status::InvalidArgument("empty message");
   const uint8_t tag = static_cast<uint8_t>(payload[0]);
   if (tag < static_cast<uint8_t>(MsgType::kPing) ||
-      tag > static_cast<uint8_t>(MsgType::kStatsResp)) {
+      tag > static_cast<uint8_t>(MsgType::kProbeResp)) {
     return Status::InvalidArgument("unknown message type " + std::to_string(tag));
   }
   return static_cast<MsgType>(tag);

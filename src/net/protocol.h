@@ -55,6 +55,8 @@ enum class MsgType : uint8_t {
   kCommitAck = 15,
   kStatsReq = 16,
   kStatsResp = 17,
+  kProbeReq = 18,
+  kProbeResp = 19,
 };
 
 /// An index entry on the wire: holders are transport addresses.
@@ -145,6 +147,18 @@ struct StatsResponse {
   std::string json;
 };
 
+// ---- Probe ----
+
+/// Lightweight health probe (see repair in docs/robustness.md): unlike Ping it
+/// returns enough of the target's state -- path plus an order-independent FNV
+/// digest of its entry set -- for the prober to verify the reference property
+/// and detect replica divergence in one round trip.
+struct ProbeResponse {
+  KeyPath path;
+  uint32_t entry_count = 0;
+  uint64_t index_digest = 0;
+};
+
 // ---- EntryPush ----
 
 struct EntryPushRequest {
@@ -174,6 +188,8 @@ std::string EncodeCommitRequest(const CommitRequest& m);
 std::string EncodeCommitAck();
 std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const StatsResponse& m);
+std::string EncodeProbeRequest();
+std::string EncodeProbeResponse(const ProbeResponse& m);
 
 /// Reads the leading type tag (does not consume anything else).
 Result<MsgType> PeekType(const std::string& payload);
@@ -189,6 +205,7 @@ Result<EntryPushRequest> DecodeEntryPushRequest(const std::string& payload);
 Result<EntryPushResponse> DecodeEntryPushResponse(const std::string& payload);
 Result<CommitRequest> DecodeCommitRequest(const std::string& payload);
 Result<StatsResponse> DecodeStatsResponse(const std::string& payload);
+Result<ProbeResponse> DecodeProbeResponse(const std::string& payload);
 Result<std::string> DecodeError(const std::string& payload);
 
 }  // namespace net

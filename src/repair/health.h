@@ -1,0 +1,53 @@
+// Per-reference failure detection with hysteresis.
+//
+// The fault layer (net/fault_transport.h) makes single-contact evidence
+// worthless: a dropped packet looks exactly like a crashed peer. SuspicionTable
+// therefore accumulates *consecutive* failures per target and only reports a
+// target as evictable once the count crosses a threshold; any successful
+// contact fully rehabilitates it. One table per observing peer keeps the
+// evidence local, as it would be in a deployment -- peers never share suspicion,
+// only the eviction decisions that follow from it.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.h"
+
+namespace pgrid {
+namespace repair {
+
+/// Consecutive-failure counters over contact targets.
+class SuspicionTable {
+ public:
+  /// `threshold` consecutive failures mark a target evictable; 0 disables
+  /// detection entirely (NoteFailure never returns true).
+  explicit SuspicionTable(uint32_t threshold) : threshold_(threshold) {}
+
+  /// Records a successful contact: the target is fully rehabilitated.
+  void NoteSuccess(PeerId target) { counts_.erase(target); }
+
+  /// Records a failed contact. Returns true iff this failure pushed the target
+  /// over the threshold -- the caller should evict it. The counter resets on
+  /// that edge, so a later re-recruitment starts with a clean slate.
+  bool NoteFailure(PeerId target) {
+    if (threshold_ == 0) return false;
+    if (++counts_[target] < threshold_) return false;
+    counts_.erase(target);
+    return true;
+  }
+
+  /// Current consecutive-failure count for `target` (0 if unsuspected).
+  uint32_t suspicion(PeerId target) const {
+    auto it = counts_.find(target);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  uint32_t threshold_;
+  std::unordered_map<PeerId, uint32_t> counts_;
+};
+
+}  // namespace repair
+}  // namespace pgrid

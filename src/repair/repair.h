@@ -1,0 +1,157 @@
+// Active self-healing: failure detection, reference repair, replica anti-entropy.
+//
+// The construction algorithm leaves the grid fault-*tolerant* -- refmax-fold
+// references and replicated leaves survive offline peers -- but under churn that
+// redundancy only decays: crashed peers linger in reference sets, under-full
+// levels wait for chance meetings to refill, and a replica that missed an update
+// stays diverged forever. RepairEngine turns tolerance into recovery with three
+// cooperating mechanisms, all deterministic under the simulation's seeded RNG
+// streams so ScenarioRunner/ScenarioFuzzer can drive and shrink repair schedules:
+//
+//   1. Failure detection. Each Tick() probes every referenced peer once per
+//      observer. Failed probes feed a per-observer SuspicionTable
+//      (repair/health.h); crossing the threshold evicts the target from all of
+//      the observer's reference levels. Hysteresis means one dropped packet
+//      under FaultInjectingTransport never evicts a good reference.
+//
+//   2. Active reference repair. A level whose reference set sits below refmax
+//      is refilled immediately: targeted lookups into the complementary subtree
+//      (the level's prefix with the level bit flipped, padded with random bits)
+//      recruit responsible peers -- and their live buddies -- as replacements,
+//      instead of waiting for random exchanges to stumble on one.
+//
+//   3. Replica anti-entropy. Buddies compare order-independent FNV digests of
+//      their leaf indexes (sim/digest.h); on divergence they merge entry sets
+//      with max-version-wins semantics and pull each other's live references.
+//      ReadRepair() additionally turns the paper's repeated-query majority read
+//      into a convergence mechanism: replicas observed returning a minority
+//      version are patched to the majority one on the spot.
+//
+// Ledger discipline (docs/observability.md): every delivered probe, sync
+// session, and read-repair patch records one kControl message; reconciled
+// entries record kDataTransfer. Failed probes cost nothing on the simulated
+// wire and are tracked only by the repair.probe_failures counter.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/grid.h"
+#include "core/search.h"
+#include "repair/health.h"
+#include "sim/online_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pgrid {
+namespace repair {
+
+/// Tuning knobs for one RepairEngine.
+struct RepairConfig {
+  /// Consecutive probe failures before a reference is evicted; 0 disables
+  /// failure detection (probes still run, nothing is ever evicted).
+  uint32_t suspicion_threshold = 2;
+
+  /// Targeted lookups attempted per under-full level per Tick.
+  size_t recruit_attempts = 4;
+
+  /// Master switches for the repair mechanisms (benches compare arms).
+  bool recruit = true;
+  bool anti_entropy = true;
+
+  Status Validate() const {
+    if (recruit_attempts == 0)
+      return Status::InvalidArgument("recruit_attempts must be >= 1");
+    return Status::OK();
+  }
+};
+
+/// What one maintenance round did (sums over all live peers).
+struct RepairTick {
+  uint64_t probes = 0;              ///< delivered probes (one kControl each)
+  uint64_t probe_failures = 0;      ///< probes that did not reach their target
+  uint64_t evictions = 0;           ///< reference slots cleared by detection
+  uint64_t recruited = 0;           ///< references adopted into under-full levels
+  uint64_t sync_sessions = 0;       ///< buddy digest comparisons (one kControl each)
+  uint64_t syncs_diverged = 0;      ///< sessions whose digests disagreed
+  uint64_t entries_reconciled = 0;  ///< index entries merged during reconciliation
+};
+
+/// Outcome of one majority-read with repair.
+struct ReadRepairOutcome {
+  bool decided = false;          ///< a majority version emerged
+  uint64_t version = 0;          ///< the majority version (valid iff decided)
+  uint64_t repaired_entries = 0; ///< stale entries patched to the majority version
+  size_t stale_replicas = 0;     ///< responders that had returned a minority version
+};
+
+/// Drives the self-healing protocol over a simulated Grid.
+///
+/// Determinism: Tick() walks peers in id order, probes reference targets in
+/// first-seen order, and draws recruitment keys from the caller-owned Rng, so a
+/// repair schedule is a pure function of (grid state, rng state, callbacks).
+class RepairEngine {
+ public:
+  /// `online` may be null (everyone online). `search` issues the recruitment and
+  /// read-repair queries so their kQuery accounting flows through the normal
+  /// search ledger. All pointers must outlive the engine.
+  RepairEngine(Grid* grid, const ExchangeConfig& exchange_config,
+               const RepairConfig& config, SearchEngine* search,
+               const OnlineModel* online, Rng* rng);
+
+  /// Overrides which peers count as alive (default: everyone). Scenario and
+  /// churn drivers pass their dead masks so crashed peers neither run
+  /// maintenance nor get recruited.
+  void set_liveness(std::function<bool(PeerId)> fn) { liveness_ = std::move(fn); }
+
+  /// Overrides probe delivery (default: target is live and online). The
+  /// scenario runner routes this through its fault-injecting transport so
+  /// partitions and outages look exactly like crashes to the detector.
+  void set_probe_fn(std::function<bool(PeerId from, PeerId to)> fn) {
+    probe_fn_ = std::move(fn);
+  }
+
+  /// Runs one maintenance round: probe + evict, recruit, buddy anti-entropy.
+  RepairTick Tick();
+
+  /// Repeated-query majority read of `item` under `key` that also repairs the
+  /// minority: responders observed returning a stale version are patched to the
+  /// majority version (one kControl message per patched replica).
+  ReadRepairOutcome ReadRepair(const KeyPath& key, ItemId item,
+                               const ReliableReadConfig& read_config);
+
+  /// Maintenance rounds executed so far (the anti-entropy divergence-age clock).
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  bool IsLive(PeerId p) const { return !liveness_ || liveness_(p); }
+  bool Probe(PeerId from, PeerId to);
+  /// True iff `target` may serve as a level-`level` reference of `a`.
+  bool SatisfiesRefProperty(const PeerState& a, size_t level, PeerId target) const;
+  void ProbeAndEvict(PeerState& peer, RepairTick* tick);
+  void RecruitReferences(PeerState& peer, RepairTick* tick);
+  void SyncBuddies(PeerState& peer, std::unordered_set<uint64_t>* synced,
+                   RepairTick* tick);
+
+  Grid* grid_;
+  ExchangeConfig exchange_config_;
+  RepairConfig config_;
+  SearchEngine* search_;
+  const OnlineModel* online_;
+  Rng* rng_;
+  std::function<bool(PeerId)> liveness_;
+  std::function<bool(PeerId, PeerId)> probe_fn_;
+  std::vector<SuspicionTable> suspicion_;  // indexed by observer PeerId
+  // last_in_sync_[key(a,b)] = rounds() when the pair's digests last matched;
+  // feeds the repair.divergence_age histogram.
+  std::unordered_map<uint64_t, uint64_t> last_in_sync_;
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace repair
+}  // namespace pgrid

@@ -36,11 +36,15 @@ ScenarioStep RandomStep(Rng* rng, const ScenarioConfig& config) {
     step.b = rng->UniformInt(0, 1);  // graceful leaves
     step.c = rng->UniformInt(0, 2);  // joins
     step.d = rng->UniformInt(0, 2 * config.num_peers);  // repair meetings
-  } else if (roll < 90) {
+  } else if (roll < 87) {
     step.kind = StepKind::kFault;
-    step.a = rng->UniformInt(0, 5);
+    step.a = rng->UniformInt(0, 6);
     step.b = rng->UniformInt(0, 1ull << 32);
     step.c = rng->UniformInt(0, 4095);
+  } else if (roll < 93) {
+    step.kind = StepKind::kRepair;
+    step.a = rng->UniformInt(1, 3);  // maintenance rounds
+    step.b = rng->UniformInt(0, 2);  // majority-read repairs
   } else {
     step.kind = StepKind::kBarrier;
     step.a = rng->UniformInt(0, 8);  // probe queries
@@ -77,6 +81,17 @@ Scenario ScenarioFuzzer::Generate(uint64_t seed, const FuzzOptions& options) {
       options.min_steps + rng.UniformIndex(options.max_steps - options.min_steps + 1);
   for (size_t i = 0; i < steps; ++i) {
     scenario.steps.push_back(RandomStep(&rng, c));
+  }
+  if (options.heal_tail) {
+    // Whatever the random steps did, self-healing must converge: lift every
+    // transport fault, let exchanges re-mix the survivors, run repair rounds,
+    // then demand repair convergence at a strict barrier (kBarrier b != 0).
+    c.online_prob = 1.0;
+    scenario.steps.push_back(ScenarioStep{StepKind::kFault, 6, 0, 0, 0});
+    scenario.steps.push_back(
+        ScenarioStep{StepKind::kExchange, 4 * c.num_peers, 0, 0, 0});
+    scenario.steps.push_back(ScenarioStep{StepKind::kRepair, 4, 2, 0, 0});
+    scenario.steps.push_back(ScenarioStep{StepKind::kBarrier, 4, 1, 0, 0});
   }
   return scenario;
 }

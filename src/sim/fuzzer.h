@@ -28,6 +28,13 @@ struct FuzzOptions {
   size_t max_steps = 40;
   size_t min_peers = 8;
   size_t max_peers = 48;
+  /// Append a deterministic heal-and-converge tail to every generated scenario:
+  /// a full transport heal, a mixing-exchange window, repair ticks, and a
+  /// *strict* barrier demanding repair convergence among the survivors. This is
+  /// the self-healing sweep (tools/check_repair.sh): whatever mess the random
+  /// steps made, the repair protocol must restore a routable, replica-agreeing
+  /// grid. Forces online_prob = 1 so "converged" is not masked by sampling.
+  bool heal_tail = false;
   /// Stop sweeping at the first failing seed (the shrunk repro is in the
   /// outcome either way).
   bool stop_on_failure = true;

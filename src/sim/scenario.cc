@@ -15,6 +15,8 @@
 #include "core/update.h"
 #include "net/fault_transport.h"
 #include "net/inproc_transport.h"
+#include "repair/repair.h"
+#include "sim/digest.h"
 #include "sim/meeting_scheduler.h"
 #include "sim/online_model.h"
 #include "storage/data_item.h"
@@ -43,6 +45,8 @@ std::string_view StepKindName(StepKind k) {
       return "barrier";
     case StepKind::kCorrupt:
       return "corrupt";
+    case StepKind::kRepair:
+      return "repair";
   }
   return "unknown";
 }
@@ -202,32 +206,6 @@ namespace {
 
 std::string PeerAddress(PeerId p) { return "peer:" + std::to_string(p); }
 
-/// FNV-1a over the byte stream fed to it; the scenario digest hash.
-class Digest {
- public:
-  void Bytes(const void* data, size_t n) {
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
-  void Str(const std::string& s) {
-    U64(s.size());
-    Bytes(s.data(), s.size());
-  }
-  uint64_t value() const { return hash_; }
-  std::string Hex() const {
-    char buf[20];
-    snprintf(buf, sizeof(buf), "%016" PRIx64, hash_);
-    return std::string(buf);
-  }
-
- private:
-  uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
 }  // namespace
 
 struct ScenarioRunner::Impl {
@@ -253,8 +231,18 @@ struct ScenarioRunner::Impl {
         churn(&grid, &exchange, &scheduler, &online, &engine_rng),
         inserter(&grid, &online, &engine_rng),
         updater(&grid, &online, &engine_rng),
-        searcher(&grid, &online, &engine_rng) {
+        searcher(&grid, &online, &engine_rng),
+        repair(&grid, exchange_config, repair::RepairConfig{}, &searcher,
+               &online, &engine_rng) {
     for (PeerId p = 0; p < grid.size(); ++p) ServePeer(p);
+    repair.set_liveness([this](PeerId p) { return !churn.IsDead(p); });
+    // A probe is delivered iff the target is alive, currently online, and the
+    // fault layer lets the packet through -- so partitions and outages look
+    // exactly like crashes to the failure detector.
+    repair.set_probe_fn([this](PeerId from, PeerId to) {
+      return !churn.IsDead(to) && online.IsOnline(to, &engine_rng) &&
+             Reachable(from, to);
+    });
   }
 
   /// Registers a trivial responder so the fault transport can gate calls to the
@@ -315,7 +303,8 @@ struct ScenarioRunner::Impl {
         std::min(1.0, (static_cast<double>(step.a) + 0.5) / live);
     config.leave_fraction =
         std::min(1.0, (static_cast<double>(step.b) + 0.5) / live);
-    config.join_fraction = (static_cast<double>(step.c) + 0.5) / live;
+    config.join_fraction =
+        std::min(1.0, (static_cast<double>(step.c) + 0.5) / live);
     config.meetings_per_round = step.d;
     config.join_online_prob = scenario.config.online_prob;
     const size_t before = grid.size();
@@ -325,7 +314,7 @@ struct ScenarioRunner::Impl {
 
   void RunFault(const ScenarioStep& step) {
     const size_t n = grid.size();
-    switch (step.a % 6) {
+    switch (step.a % 7) {
       case 0: {  // outage: unreachable at the transport AND offline to engines
         const PeerId p = static_cast<PeerId>(step.b % n);
         transport.InjectOutage(PeerAddress(p));
@@ -359,7 +348,32 @@ struct ScenarioRunner::Impl {
       case 5:  // let a partition window elapse
         transport.AdvanceTime(1 + step.b % 4096);
         break;
+      case 6:  // full heal: every transport fault lifted, live peers unpinned
+        transport.ClearRules();
+        for (PeerId p = 0; p < n; ++p) {
+          transport.ClearOutage(PeerAddress(p));
+          if (!churn.IsDead(p)) online.Pin(p, std::nullopt);
+        }
+        break;
     }
+  }
+
+  void RunRepair(const ScenarioStep& step) {
+    // Cap the tick count: each tick probes every reference of every live peer,
+    // so an adversarially huge `a` would stall the fuzzer, not find more bugs.
+    const uint64_t ticks = std::min<uint64_t>(step.a, 64);
+    // Reads first, ticks second: ReadRepair patches only the responders it
+    // reached (and with overlapping keys those may span several leaves), so
+    // the maintenance rounds afterwards are what carry the patched version to
+    // the rest of each replica group.
+    ReliableReadConfig read_config;
+    read_config.quorum = 2;
+    read_config.max_attempts = 8;
+    for (uint64_t i = 0; i < step.b && !inserted.empty(); ++i) {
+      const DataItem& item = inserted[engine_rng.UniformIndex(inserted.size())];
+      repair.ReadRepair(item.key, item.id, read_config);
+    }
+    for (uint64_t t = 0; t < ticks; ++t) repair.Tick();
   }
 
   void RunProbes(uint64_t count, ScenarioResult* result) {
@@ -422,39 +436,24 @@ struct ScenarioRunner::Impl {
     }
   }
 
-  check::InvariantReport CheckInvariants() {
+  check::InvariantReport CheckInvariants(bool strict) {
     check::InvariantOptions options;
     // Without data management, path splits legitimately strand entries outside
     // the new interval; only managed grids promise placement.
     options.check_placement = scenario.config.manage_data;
+    if (strict) {
+      // The repair-convergence target: among survivors, no dead references,
+      // every level still routable, live buddies in agreement.
+      options.check_repair_convergence = true;
+      options.dead = &churn.dead_mask();
+      options.repair_min_live_refs = 1;
+    }
     return check::GridInvariants::Check(grid, exchange_config, options);
   }
 
   std::string ComputeDigest() {
     Digest d;
-    d.U64(grid.size());
-    for (const PeerState& p : grid) {
-      d.Str(p.path().ToString());
-      for (size_t level = 1; level <= p.depth(); ++level) {
-        const std::vector<PeerId>& refs = p.RefsAt(level);
-        d.U64(refs.size());
-        for (PeerId r : refs) d.U64(r);
-      }
-      d.U64(p.buddies().size());
-      for (PeerId b : p.buddies()) d.U64(b);
-      d.U64(p.index().size());
-      uint64_t index_sum = 0;  // order-independent fold over the entry set
-      for (const IndexEntry& e : p.index().All()) {
-        Digest entry;
-        entry.U64(e.holder);
-        entry.U64(e.item_id);
-        entry.Str(e.key.ToString());
-        entry.U64(e.version);
-        index_sum += entry.value();
-      }
-      d.U64(index_sum);
-      d.U64(p.foreign_entries().size());
-    }
+    d.U64(GridStateDigest(grid));
     for (int t = 0; t < kNumMessageTypes; ++t) {
       d.U64(grid.stats().count(static_cast<MessageType>(t)));
     }
@@ -493,8 +492,11 @@ struct ScenarioRunner::Impl {
         case StepKind::kCorrupt:
           RunCorrupt(step);
           break;
+        case StepKind::kRepair:
+          RunRepair(step);
+          break;
         case StepKind::kBarrier: {
-          check::InvariantReport report = CheckInvariants();
+          check::InvariantReport report = CheckInvariants(step.b != 0);
           if (!report.ok()) {
             result.failed = true;
             result.failed_step = i;
@@ -528,6 +530,7 @@ struct ScenarioRunner::Impl {
   InsertEngine inserter;
   UpdateEngine updater;
   SearchEngine searcher;
+  repair::RepairEngine repair;
   std::vector<DataItem> inserted;
   ItemId next_item_id = 1;
 };

@@ -50,14 +50,22 @@ enum class StepKind : int {
   /// virtual clock.
   kFault = 4,
   /// Check all invariants now, and run `a` probe queries for inserted items.
+  /// `b` != 0 additionally demands repair convergence: among live peers, no
+  /// dead references, every level routable, live buddies in agreement.
   kBarrier = 5,
   /// Deliberately corrupt the grid (test-only; the generator never emits this):
   /// `a` % 3 picks self-reference / misplaced entry / replica key desync at peer
   /// selector `b`.
   kCorrupt = 6,
+  /// Run `b` majority-read repairs of random inserted items, then `a`
+  /// self-healing maintenance rounds (probe/evict + recruit + buddy
+  /// anti-entropy, see repair/repair.h). Reads go first: a read repair is a
+  /// point patch of the quorum it happened to reach, and the anti-entropy
+  /// rounds that follow spread the patched version to the remaining replicas.
+  kRepair = 7,
 };
 
-inline constexpr int kNumStepKinds = 7;
+inline constexpr int kNumStepKinds = 8;
 
 /// Stable step name used in the text format ("exchange", "insert", ...).
 std::string_view StepKindName(StepKind k);

@@ -105,19 +105,28 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
-/// Derives the seed of sub-stream `index` of a master seed (SplitMix64 finalizer,
-/// the standard counter-based stream-splitting mix). Stream i can be derived
-/// without drawing streams 0..i-1 first, which is what makes parallel workloads
-/// deterministic regardless of execution order: work item i always runs on
-/// Rng(DeriveStreamSeed(seed, i)) no matter which thread picks it up.
-inline uint64_t DeriveStreamSeed(uint64_t master_seed, uint64_t index) {
-  uint64_t x = master_seed + 0x9e3779b97f4a7c15ull * (index + 1);
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix. Used for seed-stream
+/// splitting below and by the order-independent set digests (sim/digest.h,
+/// net/node.cc): those sum per-element hashes, and summing raw FNV-1a values is
+/// unsafe -- FNV folds a trailing u64 field as (h ^ v) * p^8, linear enough
+/// that version deltas on two elements cancel across the sum with probability
+/// ~1/8. Finalizing each element hash first destroys that linearity.
+inline uint64_t Mix64(uint64_t x) {
   x ^= x >> 30;
   x *= 0xbf58476d1ce4e5b9ull;
   x ^= x >> 27;
   x *= 0x94d049bb133111ebull;
   x ^= x >> 31;
   return x;
+}
+
+/// Derives the seed of sub-stream `index` of a master seed (SplitMix64 finalizer,
+/// the standard counter-based stream-splitting mix). Stream i can be derived
+/// without drawing streams 0..i-1 first, which is what makes parallel workloads
+/// deterministic regardless of execution order: work item i always runs on
+/// Rng(DeriveStreamSeed(seed, i)) no matter which thread picks it up.
+inline uint64_t DeriveStreamSeed(uint64_t master_seed, uint64_t index) {
+  return Mix64(master_seed + 0x9e3779b97f4a7c15ull * (index + 1));
 }
 
 }  // namespace pgrid

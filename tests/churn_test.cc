@@ -145,5 +145,115 @@ TEST(ChurnTest, SearchReliabilityRecoversWithRepair) {
   EXPECT_GE(with_repair + 0.05, run(false));
 }
 
+TEST(ChurnConfigTest, ValidateBoundsAllFractions) {
+  ChurnConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.join_fraction = 1.0;  // doubling per round is the allowed extreme
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.join_fraction = 1.01;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.join_fraction = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = ChurnConfig{};
+  cfg.crash_fraction = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = ChurnConfig{};
+  cfg.leave_fraction = -1e-9;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ChurnTest, GracefulDepartHandsEntriesToLiveBuddyFirst) {
+  ChurnFixture f;
+  // Find a leaver with at least one buddy.
+  PeerId leaver = kInvalidPeer;
+  for (PeerId p = 0; p < f.grid.size(); ++p) {
+    if (!f.grid.peer(p).buddies().empty()) {
+      leaver = p;
+      break;
+    }
+  }
+  ASSERT_NE(leaver, kInvalidPeer) << "converged grid should have replicas";
+  const PeerId buddy = f.grid.peer(leaver).buddies().front();
+
+  // Plant a fresh entry only the leaver knows about.
+  IndexEntry planted;
+  planted.holder = leaver;
+  planted.item_id = 987654;
+  planted.key = f.grid.peer(leaver).path();
+  planted.version = 3;
+  ASSERT_TRUE(f.grid.peer(leaver).index().InsertOrRefresh(planted));
+
+  const uint64_t handed = f.driver->Depart(leaver, /*graceful=*/true);
+  EXPECT_GT(handed, 0u);
+  EXPECT_TRUE(f.driver->IsDead(leaver));
+  // The first live buddy inherited the entry at full version.
+  const IndexEntry* got = f.grid.peer(buddy).index().Find(leaver, 987654);
+  ASSERT_NE(got, nullptr) << "buddy must be preferred as heir";
+  EXPECT_EQ(got->version, 3u);
+}
+
+TEST(ChurnTest, GracefulDepartFallsBackToCoResponsiblePeer) {
+  ChurnFixture f;
+  // Pick a leaver whose path has a replica that is NOT in its buddy list, then
+  // kill every buddy so the fallback path must run.
+  PeerId leaver = kInvalidPeer;
+  PeerId outsider = kInvalidPeer;
+  for (PeerId p = 0; p < f.grid.size() && leaver == kInvalidPeer; ++p) {
+    const PeerState& ps = f.grid.peer(p);
+    for (PeerId r : GridStats::ReplicasOf(f.grid, ps.path())) {
+      if (r == p) continue;
+      bool is_buddy = false;
+      for (PeerId b : ps.buddies()) is_buddy |= (b == r);
+      if (!is_buddy) {
+        leaver = p;
+        outsider = r;
+        break;
+      }
+    }
+  }
+  if (leaver == kInvalidPeer) GTEST_SKIP() << "all replica groups are cliques";
+
+  for (PeerId b : f.grid.peer(leaver).buddies()) {
+    if (!f.driver->IsDead(b)) f.driver->Depart(b, /*graceful=*/false);
+  }
+  if (f.driver->IsDead(outsider)) GTEST_SKIP() << "outsider was a buddy's buddy";
+
+  IndexEntry planted;
+  planted.holder = leaver;
+  planted.item_id = 424242;
+  planted.key = f.grid.peer(leaver).path();
+  planted.version = 1;
+  ASSERT_TRUE(f.grid.peer(leaver).index().InsertOrRefresh(planted));
+
+  const uint64_t handed = f.driver->Depart(leaver, /*graceful=*/true);
+  EXPECT_GT(handed, 0u);
+  // Some live same-path peer (not necessarily `outsider`: ReplicasOf order
+  // decides) inherited the planted entry.
+  bool inherited = false;
+  for (PeerId r : GridStats::ReplicasOf(f.grid, f.grid.peer(leaver).path())) {
+    if (r == leaver || f.driver->IsDead(r)) continue;
+    if (f.grid.peer(r).index().Find(leaver, 424242) != nullptr) inherited = true;
+  }
+  EXPECT_TRUE(inherited) << "entry lost on graceful departure";
+}
+
+TEST(ChurnTest, CrashDepartHandsOverNothing) {
+  ChurnFixture f;
+  PeerId victim = 0;
+  IndexEntry planted;
+  planted.holder = victim;
+  planted.item_id = 5555;
+  planted.key = f.grid.peer(victim).path();
+  planted.version = 9;
+  f.grid.peer(victim).index().InsertOrRefresh(planted);
+  EXPECT_EQ(f.driver->Depart(victim, /*graceful=*/false), 0u);
+  EXPECT_TRUE(f.driver->IsDead(victim));
+  // No live peer inherited the crashed peer's private entry.
+  for (PeerId p = 0; p < f.grid.size(); ++p) {
+    if (p == victim || f.driver->IsDead(p)) continue;
+    EXPECT_EQ(f.grid.peer(p).index().Find(victim, 5555), nullptr);
+  }
+}
+
 }  // namespace
 }  // namespace pgrid

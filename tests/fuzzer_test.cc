@@ -61,6 +61,44 @@ TEST(ScenarioFuzzerTest, FiftySeedsRunClean) {
       << outcome.failure.report.ToString();
 }
 
+TEST(ScenarioFuzzerTest, HealTailAppendsRepairAndStrictBarrier) {
+  FuzzOptions options;
+  options.heal_tail = true;
+  Scenario s = ScenarioFuzzer::Generate(9, options);
+  ASSERT_GE(s.steps.size(), 4u);
+  // The tail: transport heal, mixing window, repair ticks, strict barrier.
+  const ScenarioStep& barrier = s.steps.back();
+  EXPECT_EQ(barrier.kind, StepKind::kBarrier);
+  EXPECT_NE(barrier.b, 0u) << "heal-tail barrier must be strict";
+  EXPECT_EQ(s.steps[s.steps.size() - 2].kind, StepKind::kRepair);
+  EXPECT_EQ(s.config.online_prob, 1.0);
+  // Without the flag the generated scenario is unchanged from before.
+  FuzzOptions plain = options;
+  plain.heal_tail = false;
+  Scenario base = ScenarioFuzzer::Generate(9, plain);
+  ASSERT_LT(base.steps.size(), s.steps.size());
+  for (size_t i = 0; i < base.steps.size(); ++i) {
+    EXPECT_EQ(base.steps[i], s.steps[i]) << "step " << i;
+  }
+}
+
+// The self-healing acceptance bar: whatever interleaving of churn, faults, and
+// updates a seed produces, the appended repair window must restore convergence
+// among the survivors (the strict barrier at the tail).
+TEST(ScenarioFuzzerTest, HealTailSeedsConvergeClean) {
+  FuzzOptions options;
+  options.base_seed = 1;
+  options.num_seeds = 25;
+  options.heal_tail = true;
+  options.stop_on_failure = false;
+  FuzzOutcome outcome = ScenarioFuzzer::Fuzz(options);
+  EXPECT_EQ(outcome.seeds_run, 25u);
+  EXPECT_EQ(outcome.failures, 0u)
+      << "seed " << outcome.failing_seed << " shrank to:\n"
+      << SerializeScenario(outcome.minimal) << "\nfailing with:\n"
+      << outcome.failure.report.ToString();
+}
+
 // End-to-end shrink: plant a corruption in the middle of a generated scenario
 // and check the shrinker reduces the failure to (essentially) just that step.
 TEST(ScenarioShrinkTest, ShrinksInjectedCorruptionToMinimalRepro) {

@@ -241,6 +241,112 @@ TEST(GridInvariantsOptionsTest, MaxViolationsTruncates) {
   EXPECT_NE(report.ToString().find("truncated"), std::string::npos);
 }
 
+// --- repair-convergence categories (dead refs, underfull levels, stale
+// replicas) are scoped to live peers and off by default ---------------------
+
+TEST_F(CorruptionTest, DeadReferenceIsCaughtOnlyByConvergenceCheck) {
+  PeerState& a = AnyDeepPeer();
+  ASSERT_FALSE(a.RefsAt(1).empty());
+  std::vector<uint8_t> dead(grid().size(), 0);
+  dead[a.RefsAt(1).front()] = 1;
+
+  // Construction-time invariants do not know liveness: still clean.
+  EXPECT_TRUE(Check().ok());
+
+  InvariantOptions options;
+  options.check_repair_convergence = true;
+  options.dead = &dead;
+  options.max_violations = 100000;
+  InvariantReport report =
+      GridInvariants::Check(grid(), built_.config, options);
+  EXPECT_GE(report.CountOf(Category::kDeadReference), 1u) << report.ToString();
+}
+
+TEST_F(CorruptionTest, RefUnderfullDemandIsCappedByLiveSupply) {
+  PeerState& a = AnyDeepPeer();
+  ASSERT_FALSE(a.RefsAt(1).empty());
+  std::vector<uint8_t> dead(grid().size(), 0);
+  for (PeerId t : a.RefsAt(1)) dead[t] = 1;
+
+  InvariantOptions options;
+  options.check_repair_convergence = true;
+  options.dead = &dead;
+  options.repair_min_live_refs = 1;
+  options.max_violations = 100000;
+  InvariantReport report =
+      GridInvariants::Check(grid(), built_.config, options);
+  bool underfull_at_a = false;
+  for (const check::Violation& v : report.violations) {
+    underfull_at_a |= v.category == Category::kRefUnderfull &&
+                      v.peer == a.id() && v.level == 1;
+  }
+  EXPECT_TRUE(underfull_at_a) << report.ToString();
+
+  // Kill every remaining candidate on the complement side of bit 1: the demand
+  // is capped by supply, drops to zero, and the underfull report disappears.
+  for (const PeerState& t : grid()) {
+    if (t.id() != a.id() && t.depth() >= 1 &&
+        t.PathBit(1) != a.PathBit(1)) {
+      dead[t.id()] = 1;
+    }
+  }
+  report = GridInvariants::Check(grid(), built_.config, options);
+  for (const check::Violation& v : report.violations) {
+    EXPECT_FALSE(v.category == Category::kRefUnderfull && v.peer == a.id() &&
+                 v.level == 1)
+        << v.detail;
+  }
+}
+
+TEST_F(CorruptionTest, ReplicaStaleFlagsMissingAndOutdatedEntriesAtLiveBuddies) {
+  PeerId a_id = kInvalidPeer, b_id = kInvalidPeer;
+  for (const PeerState& p : grid()) {
+    if (!p.buddies().empty()) {
+      a_id = p.id();
+      b_id = p.buddies().front();
+      break;
+    }
+  }
+  ASSERT_NE(a_id, kInvalidPeer) << "converged grid should have replicas";
+
+  // Plant two entries at every peer of the replica group except `b`: one that
+  // `b` holds at an older version, one it lacks entirely.
+  IndexEntry skewed;
+  skewed.holder = a_id;
+  skewed.item_id = 777;
+  skewed.key = grid().peer(a_id).path();
+  skewed.version = 5;
+  IndexEntry missing = skewed;
+  missing.item_id = 778;
+  for (PeerState& t : grid()) {
+    if (t.id() == b_id || t.path() != grid().peer(a_id).path()) continue;
+    ASSERT_TRUE(t.index().InsertOrRefresh(skewed));
+    ASSERT_TRUE(t.index().InsertOrRefresh(missing));
+  }
+  IndexEntry old = skewed;
+  old.version = 2;
+  ASSERT_TRUE(grid().peer(b_id).index().InsertOrRefresh(old));
+
+  InvariantOptions options;
+  options.check_repair_convergence = true;
+  options.max_violations = 100000;
+  InvariantReport report =
+      GridInvariants::Check(grid(), built_.config, options);
+  // Both failure modes land on the lagging side `b`.
+  size_t at_b = 0;
+  for (const check::Violation& v : report.violations) {
+    if (v.category == Category::kReplicaStale && v.peer == b_id) ++at_b;
+  }
+  EXPECT_GE(at_b, 2u) << report.ToString();
+
+  // A crashed buddy is exempt: there is nothing to reconcile with it.
+  std::vector<uint8_t> dead(grid().size(), 0);
+  dead[b_id] = 1;
+  options.dead = &dead;
+  report = GridInvariants::Check(grid(), built_.config, options);
+  EXPECT_EQ(report.CountOf(Category::kReplicaStale), 0u) << report.ToString();
+}
+
 TEST(GridInvariantsReportTest, ToStringNamesCategoryPeerAndLevel) {
   Grid grid(4);
   grid.peer(0).AppendPathBit(0);

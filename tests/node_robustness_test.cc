@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -264,6 +265,137 @@ TEST(NodeRobustnessTest, NetworkPartitionDegradesGracefullyAndHeals) {
     if (nodes[i]->Search(item.key).ok()) ++healed;
   }
   EXPECT_EQ(healed, n);
+}
+
+TEST(NodeRobustnessTest, EvictionNeedsConsecutiveFailuresNotOne) {
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 3;
+  // Level 1 is full with the single partner, so a maintenance round sends
+  // exactly one outbound call (the probe) and rounds count consecutive
+  // failures one by one.
+  config.refmax = 1;
+  ASSERT_EQ(config.suspicion_threshold, 3u);
+  PGridNode a("node:a", &transport, config, 71);
+  PGridNode b("node:b", &transport, config, 72);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(a.MeetWith("node:b").ok());
+  ASSERT_EQ(a.KnownPeers().size(), 1u);
+
+  // A flaky round (one failure, then reachable again) must not evict.
+  b.Stop();
+  (void)a.MaintainReferences();
+  EXPECT_EQ(a.KnownPeers().size(), 1u) << "one failure is suspicion, not proof";
+  ASSERT_TRUE(b.Start().ok());
+  (void)a.MaintainReferences();  // success resets the streak
+  EXPECT_EQ(a.KnownPeers().size(), 1u);
+
+  // A genuinely dead peer drains out after `suspicion_threshold` consecutive
+  // failed rounds -- and not a round earlier.
+  b.Stop();
+  (void)a.MaintainReferences();
+  (void)a.MaintainReferences();
+  EXPECT_EQ(a.KnownPeers().size(), 1u);
+  (void)a.MaintainReferences();
+  EXPECT_TRUE(a.KnownPeers().empty());
+}
+
+TEST(NodeRobustnessTest, MaintenanceEvictsDeadPeerFromEveryNeighbor) {
+  // A converged cluster loses one node: maintenance rounds at the survivors
+  // must drain the dead address out of all reference levels and buddy lists.
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 3;
+  const size_t n = 12;
+  std::vector<std::unique_ptr<PGridNode>> nodes;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<PGridNode>("node:" + std::to_string(i),
+                                                &transport, config, 4200 + i));
+    ASSERT_TRUE(nodes.back()->Start().ok());
+  }
+  Rng rng(23);
+  for (int m = 0; m < 3000; ++m) {
+    size_t a = rng.UniformIndex(n), b = rng.UniformIndex(n);
+    if (a != b) (void)nodes[a]->MeetWith(nodes[b]->address());
+  }
+  const std::string victim = nodes[n - 1]->address();
+  nodes[n - 1]->Stop();
+
+  for (int round = 0; round < 6; ++round) {
+    for (size_t i = 0; i + 1 < n; ++i) (void)nodes[i]->MaintainReferences();
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const auto known = nodes[i]->KnownPeers();
+    EXPECT_EQ(std::count(known.begin(), known.end(), victim), 0)
+        << "node " << i << " still knows the dead peer";
+  }
+}
+
+TEST(NodeRobustnessTest, MaintenanceRecruitsVerifiedRefsAfterEviction) {
+  // Losing a node opens gaps in its neighbors' reference levels; the targeted
+  // recruitment lookups must refill them from the survivors, adopting only
+  // references that satisfy the reference property.
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 4;
+  const size_t n = 24;
+  std::vector<std::unique_ptr<PGridNode>> nodes;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<PGridNode>("node:" + std::to_string(i),
+                                                &transport, config, 4200 + i));
+    ASSERT_TRUE(nodes.back()->Start().ok());
+  }
+  Rng rng(23);
+  for (int m = 0; m < 600; ++m) {
+    size_t a = rng.UniformIndex(n), b = rng.UniformIndex(n);
+    if (a != b) (void)nodes[a]->MeetWith(nodes[b]->address());
+  }
+  nodes[n - 1]->Stop();
+
+  size_t recruited = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      recruited += nodes[i]->MaintainReferences();
+    }
+  }
+  EXPECT_GT(recruited, 0u) << "evicted levels should refill from survivors";
+  // Every reference -- pre-existing or freshly recruited -- satisfies the
+  // reference property against the target's actual path.
+  for (const auto& node : nodes) {
+    const KeyPath path = node->path();
+    for (size_t level = 1; level <= path.length(); ++level) {
+      for (const std::string& addr : node->RefsAt(level)) {
+        for (const auto& other : nodes) {
+          if (other->address() != addr) continue;
+          const KeyPath tpath = other->path();
+          ASSERT_GE(tpath.length(), level) << addr;
+          EXPECT_GE(path.CommonPrefixLength(tpath), level - 1);
+          EXPECT_NE(tpath.bit(level - 1), path.bit(level - 1))
+              << node->address() << " level " << level << " -> " << addr;
+        }
+      }
+    }
+  }
+}
+
+TEST(NodeRobustnessTest, ZeroSuspicionThresholdDisablesEviction) {
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 1;
+  config.suspicion_threshold = 0;
+  PGridNode a("node:a", &transport, config, 81);
+  PGridNode b("node:b", &transport, config, 82);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(a.MeetWith("node:b").ok());
+  b.Stop();
+  for (int round = 0; round < 10; ++round) (void)a.MaintainReferences();
+  EXPECT_EQ(a.KnownPeers().size(), 1u)
+      << "failure detection off: references must be left alone";
 }
 
 TEST(NodeRobustnessTest, RetryRecoversScriptedDropsWithExactArithmetic) {

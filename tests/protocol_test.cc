@@ -145,10 +145,36 @@ TEST(ProtocolTest, CommitRoundTrip) {
   EXPECT_EQ(PeekType(EncodeCommitAck()).value(), MsgType::kCommitAck);
 }
 
+TEST(ProtocolTest, ProbeRoundTrip) {
+  EXPECT_EQ(PeekType(EncodeProbeRequest()).value(), MsgType::kProbeReq);
+
+  ProbeResponse m;
+  m.path = P("0110");
+  m.entry_count = 42;
+  m.index_digest = 0xdeadbeefcafef00dull;
+  const std::string wire = EncodeProbeResponse(m);
+  EXPECT_EQ(PeekType(wire).value(), MsgType::kProbeResp);
+  auto back = DecodeProbeResponse(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->path, m.path);
+  EXPECT_EQ(back->entry_count, 42u);
+  EXPECT_EQ(back->index_digest, 0xdeadbeefcafef00dull);
+  // Empty path (a peer that has not specialized yet) round-trips too.
+  auto fresh = DecodeProbeResponse(EncodeProbeResponse(ProbeResponse{}));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->path.length(), 0u);
+  // Truncations never decode.
+  for (size_t cut = 1; cut + 1 < wire.size(); ++cut) {
+    EXPECT_FALSE(DecodeProbeResponse(wire.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
 TEST(ProtocolTest, DecodingWrongTypeFails) {
   EXPECT_FALSE(DecodeQueryRequest(EncodePing()).ok());
   EXPECT_FALSE(DecodeExchangeRequest(EncodeQueryRequest(QueryRequest{})).ok());
   EXPECT_FALSE(DecodePublishAck(EncodeError("x")).ok());
+  EXPECT_FALSE(DecodeProbeResponse(EncodeProbeRequest()).ok());
 }
 
 TEST(ProtocolTest, DecodingTruncatedMessagesFails) {

@@ -137,6 +137,61 @@ TEST(ScenarioRunnerTest, EachCorruptionKindViolatesTheExpectedCategory) {
   }
 }
 
+// --- repair steps and strict barriers --------------------------------------
+
+TEST(ScenarioFormatTest, RepairStepRoundTrips) {
+  Scenario s = SmallScenario();
+  s.steps.push_back({StepKind::kRepair, 2, 1, 0, 0});
+  s.steps.push_back({StepKind::kBarrier, 2, 1, 0, 0});  // strict barrier
+  const std::string text = SerializeScenario(s);
+  EXPECT_NE(text.find("step repair 2 1 0 0"), std::string::npos) << text;
+  Result<Scenario> parsed = ParseScenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value(), s);
+}
+
+TEST(ScenarioRunnerTest, StrictBarrierFailsOnUnrepairedCrashDamage) {
+  Scenario s = SmallScenario();
+  s.steps = {
+      {StepKind::kExchange, 150, 0, 0, 0},
+      {StepKind::kChurn, 4, 0, 0, 0},     // 4 crashes, no mixing afterwards
+      {StepKind::kBarrier, 2, 1, 0, 0},   // strict: demand convergence
+  };
+  ScenarioResult result = RunScenario(s);
+  ASSERT_TRUE(result.failed);
+  EXPECT_EQ(result.failed_step, 2u);
+  EXPECT_GT(result.report.CountOf(check::Category::kDeadReference), 0u)
+      << result.report.ToString();
+}
+
+TEST(ScenarioRunnerTest, RepairStepsSatisfyTheStrictBarrier) {
+  Scenario s = SmallScenario();
+  s.steps = {
+      {StepKind::kExchange, 150, 0, 0, 0},
+      {StepKind::kChurn, 4, 0, 0, 0},
+      {StepKind::kRepair, 8, 0, 0, 0},
+      {StepKind::kBarrier, 2, 1, 0, 0},
+  };
+  ScenarioResult result = RunScenario(s);
+  EXPECT_FALSE(result.failed) << result.report.ToString();
+  // Deterministic like every other step kind.
+  EXPECT_EQ(result.digest, RunScenario(s).digest);
+}
+
+TEST(ScenarioRunnerTest, ReadRepairStepsRunAgainstInsertedItems) {
+  Scenario s = SmallScenario();
+  s.steps = {
+      {StepKind::kExchange, 150, 0, 0, 0},
+      {StepKind::kInsert, 3, 5, 2, 4},
+      {StepKind::kInsert, 7, 2, 1, 0},
+      {StepKind::kRepair, 2, 3, 0, 0},  // 3 majority reads, then 2 ticks
+      {StepKind::kBarrier, 2, 0, 0, 0},
+  };
+  ScenarioResult result = RunScenario(s);
+  EXPECT_FALSE(result.failed) << result.report.ToString();
+  EXPECT_EQ(result.digest, RunScenario(s).digest);
+}
+
 // --- faults and churn shape execution but never break invariants -----------
 
 TEST(ScenarioRunnerTest, OutageAndPartitionScenarioStaysClean) {

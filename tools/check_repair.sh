@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs the self-healing test suite (ctest label `repair`) plus a heal-tail fuzz
+# sweep under AddressSanitizer and ThreadSanitizer, each in its own build tree.
+# The repair protocol's claim -- any survivable crash/fault interleaving is
+# healed back to a converged grid within the appended repair window -- is only
+# credible if the engine itself is free of memory errors and data races; this
+# script checks the claim against the real binaries.
+#
+#   tools/check_repair.sh              # asan + tsan: build, ctest -L repair, heal sweep
+#   tools/check_repair.sh address      # just the ASan leg
+#   tools/check_repair.sh thread       # just the TSan leg
+#
+# Env: BUILD_DIR_PREFIX (default <repo>/build), SEEDS (default 50).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${BUILD_DIR_PREFIX:-${repo_root}/build}"
+seeds="${SEEDS:-50}"
+
+run_leg() {
+  local sanitizer="$1"
+  local build_dir="${prefix}-${sanitizer}-repair"
+  echo "== ${sanitizer} sanitizer leg (${build_dir}) =="
+
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DPGRID_SANITIZE="${sanitizer}" \
+    -DPGRID_BUILD_BENCHMARKS=OFF \
+    -DPGRID_BUILD_EXAMPLES=OFF
+
+  cmake --build "${build_dir}" -j "$(nproc)" --target \
+    repair_test churn_test invariants_test scenario_test fuzzer_test \
+    node_robustness_test pgrid
+
+  ctest --test-dir "${build_dir}" --output-on-failure -L repair
+
+  # Heal-tail seed sweep through the CLI: every generated crash/fault
+  # interleaving gets a transport heal + repair window appended and must then
+  # pass the strict convergence barrier (dead refs, underfull levels, and
+  # replica divergence all repaired).
+  "${build_dir}/tools/pgrid" fuzz --seeds="${seeds}" --heal-tail --keep-going \
+    --out="${build_dir}/heal_repro.pgs"
+}
+
+case "${1:-all}" in
+  address|thread) run_leg "$1" ;;
+  all)
+    run_leg address
+    run_leg thread
+    ;;
+  *)
+    echo "usage: $0 [address|thread]" >&2
+    exit 2
+    ;;
+esac
+
+echo "repair suite clean under the requested sanitizer(s) (${seeds} heal-tail seeds)."

@@ -15,6 +15,11 @@
 //        --recmax, --fanout, --gossip_ms (default 500), --seed,
 //        --rounds (exit after N gossip rounds; 0 = run until SIGINT/SIGTERM),
 //        --publish=BITS:PAYLOAD (publish one item after joining; repeatable),
+//        --maintain_every (default 10: run a self-healing maintenance round --
+//        probe known peers, evict confirmed-dead references, recruit verified
+//        replacements, docs/robustness.md -- every N gossip rounds; 0 = off),
+//        --suspicion_threshold (default 3 consecutive failed calls to evict a
+//        reference; 0 disables the failure detector),
 //        --metrics-json=FILE (dump the metrics registry as JSON on shutdown;
 //        while running, any peer can scrape the same registry with a kStats
 //        request -- see docs/observability.md).
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
   auto fanout = flags.GetInt("fanout", 2);
   auto gossip_ms = flags.GetInt("gossip_ms", 500);
   auto rounds_flag = flags.GetInt("rounds", 0);
+  auto maintain_every = flags.GetInt("maintain_every", 10);
+  auto suspicion_threshold = flags.GetInt("suspicion_threshold", 3);
   auto seed = flags.GetInt("seed", static_cast<int64_t>(
                                        std::hash<std::string>{}(listen)));
   auto retry_attempts = flags.GetInt("retry_attempts", 3);
@@ -82,7 +89,8 @@ int main(int argc, char** argv) {
   auto retry_jitter = flags.GetDouble("retry_jitter", 0.2);
   auto retry_deadline_ms = flags.GetInt("retry_deadline_ms", 0);
   for (const auto* r : {&maxl, &refmax, &recmax, &fanout, &gossip_ms, &rounds_flag,
-                        &seed, &retry_attempts, &retry_backoff_ms,
+                        &maintain_every, &suspicion_threshold, &seed,
+                        &retry_attempts, &retry_backoff_ms,
                         &retry_max_backoff_ms, &retry_deadline_ms}) {
     if (!r->ok()) {
       std::fprintf(stderr, "error: %s\n", r->status().ToString().c_str());
@@ -107,6 +115,8 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(retry_max_backoff_ms.value());
   config.retry.jitter = retry_jitter.value();
   config.retry.deadline_ms = static_cast<uint64_t>(retry_deadline_ms.value());
+  config.suspicion_threshold =
+      static_cast<size_t>(suspicion_threshold.value());
   if (pgrid::Status s = config.Validate(); !s.ok()) {
     std::fprintf(stderr, "error: bad retry flags: %s\n", s.ToString().c_str());
     return 1;
@@ -182,6 +192,11 @@ int main(int argc, char** argv) {
       const std::string& target = contacts[rng.UniformIndex(contacts.size())];
       PGRID_DLOG << "round " << round << ": gossip meet with " << target;
       (void)node.MeetWith(target);
+    }
+    if (maintain_every.value() > 0 && round % maintain_every.value() == 0) {
+      const size_t recruited = node.MaintainReferences();
+      PGRID_DLOG << "round " << round << ": maintenance recruited " << recruited
+                 << " reference(s)";
     }
     if (round % 10 == 0) {
       pgrid::net::NodeStats stats = node.stats();
