@@ -2,6 +2,13 @@
 // exchange execution, query routing, and update propagation on a prebuilt grid.
 // These measure implementation throughput, complementing the experiment binaries
 // that reproduce the paper's tables.
+//
+// Besides the google-benchmark section, two manual JSON reports are written:
+// BENCH_micro_ops.json (--json=FILE; key algebra + parallel build/query rows)
+// and BENCH_obs_overhead.json (--obs-json=FILE; the measured cost of the
+// disabled tracing hooks -- see WriteObsOverheadReport and tools/check_obs.sh).
+// --trace-json=FILE additionally dumps the tracing-on pass in chrome://tracing
+// format. --obs-peers / --obs-queries scale the overhead section.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +18,8 @@
 #include "core/search.h"
 #include "core/update.h"
 #include "key/key_path.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace pgrid {
@@ -197,6 +206,110 @@ void WriteJsonReport(const bench::Args& args) {
   report.WriteTo(args.GetString("json", "BENCH_micro_ops.json"));
 }
 
+/// Observability-overhead section: what do the disabled trace hooks cost on the
+/// query hot path? Every instrumented site is one null-check branch when no
+/// recorder is attached (obs/trace.h), so the estimate is
+///
+///   est_off_overhead_pct = null_site_ns * sites_per_query / query_ns_off
+///
+/// with every factor measured here: null_site_ns from a tight loop over a
+/// volatile-null TraceSpan, sites_per_query from the recorded event count of a
+/// tracing-on pass, query_ns_off from the faster of two tracing-off passes
+/// (two passes so the run-to-run noise floor is visible next to the estimate).
+/// tools/check_obs.sh asserts est_off_overhead_pct < 2 on this file's output.
+void WriteObsOverheadReport(const bench::Args& args) {
+  const size_t peers = static_cast<size_t>(args.GetInt("obs-peers", 4096));
+  const uint64_t queries =
+      static_cast<uint64_t>(args.GetInt("obs-queries", 30'000));
+  bench::GridSetup setup = bench::BuildGrid(peers, 8, 4, 2, 2, /*seed=*/21);
+  Rng rng(22);
+  SearchEngine search(setup.grid.get(), nullptr, &rng);
+
+  // One pass of the identical seeded query stream; returns wall seconds.
+  const auto run_pass = [&](uint64_t pass_seed) {
+    Rng qrng(pass_seed);
+    uint64_t found = 0;
+    Stopwatch watch;
+    for (uint64_t q = 0; q < queries; ++q) {
+      KeyPath key = KeyPath::Random(&qrng, 8);
+      PeerId start = static_cast<PeerId>(qrng.UniformIndex(setup.grid->size()));
+      found += search.Query(start, key).found ? 1 : 0;
+    }
+    const double secs = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(found);
+    return secs;
+  };
+
+  const double off_a = run_pass(23);
+  const double off_b = run_pass(23);
+  obs::TraceRecorder recorder(1 << 20);
+  setup.grid->SetTraceRecorder(&recorder);
+  const double on = run_pass(23);
+  setup.grid->SetTraceRecorder(nullptr);
+  const double sites_per_query =
+      static_cast<double>(recorder.size() + recorder.dropped()) /
+      static_cast<double>(queries);
+
+  // The disabled-site cost itself: a TraceSpan against a null recorder. The
+  // volatile load stops the compiler from hoisting the null check out of the
+  // loop, which is exactly the per-site work a real call site performs.
+  obs::TraceRecorder* volatile null_recorder = nullptr;
+  constexpr uint64_t kSpanIters = 20'000'000;
+  Stopwatch span_watch;
+  for (uint64_t i = 0; i < kSpanIters; ++i) {
+    obs::TraceSpan span(null_recorder, "off");
+    benchmark::DoNotOptimize(&span);
+  }
+  const double null_site_ns =
+      span_watch.ElapsedSeconds() * 1e9 / static_cast<double>(kSpanIters);
+
+  const double off_secs = off_a < off_b ? off_a : off_b;
+  const double query_ns_off = off_secs * 1e9 / static_cast<double>(queries);
+  const double est_off_overhead_pct =
+      query_ns_off > 0 ? 100.0 * null_site_ns * sites_per_query / query_ns_off
+                       : 0.0;
+  const double noise_pct =
+      off_secs > 0 ? 100.0 * (off_a > off_b ? off_a - off_b : off_b - off_a) /
+                         off_secs
+                   : 0.0;
+
+  std::printf("\nobs overhead: %.3f ns/site (null recorder), %.1f sites/query, "
+              "%.0f ns/query off => est %.4f%% (noise floor %.2f%%, tracing-on "
+              "pass %+.1f%%)\n",
+              null_site_ns, sites_per_query, query_ns_off, est_off_overhead_pct,
+              noise_pct, off_secs > 0 ? 100.0 * (on - off_secs) / off_secs : 0.0);
+
+  bench::JsonReport report("obs_overhead");
+  const auto add_pass = [&](const char* op, double secs) {
+    report.AddRow()
+        .Str("op", op)
+        .Int("peers", peers)
+        .Int("queries", queries)
+        .Num("seconds", secs)
+        .Num("queries_per_sec", secs > 0 ? queries / secs : 0)
+        .Num("ns_per_query", queries > 0 ? secs * 1e9 / queries : 0);
+  };
+  add_pass("query_trace_off_a", off_a);
+  add_pass("query_trace_off_b", off_b);
+  add_pass("query_trace_on", on);
+  report.AddRow()
+      .Str("op", "null_span")
+      .Int("iters", kSpanIters)
+      .Num("ns_per_op", null_site_ns);
+  report.AddRow()
+      .Str("op", "estimate")
+      .Num("null_site_ns", null_site_ns)
+      .Num("sites_per_query", sites_per_query)
+      .Num("query_ns_off", query_ns_off)
+      .Num("est_off_overhead_pct", est_off_overhead_pct)
+      .Num("noise_floor_pct", noise_pct)
+      .Int("trace_events", recorder.size())
+      .Int("trace_dropped", recorder.dropped());
+  report.WriteTo(args.GetString("obs-json", "BENCH_obs_overhead.json"));
+  bench::MaybeDumpFile(args, "trace-json", "trace",
+                       obs::TraceToChromeJson(recorder.events()));
+}
+
 }  // namespace
 }  // namespace pgrid
 
@@ -206,5 +319,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   pgrid::bench::Args args(argc, argv);
   pgrid::WriteJsonReport(args);
+  pgrid::WriteObsOverheadReport(args);
   return 0;
 }

@@ -12,7 +12,8 @@
 // Flags: --peers, --maxl, --refmax, --meetings, --queries, --drop,
 //        --attempts, --backoff_ms, --multiplier, --max_backoff_ms,
 //        --deadline_ms, --seed, --metrics-json=FILE (dump the retry run's
-//        shared registry).
+//        shared registry), --timeline-json=FILE (override the per-round
+//        crash-wave timeline path, default BENCH_nr_timeline.json).
 
 #include <cstdio>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "net/fault_transport.h"
 #include "net/inproc_transport.h"
 #include "net/node.h"
+#include "obs/timeline.h"
 #include "util/macros.h"
 
 namespace pgrid {
@@ -90,7 +92,8 @@ struct CrashWaveResult {
 CrashWaveResult RunCrashWave(size_t n, size_t maxl, size_t refmax,
                              size_t meetings, size_t queries, double crash,
                              uint64_t seed, const net::RetryConfig& retry,
-                             size_t repair_rounds) {
+                             size_t repair_rounds,
+                             obs::TimelineRecorder* timeline) {
   obs::MetricsRegistry registry;
   net::InProcTransport inner;
   net::FaultInjectingTransport faults(&inner, seed, &registry);
@@ -127,8 +130,12 @@ CrashWaveResult RunCrashWave(size_t n, size_t maxl, size_t refmax,
       ++r.before_ok;
     }
   }
+  // Round 0 = right after the wave, before any maintenance ran. Sampling only
+  // reads the shared registry, so the healed result is unaffected.
+  if (timeline != nullptr) timeline->SampleRegistry(0, registry);
   for (size_t round = 0; round < repair_rounds; ++round) {
     for (size_t i = 0; i < survivors; ++i) (void)nodes[i]->MaintainReferences();
+    if (timeline != nullptr) timeline->SampleRegistry(round + 1, registry);
   }
   for (size_t q = 0; q < queries; ++q) {
     const size_t start = qrng.UniformIndex(survivors);
@@ -218,8 +225,10 @@ void Run(const bench::Args& args) {
   const double crash = args.GetDouble("crash", 0.3);
   const size_t repair_rounds =
       static_cast<size_t>(args.GetInt("repair_rounds", 6));
-  const CrashWaveResult wave = RunCrashWave(n, maxl, refmax, meetings, queries,
-                                            crash, seed, retry, repair_rounds);
+  obs::TimelineRecorder timeline;
+  const CrashWaveResult wave =
+      RunCrashWave(n, maxl, refmax, meetings, queries, crash, seed, retry,
+                   repair_rounds, &timeline);
   std::printf("\ncrash wave: %.0f%% of nodes fail at once; %zu maintenance "
               "rounds heal the survivors\n",
               100.0 * crash, repair_rounds);
@@ -244,18 +253,12 @@ void Run(const bench::Args& args) {
   add_wave_row("crash-wave-before-repair", wave.before_ok);
   add_wave_row("crash-wave-after-repair", wave.after_ok);
   report.WriteTo(args.GetString("json", "BENCH_nr_net_reliability.json"));
-
-  if (args.Has("metrics-json")) {
-    const std::string file = args.GetString("metrics-json", "");
-    if (FILE* f = file.empty() ? nullptr : std::fopen(file.c_str(), "w")) {
-      std::fwrite(with_retry.metrics_json.data(), 1,
-                  with_retry.metrics_json.size(), f);
-      std::fclose(f);
-      std::printf("metrics written to %s\n", file.c_str());
-    } else {
-      std::fprintf(stderr, "warning: cannot write --metrics-json file\n");
-    }
-  }
+  // Per-round registry snapshots of the heal window (t = maintenance round,
+  // t=0 = right after the wave): node.refs_evicted / node.refs_recruited /
+  // node.probes_sent as series instead of only their final values.
+  bench::DumpToFile(args.GetString("timeline-json", "BENCH_nr_timeline.json"),
+                    "timeline", timeline.ToJson());
+  bench::MaybeDumpFile(args, "metrics-json", "metrics", with_retry.metrics_json);
 }
 
 }  // namespace

@@ -13,7 +13,13 @@
 // active arm converges within a bounded number of rounds at every crash
 // fraction, and the passive arm never does.
 //
-// Flags: --peers, --maxl, --refmax, --rounds, --items, --seed, --json.
+// Besides the per-arm summary rows, every (arm, crash fraction) pair emits a
+// per-round timeline of the three violation counts (dead references, underfull
+// levels, stale replica pairs) into BENCH_rc_timeline.json, so the *shape* of
+// convergence -- not just the round it completed in -- is machine-readable.
+//
+// Flags: --peers, --maxl, --refmax, --rounds, --items, --seed, --json,
+//        --timeline-json (override the timeline output path).
 
 #include <cstdio>
 
@@ -24,6 +30,7 @@
 #include "core/insert.h"
 #include "core/search.h"
 #include "core/update.h"
+#include "obs/timeline.h"
 #include "repair/repair.h"
 
 namespace pgrid {
@@ -61,6 +68,7 @@ void Run(const bench::Args& args) {
               "replicas agree", "converged");
 
   bench::JsonReport report("rc_repair_convergence");
+  obs::TimelineRecorder timeline;
   for (const Arm& arm : arms) {
     for (const double crash : crash_fractions) {
       Grid grid(peers);
@@ -130,19 +138,30 @@ void Run(const bench::Args& args) {
 
       int64_t refs_round = -1;      // first round with no dead/underfull refs
       int64_t replicas_round = -1;  // first round with no stale replica pair
+      // Series prefix: one timeline namespace per (arm, crash) cell.
+      const std::string prefix =
+          std::string(arm.name) + "/crash" +
+          std::to_string(static_cast<int>(100 * crash)) + "/";
+      // Every round of the heal window runs (no early exit): the timeline is
+      // the full convergence curve, and the summary rounds are still the first
+      // clean round of each invariant family.
       for (size_t r = 1; r <= rounds; ++r) {
         repairer.Tick();
         const check::InvariantReport rep = convergence();
-        const bool refs_clean =
-            rep.CountOf(check::Category::kDeadReference) == 0 &&
-            rep.CountOf(check::Category::kRefUnderfull) == 0;
-        const bool replicas_clean =
-            rep.CountOf(check::Category::kReplicaStale) == 0;
+        const uint64_t dead = rep.CountOf(check::Category::kDeadReference);
+        const uint64_t underfull = rep.CountOf(check::Category::kRefUnderfull);
+        const uint64_t stale = rep.CountOf(check::Category::kReplicaStale);
+        timeline.AddPoint(prefix + "refs_dead", r, static_cast<double>(dead));
+        timeline.AddPoint(prefix + "refs_underfull", r,
+                          static_cast<double>(underfull));
+        timeline.AddPoint(prefix + "replicas_stale", r,
+                          static_cast<double>(stale));
+        const bool refs_clean = dead == 0 && underfull == 0;
+        const bool replicas_clean = stale == 0;
         if (refs_clean && refs_round < 0) refs_round = static_cast<int64_t>(r);
         if (replicas_clean && replicas_round < 0) {
           replicas_round = static_cast<int64_t>(r);
         }
-        if (refs_round >= 0 && replicas_round >= 0) break;
       }
       const bool converged = refs_round >= 0 && replicas_round >= 0;
 
@@ -163,6 +182,8 @@ void Run(const bench::Args& args) {
     }
   }
   report.WriteTo(args.GetString("json", "BENCH_repair_convergence.json"));
+  bench::DumpToFile(args.GetString("timeline-json", "BENCH_rc_timeline.json"),
+                    "timeline", timeline.ToJson());
   std::printf("\n(convergence = no live peer references a dead one, every "
               "level holds min(refmax, live supply) live refs, and all live "
               "buddy pairs agree on entries and versions)\n");

@@ -131,26 +131,42 @@ inline void Banner(const char* experiment, const char* paper_ref,
   std::printf("expected shape: %s\n\n", expectation);
 }
 
+/// Writes `content` to `file`, printing the standard "<what> written to" note.
+/// The shared sink behind every observability dump flag (--metrics-json,
+/// --trace-json, --profile-json, --timeline-json) so all bench binaries spell
+/// them identically. Returns false (with a warning) on I/O failure.
+inline bool DumpToFile(const std::string& file, const char* what,
+                       const std::string& content) {
+  FILE* f = std::fopen(file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("%s written to %s\n", what, file.c_str());
+  return true;
+}
+
+/// Honors --<flag>=FILE: writes `content` there. No-op when the flag is absent.
+inline void MaybeDumpFile(const Args& args, const std::string& flag,
+                          const char* what, const std::string& content) {
+  if (!args.Has(flag)) return;
+  const std::string file = args.GetString(flag, "");
+  if (file.empty()) {
+    std::fprintf(stderr, "warning: --%s needs a file path\n", flag.c_str());
+    return;
+  }
+  DumpToFile(file, what, content);
+}
+
 /// Honors --metrics-json=FILE: writes the grid's metrics registry as JSON so a
 /// run's counters (exchange.count, search.messages, update.fanout, ...) can be
 /// consumed by scripts alongside the printed table. Call once at the end of a
 /// bench binary; a no-op when the flag is absent.
 inline void MaybeDumpMetrics(const Args& args, const Grid& grid) {
-  if (!args.Has("metrics-json")) return;
-  const std::string file = args.GetString("metrics-json", "");
-  if (file.empty()) {
-    std::fprintf(stderr, "warning: --metrics-json needs a file path\n");
-    return;
-  }
-  FILE* f = std::fopen(file.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
-    return;
-  }
-  const std::string json = obs::ToJson(grid.metrics().Snapshot());
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::printf("metrics written to %s\n", file.c_str());
+  MaybeDumpFile(args, "metrics-json", "metrics",
+                obs::ToJson(grid.metrics().Snapshot()));
 }
 
 }  // namespace bench

@@ -10,11 +10,17 @@
 #include "core/search.h"
 #include "core/stats.h"
 #include "key/text_key.h"
+#include "net/inproc_transport.h"
+#include "net/node.h"
 #include "obs/export.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "obs/trace_view.h"
 #include "sim/fuzzer.h"
 #include "sim/meeting_scheduler.h"
 #include "sim/scenario.h"
 #include "snapshot/snapshot.h"
+#include "storage/data_item.h"
 #include "util/flags.h"
 
 namespace pgrid {
@@ -49,9 +55,16 @@ std::string UsageFor(const std::string& command) {
   if (command == "fuzz") {
     return "pgrid fuzz [--seeds=50] [--base-seed=1] [--min-steps=10]"
            " [--max-steps=40] [--max-peers=48] [--heal-tail] [--out=REPRO.pgs]"
-           " [--keep-going]";
+           " [--keep-going] [--timeline-json=FILE]";
   }
-  if (command == "replay") return "pgrid replay FILE  (or --in=FILE)";
+  if (command == "replay") {
+    return "pgrid replay FILE  (or --in=FILE) [--timeline-json=FILE]"
+           " [--metrics-json=FILE]";
+  }
+  if (command == "trace") {
+    return "pgrid trace [--peers=8] [--meetings=N] [--maxl=4] [--seed=7]"
+           " [--key=BITS] [--trace-json=FILE]";
+  }
   return UsageText();
 }
 
@@ -64,18 +77,28 @@ Status RequireFlag(const FlagSet& flags, const std::string& name) {
 
 /// Honors --metrics-json=FILE: dumps the grid's metrics registry as JSON after
 /// the command ran. Every command that exercises the engines supports it.
-Status MaybeDumpMetrics(const FlagSet& flags, const Grid& grid, std::ostream& out) {
-  if (!flags.Has("metrics-json")) return Status::OK();
-  const std::string file = flags.GetString("metrics-json", "");
+/// Honors --<flag>-json=FILE: writes `content` to FILE. Shared by the metrics,
+/// trace, and timeline dump flags so every binary spells them the same way.
+Status MaybeDumpJson(const FlagSet& flags, const std::string& flag,
+                     const std::string& what, const std::string& content,
+                     std::ostream& out) {
+  if (!flags.Has(flag)) return Status::OK();
+  const std::string file = flags.GetString(flag, "");
   if (file.empty()) {
-    return Status::InvalidArgument("--metrics-json needs a file path");
+    return Status::InvalidArgument("--" + flag + " needs a file path");
   }
   std::ofstream f(file, std::ios::trunc);
   if (!f) return Status::Internal("cannot open " + file + " for writing");
-  f << obs::ToJson(grid.metrics().Snapshot());
+  f << content;
   if (!f.good()) return Status::Internal("write to " + file + " failed");
-  out << "metrics written to " << file << "\n";
+  out << what << " written to " << file << "\n";
   return Status::OK();
+}
+
+Status MaybeDumpMetrics(const FlagSet& flags, const Grid& grid, std::ostream& out) {
+  if (!flags.Has("metrics-json")) return Status::OK();
+  return MaybeDumpJson(flags, "metrics-json", "metrics",
+                       obs::ToJson(grid.metrics().Snapshot()), out);
 }
 
 Status CmdBuild(const FlagSet& flags, std::ostream& out) {
@@ -351,6 +374,16 @@ Status CmdFuzz(const FlagSet& flags, std::ostream& out) {
         << " step(s)), pass --out=FILE to save it:\n"
         << sim::SerializeScenario(outcome.minimal);
   }
+  if (flags.Has("timeline-json")) {
+    // Replay the minimal repro with a per-step metric timeline attached: the
+    // series show how the counters evolved on the way into the violation.
+    sim::ScenarioRunner runner(outcome.minimal);
+    obs::TimelineRecorder timeline;
+    runner.SetTimeline(&timeline);
+    (void)runner.Run();
+    PGRID_RETURN_IF_ERROR(MaybeDumpJson(flags, "timeline-json", "repro timeline",
+                                        timeline.ToJson(), out));
+  }
   return Status::FailedPrecondition("fuzzing found invariant violations");
 }
 
@@ -362,6 +395,8 @@ Status CmdReplay(const FlagSet& flags, std::ostream& out) {
   }
   PGRID_ASSIGN_OR_RETURN(sim::Scenario scenario, sim::LoadScenario(file));
   sim::ScenarioRunner runner(scenario);
+  obs::TimelineRecorder timeline;
+  if (flags.Has("timeline-json")) runner.SetTimeline(&timeline);
   const sim::ScenarioResult result = runner.Run();
   out << "replayed " << result.steps_executed << "/" << scenario.steps.size()
       << " step(s), seed " << scenario.config.seed << ", digest "
@@ -376,7 +411,92 @@ Status CmdReplay(const FlagSet& flags, std::ostream& out) {
     return Status::FailedPrecondition("invariant violations during replay");
   }
   out << "OK: all barriers passed\n";
+  PGRID_RETURN_IF_ERROR(MaybeDumpJson(flags, "timeline-json", "timeline",
+                                      timeline.ToJson(), out));
   return MaybeDumpMetrics(flags, runner.grid(), out);
+}
+
+Status CmdTrace(const FlagSet& flags, std::ostream& out) {
+  PGRID_ASSIGN_OR_RETURN(int64_t peers, flags.GetInt("peers", 8));
+  PGRID_ASSIGN_OR_RETURN(int64_t maxl, flags.GetInt("maxl", 4));
+  PGRID_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 7));
+  PGRID_ASSIGN_OR_RETURN(int64_t meetings, flags.GetInt("meetings", peers * 120));
+  if (peers < 2) return Status::InvalidArgument("--peers must be >= 2");
+  if (maxl < 1) return Status::InvalidArgument("--maxl must be >= 1");
+
+  // An in-process cluster of networked nodes sharing one trace recorder (one
+  // process = one clock epoch = directly mergeable span ids).
+  net::NodeConfig config;
+  config.maxl = static_cast<size_t>(maxl);
+  net::InProcTransport transport;
+  std::vector<std::unique_ptr<net::PGridNode>> nodes;
+  for (int64_t i = 0; i < peers; ++i) {
+    nodes.push_back(std::make_unique<net::PGridNode>(
+        "node:" + std::to_string(i), &transport, config,
+        static_cast<uint64_t>(seed) * 1000 + static_cast<uint64_t>(i)));
+    PGRID_RETURN_IF_ERROR(nodes.back()->Start());
+  }
+  // Bootstrap untraced so the trace holds only the operations under study.
+  Rng rng(static_cast<uint64_t>(seed));
+  for (int64_t m = 0; m < meetings; ++m) {
+    const size_t a = rng.UniformIndex(nodes.size());
+    const size_t b = rng.UniformIndex(nodes.size());
+    if (a == b) continue;
+    (void)nodes[a]->MeetWith(nodes[b]->address());
+  }
+  double avg_depth = 0.0;
+  for (const auto& n : nodes) {
+    avg_depth += static_cast<double>(n->path().length());
+  }
+  avg_depth /= static_cast<double>(nodes.size());
+  out << "cluster: " << peers << " peers, avg depth " << std::fixed
+      << std::setprecision(2) << avg_depth << " after " << meetings
+      << " bootstrap meetings\n";
+
+  obs::TraceRecorder recorder;
+  for (auto& n : nodes) n->SetTraceRecorder(&recorder);
+
+  KeyPath key = [&]() -> KeyPath {
+    if (flags.Has("key")) {
+      auto k = KeyPath::FromString(flags.GetString("key", ""));
+      if (k.ok()) return *k;
+    }
+    return KeyPath::Random(&rng, 2 * static_cast<size_t>(maxl));
+  }();
+  DataItem item;
+  item.id = 1;
+  item.key = key;
+  item.payload = "traced-item";
+  item.version = 1;
+  const Status publish = nodes.front()->Publish(item);
+  if (!publish.ok()) out << "publish: " << publish.ToString() << "\n";
+  const Result<std::vector<net::WireEntry>> search = nodes.back()->Search(key);
+  if (!search.ok()) {
+    out << "search: " << search.status().ToString() << "\n";
+  } else {
+    out << "search for " << key << " from " << nodes.back()->address()
+        << ": " << search->size() << " matching entr"
+        << (search->size() == 1 ? "y" : "ies") << "\n";
+  }
+
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  const std::vector<uint64_t> ids = obs::TraceIds(events);
+  for (uint64_t id : ids) {
+    const std::vector<obs::SpanNode> roots = obs::BuildSpanTree(events, id);
+    out << "\ntrace " << id << ":\n" << obs::RenderSpanTree(roots);
+  }
+  if (!ids.empty()) {
+    // The last trace is the search: its longest hop chain is the query's
+    // critical path across the cluster.
+    const std::vector<obs::SpanNode> roots = obs::BuildSpanTree(events, ids.back());
+    out << "\ncritical path:\n"
+        << obs::RenderCriticalPath(obs::CriticalPath(roots));
+  }
+  if (recorder.dropped() > 0) {
+    out << "(" << recorder.dropped() << " events dropped at capacity)\n";
+  }
+  return MaybeDumpJson(flags, "trace-json", "trace",
+                       obs::TraceToChromeJson(events), out);
 }
 
 }  // namespace
@@ -394,9 +514,13 @@ std::string UsageText() {
          "  bench-search  measure search reliability under churn\n"
          "  fuzz          run the seeded scenario fuzzer; shrink any failure\n"
          "  replay        re-execute a saved scenario file and check invariants\n"
+         "  trace         run a traced publish+search on an in-process cluster\n"
+         "                and print the distributed span tree + critical path\n"
          "\n"
          "every command that exercises the engines accepts --metrics-json=FILE to\n"
-         "dump the run's metrics registry as JSON (see docs/observability.md).\n"
+         "dump the run's metrics registry as JSON; `trace` accepts\n"
+         "--trace-json=FILE (chrome://tracing format) and `replay`\n"
+         "--timeline-json=FILE (per-step metric series, docs/observability.md).\n"
          "\n"
          "run `pgrid <command>` with no flags to see its usage.\n";
 }
@@ -428,6 +552,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdFuzz(flags, out);
   } else if (command == "replay") {
     status = CmdReplay(flags, out);
+  } else if (command == "trace") {
+    status = CmdTrace(flags, out);
   } else {
     err << "unknown command '" << command << "'\n\n" << UsageText();
     return 1;

@@ -1,0 +1,87 @@
+// Per-wave utilization profile of a parallel build -- the report that answers
+// "where does t=4 lose to t=1?".
+//
+// The parallel builder (core/parallel_builder.h) alternates serial phases
+// (schedule drawing, wave partitioning, barrier merges) with parallel waves.
+// When profiling is on it fills one WaveProfile per wave: the wave's structure
+// (batch/wave ordinals, items scheduled, wave width, claim conflicts) plus its
+// timings (claim/run/merge wall time and per-lane busy time inside the wave).
+// Structure is a function of (seed, batch_size) only -- the partition runs
+// serially -- so StructureJson() is byte-identical across thread counts and
+// runs, which tests/parallel_builder_test.cc pins. Timings obviously vary; the
+// derived quantities (serial fraction, utilization, barrier-wait distribution,
+// claim-conflict rate) are what the scaling analysis consumes.
+//
+// Amdahl bookkeeping:
+//   serial_ns    = schedule_ns + sum(claim_ns) + sum(merge_ns)
+//   run_ns       = sum over waves of the ParallelFor wall time
+//   busy_ns      = sum over waves and lanes of exchange execution time
+//   barrier wait = run_ns(wave) - lane_busy_ns(wave, lane), per lane per wave
+//
+// ToJson() is the full report (schema in docs/observability.md);
+// ToCollapsedStacks() renders the same accounting as flamegraph input.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgrid {
+
+/// One conflict-free wave of a parallel build.
+struct WaveProfile {
+  uint64_t batch = 0;      ///< batch ordinal within the build (0-based)
+  uint64_t wave = 0;       ///< wave ordinal within the build (0-based, global)
+  uint64_t scheduled = 0;  ///< work items pending when the wave was partitioned
+  uint64_t width = 0;      ///< items that ran in this wave
+  uint64_t conflicts = 0;  ///< items deferred because an endpoint was claimed
+  uint64_t claim_ns = 0;   ///< serial: greedy wave partition
+  uint64_t run_ns = 0;     ///< wall time of the wave's ParallelFor
+  uint64_t merge_ns = 0;   ///< serial: barrier merge into the grid ledger
+  /// Exchange execution time per lane inside run_ns (size = thread count).
+  std::vector<uint64_t> lane_busy_ns;
+};
+
+/// Whole-build profile: per-wave records plus the serial phases around them.
+struct BuildProfile {
+  size_t threads = 1;
+  uint64_t schedule_ns = 0;       ///< serial NextBatch time, all batches
+  uint64_t total_ns = 0;          ///< wall time of the whole build call
+  uint64_t profiler_dropped = 0;  ///< lane-buffer overflow events (0 = exact)
+  std::vector<WaveProfile> waves;
+
+  uint64_t SerialNs() const;  ///< schedule + claim + merge
+  uint64_t RunNs() const;     ///< sum of wave ParallelFor wall times
+  uint64_t BusyNs() const;    ///< sum of per-lane exchange time
+
+  /// Fraction of total_ns spent in serial phases (0 when total_ns == 0).
+  double SerialFraction() const;
+
+  /// BusyNs / (threads * RunNs): how much of the parallel region's capacity did
+  /// useful work (0 when RunNs == 0).
+  double Utilization() const;
+
+  /// Fraction of scheduled items deferred by endpoint claims.
+  double ClaimConflictRate() const;
+
+  /// Barrier wait per (wave, lane): wave run wall time minus the lane's busy
+  /// time, clamped at 0. One sample per lane per wave, wave-major order.
+  std::vector<uint64_t> BarrierWaitSamplesNs() const;
+
+  /// Full report: totals, derived fractions, barrier-wait percentiles, and the
+  /// per-wave array. Deterministic modulo timings.
+  std::string ToJson() const;
+
+  /// Structure only (batch/wave/scheduled/width/conflicts per wave; no timings,
+  /// no thread count): byte-identical across thread counts for a fixed
+  /// (seed, batch_size).
+  std::string StructureJson() const;
+
+  /// Flamegraph input ("build;wave;run;lane0;busy 1234" lines) of the same
+  /// accounting. Sorted by stack, so deterministic given deterministic timings.
+  std::string ToCollapsedStacks() const;
+};
+
+}  // namespace pgrid

@@ -23,6 +23,12 @@ ParallelGridBuilder::ParallelGridBuilder(Grid* grid, ExchangeEngine* exchange,
   PGRID_CHECK_GT(options_.threads, 0u);
   PGRID_CHECK_GT(options_.batch_size, 0u);
   PGRID_CHECK_EQ(grid->size(), scheduler->num_peers());
+  if (options_.profile) {
+    profile_ = std::make_unique<BuildProfile>();
+    profile_->threads = pool_.threads();
+    profiler_ = std::make_unique<obs::PhaseProfiler>(pool_.threads());
+    phase_exchange_ = profiler_->RegisterPhase("exchange");
+  }
 }
 
 BuildReport ParallelGridBuilder::BuildToAverageDepth(double target_avg_depth,
@@ -39,17 +45,26 @@ BuildReport ParallelGridBuilder::BuildToAverageDepth(double target_avg_depth,
     // batches were executed.
     std::vector<Meeting> meetings;
     meetings.reserve(batch);
+    const uint64_t t_schedule = profile_ != nullptr ? profiler_->NowNs() : 0;
     scheduler_->NextBatch(master_, batch, &meetings);
+    if (profile_ != nullptr) {
+      profile_->schedule_ns += profiler_->NowNs() - t_schedule;
+    }
     std::vector<WorkItem> items;
     items.reserve(batch);
     for (const Meeting& m : meetings) items.push_back({m.a, m.b, /*depth=*/0});
     RunBatch(std::move(items));
+    ++batch_ordinal_;
     report.meetings += batch;
   }
   report.exchanges = grid_->stats().count(MessageType::kExchange) - exchanges_before;
   report.avg_path_length = grid_->AveragePathLength();
   report.converged = report.avg_path_length >= target_avg_depth;
   report.seconds = watch.ElapsedSeconds();
+  if (profile_ != nullptr) {
+    profile_->total_ns += static_cast<uint64_t>(report.seconds * 1e9);
+    profile_->profiler_dropped = profiler_->dropped();
+  }
   return report;
 }
 
@@ -75,6 +90,8 @@ void ParallelGridBuilder::RunBatch(std::vector<WorkItem> items) {
   while (!items.empty()) {
     // Greedy in-order wave partition: an item joins the wave iff neither endpoint
     // is claimed yet this wave; the rest keep their relative order.
+    const bool prof = profile_ != nullptr;
+    const uint64_t t_claim = prof ? profiler_->NowNs() : 0;
     ++claim_epoch_;
     wave.clear();
     leftover.clear();
@@ -91,7 +108,23 @@ void ParallelGridBuilder::RunBatch(std::vector<WorkItem> items) {
     PGRID_CHECK(!wave.empty());
     EnsureSlots(wave.size());
 
-    pool_.ParallelFor(wave.size(), [&](size_t i) {
+    WaveProfile* wp = nullptr;
+    if (prof) {
+      profile_->waves.emplace_back();
+      wp = &profile_->waves.back();
+      wp->batch = batch_ordinal_;
+      wp->wave = wave_ordinal_++;
+      wp->scheduled = items.size();
+      wp->width = wave.size();
+      // At this point leftover holds only claim-deferred items (recursion
+      // children are appended after the merge below).
+      wp->conflicts = leftover.size();
+      wp->claim_ns = profiler_->NowNs() - t_claim;
+    }
+
+    const uint64_t t_run = prof ? profiler_->NowNs() : 0;
+    pool_.ParallelFor(wave.size(), [&](size_t i, size_t lane) {
+      const uint64_t t_item = prof ? profiler_->NowNs() : 0;
       Slot& slot = *slots_[i];
       ExchangeShard shard;
       shard.rng = &slot.rng;
@@ -99,7 +132,25 @@ void ParallelGridBuilder::RunBatch(std::vector<WorkItem> items) {
       shard.deferred = &slot.deferred;
       exchange_->ExchangeSharded(wave[i].a, wave[i].b, wave[i].depth, &shard);
       slot.path_bits = shard.path_bits;
+      if (prof) {
+        profiler_->Record(lane, phase_exchange_, t_item,
+                          profiler_->NowNs() - t_item, wp->wave);
+      }
     });
+
+    uint64_t t_merge = 0;
+    if (prof) {
+      const uint64_t now = profiler_->NowNs();
+      wp->run_ns = now - t_run;
+      // The pool join above is the happens-before edge; lanes are quiescent.
+      wp->lane_busy_ns.assign(pool_.threads(), 0);
+      for (size_t lane = 0; lane < pool_.threads(); ++lane) {
+        for (const obs::PhaseProfiler::Event& e : profiler_->DrainLane(lane)) {
+          wp->lane_busy_ns[lane] += e.dur_ns;
+        }
+      }
+      t_merge = profiler_->NowNs();
+    }
 
     // Barrier merge, strictly in slot order: ledger shards and path growth fold
     // into the grid; deferred children queue up behind this wave's leftovers.
@@ -114,6 +165,7 @@ void ParallelGridBuilder::RunBatch(std::vector<WorkItem> items) {
       }
       slot.deferred.clear();
     }
+    if (prof) wp->merge_ns = profiler_->NowNs() - t_merge;
     std::swap(items, leftover);
   }
 }

@@ -43,9 +43,11 @@
 #include <memory>
 #include <vector>
 
+#include "core/build_profile.h"
 #include "core/exchange.h"
 #include "core/grid.h"
 #include "core/grid_builder.h"
+#include "obs/profiler.h"
 #include "sim/meeting_scheduler.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -60,6 +62,11 @@ struct ParallelBuildOptions {
   /// changes the result (convergence is checked at batch boundaries). It must
   /// never be derived from the thread count.
   size_t batch_size = 256;
+
+  /// Collect a per-wave BuildProfile (core/build_profile.h). Off by default:
+  /// the profiled run times every wave and every exchange, which is cheap
+  /// (lane-local buffers, no atomics) but not free. Never affects the result.
+  bool profile = false;
 };
 
 /// Drives grid construction over a worker pool. The engine must have been created
@@ -79,6 +86,10 @@ class ParallelGridBuilder {
   BuildReport BuildToFractionOfMaxDepth(double fraction, uint64_t max_meetings);
 
   const ParallelBuildOptions& options() const { return options_; }
+
+  /// The utilization profile accumulated so far, or null when options.profile
+  /// is false. Accumulates across BuildTo* calls on the same builder.
+  const BuildProfile* profile() const { return profile_.get(); }
 
  private:
   /// One scheduled exchange: a meeting from the master schedule (depth 0) or a
@@ -122,6 +133,15 @@ class ParallelGridBuilder {
   // lazily to the grid, stamped with claim_epoch_ instead of cleared per wave.
   std::vector<uint64_t> claims_;
   uint64_t claim_epoch_ = 0;
+
+  // Profiling state; all null / unused when options.profile is false. The
+  // profiler's lane buffers collect per-exchange timings inside a wave and are
+  // drained at the wave barrier into the current WaveProfile.
+  std::unique_ptr<BuildProfile> profile_;
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
+  int phase_exchange_ = 0;
+  uint64_t batch_ordinal_ = 0;
+  uint64_t wave_ordinal_ = 0;
 };
 
 }  // namespace pgrid

@@ -22,8 +22,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/grid.h"
+#include "obs/profiler.h"
 #include "sim/online_model.h"
 
 namespace pgrid {
@@ -44,6 +46,12 @@ struct ParallelQueryOptions {
   /// Queries per accounting shard. Part of the deterministic layout; must never
   /// be derived from the thread count.
   size_t chunk_size = 64;
+
+  /// Optional phase profiler with at least `threads` lanes: each chunk records
+  /// its execution time on its lane, and the report's lane_busy_ns/utilization
+  /// are filled from the drained buffers. Null = profiling off (the default);
+  /// never affects found/message counts.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Aggregate outcome of one parallel query run.
@@ -53,6 +61,11 @@ struct ParallelQueryReport {
   uint64_t messages = 0;  ///< kQuery messages, also merged into the grid ledger
   double seconds = 0.0;
   double queries_per_second = 0.0;
+
+  /// Per-lane query execution time (size = threads); empty without a profiler.
+  std::vector<uint64_t> lane_busy_ns;
+  /// sum(lane_busy_ns) / (threads * wall time); 0 without a profiler.
+  double utilization = 0.0;
 };
 
 /// Fans `options.num_queries` random-key queries out over `options.threads`

@@ -94,8 +94,17 @@ PGridNode::PGridNode(std::string address, RpcTransport* transport,
 }
 
 Result<std::string> PGridNode::CallWithRetry(const std::string& to,
-                                             const std::string& request) {
-  Result<std::string> result = retry_->Call(transport_, to, address_, request);
+                                             const std::string& request,
+                                             const obs::TraceContext& ctx) {
+  // A valid context rides along as a kTraced envelope -- even when this node
+  // does not record spans itself, so traces survive untraced intermediaries.
+  std::string wrapped;
+  const std::string* payload = &request;
+  if (ctx.valid()) {
+    wrapped = EncodeTraced(ctx, request);
+    payload = &wrapped;
+  }
+  Result<std::string> result = retry_->Call(transport_, to, address_, *payload);
   if (!result.ok() && result.status().code() == StatusCode::kDeadlineExceeded) {
     c_call_deadline_exceeded_->Increment();
   }
@@ -258,18 +267,68 @@ std::vector<std::string> PGridNode::SampleRefsLocked(std::vector<std::string> a,
 
 // ---- handler side ----
 
+namespace {
+
+/// Server-side span name for a request type.
+const char* ServeSpanName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing:
+      return "node.serve.ping";
+    case MsgType::kQueryReq:
+      return "node.serve.query";
+    case MsgType::kPublishReq:
+      return "node.serve.publish";
+    case MsgType::kExchangeReq:
+      return "node.serve.exchange";
+    case MsgType::kCommitReq:
+      return "node.serve.commit";
+    case MsgType::kEntryPushReq:
+      return "node.serve.entry_push";
+    case MsgType::kStatsReq:
+      return "node.serve.stats";
+    case MsgType::kProbeReq:
+      return "node.serve.probe";
+    default:
+      return "node.serve.other";
+  }
+}
+
+}  // namespace
+
 std::string PGridNode::Handle(const std::string& from, const std::string& request) {
   Result<MsgType> type = PeekType(request);
   if (!type.ok()) return EncodeError(type.status().ToString());
-  switch (*type) {
+  if (*type != MsgType::kTraced) {
+    return Dispatch(from, request, *type, obs::TraceContext{});
+  }
+  // Traced envelope: unwrap, stitch a server-side child span under the caller's
+  // span (if this node records), and serve the inner request as if it had
+  // arrived bare. The response is the ordinary unwrapped response.
+  Result<TracedEnvelope> env = DecodeTraced(request);
+  if (!env.ok()) return EncodeError(env.status().ToString());
+  Result<MsgType> inner_type = PeekType(env->inner);
+  if (!inner_type.ok()) return EncodeError(inner_type.status().ToString());
+  if (trace_ == nullptr) {
+    // Not recording here: pass the caller's context through so downstream hops
+    // still stitch under the original span.
+    return Dispatch(from, env->inner, *inner_type, env->ctx);
+  }
+  obs::TraceSpan serve(trace_, ServeSpanName(*inner_type), env->ctx,
+                       "node=" + address_ + " from=" + from);
+  return Dispatch(from, env->inner, *inner_type, serve.context());
+}
+
+std::string PGridNode::Dispatch(const std::string& from, const std::string& request,
+                                MsgType type, const obs::TraceContext& ctx) {
+  switch (type) {
     case MsgType::kPing:
       return EncodePong();
     case MsgType::kQueryReq:
       return HandleQuery(request);
     case MsgType::kPublishReq:
-      return HandlePublish(request);
+      return HandlePublish(request, ctx);
     case MsgType::kExchangeReq:
-      return HandleExchange(from, request);
+      return HandleExchange(from, request, ctx);
     case MsgType::kCommitReq:
       return HandleCommit(from, request);
     case MsgType::kEntryPushReq:
@@ -318,7 +377,8 @@ std::string PGridNode::HandleQuery(const std::string& request) {
   return EncodeQueryResponseForward(resp);
 }
 
-std::string PGridNode::HandlePublish(const std::string& request) {
+std::string PGridNode::HandlePublish(const std::string& request,
+                                     const obs::TraceContext& ctx) {
   Result<PublishRequest> req = DecodePublishRequest(request);
   if (!req.ok()) return EncodeError(req.status().ToString());
   PublishAck ack;
@@ -340,7 +400,7 @@ std::string PGridNode::HandlePublish(const std::string& request) {
     forward.forward_to_buddies = 0;
     const std::string bytes = EncodePublishRequest(forward);
     for (const std::string& buddy : buddies_to_notify) {
-      if (CallWithRetry(buddy, bytes).ok()) ++ack.buddies_notified;
+      if (CallWithRetry(buddy, bytes, ctx).ok()) ++ack.buddies_notified;
     }
   }
   return EncodePublishAck(ack);
@@ -389,7 +449,8 @@ std::string PGridNode::HandleEntryPush(const std::string& request) {
 }
 
 std::string PGridNode::HandleExchange(const std::string& from,
-                                      const std::string& request) {
+                                      const std::string& request,
+                                      const obs::TraceContext& ctx) {
   (void)from;
   Result<ExchangeRequest> reqr = DecodeExchangeRequest(request);
   if (!reqr.ok()) return EncodeError(reqr.status().ToString());
@@ -501,7 +562,7 @@ std::string PGridNode::HandleExchange(const std::string& from,
 
   // Responder-side case-4 recursion, outside the lock.
   for (const std::string& target : my_recursion_targets) {
-    (void)MeetWithDepth(target, depth + 1);
+    (void)MeetWithDepth(target, depth + 1, ctx);
   }
   return EncodeExchangeResponse(resp);
 }
@@ -510,8 +571,13 @@ std::string PGridNode::HandleExchange(const std::string& from,
 
 Status PGridNode::MeetWith(const std::string& peer) { return MeetWithDepth(peer, 0); }
 
-Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
+Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth,
+                                const obs::TraceContext& parent) {
   if (peer == address_) return Status::OK();
+  obs::TraceSpan span(trace_, "node.meet", parent, "peer=" + peer);
+  // Downstream context: our meet span if we record, else the inherited one so a
+  // remote trace keeps flowing through recursion on an untraced node.
+  const obs::TraceContext ctx = trace_ != nullptr ? span.context() : parent;
   ExchangeRequest req;
   req.initiator = address_;
   req.depth = depth;
@@ -528,7 +594,7 @@ Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
     }
   }
 
-  Result<std::string> raw = CallWithRetry(peer, EncodeExchangeRequest(req));
+  Result<std::string> raw = CallWithRetry(peer, EncodeExchangeRequest(req), ctx);
   if (!raw.ok()) return raw.status();
   Result<MsgType> type = PeekType(*raw);
   if (!type.ok() || *type != MsgType::kExchangeResp) {
@@ -593,19 +659,20 @@ Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth) {
   // Confirm the applied append directives so the responder may now reference us
   // (see HandleCommit).
   for (const CommitRequest& commit : commits) {
-    (void)CallWithRetry(peer, EncodeCommitRequest(commit));
+    (void)CallWithRetry(peer, EncodeCommitRequest(commit), ctx);
   }
-  if (!push.empty()) PushEntries(peer, std::move(push));
+  if (!push.empty()) PushEntries(peer, std::move(push), ctx);
   for (const std::string& referral : resp.referrals) {
-    (void)MeetWithDepth(referral, depth + 1);
+    (void)MeetWithDepth(referral, depth + 1, ctx);
   }
   return Status::OK();
 }
 
-void PGridNode::PushEntries(const std::string& peer, std::vector<WireEntry> entries) {
+void PGridNode::PushEntries(const std::string& peer, std::vector<WireEntry> entries,
+                            const obs::TraceContext& ctx) {
   EntryPushRequest req;
   req.entries = std::move(entries);
-  Result<std::string> raw = CallWithRetry(peer, EncodeEntryPushRequest(req));
+  Result<std::string> raw = CallWithRetry(peer, EncodeEntryPushRequest(req), ctx);
   std::vector<WireEntry> rejected;
   if (raw.ok()) {
     Result<EntryPushResponse> resp = DecodeEntryPushResponse(*raw);
@@ -629,6 +696,8 @@ void PGridNode::PushEntries(const std::string& peer, std::vector<WireEntry> entr
 }
 
 Status PGridNode::Publish(const DataItem& item) {
+  obs::TraceSpan span(trace_, "node.publish");
+  const obs::TraceContext ctx = trace_ != nullptr ? span.context() : obs::TraceContext{};
   {
     std::lock_guard<std::mutex> lock(mu_);
     store_.Upsert(item);
@@ -639,9 +708,10 @@ Status PGridNode::Publish(const DataItem& item) {
   entry.key = item.key;
   entry.version = item.version;
 
-  Result<std::string> responder = RouteToResponsible(item.key);
-  if (!responder.ok()) return responder.status();
-  if (*responder == address_) {
+  Result<RouteResult> routed = Route(item.key, ctx);
+  if (!routed.ok()) return routed.status();
+  const std::string responder = routed->responder;
+  if (responder == address_) {
     std::vector<std::string> buddies_copy;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -653,14 +723,14 @@ Status PGridNode::Publish(const DataItem& item) {
     forward.forward_to_buddies = 0;
     const std::string bytes = EncodePublishRequest(forward);
     for (const std::string& buddy : buddies_copy) {
-      (void)CallWithRetry(buddy, bytes);
+      (void)CallWithRetry(buddy, bytes, ctx);
     }
     return Status::OK();
   }
   PublishRequest preq;
   preq.entry = entry;
   preq.forward_to_buddies = 1;
-  Result<std::string> raw = CallWithRetry(*responder, EncodePublishRequest(preq));
+  Result<std::string> raw = CallWithRetry(responder, EncodePublishRequest(preq), ctx);
   if (!raw.ok()) return raw.status();
   Result<PublishAck> ack = DecodePublishAck(*raw);
   if (!ack.ok()) return ack.status();
@@ -670,8 +740,9 @@ Status PGridNode::Publish(const DataItem& item) {
   return Status::OK();
 }
 
-Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
-  obs::TraceSpan span(trace_, "node.route");
+Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key,
+                                                const obs::TraceContext& parent) {
+  obs::TraceSpan span(trace_, "node.route", parent, "node=" + address_);
   if (trace_ != nullptr) span.Event("node.route.key", key.ToString());
   // Depth-first iterative routing: each frame is a candidate address plus the
   // query suffix/consumed level to present to it.
@@ -704,7 +775,14 @@ Result<PGridNode::RouteResult> PGridNode::Route(const KeyPath& key) {
     QueryRequest qreq;
     qreq.key = frame.remaining;
     qreq.consumed = frame.consumed;
-    Result<std::string> raw = CallWithRetry(frame.address, EncodeQueryRequest(qreq));
+    // Per-hop client span: the receiving node's node.serve.query span stitches
+    // underneath this one, so the reconstructed tree shows each hop's server
+    // time inside the client's RPC time.
+    Result<std::string> raw = [&]() -> Result<std::string> {
+      obs::TraceSpan hop(trace_, "node.rpc.query", span.context(),
+                         "to=" + frame.address);
+      return CallWithRetry(frame.address, EncodeQueryRequest(qreq), hop.context());
+    }();
     if (!raw.ok()) {  // offline candidate: backtrack
       c_route_offline_skips_->Increment();
       span.Event("node.route.offline_skip", frame.address);
@@ -759,9 +837,12 @@ Result<std::string> PGridNode::RouteToResponsible(const KeyPath& key) {
   return std::move(route.responder);
 }
 
-Result<ProbeResponse> PGridNode::Probe(const std::string& peer) {
+Result<ProbeResponse> PGridNode::Probe(const std::string& peer,
+                                       const obs::TraceContext& ctx) {
   c_probes_sent_->Increment();
-  PGRID_ASSIGN_OR_RETURN(std::string raw, CallWithRetry(peer, EncodeProbeRequest()));
+  obs::TraceSpan span(trace_, "node.probe", ctx, "peer=" + peer);
+  PGRID_ASSIGN_OR_RETURN(
+      std::string raw, CallWithRetry(peer, EncodeProbeRequest(), span.context()));
   Result<MsgType> type = PeekType(raw);
   if (!type.ok() || *type != MsgType::kProbeResp) {
     return Status::Internal("bad probe response from " + peer);
@@ -770,10 +851,13 @@ Result<ProbeResponse> PGridNode::Probe(const std::string& peer) {
 }
 
 size_t PGridNode::MaintainReferences() {
+  obs::TraceSpan span(trace_, "node.maintain", obs::TraceContext{},
+                      "node=" + address_);
+  const obs::TraceContext ctx = span.context();
   // Probe everyone we know. Delivered probes clear suspicion; failures count
   // toward it, and the threshold eviction happens inside the call funnel
   // (NoteCallOutcome), so crashed peers drain out of the reference levels.
-  for (const std::string& peer : KnownPeers()) (void)Probe(peer);
+  for (const std::string& peer : KnownPeers()) (void)Probe(peer, ctx);
 
   // Refill: snapshot which levels sit below refmax, then recruit per level by
   // routing a lookup into the complementary subtree.
@@ -793,12 +877,13 @@ size_t PGridNode::MaintainReferences() {
       std::lock_guard<std::mutex> lock(mu_);
       while (key.length() < config_.maxl) key.PushBack(rng_.Bit());
     }
-    Result<std::string> responder = RouteToResponsible(key);
-    if (!responder.ok() || *responder == address_) continue;
+    Result<RouteResult> routed = Route(key, ctx);
+    if (!routed.ok() || routed->responder == address_) continue;
+    const std::string responder = routed->responder;
     // Verify the reference property against the responder's *probed* path
     // before adopting: routing found it responsible for a complementary key,
     // but only its own path statement proves the level bit.
-    Result<ProbeResponse> info = Probe(*responder);
+    Result<ProbeResponse> info = Probe(responder, ctx);
     if (!info.ok()) continue;
     std::lock_guard<std::mutex> lock(mu_);
     if (level > path_.length() || level > refs_.size()) continue;
@@ -809,8 +894,8 @@ size_t PGridNode::MaintainReferences() {
     }
     std::vector<std::string>& refs = refs_[level - 1];
     if (refs.size() < config_.refmax &&
-        std::find(refs.begin(), refs.end(), *responder) == refs.end()) {
-      refs.push_back(*responder);
+        std::find(refs.begin(), refs.end(), responder) == refs.end()) {
+      refs.push_back(responder);
       c_refs_recruited_->Increment();
       ++recruited;
     }

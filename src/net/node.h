@@ -136,6 +136,14 @@ class PGridNode {
 
   /// Optional per-operation trace sink (null = tracing off). The recorder must
   /// outlive the node.
+  ///
+  /// With a recorder attached, client operations (Search, Publish, MeetWith,
+  /// MaintainReferences) open root spans and every outbound RPC they make is
+  /// wrapped in a kTraced envelope carrying the span's TraceContext; receiving
+  /// nodes open child spans under the caller's span, so a distributed operation
+  /// reconstructs as one span tree (see docs/observability.md). Nodes without a
+  /// recorder still forward an incoming context downstream, so a trace survives
+  /// untraced intermediaries.
   void SetTraceRecorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
 
   /// Scrapes `peer`'s metrics registry over the transport (a kStats request) and
@@ -161,8 +169,10 @@ class PGridNode {
 
   /// Probes `peer` for its health summary (path, entry count, entry digest).
   /// Unavailable if it cannot be reached -- which feeds the failure detector
-  /// like any other outbound call.
-  Result<ProbeResponse> Probe(const std::string& peer);
+  /// like any other outbound call. A valid `ctx` stitches the probe into the
+  /// caller's trace.
+  Result<ProbeResponse> Probe(const std::string& peer,
+                              const obs::TraceContext& ctx = {});
 
   /// One active self-healing round: probes every known peer (failures feed the
   /// failure detector; enough consecutive ones evict), then refills each
@@ -178,15 +188,21 @@ class PGridNode {
     std::vector<WireEntry> entries;
   };
 
-  /// Shared routing core behind Search and RouteToResponsible.
-  Result<RouteResult> Route(const KeyPath& key);
+  /// Shared routing core behind Search and RouteToResponsible. A valid `parent`
+  /// makes the route span a child of the caller's span.
+  Result<RouteResult> Route(const KeyPath& key, const obs::TraceContext& parent = {});
 
   // ---- handler side ----
   std::string Handle(const std::string& from, const std::string& request);
+  /// Dispatches an unwrapped request; `ctx` is the caller's trace context (the
+  /// server-side span if this node traces, else the context as it arrived).
+  std::string Dispatch(const std::string& from, const std::string& request,
+                       MsgType type, const obs::TraceContext& ctx);
   std::string HandleStats();
   std::string HandleQuery(const std::string& request);
-  std::string HandlePublish(const std::string& request);
-  std::string HandleExchange(const std::string& from, const std::string& request);
+  std::string HandlePublish(const std::string& request, const obs::TraceContext& ctx);
+  std::string HandleExchange(const std::string& from, const std::string& request,
+                             const obs::TraceContext& ctx);
   std::string HandleCommit(const std::string& from, const std::string& request);
   std::string HandleEntryPush(const std::string& request);
   std::string HandleProbe();
@@ -194,19 +210,22 @@ class PGridNode {
   // ---- client side ----
   /// Every outbound call funnels through here: the retry policy handles
   /// transient Unavailable failures, and deadline overruns are counted on
-  /// node.call_deadline_exceeded.
-  Result<std::string> CallWithRetry(const std::string& to,
-                                    const std::string& request);
+  /// node.call_deadline_exceeded. A valid `ctx` wraps the request in a kTraced
+  /// envelope so the receiver can stitch its spans under ours.
+  Result<std::string> CallWithRetry(const std::string& to, const std::string& request,
+                                    const obs::TraceContext& ctx = {});
 
   /// Failure-detector hook on the outbound funnel: successes rehabilitate the
   /// address, consecutive failures past the threshold evict it from every
   /// reference level.
   void NoteCallOutcome(const std::string& to, bool ok);
 
-  Status MeetWithDepth(const std::string& peer, uint32_t depth);
+  Status MeetWithDepth(const std::string& peer, uint32_t depth,
+                       const obs::TraceContext& parent = {});
 
   /// Sends entries to `peer`; whatever it rejects is parked in foreign_.
-  void PushEntries(const std::string& peer, std::vector<WireEntry> entries);
+  void PushEntries(const std::string& peer, std::vector<WireEntry> entries,
+                   const obs::TraceContext& ctx = {});
 
   // ---- locked helpers (mu_ must be held) ----
   /// Adds an entry to the leaf index, deduplicating by (holder, item); refreshes

@@ -220,10 +220,50 @@ Result<MsgType> PeekType(const std::string& payload) {
   if (payload.empty()) return Status::InvalidArgument("empty message");
   const uint8_t tag = static_cast<uint8_t>(payload[0]);
   if (tag < static_cast<uint8_t>(MsgType::kPing) ||
-      tag > static_cast<uint8_t>(MsgType::kProbeResp)) {
+      tag > static_cast<uint8_t>(MsgType::kTraced)) {
     return Status::InvalidArgument("unknown message type " + std::to_string(tag));
   }
   return static_cast<MsgType>(tag);
+}
+
+std::string EncodeTraced(const obs::TraceContext& ctx, std::string_view inner) {
+  ByteWriter w = Tagged(MsgType::kTraced);
+  w.WriteU64(ctx.trace_id);
+  w.WriteU64(ctx.parent_span);
+  w.WriteU32(ctx.depth);
+  w.WriteU32(0);  // reserved for future envelope extensions (baggage, flags)
+  // The inner message is appended raw (no length prefix): it is simply the rest
+  // of the payload, so wrapping never hits collection-size caps.
+  std::string out = w.Take();
+  out.append(inner);
+  return out;
+}
+
+Result<TracedEnvelope> DecodeTraced(const std::string& payload) {
+  ByteReader r(payload);
+  PGRID_RETURN_IF_ERROR(CheckTag(&r, MsgType::kTraced));
+  TracedEnvelope m;
+  PGRID_ASSIGN_OR_RETURN(m.ctx.trace_id, r.ReadU64());
+  PGRID_ASSIGN_OR_RETURN(m.ctx.parent_span, r.ReadU64());
+  PGRID_ASSIGN_OR_RETURN(m.ctx.depth, r.ReadU32());
+  PGRID_ASSIGN_OR_RETURN(uint32_t reserved, r.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("traced envelope: unsupported extension " +
+                                   std::to_string(reserved));
+  }
+  if (m.ctx.trace_id == 0) {
+    return Status::InvalidArgument("traced envelope: zero trace id");
+  }
+  m.inner = r.ReadRest();
+  if (m.inner.empty()) {
+    return Status::InvalidArgument("traced envelope: empty inner message");
+  }
+  const Result<MsgType> inner_type = PeekType(m.inner);
+  if (!inner_type.ok()) return inner_type.status();
+  if (*inner_type == MsgType::kTraced) {
+    return Status::InvalidArgument("traced envelope: nested envelope");
+  }
+  return m;
 }
 
 Result<QueryRequest> DecodeQueryRequest(const std::string& payload) {

@@ -31,6 +31,7 @@
 
 #include "key/key_path.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace pgrid {
@@ -57,6 +58,7 @@ enum class MsgType : uint8_t {
   kStatsResp = 17,
   kProbeReq = 18,
   kProbeResp = 19,
+  kTraced = 20,  ///< causal-tracing envelope wrapping any request
 };
 
 /// An index entry on the wire: holders are transport addresses.
@@ -159,6 +161,19 @@ struct ProbeResponse {
   uint64_t index_digest = 0;
 };
 
+// ---- Traced envelope ----
+
+/// Causal-tracing wrapper: any request may be sent as kTraced, which prefixes
+/// the encoded inner message with the sender's TraceContext (trace id, parent
+/// span id, parent depth). The receiver opens a child span under parent_span,
+/// handles `inner` exactly as if it had arrived bare, and answers with the
+/// ordinary (unwrapped) response. Nodes that do not trace still unwrap and
+/// serve the inner request, so tracing is never load-bearing for correctness.
+struct TracedEnvelope {
+  obs::TraceContext ctx;
+  std::string inner;  ///< complete encoded request, tag byte included
+};
+
 // ---- EntryPush ----
 
 struct EntryPushRequest {
@@ -190,6 +205,7 @@ std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const StatsResponse& m);
 std::string EncodeProbeRequest();
 std::string EncodeProbeResponse(const ProbeResponse& m);
+std::string EncodeTraced(const obs::TraceContext& ctx, std::string_view inner);
 
 /// Reads the leading type tag (does not consume anything else).
 Result<MsgType> PeekType(const std::string& payload);
@@ -206,6 +222,7 @@ Result<EntryPushResponse> DecodeEntryPushResponse(const std::string& payload);
 Result<CommitRequest> DecodeCommitRequest(const std::string& payload);
 Result<StatsResponse> DecodeStatsResponse(const std::string& payload);
 Result<ProbeResponse> DecodeProbeResponse(const std::string& payload);
+Result<TracedEnvelope> DecodeTraced(const std::string& payload);
 Result<std::string> DecodeError(const std::string& payload);
 
 }  // namespace net

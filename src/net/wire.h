@@ -64,6 +64,14 @@ class ByteReader {
   Result<KeyPath> ReadKeyPath();
   Result<std::vector<std::string>> ReadStringList();
 
+  /// Consumes and returns all bytes not yet read. Used by envelope formats
+  /// (e.g. the traced-RPC wrapper) whose payload is simply "the rest".
+  std::string ReadRest() {
+    std::string out(data_.substr(pos_));
+    pos_ = data_.size();
+    return out;
+  }
+
   /// Bytes not yet consumed.
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }

@@ -138,12 +138,39 @@ std::string TraceToJson(const std::vector<TraceEvent>& events) {
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     out << (i == 0 ? "\n" : ",\n");
-    out << "  {\"trace_id\": " << e.trace_id << ", \"name\": \""
+    out << "  {\"trace_id\": " << e.trace_id << ", \"span_id\": " << e.span_id
+        << ", \"parent_span\": " << e.parent_span << ", \"name\": \""
         << JsonEscape(e.name) << "\", \"detail\": \"" << JsonEscape(e.detail)
         << "\", \"ts_ns\": " << e.ts_ns << ", \"dur_ns\": " << e.dur_ns
         << ", \"depth\": " << e.depth << "}";
   }
   out << (events.empty() ? "" : "\n") << "]\n";
+  return out.str();
+}
+
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
+  // chrome://tracing / Perfetto "trace event format": spans become complete
+  // ("X") events with microsecond ts/dur, point events become instants ("i").
+  // Each trace gets its own tid row so concurrent queries do not interleave.
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \"pgrid\", ";
+    if (e.is_span) {
+      out << "\"ph\": \"X\", \"ts\": " << e.ts_ns / 1000 << ", \"dur\": "
+          << (e.dur_ns + 999) / 1000 << ", ";
+    } else {
+      out << "\"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.ts_ns / 1000 << ", ";
+    }
+    out << "\"pid\": 1, \"tid\": " << e.trace_id << ", \"args\": {\"trace_id\": "
+        << e.trace_id << ", \"span_id\": " << e.span_id << ", \"parent_span\": "
+        << e.parent_span << ", \"depth\": " << e.depth << ", \"detail\": \""
+        << JsonEscape(e.detail) << "\"}}";
+  }
+  out << (events.empty() ? "" : "\n") << "]}\n";
   return out.str();
 }
 

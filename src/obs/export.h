@@ -29,6 +29,11 @@ std::string ToJson(const RegistrySnapshot& snapshot);
 /// JSON array of trace event objects, in recording order.
 std::string TraceToJson(const std::vector<TraceEvent>& events);
 
+/// chrome://tracing / Perfetto JSON ({"traceEvents": [...]}): spans as complete
+/// "X" events (ts/dur in microseconds), point events as instants. Load the file
+/// via chrome://tracing or ui.perfetto.dev.
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
+
 /// Maps a dotted registry name to its Prometheus name: "search.messages" ->
 /// "pgrid_search_messages" (any character outside [a-zA-Z0-9_] becomes '_').
 std::string PrometheusName(const std::string& name);

@@ -1,0 +1,56 @@
+#include "obs/profiler.h"
+
+#include <sstream>
+
+namespace pgrid {
+namespace obs {
+
+PhaseProfiler::PhaseProfiler(size_t lanes, size_t capacity_per_lane)
+    : capacity_(capacity_per_lane), epoch_(std::chrono::steady_clock::now()) {
+  lanes_.reserve(lanes == 0 ? 1 : lanes);
+  for (size_t i = 0; i < (lanes == 0 ? 1 : lanes); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+    lanes_.back()->buf.reserve(capacity_per_lane < 1024 ? capacity_per_lane : 1024);
+  }
+}
+
+uint64_t PhaseProfiler::NowNs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+int PhaseProfiler::RegisterPhase(std::string name) {
+  phase_names_.push_back(std::move(name));
+  return static_cast<int>(phase_names_.size()) - 1;
+}
+
+std::vector<PhaseProfiler::Event> PhaseProfiler::DrainLane(size_t lane) {
+  std::vector<Event> out;
+  out.swap(lanes_[lane]->buf);
+  return out;
+}
+
+std::vector<std::vector<PhaseProfiler::Event>> PhaseProfiler::DrainAll() {
+  std::vector<std::vector<Event>> out;
+  out.reserve(lanes_.size());
+  for (size_t i = 0; i < lanes_.size(); ++i) out.push_back(DrainLane(i));
+  return out;
+}
+
+uint64_t PhaseProfiler::dropped() const {
+  uint64_t total = 0;
+  for (const auto& l : lanes_) total += l->dropped;
+  return total;
+}
+
+std::string CollapsedStacks::ToString() const {
+  std::ostringstream out;
+  for (const auto& [stack, value] : stacks_) {
+    out << stack << " " << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace pgrid

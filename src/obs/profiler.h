@@ -1,0 +1,110 @@
+// Low-overhead per-thread phase profiler for the fork/join engines.
+//
+// The parallel builder and query driver split work into waves/chunks executed
+// on a fixed set of lanes (ThreadPool lanes: caller + workers). Each lane owns
+// a private event buffer; Record() is a bounds check plus a push_back with no
+// synchronization, so profiling the exchange hot loop costs nanoseconds per
+// item. Buffers are epoch-scoped: the owner drains them at a barrier (where the
+// pool's join gives the happens-before edge) and aggregates into whatever
+// report it is building -- per-wave busy/wait accounting, collapsed stacks, a
+// serial-fraction summary.
+//
+// Contract: Record(lane, ...) has exactly one writer per lane at a time, and
+// DrainLane/dropped are only called while no lane is recording (i.e. between
+// ParallelFor calls). That is the natural structure of fork/join phases and is
+// what keeps the hot path free of atomics; the profiler does not try to detect
+// violations.
+//
+// A null profiler pointer means "profiling off" at every call site, mirroring
+// how TraceRecorder is threaded through the engines.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgrid {
+namespace obs {
+
+class PhaseProfiler {
+ public:
+  /// One recorded phase execution on one lane. `tag` is caller-defined context
+  /// (the builder stores the wave ordinal, the query driver the chunk index).
+  struct Event {
+    int phase = 0;
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+    uint64_t tag = 0;
+  };
+
+  /// `lanes` execution lanes (ThreadPool::threads()), each with room for
+  /// `capacity_per_lane` events per epoch; overflow is counted, not stored.
+  explicit PhaseProfiler(size_t lanes, size_t capacity_per_lane = 1 << 14);
+
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  size_t lanes() const { return lanes_.size(); }
+
+  /// Nanoseconds since profiler construction (steady clock).
+  uint64_t NowNs() const;
+
+  /// Interns a phase name and returns its id. Call during setup, not while
+  /// lanes are recording.
+  int RegisterPhase(std::string name);
+
+  const std::vector<std::string>& phase_names() const { return phase_names_; }
+
+  /// Appends an event to `lane`'s buffer. Single writer per lane; no locking.
+  void Record(size_t lane, int phase, uint64_t start_ns, uint64_t dur_ns,
+              uint64_t tag = 0) {
+    Lane& l = *lanes_[lane];
+    if (l.buf.size() >= capacity_) {
+      ++l.dropped;
+      return;
+    }
+    l.buf.push_back(Event{phase, start_ns, dur_ns, tag});
+  }
+
+  /// Removes and returns `lane`'s buffered events (ends the lane's epoch).
+  /// Only call between fork/join phases.
+  std::vector<Event> DrainLane(size_t lane);
+
+  /// Drains every lane; result is indexed by lane.
+  std::vector<std::vector<Event>> DrainAll();
+
+  /// Events discarded across all lanes since construction. Call at barriers.
+  uint64_t dropped() const;
+
+ private:
+  struct Lane {
+    std::vector<Event> buf;
+    uint64_t dropped = 0;
+  };
+
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::string> phase_names_;
+};
+
+/// Collapsed-stack accumulator ("a;b;c 123" lines, the input format of every
+/// flamegraph renderer). Values accumulate per stack; output is sorted by stack
+/// so reports are deterministic given deterministic inputs.
+class CollapsedStacks {
+ public:
+  void Add(const std::string& stack, uint64_t value) { stacks_[stack] += value; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> stacks_;
+};
+
+}  // namespace obs
+}  // namespace pgrid

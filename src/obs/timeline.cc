@@ -1,0 +1,100 @@
+#include "obs/timeline.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace pgrid {
+namespace obs {
+
+TimelineRecorder::TimelineRecorder(size_t max_points) : max_points_(max_points) {}
+
+void TimelineRecorder::AddPoint(std::string_view series, uint64_t t, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (num_points_ >= max_points_) {
+    ++dropped_;
+    return;
+  }
+  series_[std::string(series)].push_back(Point{t, value});
+  ++num_points_;
+}
+
+void TimelineRecorder::SampleRegistry(uint64_t t, const MetricsRegistry& registry) {
+  const RegistrySnapshot snap = registry.Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    AddPoint(name, t, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    AddPoint(name, t, value);
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    AddPoint(h.name + ".count", t, static_cast<double>(h.count));
+    AddPoint(h.name + ".p50", t, h.p50);
+    AddPoint(h.name + ".p95", t, h.p95);
+    AddPoint(h.name + ".p99", t, h.p99);
+  }
+}
+
+namespace {
+
+void AppendValue(std::ostringstream& out, double v) {
+  if (std::isfinite(v) && v == static_cast<double>(static_cast<int64_t>(v))) {
+    out << static_cast<int64_t>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out << buf;
+}
+
+}  // namespace
+
+std::string TimelineRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"series\": {";
+  bool first_series = true;
+  for (const auto& [name, points] : series_) {
+    out << (first_series ? "\n" : ",\n");
+    first_series = false;
+    out << "    \"" << JsonEscape(name) << "\": [";
+    for (size_t i = 0; i < points.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "[" << points[i].t << ", ";
+      AppendValue(out, points[i].value);
+      out << "]";
+    }
+    out << "]";
+  }
+  out << (series_.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"points\": " << num_points_ << ",\n";
+  out << "  \"dropped\": " << dropped_ << "\n}\n";
+  return out.str();
+}
+
+std::map<std::string, std::vector<TimelineRecorder::Point>> TimelineRecorder::series()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+size_t TimelineRecorder::num_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_points_;
+}
+
+uint64_t TimelineRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TimelineRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+  num_points_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace pgrid

@@ -1,0 +1,71 @@
+// Metric timelines: periodic snapshots of a MetricsRegistry (or hand-fed
+// series) keyed by a caller-supplied clock, so benches and the scenario runner
+// can show *when* queries started failing or references got repaired instead of
+// only end-of-run totals.
+//
+// The time axis is whatever the caller passes: the scenario runner samples on
+// its virtual clock (deterministic, replayable), benches sample on round or
+// wall-clock tick numbers. Sampling only reads -- attaching a timeline to a
+// deterministic run cannot change its digest.
+//
+// The recorder is bounded like TraceRecorder: past `max_points` further points
+// are counted in dropped() instead of growing memory.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pgrid {
+namespace obs {
+
+class TimelineRecorder {
+ public:
+  struct Point {
+    uint64_t t = 0;
+    double value = 0;
+  };
+
+  explicit TimelineRecorder(size_t max_points = 1 << 20);
+
+  TimelineRecorder(const TimelineRecorder&) = delete;
+  TimelineRecorder& operator=(const TimelineRecorder&) = delete;
+
+  /// Appends (t, value) to `series`, creating it on first use.
+  void AddPoint(std::string_view series, uint64_t t, double value);
+
+  /// Samples every instrument of `registry` at time `t`: one point per counter
+  /// and gauge, plus <name>.count / .p50 / .p95 / .p99 per histogram.
+  void SampleRegistry(uint64_t t, const MetricsRegistry& registry);
+
+  /// {"series": {name: [[t, value], ...], ...}}, series sorted by name. Values
+  /// that are whole numbers print as integers, so counter series are
+  /// byte-deterministic given deterministic inputs.
+  std::string ToJson() const;
+
+  /// Copy of all series, sorted by name.
+  std::map<std::string, std::vector<Point>> series() const;
+
+  size_t num_points() const;
+
+  /// Points discarded because the recorder was full.
+  uint64_t dropped() const;
+
+  void Clear();
+
+ private:
+  const size_t max_points_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Point>> series_;
+  size_t num_points_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace pgrid

@@ -1,8 +1,7 @@
 #include "obs/trace.h"
 
-#include <algorithm>
-
 #include "obs/export.h"
+#include "util/rng.h"
 
 namespace pgrid {
 namespace obs {
@@ -16,35 +15,65 @@ uint64_t TraceRecorder::NowNs() const {
                                    .count());
 }
 
-uint64_t TraceRecorder::BeginTrace(std::string_view name) {
-  const uint64_t now = NowNs();
+void TraceRecorder::set_id_salt(uint64_t salt) {
   std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t id = next_id_++;
+  id_salt_ = salt;
+}
+
+uint64_t TraceRecorder::NextId() {
+  const uint64_t seq = next_id_++;
+  if (id_salt_ == 0) return seq;
+  const uint64_t id = Mix64(id_salt_ + seq);
+  return id == 0 ? 1 : id;
+}
+
+uint64_t TraceRecorder::OpenSpan(uint64_t trace_id, uint64_t parent_span,
+                                 uint32_t depth, std::string_view name,
+                                 std::string_view detail, uint64_t now) {
+  const uint64_t id = NextId();
   if (events_.size() >= capacity_) {
     ++dropped_;
-    return id;  // id is still valid for Event/EndTrace; they will drop too
+    return id;  // id is still valid for Event/EndSpan; they will drop too
   }
   TraceEvent e;
-  e.trace_id = id;
+  e.trace_id = trace_id == 0 ? id : trace_id;
+  e.span_id = id;
+  e.parent_span = parent_span;
   e.name = std::string(name);
+  e.detail = std::string(detail);
   e.ts_ns = now;
-  open_.emplace_back(id, events_.size());
+  e.depth = depth;
+  e.is_span = true;
+  open_.emplace(id, events_.size());
   events_.push_back(std::move(e));
   return id;
 }
 
-void TraceRecorder::EndTrace(uint64_t trace_id) {
+uint64_t TraceRecorder::BeginTrace(std::string_view name, std::string_view detail) {
   const uint64_t now = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = std::find_if(open_.begin(), open_.end(),
-                         [trace_id](const auto& p) { return p.first == trace_id; });
+  return OpenSpan(/*trace_id=*/0, /*parent_span=*/0, /*depth=*/0, name, detail, now);
+}
+
+uint64_t TraceRecorder::BeginSpan(const TraceContext& parent, std::string_view name,
+                                  std::string_view detail) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  return OpenSpan(parent.trace_id, parent.parent_span, parent.depth + 1, name,
+                  detail, now);
+}
+
+void TraceRecorder::EndSpan(uint64_t span_id) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(span_id);
   if (it == open_.end()) return;
   TraceEvent& begin = events_[it->second];
   begin.dur_ns = now > begin.ts_ns ? now - begin.ts_ns : 0;
   open_.erase(it);
 }
 
-void TraceRecorder::Event(uint64_t trace_id, std::string_view name,
+void TraceRecorder::Event(uint64_t span_id, std::string_view name,
                           std::string_view detail, uint32_t depth) {
   const uint64_t now = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
@@ -53,7 +82,16 @@ void TraceRecorder::Event(uint64_t trace_id, std::string_view name,
     return;
   }
   TraceEvent e;
-  e.trace_id = trace_id;
+  auto it = open_.find(span_id);
+  if (it != open_.end()) {
+    const TraceEvent& span = events_[it->second];
+    e.trace_id = span.trace_id;
+    e.parent_span = span_id;
+    if (depth == 0) depth = span.depth;
+  } else {
+    e.trace_id = span_id;  // loose event; pre-span-tree behaviour
+  }
+  e.span_id = 0;
   e.name = std::string(name);
   e.detail = std::string(detail);
   e.ts_ns = now;

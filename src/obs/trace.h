@@ -1,17 +1,29 @@
 // Structured per-operation traces: what happened inside one query, exchange, or
 // update, with nanosecond timing from a steady clock.
 //
-// A trace is a span (BeginTrace/EndTrace, or the RAII TraceSpan) plus any number
-// of point events attached to its id: search hops including backtracks and
-// offline skips, exchange recursion steps, update fan-out. Events carry the
-// nesting depth so a hop tree can be reconstructed offline. The recorder is
-// bounded: once `capacity` events are buffered, further events are counted in
-// dropped() instead of growing memory -- tracing a heavy run degrades gracefully
-// instead of taking the process down.
+// The model is a span tree. A *trace* is identified by a trace id; every span
+// inside it has its own span id plus the span id of its parent, so an offline
+// reader (or the chrome://tracing exporter) can reconstruct the full tree even
+// when spans were recorded on different nodes. A root span (BeginTrace, or the
+// RAII TraceSpan without a parent) has span_id == trace_id and parent_span == 0;
+// child spans (BeginSpan, or TraceSpan with a TraceContext) hang off any span,
+// including one that lives on another node: the TraceContext carries (trace id,
+// parent span id, depth) over the wire, and the receiving node stitches its
+// server-side spans under the caller's span. Point events attach to a span and
+// have dur_ns == 0.
+//
+// The recorder is bounded: once `capacity` events are buffered, further events
+// are counted in dropped() instead of growing memory -- tracing a heavy run
+// degrades gracefully instead of taking the process down.
 //
 // Engines take the recorder as an optional pointer (nullptr = tracing off) and
 // every recording call tolerates null, so instrumented hot paths cost one branch
 // when tracing is disabled.
+//
+// Span ids are unique per recorder (a monotone counter). When traces from
+// several recorders are merged into one tree -- one recorder per process --
+// each recorder must be salted (set_id_salt) so their id spaces do not collide;
+// in-process multi-node tests simply share one recorder.
 
 #pragma once
 
@@ -20,19 +32,36 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace pgrid {
 namespace obs {
 
+/// Wire-propagatable causal context: which trace an RPC belongs to, which span
+/// sent it, and how deep in the tree the sender sits. A default-constructed
+/// context is invalid (= "no tracing"); trace_id is never 0 for a live trace.
+struct TraceContext {
+  uint64_t trace_id = 0;     ///< id of the root trace this work belongs to
+  uint64_t parent_span = 0;  ///< span id of the sending / enclosing span
+  uint32_t depth = 0;        ///< tree depth of the parent span (root = 0)
+
+  bool valid() const { return trace_id != 0; }
+};
+
 /// One trace record. Spans have dur_ns > 0 once ended; point events have 0.
 struct TraceEvent {
-  uint64_t trace_id = 0;   ///< groups all events of one operation
-  std::string name;        ///< e.g. "search.query", "search.hop"
-  std::string detail;      ///< free-form context ("peer=17 level=3")
-  uint64_t ts_ns = 0;      ///< steady-clock ns since recorder construction
-  uint64_t dur_ns = 0;     ///< span duration; 0 for point events / open spans
-  uint32_t depth = 0;      ///< hop / recursion depth within the operation
+  uint64_t trace_id = 0;     ///< groups all events of one operation
+  uint64_t span_id = 0;      ///< unique id of this span (== trace_id for roots)
+  uint64_t parent_span = 0;  ///< enclosing span id; 0 for roots / loose events
+  std::string name;          ///< e.g. "search.query", "search.hop"
+  std::string detail;        ///< free-form context ("peer=17 level=3")
+  uint64_t ts_ns = 0;        ///< steady-clock ns since recorder construction
+  uint64_t dur_ns = 0;       ///< span duration; 0 for point events / open spans
+  uint32_t depth = 0;        ///< hop / recursion depth within the operation
+
+  /// True for span records (begin/end pairs); false for point events.
+  bool is_span = false;
 };
 
 /// Thread-safe bounded event recorder.
@@ -43,15 +72,31 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  /// Opens a span and returns its trace id (never 0).
-  uint64_t BeginTrace(std::string_view name);
+  /// Salts span-id generation so ids from this recorder cannot collide with ids
+  /// from another recorder participating in the same distributed trace. 0 (the
+  /// default) keeps small sequential ids, which golden tests rely on.
+  void set_id_salt(uint64_t salt);
 
-  /// Closes the span: fills dur_ns on its begin event. Unknown ids are ignored
-  /// (the begin event may have been dropped at capacity).
-  void EndTrace(uint64_t trace_id);
+  /// Opens a root span and returns its id (never 0). The returned id doubles as
+  /// the trace id of the new trace.
+  uint64_t BeginTrace(std::string_view name, std::string_view detail = {});
 
-  /// Appends a point event to an open or closed trace.
-  void Event(uint64_t trace_id, std::string_view name, std::string_view detail = {},
+  /// Opens a child span underneath `parent` (possibly recorded on another node).
+  /// Returns the new span id; its depth is parent.depth + 1.
+  uint64_t BeginSpan(const TraceContext& parent, std::string_view name,
+                     std::string_view detail = {});
+
+  /// Closes an open span: fills dur_ns on its begin event. Unknown ids are
+  /// ignored (the begin event may have been dropped at capacity).
+  void EndSpan(uint64_t span_id);
+
+  /// Alias of EndSpan kept for root-span call sites.
+  void EndTrace(uint64_t trace_id) { EndSpan(trace_id); }
+
+  /// Appends a point event. `span_id` may be a root or child span id; if that
+  /// span is still open the event inherits its trace id, otherwise the event is
+  /// recorded loose with trace_id == span_id (pre-span-tree behaviour).
+  void Event(uint64_t span_id, std::string_view name, std::string_view detail = {},
              uint32_t depth = 0);
 
   /// Copy of all buffered events, in recording order.
@@ -72,26 +117,56 @@ class TraceRecorder {
   uint64_t NowNs() const;
 
  private:
+  /// Allocates the next span id (lock held). Never returns 0.
+  uint64_t NextId();
+
+  /// Records the begin event for a span and registers it in the open index
+  /// (lock held). Returns the new span id.
+  uint64_t OpenSpan(uint64_t trace_id, uint64_t parent_span, uint32_t depth,
+                    std::string_view name, std::string_view detail, uint64_t now);
+
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
-  // Open spans: (trace_id, index into events_); small and short-lived.
-  std::vector<std::pair<uint64_t, size_t>> open_;
+  // Open-span index: span id -> index of its begin event in events_. A hash map
+  // keeps EndSpan O(1) under load (a linear scan here turned every span close
+  // into O(open spans)).
+  std::unordered_map<uint64_t, size_t> open_;
   uint64_t next_id_ = 1;
+  uint64_t id_salt_ = 0;
   uint64_t dropped_ = 0;
 };
 
 /// RAII span: begins on construction, ends on destruction. A null recorder makes
-/// every operation a no-op, so call sites need no branching of their own.
+/// every operation a no-op, so call sites need no branching of their own. The
+/// three-argument form opens a child span under `parent` (typically a
+/// TraceContext that arrived over the wire).
 class TraceSpan {
  public:
   TraceSpan(TraceRecorder* recorder, std::string_view name)
       : recorder_(recorder),
-        id_(recorder == nullptr ? 0 : recorder->BeginTrace(name)) {}
+        id_(recorder == nullptr ? 0 : recorder->BeginTrace(name)) {
+    trace_id_ = id_;
+  }
+
+  TraceSpan(TraceRecorder* recorder, std::string_view name,
+            const TraceContext& parent, std::string_view detail = {})
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) {
+      id_ = 0;
+    } else if (!parent.valid()) {
+      id_ = recorder_->BeginTrace(name, detail);
+      trace_id_ = id_;
+    } else {
+      id_ = recorder_->BeginSpan(parent, name, detail);
+      trace_id_ = parent.trace_id;
+      depth_ = parent.depth + 1;
+    }
+  }
 
   ~TraceSpan() {
-    if (recorder_ != nullptr) recorder_->EndTrace(id_);
+    if (recorder_ != nullptr) recorder_->EndSpan(id_);
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -105,9 +180,15 @@ class TraceSpan {
 
   uint64_t id() const { return id_; }
 
+  /// Context for work causally downstream of this span: child spans opened from
+  /// it (locally or on the far side of an RPC) become its children.
+  TraceContext context() const { return TraceContext{trace_id_, id_, depth_}; }
+
  private:
   TraceRecorder* recorder_;
-  uint64_t id_;
+  uint64_t id_ = 0;
+  uint64_t trace_id_ = 0;
+  uint32_t depth_ = 0;
 };
 
 }  // namespace obs

@@ -1,0 +1,130 @@
+#include "obs/trace_view.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pgrid {
+namespace obs {
+
+std::vector<uint64_t> TraceIds(const std::vector<TraceEvent>& events) {
+  std::vector<uint64_t> ids;
+  std::unordered_set<uint64_t> seen;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != 0 && seen.insert(e.trace_id).second) ids.push_back(e.trace_id);
+  }
+  return ids;
+}
+
+std::vector<SpanNode> BuildSpanTree(const std::vector<TraceEvent>& events,
+                                    uint64_t trace_id) {
+  // Collect this trace's spans and index them by span id.
+  std::vector<SpanNode> nodes;
+  std::unordered_map<uint64_t, size_t> by_id;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != trace_id || !e.is_span) continue;
+    by_id.emplace(e.span_id, nodes.size());
+    nodes.push_back(SpanNode{e, {}, {}});
+  }
+  // Attach point events to their span (loose ones to the root span if present).
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != trace_id || e.is_span) continue;
+    auto it = by_id.find(e.parent_span);
+    if (it == by_id.end()) it = by_id.find(trace_id);
+    if (it != by_id.end()) nodes[it->second].events.push_back(e);
+  }
+  // Link children bottom-up. Children are moved into their parents in reverse
+  // recording order so a parent is only moved after all its children are in
+  // place (spans are recorded parent-first).
+  std::vector<size_t> roots;
+  for (size_t i = nodes.size(); i-- > 0;) {
+    const uint64_t parent = nodes[i].span.parent_span;
+    auto it = by_id.find(parent);
+    // `it->second >= i` can only happen on merged buffers where a child was
+    // recorded before its parent; treat it as a root rather than losing it.
+    if (parent == 0 || it == by_id.end() || it->second >= i) {
+      roots.push_back(i);
+      continue;
+    }
+    nodes[it->second].children.push_back(std::move(nodes[i]));
+  }
+  std::vector<SpanNode> out;
+  // roots was filled in reverse; restore recording order.
+  for (size_t i = roots.size(); i-- > 0;) out.push_back(std::move(nodes[roots[i]]));
+  // Children were appended in reverse recording order at every level; restore
+  // start-time order throughout.
+  struct {
+    void operator()(SpanNode& n) {
+      std::sort(n.children.begin(), n.children.end(),
+                [](const SpanNode& a, const SpanNode& b) {
+                  return a.span.ts_ns < b.span.ts_ns;
+                });
+      std::sort(n.events.begin(), n.events.end(),
+                [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.ts_ns < b.ts_ns;
+                });
+      for (SpanNode& c : n.children) (*this)(c);
+    }
+  } sort_rec;
+  for (SpanNode& n : out) sort_rec(n);
+  return out;
+}
+
+namespace {
+
+void RenderNode(const SpanNode& n, const std::string& indent, std::ostringstream& out) {
+  out << indent << n.span.name << "  [" << n.span.dur_ns / 1000 << "us]";
+  if (!n.span.detail.empty()) out << "  " << n.span.detail;
+  out << "\n";
+  for (const TraceEvent& e : n.events) {
+    out << indent << "  . " << e.name;
+    if (!e.detail.empty()) out << "  " << e.detail;
+    out << "\n";
+  }
+  for (const SpanNode& c : n.children) RenderNode(c, indent + "  ", out);
+}
+
+uint64_t EndNs(const SpanNode& n) { return n.span.ts_ns + n.span.dur_ns; }
+
+}  // namespace
+
+std::string RenderSpanTree(const std::vector<SpanNode>& roots) {
+  std::ostringstream out;
+  for (const SpanNode& r : roots) RenderNode(r, "", out);
+  return out.str();
+}
+
+std::vector<TraceEvent> CriticalPath(const std::vector<SpanNode>& roots) {
+  std::vector<TraceEvent> path;
+  if (roots.empty()) return path;
+  const SpanNode* cur = &roots[0];
+  for (const SpanNode& r : roots) {
+    if (EndNs(r) > EndNs(*cur)) cur = &r;
+  }
+  for (;;) {
+    path.push_back(cur->span);
+    if (cur->children.empty()) break;
+    const SpanNode* next = &cur->children[0];
+    for (const SpanNode& c : cur->children) {
+      if (EndNs(c) > EndNs(*next)) next = &c;
+    }
+    cur = next;
+  }
+  return path;
+}
+
+std::string RenderCriticalPath(const std::vector<TraceEvent>& path) {
+  std::ostringstream out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    const uint64_t child_dur = i + 1 < path.size() ? path[i + 1].dur_ns : 0;
+    const uint64_t self = path[i].dur_ns > child_dur ? path[i].dur_ns - child_dur : 0;
+    out << (i == 0 ? "" : " -> ") << path[i].name << " (" << path[i].dur_ns / 1000
+        << "us, self " << self / 1000 << "us)";
+  }
+  if (!path.empty()) out << "\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace pgrid

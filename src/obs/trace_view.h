@@ -1,0 +1,50 @@
+// Offline span-tree reconstruction: turn a flat TraceEvent buffer back into the
+// per-trace tree the spans describe, render it for humans, and extract the
+// critical path of one trace.
+//
+// Works on events from a single recorder or on merged buffers from several
+// salted recorders, as long as all spans of one trace share a clock epoch
+// (in-process clusters share one recorder, so this holds there by construction).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pgrid {
+namespace obs {
+
+/// One node of a reconstructed span tree.
+struct SpanNode {
+  TraceEvent span;                    ///< the begin/end record of this span
+  std::vector<TraceEvent> events;     ///< point events attached to this span
+  std::vector<SpanNode> children;     ///< child spans ordered by start time
+};
+
+/// Trace ids present in `events`, in first-seen order.
+std::vector<uint64_t> TraceIds(const std::vector<TraceEvent>& events);
+
+/// Rebuilds the span tree of `trace_id`. Spans whose parent was dropped (or
+/// recorded elsewhere) are attached at the root level, so partial traces still
+/// render. Returns a forest: normally one root, more if the root was dropped.
+std::vector<SpanNode> BuildSpanTree(const std::vector<TraceEvent>& events,
+                                    uint64_t trace_id);
+
+/// Human-readable tree: one line per span with duration and detail, point
+/// events indented underneath.
+std::string RenderSpanTree(const std::vector<SpanNode>& roots);
+
+/// Spans on the critical path of the forest: from the latest-finishing root,
+/// repeatedly descend into the child that finishes last. This is the chain of
+/// spans that bounded the operation's wall time.
+std::vector<TraceEvent> CriticalPath(const std::vector<SpanNode>& roots);
+
+/// One line per critical-path hop: name, duration, self time (duration minus
+/// the part covered by the next hop).
+std::string RenderCriticalPath(const std::vector<TraceEvent>& path);
+
+}  // namespace obs
+}  // namespace pgrid

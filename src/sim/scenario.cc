@@ -510,6 +510,15 @@ struct ScenarioRunner::Impl {
         }
       }
       if (!final_barrier) ++result.steps_executed;
+      if (timeline != nullptr) {
+        // Read-only sampling: the engines never see the recorder, so the
+        // execution (and digest) cannot depend on whether a timeline is on.
+        timeline->AddPoint("sim.virtual_now", i,
+                           static_cast<double>(transport.virtual_now()));
+        timeline->AddPoint("sim.live_peers", i,
+                           static_cast<double>(churn.live_count()));
+        timeline->SampleRegistry(i, grid.metrics());
+      }
     }
     result.digest = ComputeDigest();
     return result;
@@ -533,12 +542,17 @@ struct ScenarioRunner::Impl {
   repair::RepairEngine repair;
   std::vector<DataItem> inserted;
   ItemId next_item_id = 1;
+  obs::TimelineRecorder* timeline = nullptr;
 };
 
 ScenarioRunner::ScenarioRunner(const Scenario& scenario)
     : impl_(std::make_unique<Impl>(scenario)) {}
 
 ScenarioRunner::~ScenarioRunner() = default;
+
+void ScenarioRunner::SetTimeline(obs::TimelineRecorder* timeline) {
+  impl_->timeline = timeline;
+}
 
 ScenarioResult ScenarioRunner::Run() { return impl_->Run(); }
 

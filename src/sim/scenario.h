@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "check/invariants.h"
+#include "obs/timeline.h"
 #include "util/result.h"
 
 namespace pgrid {
@@ -149,6 +150,14 @@ class ScenarioRunner {
 
   ScenarioRunner(const ScenarioRunner&) = delete;
   ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Attaches a per-step metric timeline (null = off, the default). After every
+  /// executed step the runner samples the grid's metrics registry at t = step
+  /// index and records the virtual clock and live-peer count as their own
+  /// series. Sampling only reads, so the result -- digest included -- is
+  /// byte-identical with and without a timeline (tests/scenario_test.cc pins
+  /// this). Call before Run(); the recorder must outlive the runner.
+  void SetTimeline(obs::TimelineRecorder* timeline);
 
   /// Runs every step, checking invariants at each kBarrier and once more after
   /// the last step. Stops at the first failing barrier.

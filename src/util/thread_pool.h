@@ -33,7 +33,7 @@ class ThreadPool {
   explicit ThreadPool(size_t threads) : threads_(threads == 0 ? 1 : threads) {
     workers_.reserve(threads_ - 1);
     for (size_t i = 0; i + 1 < threads_; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
     }
   }
 
@@ -57,9 +57,18 @@ class ThreadPool {
   /// items' (or internally synchronized). Not reentrant: fn must not call
   /// ParallelFor on the same pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    ParallelFor(n, [&fn](size_t i, size_t /*lane*/) { fn(i); });
+  }
+
+  /// Lane-aware variant: fn(item, lane) where `lane` identifies the executing
+  /// lane (0 = the calling thread, 1..threads()-1 = workers). Lanes are stable
+  /// within one ParallelFor, so per-lane accumulators (profiler ring buffers,
+  /// sharded stats) need no synchronization; the join gives the caller a
+  /// happens-before edge on everything the lanes wrote.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {
-      for (size_t i = 0; i < n; ++i) fn(i);
+      for (size_t i = 0; i < n; ++i) fn(i, 0);
       return;
     }
     std::unique_lock<std::mutex> lock(mu_);
@@ -71,7 +80,7 @@ class ThreadPool {
     lock.unlock();
     wake_cv_.notify_all();
     lock.lock();
-    DrainJob(&lock);
+    DrainJob(&lock, /*lane=*/0);
     done_cv_.wait(lock, [this] { return job_next_ >= job_n_ && job_active_ == 0; });
     job_fn_ = nullptr;
   }
@@ -79,26 +88,26 @@ class ThreadPool {
  private:
   /// Claims and runs items of the current job until none are left. `lock` must be
   /// held on entry and is held again on return.
-  void DrainJob(std::unique_lock<std::mutex>* lock) {
+  void DrainJob(std::unique_lock<std::mutex>* lock, size_t lane) {
     while (job_fn_ != nullptr && job_next_ < job_n_) {
       const size_t i = job_next_++;
-      const std::function<void(size_t)>* fn = job_fn_;
+      const std::function<void(size_t, size_t)>* fn = job_fn_;
       ++job_active_;
       lock->unlock();
-      (*fn)(i);
+      (*fn)(i, lane);
       lock->lock();
       --job_active_;
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop(size_t lane) {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
       wake_cv_.wait(lock, [this] {
         return stop_ || (job_fn_ != nullptr && job_next_ < job_n_);
       });
       if (stop_) return;
-      DrainJob(&lock);
+      DrainJob(&lock, lane);
       if (job_fn_ != nullptr && job_next_ >= job_n_ && job_active_ == 0) {
         done_cv_.notify_all();
       }
@@ -112,7 +121,7 @@ class ThreadPool {
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
   bool stop_ = false;
-  const std::function<void(size_t)>* job_fn_ = nullptr;  // null = no job pending
+  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;  // null = no job
   size_t job_n_ = 0;
   size_t job_next_ = 0;    // next unclaimed item
   size_t job_active_ = 0;  // items currently executing

@@ -247,6 +247,32 @@ TEST(CliTest, VerifyPrintsCategorizedReportOnCorruptSnapshot) {
   std::remove(file.c_str());
 }
 
+TEST(CliTest, TraceRendersSpanTreeAndCriticalPath) {
+  const std::string file = TempSnapshot("cli_trace.json");
+  CliResult r = RunArgs({"trace", "--peers=8", "--maxl=3", "--seed=7",
+                         "--trace-json=" + file});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  // The command publishes then searches over a traced in-process cluster and
+  // renders every trace as a span tree plus the search's critical path.
+  EXPECT_NE(r.out.find("cluster: 8 peers"), std::string::npos);
+  EXPECT_NE(r.out.find("trace "), std::string::npos);
+  EXPECT_NE(r.out.find("node.publish"), std::string::npos);
+  EXPECT_NE(r.out.find("node.route"), std::string::npos);
+  EXPECT_NE(r.out.find("critical path:"), std::string::npos);
+  // --trace-json dumps the same events in chrome://tracing format.
+  std::ifstream in(file);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buf.str().find("node.route"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, TraceRejectsBadFlags) {
+  EXPECT_EQ(RunArgs({"trace", "--peers=1"}).exit_code, 1);
+  EXPECT_EQ(RunArgs({"trace", "--maxl=0"}).exit_code, 1);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace pgrid

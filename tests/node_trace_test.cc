@@ -1,0 +1,211 @@
+// Causal tracing across the networked node stack (the acceptance criterion of
+// the observability layer): a distributed search started on one node must
+// reconstruct as a single span tree whose client-side hop spans parent the
+// server-side spans recorded on *other* nodes, with the TraceContext carried in
+// the kTraced wire envelope (net/protocol.h). Also pinned: tracing is never
+// load-bearing -- untraced nodes unwrap and serve traced requests unchanged --
+// and per-process recorders with distinct salts merge into one coherent tree.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/inproc_transport.h"
+#include "net/node.h"
+#include "obs/trace.h"
+#include "obs/trace_view.h"
+
+namespace pgrid {
+namespace net {
+namespace {
+
+KeyPath P(const char* bits) { return KeyPath::FromString(bits).value(); }
+
+/// In-process cluster (same idiom as node_test.cc).
+struct Cluster {
+  InProcTransport transport;
+  std::vector<std::unique_ptr<PGridNode>> nodes;
+  Rng rng{12345};
+
+  explicit Cluster(size_t n, NodeConfig config = {}) {
+    for (size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<PGridNode>("node:" + std::to_string(i),
+                                                  &transport, config, 1000 + i));
+      EXPECT_TRUE(nodes.back()->Start().ok());
+    }
+  }
+
+  void Mingle(size_t meetings) {
+    for (size_t m = 0; m < meetings; ++m) {
+      size_t a = rng.UniformIndex(nodes.size());
+      size_t b = rng.UniformIndex(nodes.size());
+      if (a == b) continue;
+      (void)nodes[a]->MeetWith(nodes[b]->address());
+    }
+  }
+};
+
+/// Bootstraps a converged cluster with one published item, untraced.
+struct TracedFixture {
+  NodeConfig config;
+  std::unique_ptr<Cluster> cluster;
+  DataItem item;
+
+  TracedFixture() {
+    config.maxl = 4;
+    config.refmax = 4;
+    cluster = std::make_unique<Cluster>(16, config);
+    cluster->Mingle(2500);
+    item.id = 7;
+    item.key = P("01100110");
+    item.payload = "the-file";
+    item.version = 1;
+    EXPECT_TRUE(cluster->nodes[5]->Publish(item).ok());
+  }
+};
+
+/// Distinct "node=..." tokens across all event details: how many nodes
+/// contributed spans to the buffer.
+std::set<std::string> NodesInvolved(const std::vector<obs::TraceEvent>& events) {
+  std::set<std::string> out;
+  for (const obs::TraceEvent& e : events) {
+    const size_t pos = e.detail.find("node=");
+    if (pos == std::string::npos) continue;
+    const size_t end = e.detail.find(' ', pos);
+    out.insert(e.detail.substr(pos + 5, end == std::string::npos
+                                            ? std::string::npos
+                                            : end - pos - 5));
+  }
+  return out;
+}
+
+TEST(NodeTraceTest, DistributedSearchReconstructsAsOneSpanTree) {
+  TracedFixture f;
+  obs::TraceRecorder recorder;  // in-process cluster: one shared recorder
+  for (auto& node : f.cluster->nodes) node->SetTraceRecorder(&recorder);
+
+  // Find a starting node whose search actually leaves the node (a node that is
+  // responsible for the key answers locally, which is a one-span trace).
+  std::vector<obs::TraceEvent> events;
+  bool found_remote = false;
+  for (auto& node : f.cluster->nodes) {
+    recorder.Clear();
+    Result<std::vector<WireEntry>> r = node->Search(f.item.key);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    ASSERT_FALSE(r->empty());
+    events = recorder.events();
+    bool has_serve = false;
+    for (const obs::TraceEvent& e : events) {
+      if (e.name == "node.serve.query") has_serve = true;
+    }
+    if (has_serve) {
+      found_remote = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_remote) << "no search ever crossed a node boundary";
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  // Every event of the search belongs to ONE trace.
+  const std::vector<uint64_t> traces = obs::TraceIds(events);
+  ASSERT_EQ(traces.size(), 1u);
+  for (const obs::TraceEvent& e : events) EXPECT_EQ(e.trace_id, traces[0]);
+
+  // Spans were recorded on at least two distinct nodes.
+  EXPECT_GE(NodesInvolved(events).size(), 2u);
+
+  // Stitching: every server-side query span hangs under a client-side hop span
+  // of the same trace -- the TraceContext crossed the wire intact.
+  std::set<uint64_t> hop_ids;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "node.rpc.query") hop_ids.insert(e.span_id);
+  }
+  size_t serves = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name != "node.serve.query") continue;
+    ++serves;
+    EXPECT_EQ(hop_ids.count(e.parent_span), 1u)
+        << "serve span " << e.span_id << " not under a client hop";
+  }
+  EXPECT_GE(serves, 1u);
+
+  // The offline reconstruction agrees: one root (the client's route span),
+  // with the hop and serve spans nested inside it.
+  const std::vector<obs::SpanNode> roots =
+      obs::BuildSpanTree(events, traces[0]);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].span.name, "node.route");
+  const std::string tree = obs::RenderSpanTree(roots);
+  EXPECT_NE(tree.find("node.rpc.query"), std::string::npos);
+  EXPECT_NE(tree.find("node.serve.query"), std::string::npos);
+  // And the critical path is a non-empty chain starting at the root.
+  const std::vector<obs::TraceEvent> path = obs::CriticalPath(roots);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front().name, "node.route");
+}
+
+TEST(NodeTraceTest, UntracedNodesServeTracedRequestsUnchanged) {
+  TracedFixture f;
+  // Only the client records; everyone else unwraps the kTraced envelope and
+  // serves the inner request without a recorder.
+  obs::TraceRecorder recorder;
+  f.cluster->nodes[0]->SetTraceRecorder(&recorder);
+
+  Result<std::vector<WireEntry>> r = f.cluster->nodes[0]->Search(f.item.key);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ASSERT_FALSE(r->empty());
+  EXPECT_EQ((*r)[0].item_id, f.item.id);
+
+  // The client-side half of the trace exists; no server spans (nobody else
+  // recorded), and everything still belongs to one trace.
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  ASSERT_FALSE(events.empty());
+  const std::vector<uint64_t> traces = obs::TraceIds(events);
+  EXPECT_EQ(traces.size(), 1u);
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_NE(e.name, "node.serve.query");
+  }
+}
+
+TEST(NodeTraceTest, SaltedPerNodeRecordersMergeIntoOneTree) {
+  TracedFixture f;
+  // One recorder per node, as in the multi-process deployment, each salted so
+  // span ids cannot collide when the dumps are merged offline.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
+  for (size_t i = 0; i < f.cluster->nodes.size(); ++i) {
+    recorders.push_back(std::make_unique<obs::TraceRecorder>());
+    recorders.back()->set_id_salt(0x9E3779B97F4A7C15ull * (i + 1));
+    f.cluster->nodes[i]->SetTraceRecorder(recorders[i].get());
+  }
+
+  Result<std::vector<WireEntry>> r = f.cluster->nodes[0]->Search(f.item.key);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+
+  // Merge all per-node buffers, as an offline tool would.
+  std::vector<obs::TraceEvent> merged;
+  for (const auto& rec : recorders) {
+    for (const obs::TraceEvent& e : rec->events()) merged.push_back(e);
+  }
+  const std::vector<uint64_t> traces = obs::TraceIds(merged);
+  ASSERT_EQ(traces.size(), 1u);
+  std::set<uint64_t> span_ids;
+  size_t spans = 0;
+  for (const obs::TraceEvent& e : merged) {
+    if (!e.is_span) continue;
+    ++spans;
+    span_ids.insert(e.span_id);
+  }
+  EXPECT_EQ(span_ids.size(), spans) << "salted ids collided across recorders";
+  // The merged buffer still reconstructs to a single root.
+  const std::vector<obs::SpanNode> roots =
+      obs::BuildSpanTree(merged, traces[0]);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].span.name, "node.route");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pgrid

@@ -136,8 +136,30 @@ TEST(TraceJsonTest, EmptyAndNonEmpty) {
   e.depth = 2;
   const std::string json = TraceToJson({e});
   EXPECT_EQ(json,
-            "[\n  {\"trace_id\": 3, \"name\": \"search.hop\", \"detail\": "
+            "[\n  {\"trace_id\": 3, \"span_id\": 0, \"parent_span\": 0, "
+            "\"name\": \"search.hop\", \"detail\": "
             "\"peer=1\", \"ts_ns\": 100, \"dur_ns\": 0, \"depth\": 2}\n]\n");
+}
+
+TEST(TraceJsonTest, ChromeExportShapes) {
+  EXPECT_EQ(TraceToChromeJson({}), "{\"traceEvents\": []}\n");
+  TraceEvent span;
+  span.trace_id = 7;
+  span.span_id = 7;
+  span.name = "node.route";
+  span.ts_ns = 2000;
+  span.dur_ns = 5000;
+  span.is_span = true;
+  TraceEvent point;
+  point.trace_id = 7;
+  point.parent_span = 7;
+  point.name = "node.route.hop";
+  point.ts_ns = 3000;
+  const std::string json = TraceToChromeJson({span, point});
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 7"), std::string::npos);
 }
 
 }  // namespace

@@ -36,7 +36,9 @@ struct ParallelBuilt {
 
 ParallelBuilt BuildParallel(size_t num_peers, size_t threads, uint64_t seed,
                             size_t maxl = 5, size_t recmax = 2,
-                            bool manage_data = true, size_t batch_size = 128) {
+                            bool manage_data = true, size_t batch_size = 128,
+                            bool profile = false, std::string* structure = nullptr,
+                            double* serial_fraction = nullptr) {
   ParallelBuilt out;
   out.config.maxl = maxl;
   out.config.refmax = 4;
@@ -50,9 +52,19 @@ ParallelBuilt BuildParallel(size_t num_peers, size_t threads, uint64_t seed,
   ParallelBuildOptions options;
   options.threads = threads;
   options.batch_size = batch_size;
+  options.profile = profile;
   ParallelGridBuilder builder(out.grid.get(), &exchange, &scheduler, &master,
                               options);
   out.report = builder.BuildToFractionOfMaxDepth(0.99, 5'000'000);
+  if (profile) {
+    EXPECT_NE(builder.profile(), nullptr);
+    if (structure != nullptr) *structure = builder.profile()->StructureJson();
+    if (serial_fraction != nullptr) {
+      *serial_fraction = builder.profile()->SerialFraction();
+    }
+  } else {
+    EXPECT_EQ(builder.profile(), nullptr);
+  }
   return out;
 }
 
@@ -163,6 +175,36 @@ TEST(ParallelBuilderTest, BuiltGridSatisfiesAllInvariantsAtEveryThreadCount) {
                              << report.ToString();
     EXPECT_EQ(report.peers_checked, built.grid->size());
   }
+}
+
+TEST(ParallelBuilderTest, ProfilingDoesNotChangeTheGrid) {
+  // The profiler only observes; turning it on must not perturb the schedule,
+  // the exchanges, or the resulting structure in any way.
+  ParallelBuilt plain = BuildParallel(300, /*threads=*/4, /*seed=*/13);
+  ParallelBuilt profiled = BuildParallel(300, 4, 13, 5, 2, true, 128,
+                                         /*profile=*/true);
+  EXPECT_EQ(SnapshotBytes(plain, "prof_off.pgrid"),
+            SnapshotBytes(profiled, "prof_on.pgrid"));
+  EXPECT_EQ(plain.report.meetings, profiled.report.meetings);
+  EXPECT_EQ(plain.report.exchanges, profiled.report.exchanges);
+}
+
+TEST(ParallelBuilderTest, ProfileWaveStructureIsThreadCountInvariant) {
+  // The per-wave structure report (batch/wave/scheduled/width/conflicts --
+  // everything except timings) is schedule-determined, so it must be byte
+  // identical at every thread count. This is what lets profiles from different
+  // thread counts be compared wave by wave (bench_parallel_profile).
+  std::string s1, s4;
+  double f1 = 0, f4 = 0;
+  BuildParallel(300, /*threads=*/1, /*seed=*/42, 5, 2, true, 128, true, &s1, &f1);
+  BuildParallel(300, /*threads=*/4, /*seed=*/42, 5, 2, true, 128, true, &s4, &f4);
+  ASSERT_FALSE(s1.empty());
+  EXPECT_EQ(s1, s4);
+  // The timing side is populated and sane: a serial fraction in (0, 1].
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LE(f1, 1.0);
+  EXPECT_GT(f4, 0.0);
+  EXPECT_LE(f4, 1.0);
 }
 
 TEST(ParallelBuilderTest, MatchesABarrierFreeShardedReplay) {

@@ -1,0 +1,113 @@
+// PhaseProfiler: the per-lane fork/join event buffers behind the builder's
+// wave accounting and the query driver's busy tracking. The contract under
+// test: single-writer-per-lane recording with exact overflow accounting,
+// epoch-scoped drains, and deterministic collapsed-stack output.
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pgrid {
+namespace obs {
+namespace {
+
+TEST(PhaseProfilerTest, RegistersPhasesAndRecordsPerLane) {
+  PhaseProfiler prof(/*lanes=*/2);
+  const int exchange = prof.RegisterPhase("exchange");
+  const int merge = prof.RegisterPhase("merge");
+  EXPECT_NE(exchange, merge);
+  ASSERT_EQ(prof.phase_names().size(), 2u);
+  EXPECT_EQ(prof.phase_names()[static_cast<size_t>(exchange)], "exchange");
+  EXPECT_EQ(prof.phase_names()[static_cast<size_t>(merge)], "merge");
+
+  prof.Record(0, exchange, /*start_ns=*/10, /*dur_ns=*/5, /*tag=*/1);
+  prof.Record(1, exchange, 12, 7, 1);
+  prof.Record(1, merge, 20, 3, 2);
+
+  std::vector<PhaseProfiler::Event> lane0 = prof.DrainLane(0);
+  ASSERT_EQ(lane0.size(), 1u);
+  EXPECT_EQ(lane0[0].phase, exchange);
+  EXPECT_EQ(lane0[0].start_ns, 10u);
+  EXPECT_EQ(lane0[0].dur_ns, 5u);
+  EXPECT_EQ(lane0[0].tag, 1u);
+  std::vector<PhaseProfiler::Event> lane1 = prof.DrainLane(1);
+  ASSERT_EQ(lane1.size(), 2u);
+  EXPECT_EQ(lane1[1].phase, merge);
+}
+
+TEST(PhaseProfilerTest, DrainEndsTheEpoch) {
+  PhaseProfiler prof(1);
+  const int phase = prof.RegisterPhase("p");
+  prof.Record(0, phase, 1, 1);
+  EXPECT_EQ(prof.DrainLane(0).size(), 1u);
+  EXPECT_TRUE(prof.DrainLane(0).empty());  // second drain: epoch already ended
+  prof.Record(0, phase, 2, 2);             // next epoch records fresh
+  EXPECT_EQ(prof.DrainLane(0).size(), 1u);
+}
+
+TEST(PhaseProfilerTest, OverflowIsCountedNotStored) {
+  PhaseProfiler prof(/*lanes=*/2, /*capacity_per_lane=*/4);
+  const int phase = prof.RegisterPhase("p");
+  for (uint64_t i = 0; i < 10; ++i) prof.Record(0, phase, i, 1);
+  prof.Record(1, phase, 0, 1);  // other lane unaffected by lane 0's overflow
+  EXPECT_EQ(prof.dropped(), 6u);
+  EXPECT_EQ(prof.DrainLane(0).size(), 4u);
+  EXPECT_EQ(prof.DrainLane(1).size(), 1u);
+  // Draining frees capacity for the next epoch, but dropped() is cumulative.
+  prof.Record(0, phase, 0, 1);
+  EXPECT_EQ(prof.DrainLane(0).size(), 1u);
+  EXPECT_EQ(prof.dropped(), 6u);
+}
+
+TEST(PhaseProfilerTest, ConcurrentLanesRecordWithoutInterference) {
+  // The fork/join shape: one writer thread per lane, drained after the join.
+  constexpr size_t kLanes = 4;
+  constexpr uint64_t kPerLane = 5000;
+  PhaseProfiler prof(kLanes, /*capacity_per_lane=*/kPerLane);
+  const int phase = prof.RegisterPhase("work");
+  std::vector<std::thread> workers;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    workers.emplace_back([&prof, phase, lane]() {
+      for (uint64_t i = 0; i < kPerLane; ++i) {
+        prof.Record(lane, phase, i, 1, /*tag=*/lane);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();  // the barrier the contract needs
+  std::vector<std::vector<PhaseProfiler::Event>> all = prof.DrainAll();
+  ASSERT_EQ(all.size(), kLanes);
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    ASSERT_EQ(all[lane].size(), kPerLane) << "lane " << lane;
+    for (const PhaseProfiler::Event& e : all[lane]) {
+      EXPECT_EQ(e.tag, lane);  // no cross-lane bleed
+    }
+  }
+  EXPECT_EQ(prof.dropped(), 0u);
+}
+
+TEST(CollapsedStacksTest, AccumulatesAndSortsDeterministically) {
+  CollapsedStacks a;
+  a.Add("build;wave_run;lane0;busy", 10);
+  a.Add("build;serial;schedule", 5);
+  a.Add("build;wave_run;lane0;busy", 7);  // accumulates into one line
+
+  CollapsedStacks b;  // same content, different insertion order
+  b.Add("build;serial;schedule", 5);
+  b.Add("build;wave_run;lane0;busy", 17);
+
+  const std::string text = a.ToString();
+  EXPECT_EQ(text, b.ToString());
+  EXPECT_NE(text.find("build;wave_run;lane0;busy 17"), std::string::npos);
+  EXPECT_NE(text.find("build;serial;schedule 5"), std::string::npos);
+  // Sorted by stack: "serial" line precedes "wave_run".
+  EXPECT_LT(text.find("build;serial;schedule"),
+            text.find("build;wave_run;lane0;busy"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pgrid

@@ -186,6 +186,67 @@ TEST(ProtocolTest, DecodingTruncatedMessagesFails) {
   }
 }
 
+TEST(ProtocolTest, TracedEnvelopeRoundTrip) {
+  QueryRequest q;
+  q.key = P("10110");
+  q.consumed = 2;
+  obs::TraceContext ctx{/*trace_id=*/0xDEAD, /*parent_span=*/0xBEEF,
+                        /*depth=*/3};
+  const std::string bytes = EncodeTraced(ctx, EncodeQueryRequest(q));
+  EXPECT_EQ(PeekType(bytes).value(), MsgType::kTraced);
+
+  Result<TracedEnvelope> env = DecodeTraced(bytes);
+  ASSERT_TRUE(env.ok()) << env.status().message();
+  EXPECT_EQ(env->ctx.trace_id, 0xDEADu);
+  EXPECT_EQ(env->ctx.parent_span, 0xBEEFu);
+  EXPECT_EQ(env->ctx.depth, 3u);
+  // The inner message survives byte for byte and decodes as if it arrived bare.
+  EXPECT_EQ(env->inner, EncodeQueryRequest(q));
+  Result<QueryRequest> inner = DecodeQueryRequest(env->inner);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->key, q.key);
+  EXPECT_EQ(inner->consumed, 2u);
+}
+
+TEST(ProtocolTest, TracedEnvelopeWrapsEveryRequestShape) {
+  // The envelope appends the inner message raw (no length prefix), so wrapping
+  // must work for any request, including ones with nested collections.
+  ExchangeRequest ex{"a:1", 1, P("01"), {WireRefLevel{1, {"b:2", "c:3"}}}, 0};
+  obs::TraceContext ctx{7, 7, 0};
+  for (const std::string& inner :
+       {EncodePing(), EncodeProbeRequest(), EncodeStatsRequest(),
+        EncodeExchangeRequest(ex)}) {
+    Result<TracedEnvelope> env = DecodeTraced(EncodeTraced(ctx, inner));
+    ASSERT_TRUE(env.ok()) << env.status().message();
+    EXPECT_EQ(env->inner, inner);
+  }
+}
+
+TEST(ProtocolTest, TracedEnvelopeRejectsMalformedInput) {
+  const obs::TraceContext ctx{5, 5, 0};
+  const std::string ping = EncodePing();
+
+  // Zero trace id: a default (invalid) context must never reach the wire.
+  EXPECT_FALSE(DecodeTraced(EncodeTraced(obs::TraceContext{}, ping)).ok());
+  // Empty inner message.
+  EXPECT_FALSE(DecodeTraced(EncodeTraced(ctx, "")).ok());
+  // Nested envelope: one level only, recursion is refused.
+  EXPECT_FALSE(DecodeTraced(EncodeTraced(ctx, EncodeTraced(ctx, ping))).ok());
+  // Inner bytes with a garbage tag.
+  EXPECT_FALSE(DecodeTraced(EncodeTraced(ctx, std::string(1, '\x63'))).ok());
+  // Nonzero reserved word: flip the reserved u32 (the 4 bytes before the inner
+  // message starts) in an otherwise valid envelope.
+  std::string bytes = EncodeTraced(ctx, ping);
+  const size_t inner_start = bytes.size() - ping.size();
+  bytes[inner_start - 1] = '\x01';
+  EXPECT_FALSE(DecodeTraced(bytes).ok());
+  // Truncated at every prefix length.
+  const std::string full = EncodeTraced(ctx, ping);
+  for (size_t cut = 1; cut + 1 < full.size(); ++cut) {
+    EXPECT_FALSE(DecodeTraced(full.substr(0, cut)).ok()) << "cut at " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace pgrid

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/invariants.h"
+#include "obs/timeline.h"
 #include "sim/fuzzer.h"
 
 namespace pgrid {
@@ -90,6 +91,32 @@ TEST(ScenarioRunnerTest, DifferentSeedDifferentDigest) {
   Scenario other = SmallScenario();
   other.config.seed = 43;
   EXPECT_NE(RunScenario(SmallScenario()).digest, RunScenario(other).digest);
+}
+
+TEST(ScenarioRunnerTest, TimelineDoesNotChangeTheDigest) {
+  // Attaching a metric timeline only reads; the run -- digest, probes, step
+  // count -- must be byte-identical with and without one (sim/scenario.h).
+  const ScenarioResult plain = RunScenario(SmallScenario());
+
+  Scenario s = SmallScenario();
+  ScenarioRunner runner(s);
+  obs::TimelineRecorder timeline;
+  runner.SetTimeline(&timeline);
+  const ScenarioResult timed = runner.Run();
+
+  EXPECT_EQ(timed.digest, plain.digest);
+  EXPECT_EQ(timed.probes, plain.probes);
+  EXPECT_EQ(timed.steps_executed, plain.steps_executed);
+
+  // And the timeline actually recorded: one point per executed step (plus the
+  // appended final barrier) for the virtual clock and live-peer series, plus
+  // the sampled registry counters.
+  const auto series = timeline.series();
+  ASSERT_EQ(series.count("sim.virtual_now"), 1u);
+  EXPECT_EQ(series.at("sim.virtual_now").size(), timed.steps_executed + 1);
+  ASSERT_EQ(series.count("sim.live_peers"), 1u);
+  EXPECT_GE(series.size(), 3u);  // registry counters joined the two built-ins
+  EXPECT_EQ(timeline.dropped(), 0u);
 }
 
 TEST(ScenarioRunnerTest, RunnerExposesFinalGrid) {

@@ -1,0 +1,100 @@
+// TimelineRecorder: per-tick metric series. Under test: hand-fed points,
+// registry sampling (counters, gauges, histogram percentiles), the bounded
+// buffer, and the JSON shape benches and the scenario runner emit.
+
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pgrid {
+namespace obs {
+namespace {
+
+TEST(TimelineRecorderTest, AddPointBuildsOrderedSeries) {
+  TimelineRecorder tl;
+  tl.AddPoint("queries.ok", 0, 10);
+  tl.AddPoint("queries.ok", 1, 12);
+  tl.AddPoint("refs.dead", 1, 3);
+  EXPECT_EQ(tl.num_points(), 3u);
+
+  std::map<std::string, std::vector<TimelineRecorder::Point>> s = tl.series();
+  ASSERT_EQ(s.size(), 2u);
+  ASSERT_EQ(s["queries.ok"].size(), 2u);
+  EXPECT_EQ(s["queries.ok"][0].t, 0u);
+  EXPECT_EQ(s["queries.ok"][0].value, 10.0);
+  EXPECT_EQ(s["queries.ok"][1].t, 1u);
+  EXPECT_EQ(s["queries.ok"][1].value, 12.0);
+  ASSERT_EQ(s["refs.dead"].size(), 1u);
+}
+
+TEST(TimelineRecorderTest, SampleRegistryCoversEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("exchange.count")->Increment(4);
+  registry.GetGauge("peers.live")->Set(31);
+  Histogram* h = registry.GetHistogram("route.attempts", {1, 2, 4, 8});
+  h->Record(1);
+  h->Record(3);
+
+  TimelineRecorder tl;
+  tl.SampleRegistry(/*t=*/5, registry);
+  std::map<std::string, std::vector<TimelineRecorder::Point>> s = tl.series();
+  ASSERT_EQ(s.count("exchange.count"), 1u);
+  EXPECT_EQ(s["exchange.count"][0].t, 5u);
+  EXPECT_EQ(s["exchange.count"][0].value, 4.0);
+  ASSERT_EQ(s.count("peers.live"), 1u);
+  EXPECT_EQ(s["peers.live"][0].value, 31.0);
+  // Histograms expand to .count/.p50/.p95/.p99 series.
+  ASSERT_EQ(s.count("route.attempts.count"), 1u);
+  EXPECT_EQ(s["route.attempts.count"][0].value, 2.0);
+  EXPECT_EQ(s.count("route.attempts.p50"), 1u);
+  EXPECT_EQ(s.count("route.attempts.p95"), 1u);
+  EXPECT_EQ(s.count("route.attempts.p99"), 1u);
+
+  // A second sample extends every series by one point at the new tick.
+  registry.GetCounter("exchange.count")->Increment();
+  tl.SampleRegistry(6, registry);
+  s = tl.series();
+  ASSERT_EQ(s["exchange.count"].size(), 2u);
+  EXPECT_EQ(s["exchange.count"][1].t, 6u);
+  EXPECT_EQ(s["exchange.count"][1].value, 5.0);
+}
+
+TEST(TimelineRecorderTest, BoundedBufferCountsDropped) {
+  TimelineRecorder tl(/*max_points=*/3);
+  for (uint64_t t = 0; t < 10; ++t) tl.AddPoint("s", t, 1.0);
+  EXPECT_EQ(tl.num_points(), 3u);
+  EXPECT_EQ(tl.dropped(), 7u);
+  tl.Clear();
+  EXPECT_EQ(tl.num_points(), 0u);
+  tl.AddPoint("s", 0, 1.0);
+  EXPECT_EQ(tl.num_points(), 1u);
+}
+
+TEST(TimelineRecorderTest, JsonIsDeterministicAndIntegerClean) {
+  TimelineRecorder tl;
+  tl.AddPoint("b.series", 1, 2.5);
+  tl.AddPoint("a.series", 0, 3);  // whole numbers must print as integers
+  const std::string json = tl.ToJson();
+  // Series sorted by name, [t, value] pairs, whole doubles printed as ints.
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.series\": [[0, 3]]"), std::string::npos);
+  EXPECT_NE(json.find("\"b.series\": [[1, 2.5]]"), std::string::npos);
+  EXPECT_LT(json.find("a.series"), json.find("b.series"));
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+
+  // Identical inputs, identical bytes.
+  TimelineRecorder again;
+  again.AddPoint("b.series", 1, 2.5);
+  again.AddPoint("a.series", 0, 3);
+  EXPECT_EQ(json, again.ToJson());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pgrid

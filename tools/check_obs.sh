@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Observability gate: proves the tracing/profiling layer is both thread-clean
+# and cheap enough to leave compiled in.
+#
+# Two checks:
+#   1. Sanitizer legs -- the obs test suite (ctest label `obs`: recorder
+#      concurrency, wire-envelope round-trips, the distributed span-tree
+#      acceptance test) under AddressSanitizer and ThreadSanitizer, each in its
+#      own build tree. The TSan leg is what certifies the shared-recorder and
+#      per-lane profiler contracts.
+#   2. Overhead guard -- a release-mode bench_micro_ops run writes
+#      BENCH_obs_overhead.json with the measured cost of the *disabled* hooks
+#      (null-recorder span ns x instrumented sites per query / query ns); the
+#      estimate must stay under 2%. This is the "tracing off is free" claim of
+#      docs/observability.md, enforced.
+#
+#   tools/check_obs.sh              # asan + tsan legs + overhead guard
+#   tools/check_obs.sh address     # just the ASan leg
+#   tools/check_obs.sh thread      # just the TSan leg
+#   tools/check_obs.sh overhead    # just the overhead guard
+#
+# Env: BUILD_DIR_PREFIX (default <repo>/build), OVERHEAD_LIMIT_PCT (default 2).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${BUILD_DIR_PREFIX:-${repo_root}/build}"
+limit_pct="${OVERHEAD_LIMIT_PCT:-2}"
+
+run_leg() {
+  local sanitizer="$1"
+  local build_dir="${prefix}-${sanitizer}-obs"
+  echo "== ${sanitizer} sanitizer leg (${build_dir}) =="
+
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DPGRID_SANITIZE="${sanitizer}" \
+    -DPGRID_BUILD_BENCHMARKS=OFF \
+    -DPGRID_BUILD_EXAMPLES=OFF
+
+  cmake --build "${build_dir}" -j "$(nproc)" --target \
+    trace_test metrics_test obs_export_test profiler_test timeline_test \
+    node_trace_test
+
+  ctest --test-dir "${build_dir}" --output-on-failure -L obs
+}
+
+run_overhead() {
+  local build_dir="${prefix}"
+  echo "== overhead guard (${build_dir}) =="
+
+  cmake -B "${build_dir}" -S "${repo_root}"
+  cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_ops
+
+  # --par-peers stays >= 1024: fewer peers cannot reach the parallel section's
+  # 0.99 * maxl depth target and the build loop runs to its meeting cap.
+  local json="${build_dir}/BENCH_obs_overhead.json"
+  (cd "${build_dir}" && ./bench/bench_micro_ops --benchmark_filter=NONE \
+    --par-peers=1024 --par-queries=2048 --obs-json="${json}")
+
+  [ -s "${json}" ] || { echo "FAIL: ${json} missing or empty" >&2; exit 1; }
+
+  # Pull est_off_overhead_pct out of the estimate row and compare to the limit.
+  python3 - "${json}" "${limit_pct}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+limit = float(sys.argv[2])
+rows = {r.get("op"): r for r in report["rows"]}
+est = rows["estimate"]
+pct = est["est_off_overhead_pct"]
+print(f"disabled-hook cost: {est['null_site_ns']:.3f} ns/site x "
+      f"{est['sites_per_query']:.1f} sites/query over "
+      f"{est['query_ns_off']:.0f} ns/query = {pct:.4f}% (limit {limit}%)")
+if not (0 <= pct < limit):
+    print(f"FAIL: tracing-off overhead estimate {pct:.4f}% >= {limit}%",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+  echo "overhead guard passed (report: ${json})"
+}
+
+case "${1:-all}" in
+  address|thread) run_leg "$1" ;;
+  overhead) run_overhead ;;
+  all)
+    run_leg address
+    run_leg thread
+    run_overhead
+    ;;
+  *)
+    echo "usage: $0 [address|thread|overhead]" >&2
+    exit 2
+    ;;
+esac
+
+echo "observability suite clean."

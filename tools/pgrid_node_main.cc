@@ -22,7 +22,11 @@
 //        reference; 0 disables the failure detector),
 //        --metrics-json=FILE (dump the metrics registry as JSON on shutdown;
 //        while running, any peer can scrape the same registry with a kStats
-//        request -- see docs/observability.md).
+//        request -- see docs/observability.md),
+//        --trace-json=FILE (attach a trace recorder and dump the daemon's spans
+//        in chrome://tracing format on shutdown; the daemon salts its span ids
+//        with the seed so dumps from several daemons can be merged into one
+//        distributed trace).
 //
 // Retry flags (docs/robustness.md; a real network deserves retries, so the
 // daemon defaults differ from the library's single-shot default):
@@ -45,6 +49,7 @@
 #include "net/tcp_transport.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -128,6 +133,13 @@ int main(int argc, char** argv) {
   pgrid::net::TcpTransport transport(&registry);
   pgrid::net::PGridNode node(listen, &transport, config,
                              static_cast<uint64_t>(seed.value()), &registry);
+  // One recorder per process; the salt keeps span ids from colliding when
+  // several daemons' dumps are merged into one span tree offline.
+  pgrid::obs::TraceRecorder trace;
+  if (flags.Has("trace-json")) {
+    trace.set_id_salt(static_cast<uint64_t>(seed.value()) | 1);
+    node.SetTraceRecorder(&trace);
+  }
   if (pgrid::Status s = node.Start(); !s.ok()) {
     std::fprintf(stderr, "error: cannot serve %s: %s\n", listen.c_str(),
                  s.ToString().c_str());
@@ -214,16 +226,23 @@ int main(int argc, char** argv) {
   std::printf("shutting down %s (final path %s)\n", listen.c_str(),
               node.path().ToString().c_str());
   node.Stop();
-  if (flags.Has("metrics-json")) {
-    const std::string file = flags.GetString("metrics-json", "");
+  const auto dump = [](const std::string& file, const char* what,
+                       const std::string& content) {
     if (FILE* f = std::fopen(file.c_str(), "w")) {
-      const std::string json = pgrid::obs::ToJson(registry.Snapshot());
-      std::fwrite(json.data(), 1, json.size(), f);
+      std::fwrite(content.data(), 1, content.size(), f);
       std::fclose(f);
-      std::printf("metrics written to %s\n", file.c_str());
+      std::printf("%s written to %s\n", what, file.c_str());
     } else {
       std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
     }
+  };
+  if (flags.Has("metrics-json")) {
+    dump(flags.GetString("metrics-json", ""), "metrics",
+         pgrid::obs::ToJson(registry.Snapshot()));
+  }
+  if (flags.Has("trace-json")) {
+    dump(flags.GetString("trace-json", ""), "trace",
+         pgrid::obs::TraceToChromeJson(trace.events()));
   }
   return 0;
 }
