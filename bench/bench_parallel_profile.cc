@@ -4,10 +4,12 @@
 // t in {1, 2, 4, 8} with the per-wave profiler on, then prints the Amdahl
 // accounting per thread count: serial fraction (schedule + wave partition +
 // barrier merge), parallel-region utilization, barrier-wait percentiles, and
-// the claim-conflict rate of the wave partitioner. Because the wave structure
-// is schedule-determined, the waves/width/conflicts columns are identical
-// across rows -- only the time columns move, which is exactly what makes the
-// negative scaling attributable.
+// the claim-conflict rate -- identically 0 since the edge-colored wave
+// schedule (core/wave_schedule.h) precomputes conflict-free waves; the column
+// stays so a scheduler regression is visible here immediately. Because the
+// wave structure is schedule-determined, the waves/width/conflicts columns are
+// identical across rows -- only the time columns move, which is exactly what
+// makes any scaling loss attributable.
 //
 // Also runs the read-only parallel query workload at the same thread counts
 // with per-lane busy accounting (chunk-granular), the second half of the

@@ -5,19 +5,21 @@
 // N (linear total cost).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/parallel_workload.h"
+#include "sim/digest.h"
 
 namespace pgrid {
 namespace {
 
-/// Parses a comma-separated --name=1,2,4 list of thread counts.
-std::vector<size_t> ThreadList(const bench::Args& args, const std::string& name,
-                               const std::string& fallback) {
+/// Parses a comma-separated --name=1,2,4 list of sizes (thread or peer counts).
+std::vector<size_t> SizeList(const bench::Args& args, const std::string& name,
+                             const std::string& fallback) {
   std::vector<size_t> out;
   std::string csv = args.GetString(name, fallback);
   size_t pos = 0;
@@ -32,60 +34,98 @@ std::vector<size_t> ThreadList(const bench::Args& args, const std::string& name,
   return out;
 }
 
-/// Parallel-construction scaling: one large build per thread count, same seed, so
-/// rows are directly comparable (the deterministic builder produces the same grid
-/// in every row; only the wall clock changes). Each grid then serves a read-only
-/// parallel query workload at the same thread count.
+/// Parallel-construction scaling: for each community size, one large build per
+/// thread count with the same seed, so rows are directly comparable (the
+/// deterministic builder produces the same grid in every row; only the wall
+/// clock changes -- enforced below by an FNV digest cross-check). Each grid
+/// then serves a read-only parallel query workload at the same thread count.
+/// Default sizes sweep 2k (the original regression scale) and 20k (paper
+/// scale); pass --big=1 for the 100k arm, which takes minutes.
 void RunParallelScaling(const bench::Args& args) {
   const uint64_t seed = args.GetInt("seed", 42);
-  const size_t peers = static_cast<size_t>(args.GetInt("par-peers", 20000));
+  std::vector<size_t> peer_sizes = SizeList(args, "par-peers", "2000,20000");
+  if (args.GetInt("big", 0) != 0) {
+    peer_sizes.push_back(static_cast<size_t>(args.GetInt("big-peers", 100000)));
+  }
   const size_t maxl = static_cast<size_t>(args.GetInt("par-maxl", 8));
   const uint64_t queries = static_cast<uint64_t>(args.GetInt("par-queries", 20000));
-  const std::vector<size_t> threads = ThreadList(args, "par-threads", "1,2,4,8");
+  const std::vector<size_t> threads = SizeList(args, "par-threads", "1,2,4,8");
 
-  std::printf("\n-- parallel construction + query scaling (N=%zu, maxl=%zu) --\n",
-              peers, maxl);
-  std::printf("%7s | %10s %12s %9s | %12s %9s\n", "threads", "meetings",
-              "meetings/s", "build s", "queries/s", "query s");
   bench::JsonReport report("parallel_build");
-  for (size_t t : threads) {
-    // Always the parallel builder, even at t=1, so every row constructs the
-    // identical grid and the rows compare pure scheduling overhead + scaling.
-    ExchangeConfig config;
-    config.maxl = maxl;
-    config.refmax = 4;
-    config.recmax = 2;
-    config.recursion_fanout = 2;
-    Grid grid(peers);
-    Rng rng(seed);
-    ExchangeEngine exchange(&grid, config, &rng);
-    MeetingScheduler scheduler(peers);
-    ParallelBuildOptions opts;
-    opts.threads = t;
-    ParallelGridBuilder builder(&grid, &exchange, &scheduler, &rng, opts);
-    BuildReport br = builder.BuildToFractionOfMaxDepth(0.99, 200'000'000);
+  for (size_t peers : peer_sizes) {
+    std::printf("\n-- parallel construction + query scaling (N=%zu, maxl=%zu) --\n",
+                peers, maxl);
+    std::printf("%7s | %10s %12s %9s | %12s %9s | %9s\n", "threads", "meetings",
+                "meetings/s", "build s", "queries/s", "query s", "B/peer");
+    uint64_t baseline_digest = 0;
+    for (size_t t : threads) {
+      // Always the parallel builder, even at t=1, so every row constructs the
+      // identical grid and the rows compare pure scheduling overhead + scaling.
+      ExchangeConfig config;
+      config.maxl = maxl;
+      config.refmax = 4;
+      config.recmax = 2;
+      config.recursion_fanout = 2;
+      Grid grid(peers);
+      Rng rng(seed);
+      ExchangeEngine exchange(&grid, config, &rng);
+      MeetingScheduler scheduler(peers);
+      ParallelBuildOptions opts;
+      opts.threads = t;
+      ParallelGridBuilder builder(&grid, &exchange, &scheduler, &rng, opts);
+      BuildReport br = builder.BuildToFractionOfMaxDepth(0.99, 200'000'000);
 
-    ParallelQueryOptions q;
-    q.threads = t;
-    q.num_queries = queries;
-    q.key_length = maxl;
-    q.seed = seed + 1;
-    ParallelQueryReport qr = RunParallelQueries(&grid, nullptr, q);
-    const double mps =
-        br.seconds > 0.0 ? static_cast<double>(br.meetings) / br.seconds : 0.0;
-    std::printf("%7zu | %10llu %12.0f %9.3f | %12.0f %9.3f\n", t,
-                static_cast<unsigned long long>(br.meetings), mps, br.seconds,
-                qr.queries_per_second, qr.seconds);
-    report.AddRow()
-        .Int("peers", peers)
-        .Int("threads", t)
-        .Int("meetings", br.meetings)
-        .Num("meetings_per_sec", mps)
-        .Num("build_seconds", br.seconds)
-        .Int("queries", qr.queries)
-        .Num("queries_per_sec", qr.queries_per_second)
-        .Num("query_seconds", qr.seconds)
-        .Num("avg_path_length", br.avg_path_length);
+      // Thread-count determinism is the builder's contract; a bench row built
+      // on a different grid would be comparing incomparable work, so fail loud.
+      const uint64_t digest = sim::GridStateDigest(grid);
+      if (t == threads.front()) {
+        baseline_digest = digest;
+      } else if (digest != baseline_digest) {
+        std::fprintf(stderr,
+                     "FATAL: t=%zu built a different grid than t=%zu at N=%zu "
+                     "(digest %016llx vs %016llx)\n",
+                     t, threads.front(), peers,
+                     static_cast<unsigned long long>(digest),
+                     static_cast<unsigned long long>(baseline_digest));
+        std::exit(1);
+      }
+
+      // Per-peer storage cost (Sec. 6 measured in bytes): protocol state only,
+      // identical across rows since the grids are identical.
+      const size_t grid_bytes = grid.ApproxMemoryBytes();
+      const double bytes_per_peer =
+          static_cast<double>(grid_bytes) / static_cast<double>(peers);
+
+      ParallelQueryOptions q;
+      q.threads = t;
+      q.num_queries = queries;
+      q.key_length = maxl;
+      q.seed = seed + 1;
+      ParallelQueryReport qr = RunParallelQueries(&grid, nullptr, q);
+      const double mps =
+          br.seconds > 0.0 ? static_cast<double>(br.meetings) / br.seconds : 0.0;
+      std::printf("%7zu | %10llu %12.0f %9.3f | %12.0f %9.3f | %9.0f\n", t,
+                  static_cast<unsigned long long>(br.meetings), mps, br.seconds,
+                  qr.queries_per_second, qr.seconds, bytes_per_peer);
+      report.AddRow()
+          .Int("peers", peers)
+          .Int("threads", t)
+          .Int("meetings", br.meetings)
+          .Num("meetings_per_sec", mps)
+          .Num("build_seconds", br.seconds)
+          .Int("queries", qr.queries)
+          .Num("queries_per_sec", qr.queries_per_second)
+          .Num("query_seconds", qr.seconds)
+          .Num("avg_path_length", br.avg_path_length)
+          .Int("grid_bytes", grid_bytes)
+          .Num("bytes_per_peer", bytes_per_peer)
+          .Str("digest", [digest] {
+            char buf[20];
+            std::snprintf(buf, sizeof(buf), "%016llx",
+                          static_cast<unsigned long long>(digest));
+            return std::string(buf);
+          }());
+    }
   }
   report.WriteTo(args.GetString("json", "BENCH_parallel_build.json"));
 }

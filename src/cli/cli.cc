@@ -54,7 +54,8 @@ std::string UsageFor(const std::string& command) {
   }
   if (command == "fuzz") {
     return "pgrid fuzz [--seeds=50] [--base-seed=1] [--min-steps=10]"
-           " [--max-steps=40] [--max-peers=48] [--heal-tail] [--out=REPRO.pgs]"
+           " [--max-steps=40] [--max-peers=48] [--heal-tail] [--thread-sweep]"
+           " [--out=REPRO.pgs]"
            " [--keep-going] [--timeline-json=FILE]";
   }
   if (command == "replay") {
@@ -353,11 +354,17 @@ Status CmdFuzz(const FlagSet& flags, std::ostream& out) {
   options.max_steps = static_cast<size_t>(max_steps);
   options.max_peers = static_cast<size_t>(max_peers);
   options.heal_tail = flags.Has("heal-tail");
+  options.vary_builder_threads = flags.Has("thread-sweep");
   options.stop_on_failure = !flags.Has("keep-going");
 
   const sim::FuzzOutcome outcome = sim::ScenarioFuzzer::Fuzz(options);
   out << outcome.seeds_run << " seed(s) run, " << outcome.failures
-      << " failure(s)\n";
+      << " failure(s)";
+  if (options.vary_builder_threads) {
+    out << " (" << outcome.digest_mismatches << " thread-sweep digest"
+        << " mismatch(es))";
+  }
+  out << "\n";
   if (outcome.failures == 0) return Status::OK();
 
   out << "first failing seed: " << outcome.failing_seed << "\n"

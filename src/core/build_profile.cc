@@ -44,8 +44,8 @@ void AppendWaveStructure(std::string* out, const WaveProfile& w) {
 }  // namespace
 
 uint64_t BuildProfile::SerialNs() const {
-  uint64_t total = schedule_ns;
-  for (const WaveProfile& w : waves) total += w.claim_ns + w.merge_ns;
+  uint64_t total = schedule_ns + merge_ns;
+  for (const WaveProfile& w : waves) total += w.color_ns + w.merge_ns;
   return total;
 }
 
@@ -109,6 +109,8 @@ std::string BuildProfile::ToJson() const {
   AppendU64(&out, total_ns);
   out.append(", \"schedule_ns\": ");
   AppendU64(&out, schedule_ns);
+  out.append(", \"merge_ns\": ");
+  AppendU64(&out, merge_ns);
   out.append(", \"serial_ns\": ");
   AppendU64(&out, SerialNs());
   out.append(", \"run_ns\": ");
@@ -136,8 +138,8 @@ std::string BuildProfile::ToJson() const {
     const WaveProfile& w = waves[i];
     if (i > 0) out.append(", ");
     AppendWaveStructure(&out, w);
-    out.append(", \"claim_ns\": ");
-    AppendU64(&out, w.claim_ns);
+    out.append(", \"color_ns\": ");
+    AppendU64(&out, w.color_ns);
     out.append(", \"run_ns\": ");
     AppendU64(&out, w.run_ns);
     out.append(", \"merge_ns\": ");
@@ -168,11 +170,11 @@ std::string BuildProfile::ToCollapsedStacks() const {
   // Fold the same accounting as ToJson into flamegraph stacks. Per-lane busy
   // and barrier-wait are summed over waves so lane imbalance shows up as
   // differing frame widths.
-  uint64_t claim = 0;
-  uint64_t merge = 0;
+  uint64_t color = 0;
+  uint64_t gather = 0;
   for (const WaveProfile& w : waves) {
-    claim += w.claim_ns;
-    merge += w.merge_ns;
+    color += w.color_ns;
+    gather += w.merge_ns;
   }
   std::vector<uint64_t> busy(threads, 0);
   std::vector<uint64_t> wait(threads, 0);
@@ -190,8 +192,9 @@ std::string BuildProfile::ToCollapsedStacks() const {
     out.push_back('\n');
   };
   line("build;serial;schedule", schedule_ns);
-  line("build;serial;wave_claim", claim);
-  line("build;serial;wave_merge", merge);
+  line("build;serial;wave_color", color);
+  line("build;serial;wave_merge", gather);
+  line("build;serial;batch_merge", merge_ns);
   for (size_t l = 0; l < threads; ++l) {
     const std::string lane = "lane" + std::to_string(l);
     line("build;wave_run;" + lane + ";busy", busy[l]);

@@ -1,19 +1,20 @@
 // Per-wave utilization profile of a parallel build -- the report that answers
-// "where does t=4 lose to t=1?".
+// "where does the parallel build spend its time?".
 //
 // The parallel builder (core/parallel_builder.h) alternates serial phases
-// (schedule drawing, wave partitioning, barrier merges) with parallel waves.
-// When profiling is on it fills one WaveProfile per wave: the wave's structure
-// (batch/wave ordinals, items scheduled, wave width, claim conflicts) plus its
-// timings (claim/run/merge wall time and per-lane busy time inside the wave).
-// Structure is a function of (seed, batch_size) only -- the partition runs
+// (schedule drawing, wave coloring, barrier merges) with parallel waves. When
+// profiling is on it fills one WaveProfile per wave: the wave's structure
+// (batch/wave ordinals, items scheduled, wave width, conflicts -- 0 ever since
+// the edge-colored schedule replaced greedy claiming) plus its timings
+// (color/run/merge wall time and per-lane busy time inside the wave).
+// Structure is a function of (seed, batch_size) only -- the coloring runs
 // serially -- so StructureJson() is byte-identical across thread counts and
 // runs, which tests/parallel_builder_test.cc pins. Timings obviously vary; the
 // derived quantities (serial fraction, utilization, barrier-wait distribution,
 // claim-conflict rate) are what the scaling analysis consumes.
 //
 // Amdahl bookkeeping:
-//   serial_ns    = schedule_ns + sum(claim_ns) + sum(merge_ns)
+//   serial_ns    = schedule_ns + merge_ns + sum(color_ns) + sum(wave merge_ns)
 //   run_ns       = sum over waves of the ParallelFor wall time
 //   busy_ns      = sum over waves and lanes of exchange execution time
 //   barrier wait = run_ns(wave) - lane_busy_ns(wave, lane), per lane per wave
@@ -34,12 +35,12 @@ namespace pgrid {
 struct WaveProfile {
   uint64_t batch = 0;      ///< batch ordinal within the build (0-based)
   uint64_t wave = 0;       ///< wave ordinal within the build (0-based, global)
-  uint64_t scheduled = 0;  ///< work items pending when the wave was partitioned
+  uint64_t scheduled = 0;  ///< work items pending when the round was colored
   uint64_t width = 0;      ///< items that ran in this wave
-  uint64_t conflicts = 0;  ///< items deferred because an endpoint was claimed
-  uint64_t claim_ns = 0;   ///< serial: greedy wave partition
+  uint64_t conflicts = 0;  ///< claim retries; 0 under the edge-colored schedule
+  uint64_t color_ns = 0;   ///< serial: edge coloring (first wave of each round)
   uint64_t run_ns = 0;     ///< wall time of the wave's ParallelFor
-  uint64_t merge_ns = 0;   ///< serial: barrier merge into the grid ledger
+  uint64_t merge_ns = 0;   ///< serial: slot-order deferred gather at the barrier
   /// Exchange execution time per lane inside run_ns (size = thread count).
   std::vector<uint64_t> lane_busy_ns;
 };
@@ -48,11 +49,12 @@ struct WaveProfile {
 struct BuildProfile {
   size_t threads = 1;
   uint64_t schedule_ns = 0;       ///< serial NextBatch time, all batches
+  uint64_t merge_ns = 0;          ///< serial: per-batch lane-shard ledger folds
   uint64_t total_ns = 0;          ///< wall time of the whole build call
   uint64_t profiler_dropped = 0;  ///< lane-buffer overflow events (0 = exact)
   std::vector<WaveProfile> waves;
 
-  uint64_t SerialNs() const;  ///< schedule + claim + merge
+  uint64_t SerialNs() const;  ///< schedule + color + wave/batch merges
   uint64_t RunNs() const;     ///< sum of wave ParallelFor wall times
   uint64_t BusyNs() const;    ///< sum of per-lane exchange time
 
@@ -63,7 +65,8 @@ struct BuildProfile {
   /// useful work (0 when RunNs == 0).
   double Utilization() const;
 
-  /// Fraction of scheduled items deferred by endpoint claims.
+  /// Fraction of scheduled items that hit a claim retry. Identically 0 with the
+  /// precomputed wave schedule; kept so the scaling guard can pin it there.
   double ClaimConflictRate() const;
 
   /// Barrier wait per (wave, lane): wave run wall time minus the lane's busy

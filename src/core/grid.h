@@ -102,6 +102,18 @@ class Grid {
     for (auto& c : query_load_) c.store(0, std::memory_order_relaxed);
   }
 
+  /// Approximate heap footprint of the whole community: every peer's protocol
+  /// state (paths, references, indexes, stores) plus the per-peer load
+  /// counters, counted at container capacity. The metrics registry and trace
+  /// sink are observability plumbing, not protocol state, and are excluded.
+  /// Divide by size() for the per-peer storage cost the scaling benches report.
+  size_t ApproxMemoryBytes() const {
+    size_t bytes = peers_.capacity() * sizeof(PeerState);
+    for (const PeerState& p : peers_) bytes += p.ApproxMemoryBytes();
+    bytes += query_load_.capacity() * sizeof(std::atomic<uint64_t>);
+    return bytes;
+  }
+
   /// Average path length over all peers, in O(1).
   double AveragePathLength() const {
     return peers_.empty() ? 0.0

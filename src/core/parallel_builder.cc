@@ -23,6 +23,7 @@ ParallelGridBuilder::ParallelGridBuilder(Grid* grid, ExchangeEngine* exchange,
   PGRID_CHECK_GT(options_.threads, 0u);
   PGRID_CHECK_GT(options_.batch_size, 0u);
   PGRID_CHECK_EQ(grid->size(), scheduler->num_peers());
+  lanes_.resize(pool_.threads());
   if (options_.profile) {
     profile_ = std::make_unique<BuildProfile>();
     profile_->threads = pool_.threads();
@@ -75,6 +76,18 @@ BuildReport ParallelGridBuilder::BuildToFractionOfMaxDepth(double fraction,
   return BuildToAverageDepth(target, max_meetings);
 }
 
+void ParallelGridBuilder::RunMeetings(const std::vector<Meeting>& meetings) {
+  std::vector<WorkItem> items;
+  items.reserve(meetings.size());
+  for (const Meeting& m : meetings) {
+    if (m.a == m.b) continue;
+    items.push_back({m.a, m.b, /*depth=*/0});
+  }
+  if (items.empty()) return;
+  RunBatch(std::move(items));
+  ++batch_ordinal_;
+}
+
 void ParallelGridBuilder::EnsureSlots(size_t n) {
   while (slots_.size() < n) {
     slots_.push_back(
@@ -83,91 +96,97 @@ void ParallelGridBuilder::EnsureSlots(size_t n) {
 }
 
 void ParallelGridBuilder::RunBatch(std::vector<WorkItem> items) {
-  if (claims_.size() < grid_->size()) claims_.resize(grid_->size(), 0);
-
-  std::vector<WorkItem> wave;
-  std::vector<WorkItem> leftover;
+  const bool prof = profile_ != nullptr;
+  std::vector<WorkItem> next;
+  std::vector<WaveEdge> edges;
   while (!items.empty()) {
-    // Greedy in-order wave partition: an item joins the wave iff neither endpoint
-    // is claimed yet this wave; the rest keep their relative order.
-    const bool prof = profile_ != nullptr;
-    const uint64_t t_claim = prof ? profiler_->NowNs() : 0;
-    ++claim_epoch_;
-    wave.clear();
-    leftover.clear();
-    for (const WorkItem& it : items) {
-      if (claims_[it.a] == claim_epoch_ || claims_[it.b] == claim_epoch_) {
-        leftover.push_back(it);
-        continue;
-      }
-      claims_[it.a] = claim_epoch_;
-      claims_[it.b] = claim_epoch_;
-      wave.push_back(it);
-    }
-    // Progress is guaranteed: the first unclaimed item always enters the wave.
-    PGRID_CHECK(!wave.empty());
-    EnsureSlots(wave.size());
+    // Color the round: every item lands in exactly one conflict-free wave, as a
+    // pure function of the item list (core/wave_schedule.h).
+    const uint64_t t_color = prof ? profiler_->NowNs() : 0;
+    edges.clear();
+    edges.reserve(items.size());
+    for (const WorkItem& it : items) edges.push_back({it.a, it.b});
+    schedule_.Color(edges);
+    const uint64_t color_ns = prof ? profiler_->NowNs() - t_color : 0;
 
-    WaveProfile* wp = nullptr;
-    if (prof) {
-      profile_->waves.emplace_back();
-      wp = &profile_->waves.back();
-      wp->batch = batch_ordinal_;
-      wp->wave = wave_ordinal_++;
-      wp->scheduled = items.size();
-      wp->width = wave.size();
-      // At this point leftover holds only claim-deferred items (recursion
-      // children are appended after the merge below).
-      wp->conflicts = leftover.size();
-      wp->claim_ns = profiler_->NowNs() - t_claim;
-    }
+    next.clear();
+    for (size_t w = 0; w < schedule_.num_waves(); ++w) {
+      const std::vector<uint32_t>& wave = schedule_.wave(w);
+      EnsureSlots(wave.size());
 
-    const uint64_t t_run = prof ? profiler_->NowNs() : 0;
-    pool_.ParallelFor(wave.size(), [&](size_t i, size_t lane) {
-      const uint64_t t_item = prof ? profiler_->NowNs() : 0;
-      Slot& slot = *slots_[i];
-      ExchangeShard shard;
-      shard.rng = &slot.rng;
-      shard.stats = &slot.stats;
-      shard.deferred = &slot.deferred;
-      exchange_->ExchangeSharded(wave[i].a, wave[i].b, wave[i].depth, &shard);
-      slot.path_bits = shard.path_bits;
+      WaveProfile* wp = nullptr;
       if (prof) {
-        profiler_->Record(lane, phase_exchange_, t_item,
-                          profiler_->NowNs() - t_item, wp->wave);
+        profile_->waves.emplace_back();
+        wp = &profile_->waves.back();
+        wp->batch = batch_ordinal_;
+        wp->wave = wave_ordinal_++;
+        wp->scheduled = items.size();
+        wp->width = wave.size();
+        wp->conflicts = 0;  // by construction of the coloring
+        if (w == 0) wp->color_ns = color_ns;
       }
-    });
 
-    uint64_t t_merge = 0;
-    if (prof) {
-      const uint64_t now = profiler_->NowNs();
-      wp->run_ns = now - t_run;
-      // The pool join above is the happens-before edge; lanes are quiescent.
-      wp->lane_busy_ns.assign(pool_.threads(), 0);
-      for (size_t lane = 0; lane < pool_.threads(); ++lane) {
-        for (const obs::PhaseProfiler::Event& e : profiler_->DrainLane(lane)) {
-          wp->lane_busy_ns[lane] += e.dur_ns;
+      const uint64_t t_run = prof ? profiler_->NowNs() : 0;
+      pool_.ParallelFor(wave.size(), [&](size_t i, size_t lane) {
+        const uint64_t t_item = prof ? profiler_->NowNs() : 0;
+        Slot& slot = *slots_[i];
+        Lane& sink = lanes_[lane];
+        ExchangeShard shard;
+        shard.rng = &slot.rng;
+        shard.stats = &sink.stats;
+        shard.deferred = &slot.deferred;
+        const WorkItem& it = items[wave[i]];
+        exchange_->ExchangeSharded(it.a, it.b, it.depth, &shard);
+        sink.path_bits += shard.path_bits;
+        if (prof) {
+          profiler_->Record(lane, phase_exchange_, t_item,
+                            profiler_->NowNs() - t_item, wp->wave);
         }
-      }
-      t_merge = profiler_->NowNs();
-    }
+      });
 
-    // Barrier merge, strictly in slot order: ledger shards and path growth fold
-    // into the grid; deferred children queue up behind this wave's leftovers.
-    for (size_t i = 0; i < wave.size(); ++i) {
-      Slot& slot = *slots_[i];
-      grid_->stats().MergeFrom(slot.stats);
-      slot.stats.Reset();
-      if (slot.path_bits > 0) grid_->NotePathGrowth(slot.path_bits);
-      slot.path_bits = 0;
-      for (const PendingExchange& p : slot.deferred) {
-        leftover.push_back({p.initiator, p.target, p.depth});
+      uint64_t t_gather = 0;
+      if (prof) {
+        const uint64_t now = profiler_->NowNs();
+        wp->run_ns = now - t_run;
+        // The pool join above is the happens-before edge; lanes are quiescent.
+        wp->lane_busy_ns.assign(pool_.threads(), 0);
+        for (size_t lane = 0; lane < pool_.threads(); ++lane) {
+          for (const obs::PhaseProfiler::Event& e : profiler_->DrainLane(lane)) {
+            wp->lane_busy_ns[lane] += e.dur_ns;
+          }
+        }
+        t_gather = profiler_->NowNs();
       }
-      slot.deferred.clear();
+
+      // Wave barrier: only the recursion captures need ordering here. The
+      // gather runs in slot order because it feeds the next round's item list
+      // and therefore the next coloring -- it must be schedule-determined.
+      for (size_t i = 0; i < wave.size(); ++i) {
+        Slot& slot = *slots_[i];
+        for (const PendingExchange& p : slot.deferred) {
+          next.push_back({p.initiator, p.target, p.depth});
+        }
+        slot.deferred.clear();
+      }
+      if (prof) wp->merge_ns = profiler_->NowNs() - t_gather;
     }
-    if (prof) wp->merge_ns = profiler_->NowNs() - t_merge;
-    std::swap(items, leftover);
+    std::swap(items, next);
   }
+
+  // Batch barrier: fold the additive lane shards into the grid ledger, in lane
+  // order. The sums are commutative, so which lane ran which item (the only
+  // timing-dependent quantity left) cannot affect the result. O(threads) serial
+  // work per batch, where the old slot-order fold was O(slots) per wave.
+  const uint64_t t_merge = prof ? profiler_->NowNs() : 0;
+  uint64_t path_bits = 0;
+  for (Lane& lane : lanes_) {
+    grid_->stats().MergeFrom(lane.stats);
+    lane.stats.Reset();
+    path_bits += lane.path_bits;
+    lane.path_bits = 0;
+  }
+  if (path_bits > 0) grid_->NotePathGrowth(path_bits);
+  if (prof) profile_->merge_ns += profiler_->NowNs() - t_merge;
 }
 
 }  // namespace pgrid

@@ -51,4 +51,16 @@ size_t PeerState::TotalRefs() const {
   return n;
 }
 
+size_t PeerState::ApproxMemoryBytes() const {
+  size_t bytes = path_.ApproxMemoryBytes();
+  bytes += refs_.capacity() * sizeof(std::vector<PeerId>);
+  for (const auto& r : refs_) bytes += r.capacity() * sizeof(PeerId);
+  bytes += buddies_.capacity() * sizeof(PeerId);
+  bytes += index_.ApproxMemoryBytes();
+  bytes += store_.ApproxMemoryBytes();
+  bytes += foreign_.capacity() * sizeof(IndexEntry);
+  for (const auto& e : foreign_) bytes += e.key.ApproxMemoryBytes();
+  return bytes;
+}
+
 }  // namespace pgrid

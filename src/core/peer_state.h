@@ -74,6 +74,12 @@ class PeerState {
   /// Total routing references over all levels (storage-cost metric of Sec. 6).
   size_t TotalRefs() const;
 
+  /// Approximate heap bytes owned by this peer's protocol state: path words,
+  /// reference lists, buddy list, leaf index, data store, and foreign buffer,
+  /// all counted at container capacity. Excludes sizeof(*this) so Grid can sum
+  /// footprints without double counting (Sec. 6's storage cost in bytes).
+  size_t ApproxMemoryBytes() const;
+
  private:
   PeerId id_;
   KeyPath path_;

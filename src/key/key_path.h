@@ -114,6 +114,12 @@ class KeyPath {
   /// Hash suitable for unordered containers (see KeyPathHash).
   size_t Hash() const;
 
+  /// Approximate heap bytes owned by this path (the packed-bit words, counted
+  /// at capacity). Excludes sizeof(*this), so a containing object can report
+  /// its own footprint without double counting. Feeds the storage-cost numbers
+  /// of the scaling benches.
+  size_t ApproxMemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
  private:
   // Bit i lives in words_[i / 64] at bit position (i % 64), LSB-first. All bits at
   // positions >= length_ are kept zero (canonical form) so equality and hashing can

@@ -82,6 +82,12 @@ Scenario ScenarioFuzzer::Generate(uint64_t seed, const FuzzOptions& options) {
   for (size_t i = 0; i < steps; ++i) {
     scenario.steps.push_back(RandomStep(&rng, c));
   }
+  if (options.vary_builder_threads) {
+    // Drawn last so turning the sweep on perturbs no earlier draw: the same
+    // seed yields the same community and step list with the sweep on or off,
+    // only the execution engine differs.
+    c.builder_threads = 1ull << rng.UniformInt(0, 3);  // 1, 2, 4, or 8
+  }
   if (options.heal_tail) {
     // Whatever the random steps did, self-healing must converge: lift every
     // transport fault, let exchanges re-mix the survivors, run repair rounds,
@@ -168,14 +174,37 @@ FuzzOutcome ScenarioFuzzer::Fuzz(const FuzzOptions& options) {
     Scenario scenario = Generate(seed, options);
     ScenarioResult result = RunScenario(scenario);
     ++outcome.seeds_run;
-    if (!result.failed) continue;
-    ++outcome.failures;
-    if (outcome.failures == 1) {
-      outcome.failing_seed = seed;
-      outcome.minimal = Shrink(scenario);
-      outcome.failure = RunScenario(outcome.minimal);
+    bool failed = result.failed;
+    if (failed) {
+      ++outcome.failures;
+      if (outcome.failures == 1) {
+        outcome.failing_seed = seed;
+        outcome.minimal = Shrink(scenario);
+        outcome.failure = RunScenario(outcome.minimal);
+      }
+    } else if (options.vary_builder_threads &&
+               scenario.config.builder_threads > 1) {
+      // Thread-count invariance: re-execute the identical scenario with
+      // builder_threads = 1. The wave machinery promises the digest is a pure
+      // function of the scenario value, not of the thread count, so any
+      // mismatch is a determinism bug -- counted as a failure. The scenario is
+      // recorded unshrunk: Shrink()'s predicate is invariant failure, and a
+      // digest mismatch typically vanishes under any step deletion anyway.
+      Scenario serial = scenario;
+      serial.config.builder_threads = 1;
+      const ScenarioResult baseline = RunScenario(serial);
+      if (baseline.digest != result.digest) {
+        failed = true;
+        ++outcome.failures;
+        ++outcome.digest_mismatches;
+        if (outcome.failures == 1) {
+          outcome.failing_seed = seed;
+          outcome.minimal = scenario;
+          outcome.failure = result;
+        }
+      }
     }
-    if (options.stop_on_failure) break;
+    if (failed && options.stop_on_failure) break;
   }
   return outcome;
 }

@@ -35,6 +35,14 @@ struct FuzzOptions {
   /// steps made, the repair protocol must restore a routable, replica-agreeing
   /// grid. Forces online_prob = 1 so "converged" is not masked by sampling.
   bool heal_tail = false;
+  /// Draw a builder thread count (1, 2, 4, or 8) per scenario and route its
+  /// exchange steps through ParallelGridBuilder::RunMeetings (see
+  /// ScenarioConfig::builder_threads). Every clean multi-threaded run is then
+  /// re-executed at builder_threads = 1 and the two digests must match --
+  /// a mismatch counts as a failure (FuzzOutcome::digest_mismatches). The
+  /// thread count is drawn after every other generator draw, so turning the
+  /// sweep on does not perturb the step list of any seed.
+  bool vary_builder_threads = false;
   /// Stop sweeping at the first failing seed (the shrunk repro is in the
   /// outcome either way).
   bool stop_on_failure = true;
@@ -45,8 +53,15 @@ struct FuzzOutcome {
   size_t seeds_run = 0;
   size_t failures = 0;
 
+  /// Of `failures`, how many were thread-sweep digest mismatches (a
+  /// multi-threaded run disagreeing with its builder_threads = 1 re-execution)
+  /// rather than invariant violations. Only nonzero with
+  /// FuzzOptions::vary_builder_threads.
+  size_t digest_mismatches = 0;
+
   /// Set iff failures > 0: the first failing seed, its shrunk scenario, and the
-  /// failure that scenario still reproduces.
+  /// failure that scenario still reproduces. Digest mismatches are recorded
+  /// unshrunk (the shrinker's predicate is invariant failure).
   uint64_t failing_seed = 0;
   Scenario minimal;
   ScenarioResult failure;

@@ -11,6 +11,7 @@
 #include "core/exchange.h"
 #include "core/grid.h"
 #include "core/insert.h"
+#include "core/parallel_builder.h"
 #include "core/search.h"
 #include "core/update.h"
 #include "net/fault_transport.h"
@@ -89,6 +90,11 @@ std::string SerializeScenario(const Scenario& scenario) {
     out << "online_prob " << buf << "\n";
   }
   out << "fault_seed " << c.fault_seed << "\n";
+  // Emitted only when set: pre-existing repro files neither carry nor expect
+  // the key, and this keeps their serialization byte-identical.
+  if (c.builder_threads != 0) {
+    out << "builder_threads " << c.builder_threads << "\n";
+  }
   for (const ScenarioStep& s : scenario.steps) {
     out << "step " << StepKindName(s.kind) << " " << s.a << " " << s.b << " "
         << s.c << " " << s.d << "\n";
@@ -166,6 +172,8 @@ Result<Scenario> ParseScenario(const std::string& text) {
       c.online_prob = d;
     } else if (key == "fault_seed") {
       c.fault_seed = u;
+    } else if (key == "builder_threads") {
+      c.builder_threads = u;
     } else {
       return fail("unknown key '" + key + "'");
     }
@@ -177,6 +185,11 @@ Result<Scenario> ParseScenario(const std::string& text) {
   if (scenario.config.maxl == 0 || scenario.config.refmax == 0 ||
       scenario.config.recbreadth == 0 || scenario.config.repetition == 0) {
     return Status::InvalidArgument("scenario has zero-valued algorithm parameter");
+  }
+  if (scenario.config.builder_threads > 64) {
+    // The digest is invariant in the value anyway; a huge count only asks the
+    // pool to spawn that many OS threads on replay.
+    return Status::InvalidArgument("scenario builder_threads > 64");
   }
   return scenario;
 }
@@ -262,12 +275,37 @@ struct ScenarioRunner::Impl {
   }
 
   void RunExchanges(uint64_t meetings) {
+    if (scenario.config.builder_threads == 0) {
+      // Legacy serial path: every per-meeting draw on the engine stream, which
+      // is what all pre-existing scenario digests were recorded against.
+      for (uint64_t m = 0; m < meetings; ++m) {
+        Meeting meeting = scheduler.Next(&engine_rng);
+        if (churn.IsDead(meeting.a) || churn.IsDead(meeting.b)) continue;
+        if (!Reachable(meeting.a, meeting.b)) continue;
+        exchange.Exchange(meeting.a, meeting.b);
+      }
+      return;
+    }
+    // Parallel path: gate meetings serially in the exact legacy draw order
+    // (scheduler, liveness, fault transport -- all on the engine stream), then
+    // hand the survivors to the wave machinery. The builder draws its slot
+    // stream base from the engine stream at construction, after all gating
+    // draws, so the batch and its seeds are pure functions of the step -- and
+    // the wave result is thread-count invariant, so any builder_threads >= 1
+    // yields the same digest.
+    std::vector<Meeting> batch;
+    batch.reserve(meetings);
     for (uint64_t m = 0; m < meetings; ++m) {
       Meeting meeting = scheduler.Next(&engine_rng);
       if (churn.IsDead(meeting.a) || churn.IsDead(meeting.b)) continue;
       if (!Reachable(meeting.a, meeting.b)) continue;
-      exchange.Exchange(meeting.a, meeting.b);
+      batch.push_back(meeting);
     }
+    ParallelBuildOptions options;
+    options.threads = scenario.config.builder_threads;
+    ParallelGridBuilder builder(&grid, &exchange, &scheduler, &engine_rng,
+                                options);
+    builder.RunMeetings(batch);
   }
 
   void RunInsert(const ScenarioStep& step) {

@@ -96,6 +96,16 @@ struct ScenarioConfig {
   double online_prob = 1.0;   ///< snapshot availability of the community
   uint64_t fault_seed = 0;    ///< seed of the fault transport's rule RNG
 
+  /// Thread count for exchange steps. 0 (the default) is the legacy serial
+  /// path: meetings run inline on the engine stream, preserving the digests of
+  /// every pre-existing scenario and repro file. >= 1 routes each exchange
+  /// step's surviving meetings through ParallelGridBuilder::RunMeetings; that
+  /// switches the per-meeting randomness from the engine stream to the
+  /// builder's slot streams (so 0 and 1 digest differently), but among values
+  /// >= 1 the digest is invariant -- builder_threads 1, 2, and 8 are
+  /// byte-identical, which the fuzzer's thread sweep asserts.
+  size_t builder_threads = 0;
+
   friend bool operator==(const ScenarioConfig&, const ScenarioConfig&) = default;
 };
 

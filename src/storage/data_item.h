@@ -20,6 +20,13 @@ struct DataItem {
   std::string payload;
   uint64_t version = 0;
 
+  /// Approximate heap bytes owned (key words plus the payload buffer when it
+  /// outgrew the small-string optimization). Excludes sizeof(*this).
+  size_t ApproxMemoryBytes() const {
+    return key.ApproxMemoryBytes() +
+           (payload.capacity() >= sizeof(std::string) ? payload.capacity() : 0);
+  }
+
   friend bool operator==(const DataItem&, const DataItem&) = default;
 };
 

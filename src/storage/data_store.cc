@@ -40,4 +40,12 @@ std::vector<const DataItem*> DataStore::FindByKeyPrefix(const KeyPath& prefix) c
   return out;
 }
 
+size_t DataStore::ApproxMemoryBytes() const {
+  using Node = std::pair<const ItemId, DataItem>;
+  size_t bytes = items_.bucket_count() * sizeof(void*) +
+                 items_.size() * (sizeof(Node) + 2 * sizeof(void*));
+  for (const auto& [id, item] : items_) bytes += item.ApproxMemoryBytes();
+  return bytes;
+}
+
 }  // namespace pgrid

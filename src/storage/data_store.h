@@ -36,6 +36,11 @@ class DataStore {
   size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 
+  /// Approximate heap bytes owned: the hash table's bucket array, one node per
+  /// item, and each item's own heap (key words, large payloads). Excludes
+  /// sizeof(*this).
+  size_t ApproxMemoryBytes() const;
+
   /// All items whose key has `prefix` as a prefix.
   std::vector<const DataItem*> FindByKeyPrefix(const KeyPath& prefix) const;
 

@@ -77,4 +77,15 @@ std::vector<IndexEntry> LeafIndex::All() const {
   return out;
 }
 
+size_t LeafIndex::ApproxMemoryBytes() const {
+  // Node-based hash table: one pointer per bucket, and per entry a heap node
+  // holding the value plus the chain pointer and cached hash the libstdc++
+  // node layout carries.
+  using Node = std::pair<const std::pair<PeerId, ItemId>, IndexEntry>;
+  size_t bytes = entries_.bucket_count() * sizeof(void*) +
+                 entries_.size() * (sizeof(Node) + 2 * sizeof(void*));
+  for (const auto& [k, e] : entries_) bytes += e.key.ApproxMemoryBytes();
+  return bytes;
+}
+
 }  // namespace pgrid

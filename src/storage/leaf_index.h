@@ -61,6 +61,10 @@ class LeafIndex {
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Approximate heap bytes owned: the hash table's bucket array, one node per
+  /// entry, and each entry key's own heap. Excludes sizeof(*this).
+  size_t ApproxMemoryBytes() const;
+
   /// Snapshot of all entries (unordered).
   std::vector<IndexEntry> All() const;
 

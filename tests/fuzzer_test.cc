@@ -99,6 +99,47 @@ TEST(ScenarioFuzzerTest, HealTailSeedsConvergeClean) {
       << outcome.failure.report.ToString();
 }
 
+TEST(ScenarioFuzzerTest, ThreadSweepDrawsThreadsWithoutPerturbingTheSteps) {
+  FuzzOptions sweep;
+  sweep.vary_builder_threads = true;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario with = ScenarioFuzzer::Generate(seed, sweep);
+    Scenario without = ScenarioFuzzer::Generate(seed);
+    // The thread count is drawn after everything else: same community, same
+    // step list, only the execution engine differs.
+    EXPECT_EQ(with.steps, without.steps) << "seed " << seed;
+    EXPECT_TRUE(with.config.builder_threads == 1 ||
+                with.config.builder_threads == 2 ||
+                with.config.builder_threads == 4 ||
+                with.config.builder_threads == 8)
+        << "seed " << seed << " drew " << with.config.builder_threads;
+    without.config.builder_threads = with.config.builder_threads;
+    EXPECT_EQ(with, without) << "seed " << seed;
+  }
+}
+
+// The thread-sweep acceptance bar: generated scenarios routed through the
+// parallel builder run clean, and each multi-threaded run digests identically
+// to its builder_threads = 1 re-execution (Fuzz performs that re-execution
+// internally and counts mismatches as failures).
+TEST(ScenarioFuzzerTest, ThreadSweepSeedsRunCleanAndMatchSerialDigests) {
+  FuzzOptions options;
+  options.base_seed = 1;
+  options.num_seeds = 15;
+  options.vary_builder_threads = true;
+  options.stop_on_failure = false;
+  FuzzOutcome outcome = ScenarioFuzzer::Fuzz(options);
+  EXPECT_EQ(outcome.seeds_run, 15u);
+  EXPECT_EQ(outcome.digest_mismatches, 0u)
+      << "seed " << outcome.failing_seed
+      << " digests differently at builder_threads "
+      << outcome.minimal.config.builder_threads << " vs 1";
+  EXPECT_EQ(outcome.failures, 0u)
+      << "seed " << outcome.failing_seed << " shrank to:\n"
+      << SerializeScenario(outcome.minimal) << "\nfailing with:\n"
+      << outcome.failure.report.ToString();
+}
+
 // End-to-end shrink: plant a corruption in the middle of a generated scenario
 // and check the shrinker reduces the failure to (essentially) just that step.
 TEST(ScenarioShrinkTest, ShrinksInjectedCorruptionToMinimalRepro) {

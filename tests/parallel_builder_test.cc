@@ -22,6 +22,7 @@
 #include "core/grid.h"
 #include "gtest/gtest.h"
 #include "snapshot/snapshot.h"
+#include "sim/digest.h"
 #include "sim/meeting_scheduler.h"
 #include "util/rng.h"
 
@@ -205,6 +206,88 @@ TEST(ParallelBuilderTest, ProfileWaveStructureIsThreadCountInvariant) {
   EXPECT_LE(f1, 1.0);
   EXPECT_GT(f4, 0.0);
   EXPECT_LE(f4, 1.0);
+}
+
+TEST(ParallelBuilderTest, DeterminismMatrixAcrossThreadsAndBatchSizes) {
+  // The full contract in one sweep: for each batch size, every thread count in
+  // {1, 2, 4, 8} must reproduce the t=1 build bit for bit -- byte-identical
+  // snapshot, identical FNV structure digest (sim/digest.h) -- and the result
+  // must actually be a well-formed grid per the full invariant checker. Batch
+  // size, on the other hand, is *part* of the schedule: different batch sizes
+  // legitimately produce different grids, which the digests confirm.
+  const uint64_t seed = 1234;
+  std::vector<uint64_t> digest_per_batch;
+  for (const size_t batch_size : {64u, 128u, 256u}) {
+    std::string baseline_snapshot;
+    uint64_t baseline_digest = 0;
+    for (const size_t threads : {1u, 2u, 4u, 8u}) {
+      ParallelBuilt built = BuildParallel(300, threads, seed, /*maxl=*/5,
+                                          /*recmax=*/2, /*manage_data=*/true,
+                                          batch_size);
+      const std::string snapshot = SnapshotBytes(built, "matrix.pgrid");
+      const uint64_t digest = sim::GridStateDigest(*built.grid);
+      ASSERT_FALSE(snapshot.empty());
+      if (threads == 1) {
+        baseline_snapshot = snapshot;
+        baseline_digest = digest;
+        digest_per_batch.push_back(digest);
+      } else {
+        EXPECT_EQ(snapshot, baseline_snapshot)
+            << "batch=" << batch_size << " threads=" << threads;
+        EXPECT_EQ(digest, baseline_digest)
+            << "batch=" << batch_size << " threads=" << threads;
+      }
+      check::InvariantReport report =
+          check::GridInvariants::Check(*built.grid, built.config);
+      EXPECT_TRUE(report.ok()) << "batch=" << batch_size
+                               << " threads=" << threads << "\n"
+                               << report.ToString();
+      EXPECT_EQ(report.peers_checked, built.grid->size());
+    }
+  }
+  // Three batch sizes, three schedules, three distinct grids.
+  ASSERT_EQ(digest_per_batch.size(), 3u);
+  EXPECT_NE(digest_per_batch[0], digest_per_batch[1]);
+  EXPECT_NE(digest_per_batch[1], digest_per_batch[2]);
+}
+
+TEST(ParallelBuilderTest, RunMeetingsIsThreadCountInvariant) {
+  // The external-batch entry point (used by the scenario runner) goes through
+  // the same wave machinery, so the same determinism contract applies.
+  auto run = [](size_t threads) {
+    ParallelBuilt out;
+    out.config.maxl = 4;
+    out.config.refmax = 4;
+    out.config.recmax = 2;
+    out.config.recursion_fanout = 2;
+    out.config.manage_data = true;
+    out.grid = std::make_unique<Grid>(200);
+    Rng master(11);
+    ExchangeEngine exchange(out.grid.get(), out.config, &master);
+    MeetingScheduler scheduler(200);
+    ParallelBuildOptions options;
+    options.threads = threads;
+    ParallelGridBuilder builder(out.grid.get(), &exchange, &scheduler, &master,
+                                options);
+    Rng pairs(77);
+    for (int step = 0; step < 20; ++step) {
+      std::vector<Meeting> meetings;
+      for (int i = 0; i < 100; ++i) {
+        const PeerId a = static_cast<PeerId>(pairs.UniformIndex(200));
+        const PeerId b = static_cast<PeerId>(pairs.UniformIndex(200));
+        if (a != b) meetings.push_back({a, b});
+      }
+      builder.RunMeetings(meetings);
+    }
+    return out;
+  };
+  ParallelBuilt t1 = run(1);
+  ParallelBuilt t4 = run(4);
+  EXPECT_GT(t1.grid->AveragePathLength(), 0.0);
+  EXPECT_EQ(sim::GridStateDigest(*t1.grid), sim::GridStateDigest(*t4.grid));
+  EXPECT_EQ(SnapshotBytes(t1, "rm_t1.pgrid"), SnapshotBytes(t4, "rm_t4.pgrid"));
+  EXPECT_EQ(t1.grid->stats().count(MessageType::kExchange),
+            t4.grid->stats().count(MessageType::kExchange));
 }
 
 TEST(ParallelBuilderTest, MatchesABarrierFreeShardedReplay) {

@@ -219,6 +219,47 @@ TEST(ScenarioRunnerTest, ReadRepairStepsRunAgainstInsertedItems) {
   EXPECT_EQ(result.digest, RunScenario(s).digest);
 }
 
+// --- parallel exchange steps (config.builder_threads) ----------------------
+
+TEST(ScenarioFormatTest, BuilderThreadsRoundTripsAndStaysOffTheWireWhenUnset) {
+  // Default (0, the legacy serial path) is not serialized, so pre-existing
+  // repro files keep their exact bytes.
+  Scenario s = SmallScenario();
+  EXPECT_EQ(SerializeScenario(s).find("builder_threads"), std::string::npos);
+
+  s.config.builder_threads = 4;
+  const std::string text = SerializeScenario(s);
+  EXPECT_NE(text.find("builder_threads 4"), std::string::npos) << text;
+  Result<Scenario> parsed = ParseScenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value(), s);
+}
+
+TEST(ScenarioRunnerTest, BuilderThreadsDigestIsThreadCountInvariant) {
+  // Routing exchange steps through the wave-scheduled builder must leave the
+  // digest a pure function of the scenario value: any builder_threads >= 1
+  // produces byte-identical results, however many worker threads actually ran.
+  Scenario one = SmallScenario();
+  one.config.builder_threads = 1;
+  const ScenarioResult base = RunScenario(one);
+  EXPECT_FALSE(base.failed) << base.report.ToString();
+  EXPECT_FALSE(base.digest.empty());
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    Scenario s = SmallScenario();
+    s.config.builder_threads = threads;
+    const ScenarioResult r = RunScenario(s);
+    EXPECT_FALSE(r.failed) << r.report.ToString();
+    EXPECT_EQ(r.digest, base.digest) << "builder_threads " << threads;
+    EXPECT_EQ(r.probes, base.probes) << "builder_threads " << threads;
+  }
+
+  // The serial inline path draws per-meeting randomness from the engine stream
+  // instead of the builder's slot streams, so 0 legitimately digests
+  // differently -- which is exactly why 0 stays the default.
+  EXPECT_NE(RunScenario(SmallScenario()).digest, base.digest);
+}
+
 // --- faults and churn shape execution but never break invariants -----------
 
 TEST(ScenarioRunnerTest, OutageAndPartitionScenarioStaysClean) {

@@ -1,21 +1,39 @@
 #!/usr/bin/env bash
-# Runs the multi-threaded simulation suite (ctest label `parallel`) under
-# ThreadSanitizer, in a build tree separate from the regular one. The parallel
-# builder's correctness argument rests on waves being conflict-free and on the
-# barrier merge establishing happens-before; TSan checks exactly those claims
-# against the real thread pool (worker claiming, deferred-recursion hand-off,
-# relaxed-atomic load counters, metrics-registry instruments shared across
-# shards).
+# Parallel-correctness gate, three legs:
 #
-#   tools/check_parallel_tsan.sh                  # configure + build + ctest -L parallel
-#   tools/check_parallel_tsan.sh -L parallel -V   # extra args are passed to ctest
+#   1. TSan leg -- the multi-threaded simulation suite (ctest label `parallel`)
+#      under ThreadSanitizer in its own build tree. The builder's correctness
+#      argument rests on the edge-colored waves being conflict-free and on the
+#      pool hand-off establishing happens-before; TSan checks exactly those
+#      claims against the real thread pool (lock-free index claiming,
+#      deferred-recursion hand-off, lane-sharded ledgers, relaxed-atomic load
+#      counters).
+#   2. Fuzzer thread sweep -- `pgrid fuzz --thread-sweep` (also under TSan):
+#      50 generated scenarios, each routing its exchange steps through the
+#      parallel builder at a random thread count in {1,2,4,8}, each re-executed
+#      at builder_threads=1; any digest mismatch or invariant violation fails.
+#   3. Scaling guard -- a release (non-sanitized) build runs the
+#      ParallelScalingTest regression guard and a quick
+#      bench_t1_peers_vs_exchanges scaling sweep, then checks the resulting
+#      BENCH_parallel_build.json: on hosts with >= 4 cores any multi-threaded
+#      row slower than its size's t=1 row fails; on smaller hosts (this CI
+#      container exposes one core, where speedup is physically impossible) the
+#      bound degrades to no-collapse (>= 0.5x t=1), which the old claim-loop
+#      scheduler failed and the wave schedule passes.
 #
-# Env: BUILD_DIR (default build-tsan).
+#   tools/check_parallel_tsan.sh                  # all three legs
+#   tools/check_parallel_tsan.sh -L parallel -V   # extra args go to the TSan ctest
+#
+# Env: BUILD_DIR (default build-tsan), RELEASE_BUILD_DIR (default build),
+#      SKIP_SCALING=1 to stop after the TSan legs.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build-tsan}"
+release_dir="${RELEASE_BUILD_DIR:-${repo_root}/build}"
+
+# ---- leg 1: parallel suite under TSan --------------------------------------
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DPGRID_SANITIZE=thread \
@@ -23,10 +41,74 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DPGRID_BUILD_EXAMPLES=OFF
 
 cmake --build "${build_dir}" -j "$(nproc)" --target \
-  thread_pool_test parallel_builder_test parallel_workload_test
+  thread_pool_test wave_schedule_test parallel_builder_test \
+  parallel_workload_test parallel_scaling_test pgrid
 
 if [ "$#" -gt 0 ]; then
   ctest --test-dir "${build_dir}" --output-on-failure "$@"
 else
   ctest --test-dir "${build_dir}" --output-on-failure -L parallel
 fi
+
+# ---- leg 2: fuzzer thread sweep under TSan ---------------------------------
+
+echo "== fuzzer thread sweep (50 seeds, builder_threads in {1,2,4,8}) =="
+"${build_dir}/tools/pgrid" fuzz --seeds=50 --thread-sweep --keep-going
+
+if [ "${SKIP_SCALING:-0}" = "1" ]; then
+  echo "SKIP_SCALING=1: done after TSan legs."
+  exit 0
+fi
+
+# ---- leg 3: scaling guard (release build) ----------------------------------
+
+cmake -B "${release_dir}" -S "${repo_root}"
+cmake --build "${release_dir}" -j "$(nproc)" --target \
+  parallel_scaling_test bench_t1_peers_vs_exchanges
+
+echo "== scaling regression guard (4k peers, t=1 vs t=4) =="
+ctest --test-dir "${release_dir}" --output-on-failure -R ParallelScalingTest
+
+echo "== bench scaling sweep + JSON monotonicity check =="
+bench_json="${release_dir}/BENCH_parallel_build_ci.json"
+(cd "${release_dir}" && ./bench/bench_t1_peers_vs_exchanges \
+  --trials=1 --par-peers=2000 --par-threads=1,2,4 --par-queries=4000 \
+  --json="${bench_json}")
+
+check_bench_json() {
+  python3 - "$1" <<'PY'
+import json, os, sys
+
+path = sys.argv[1]
+rows = json.load(open(path))["rows"]
+cores = os.cpu_count() or 1
+# The issue's bar where 4 lanes can actually run; no-collapse elsewhere.
+floor = 1.0 if cores >= 4 else 0.5
+base = {}  # peers -> t=1 meetings/s
+for r in rows:
+    if int(r["threads"]) == 1:
+        base[int(r["peers"])] = float(r["meetings_per_sec"])
+bad = []
+for r in rows:
+    peers, threads = int(r["peers"]), int(r["threads"])
+    if threads == 1 or peers not in base:
+        continue
+    mps = float(r["meetings_per_sec"])
+    if mps < floor * base[peers]:
+        bad.append((peers, threads, mps, base[peers]))
+if bad:
+    for peers, threads, mps, b in bad:
+        print(f"FAIL {path}: N={peers} t={threads} {mps:.0f} meet/s < "
+              f"{floor:.1f}x t=1 ({b:.0f}) on a {cores}-core host")
+    sys.exit(1)
+print(f"OK {path}: {len(rows)} rows, floor {floor:.1f}x t=1 ({cores} cores)")
+PY
+}
+
+check_bench_json "${bench_json}"
+# Also vet any full-sweep report a previous bench run left in the tree.
+for f in "${release_dir}"/BENCH_parallel_build.json; do
+  [ -f "$f" ] && check_bench_json "$f"
+done
+
+echo "all parallel checks passed"
