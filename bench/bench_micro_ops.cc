@@ -12,6 +12,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/parallel_workload.h"
@@ -21,6 +25,56 @@
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
+
+// Global allocation counter behind the replaceable operator new. The
+// allocation-count section below reads it around tight loops of key-algebra
+// operations to prove the inline-word KeyPath representation performs zero
+// heap allocations per op (tools/check_memory.sh gates on the reported rate).
+// Counting is one relaxed atomic increment per allocation: negligible next to
+// malloc itself, and inert for every other section of this binary.
+static std::atomic<uint64_t> g_alloc_count{0};
+
+// GCC pairs the inlined replacement delete with the allocation it inlined at
+// each call site and flags the malloc/free implementation as mismatched; the
+// pairing is exactly the contract of a replaced global operator, so the
+// warning is a false positive here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (n + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return ::operator new(n, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p, std::align_val_t{1});
+}
+void operator delete(void* p, std::size_t, std::align_val_t a) noexcept {
+  ::operator delete(p, a);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t a) noexcept {
+  ::operator delete(p, a);
+}
+
+#pragma GCC diagnostic pop
 
 namespace pgrid {
 namespace {
@@ -206,6 +260,61 @@ void WriteJsonReport(const bench::Args& args) {
   report.WriteTo(args.GetString("json", "BENCH_micro_ops.json"));
 }
 
+/// Allocation-count section: heap allocations per key-algebra operation,
+/// measured with the counting operator new above. Paths of <= 64 bits live in
+/// the KeyPath's inline word, so the routing hot path (common-prefix, suffix,
+/// append, push/pop cycles at protocol depths) must run allocation-free; the
+/// 256-bit arm is the contrast case where the heap spill is expected.
+/// tools/check_memory.sh fails the build if the inline rates regress.
+void WriteAllocReport(const bench::Args& args) {
+  bench::JsonReport report("alloc_counts");
+  Rng rng(33);
+  constexpr uint64_t kIters = 200'000;
+
+  const auto measure = [&](const char* op, auto&& body) {
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (uint64_t i = 0; i < kIters; ++i) body();
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+    const double per_op = static_cast<double>(allocs) / kIters;
+    std::printf("alloc/op %-28s %8.4f\n", op, per_op);
+    report.AddRow().Str("op", op).Int("iters", kIters).Int("allocs", allocs).Num(
+        "allocs_per_op", per_op);
+  };
+
+  const KeyPath a64 = KeyPath::Random(&rng, 64);
+  KeyPath b64 = a64;
+  b64.PopBack();
+  b64.PushBack(ComplementBit(a64.bit(63)));
+  const KeyPath a8 = KeyPath::Random(&rng, 8);
+  const KeyPath a256 = KeyPath::Random(&rng, 256);
+
+  measure("inline_common_prefix_64", [&] {
+    benchmark::DoNotOptimize(a64.CommonPrefixLength(b64));
+  });
+  measure("inline_suffix_from_64", [&] {
+    benchmark::DoNotOptimize(a64.SuffixFrom(29));
+  });
+  measure("inline_concat_8_plus_8", [&] {
+    benchmark::DoNotOptimize(a8.Concat(a8));
+  });
+  measure("inline_copy_64", [&] {
+    KeyPath copy = a64;
+    benchmark::DoNotOptimize(&copy);
+  });
+  KeyPath walker = KeyPath::Random(&rng, 10);
+  measure("inline_push_pop_10", [&] {
+    walker.PushBack(1);
+    walker.PopBack();
+    benchmark::DoNotOptimize(&walker);
+  });
+  measure("heap_suffix_from_256", [&] {
+    benchmark::DoNotOptimize(a256.SuffixFrom(3));
+  });
+
+  report.WriteTo(args.GetString("alloc-json", "BENCH_alloc_counts.json"));
+}
+
 /// Observability-overhead section: what do the disabled trace hooks cost on the
 /// query hot path? Every instrumented site is one null-check branch when no
 /// recorder is attached (obs/trace.h), so the estimate is
@@ -319,6 +428,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   pgrid::bench::Args args(argc, argv);
   pgrid::WriteJsonReport(args);
+  pgrid::WriteAllocReport(args);
   pgrid::WriteObsOverheadReport(args);
   return 0;
 }

@@ -44,21 +44,29 @@ std::vector<size_t> SizeList(const bench::Args& args, const std::string& name,
 void RunParallelScaling(const bench::Args& args) {
   const uint64_t seed = args.GetInt("seed", 42);
   std::vector<size_t> peer_sizes = SizeList(args, "par-peers", "2000,20000");
-  if (args.GetInt("big", 0) != 0) {
-    peer_sizes.push_back(static_cast<size_t>(args.GetInt("big-peers", 100000)));
-  }
+  const size_t big_peers = static_cast<size_t>(args.GetInt("big-peers", 1000000));
+  if (args.GetInt("big", 0) != 0) peer_sizes.push_back(big_peers);
   const size_t maxl = static_cast<size_t>(args.GetInt("par-maxl", 8));
   const uint64_t queries = static_cast<uint64_t>(args.GetInt("par-queries", 20000));
   const std::vector<size_t> threads = SizeList(args, "par-threads", "1,2,4,8");
+  // The big arm sweeps fewer thread counts: each row is a full build of the
+  // million-peer grid, so the default keeps it to a serial + one-scaled pair.
+  const std::vector<size_t> big_threads = SizeList(args, "big-threads", "1,2");
+  // Buddy lists dominate per-peer memory once replicas saturate (every peer at
+  // the same leaf learns every other via transitive closure), so the scaling
+  // bench bounds them. 0 restores the unbounded historical behavior.
+  const size_t buddymax = static_cast<size_t>(args.GetInt("buddymax", 32));
 
   bench::JsonReport report("parallel_build");
   for (size_t peers : peer_sizes) {
-    std::printf("\n-- parallel construction + query scaling (N=%zu, maxl=%zu) --\n",
-                peers, maxl);
+    std::printf("\n-- parallel construction + query scaling (N=%zu, maxl=%zu, "
+                "buddymax=%zu) --\n",
+                peers, maxl, buddymax);
     std::printf("%7s | %10s %12s %9s | %12s %9s | %9s\n", "threads", "meetings",
                 "meetings/s", "build s", "queries/s", "query s", "B/peer");
     uint64_t baseline_digest = 0;
-    for (size_t t : threads) {
+    const std::vector<size_t>& thread_list = peers >= big_peers ? big_threads : threads;
+    for (size_t t : thread_list) {
       // Always the parallel builder, even at t=1, so every row constructs the
       // identical grid and the rows compare pure scheduling overhead + scaling.
       ExchangeConfig config;
@@ -66,6 +74,7 @@ void RunParallelScaling(const bench::Args& args) {
       config.refmax = 4;
       config.recmax = 2;
       config.recursion_fanout = 2;
+      config.buddymax = buddymax;
       Grid grid(peers);
       Rng rng(seed);
       ExchangeEngine exchange(&grid, config, &rng);
@@ -78,13 +87,13 @@ void RunParallelScaling(const bench::Args& args) {
       // Thread-count determinism is the builder's contract; a bench row built
       // on a different grid would be comparing incomparable work, so fail loud.
       const uint64_t digest = sim::GridStateDigest(grid);
-      if (t == threads.front()) {
+      if (t == thread_list.front()) {
         baseline_digest = digest;
       } else if (digest != baseline_digest) {
         std::fprintf(stderr,
                      "FATAL: t=%zu built a different grid than t=%zu at N=%zu "
                      "(digest %016llx vs %016llx)\n",
-                     t, threads.front(), peers,
+                     t, thread_list.front(), peers,
                      static_cast<unsigned long long>(digest),
                      static_cast<unsigned long long>(baseline_digest));
         std::exit(1);
@@ -110,6 +119,7 @@ void RunParallelScaling(const bench::Args& args) {
       report.AddRow()
           .Int("peers", peers)
           .Int("threads", t)
+          .Int("buddymax", buddymax)
           .Int("meetings", br.meetings)
           .Num("meetings_per_sec", mps)
           .Num("build_seconds", br.seconds)

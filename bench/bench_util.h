@@ -97,13 +97,15 @@ inline GridSetup BuildGrid(size_t num_peers, size_t maxl, size_t refmax, size_t 
                            size_t recursion_fanout, uint64_t seed,
                            double target_avg_depth = -1.0,
                            uint64_t max_meetings = 200'000'000,
-                           bool manage_data = true, size_t threads = 1) {
+                           bool manage_data = true, size_t threads = 1,
+                           size_t buddymax = 0) {
   GridSetup s;
   s.config.maxl = maxl;
   s.config.refmax = refmax;
   s.config.recmax = recmax;
   s.config.recursion_fanout = recursion_fanout;
   s.config.manage_data = manage_data;
+  s.config.buddymax = buddymax;
   s.grid = std::make_unique<Grid>(num_peers);
   s.rng = std::make_unique<Rng>(seed);
   ExchangeEngine exchange(s.grid.get(), s.config, s.rng.get());

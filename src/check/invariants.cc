@@ -63,7 +63,7 @@ void CheckStructure(const Grid& grid, const ExchangeConfig& config,
                    a.depth(), config.maxl));
     }
     for (size_t level = 1; level <= a.depth(); ++level) {
-      const std::vector<PeerId>& refs = a.RefsAt(level);
+      const auto refs = a.RefsAt(level);
       if (refs.size() > config.refmax) {
         out->Add(Category::kRefmax, a.id(), level,
                  Fmt("%zu references at level %zu, refmax is %zu", refs.size(),
@@ -160,14 +160,14 @@ void CheckCoverage(const Grid& grid, Collector* out) {
 void CheckPlacement(const Grid& grid, Collector* out) {
   for (const PeerState& p : grid) {
     if (out->full()) return;
-    for (const IndexEntry& e : p.index().All()) {
+    p.index().ForEach([&p, out](const IndexEntry& e) {
       if (!PathCoversKey(p.path(), e.key)) {
         out->Add(Category::kPlacement, p.id(), 0,
                  Fmt("entry (holder=%u item=%llu key=%s) outside path %s", e.holder,
                      static_cast<unsigned long long>(e.item_id),
                      PathStr(e.key).c_str(), PathStr(p.path()).c_str()));
       }
-    }
+    });
   }
 }
 
@@ -178,7 +178,7 @@ void CheckReplicaAgreement(const Grid& grid, Collector* out) {
   std::map<std::pair<PeerId, ItemId>, std::pair<KeyPath, PeerId>> first;
   for (const PeerState& p : grid) {
     if (out->full()) return;
-    for (const IndexEntry& e : p.index().All()) {
+    p.index().ForEach([&first, &p, out](const IndexEntry& e) {
       auto [it, inserted] = first.try_emplace(std::make_pair(e.holder, e.item_id),
                                               e.key, p.id());
       if (!inserted && it->second.first != e.key) {
@@ -189,7 +189,7 @@ void CheckReplicaAgreement(const Grid& grid, Collector* out) {
                      PathStr(e.key).c_str(),
                      PathStr(it->second.first).c_str(), it->second.second));
       }
-    }
+    });
   }
 }
 
@@ -253,7 +253,7 @@ void CheckRepairConvergence(const Grid& grid, const ExchangeConfig& config,
       const PeerState& buddy = grid.peer(b);
       const PeerState* sides[2] = {&a, &buddy};
       for (int dir = 0; dir < 2 && !out->full(); ++dir) {
-        for (const IndexEntry& e : sides[dir]->index().All()) {
+        sides[dir]->index().ForEach([&](const IndexEntry& e) {
           const IndexEntry* other =
               sides[1 - dir]->index().Find(e.holder, e.item_id);
           if (other == nullptr) {
@@ -270,7 +270,7 @@ void CheckRepairConvergence(const Grid& grid, const ExchangeConfig& config,
                          sides[dir]->id(),
                          static_cast<unsigned long long>(e.version)));
           }
-        }
+        });
       }
     }
   }

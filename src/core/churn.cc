@@ -59,14 +59,14 @@ uint64_t ChurnDriver::Retire(PeerId peer, bool graceful) {
       }
       if (heir != kInvalidPeer) {
         PeerState& target = grid_->peer(heir);
-        for (const IndexEntry& e : leaving.index().All()) {
+        leaving.index().ForEach([&target, &handed](const IndexEntry& e) {
           if (PathsOverlap(target.path(), e.key)) {
             if (target.index().InsertOrRefresh(e)) ++handed;
           } else {
             target.foreign_entries().push_back(e);
             ++handed;
           }
-        }
+        });
         for (const IndexEntry& e : leaving.foreign_entries()) {
           target.foreign_entries().push_back(e);
           ++handed;
@@ -105,12 +105,16 @@ ChurnRound ChurnDriver::Round(const ChurnConfig& config) {
     round.handover_entries += Retire(RandomLivePeer(), /*graceful=*/true);
     ++round.left_gracefully;
   }
-  for (size_t i = 0; i < joins; ++i) {
-    grid_->AddPeer();
-    online_->AddPeer(config.join_online_prob, rng_);
-    dead_.push_back(0);
-    ++live_count_;
-    ++round.joined;
+  if (joins > 0) {
+    // One batched grow for the whole wave: AddPeer() per joiner rebuilds the
+    // grid's atomic load vector each time, turning mass joins quadratic.
+    grid_->AddPeers(joins);
+    for (size_t i = 0; i < joins; ++i) {
+      online_->AddPeer(config.join_online_prob, rng_);
+      dead_.push_back(0);
+      ++live_count_;
+      ++round.joined;
+    }
   }
   scheduler_->SetNumPeers(grid_->size());
 

@@ -34,6 +34,14 @@ struct ExchangeConfig {
   /// Off for the pure-construction-cost experiments (T1-T5), on for Sec. 5.2.
   bool manage_data = true;
 
+  /// Cap on the per-peer buddy list (known same-path replicas). 0 keeps the
+  /// historical unbounded behavior: every replica ever met is remembered, which
+  /// at community sizes far beyond the paper's experiments (100k+ peers with
+  /// shallow maxl) makes buddy lists the dominant per-peer storage cost. A
+  /// bound in the tens preserves the repair/anti-entropy fan-out while keeping
+  /// per-peer state flat; the scaling benches arm it.
+  size_t buddymax = 0;
+
   /// Repair under permanent departures (dynamic-membership extension): when true
   /// and an online model is attached, reference cross-pollination drops targets
   /// that are unreachable at exchange time, so dead references are gradually

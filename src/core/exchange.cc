@@ -9,7 +9,7 @@ namespace pgrid {
 namespace {
 
 /// Returns a copy of `refs` without `exclude`.
-std::vector<PeerId> Without(const std::vector<PeerId>& refs, PeerId exclude) {
+std::vector<PeerId> Without(Span<PeerId> refs, PeerId exclude) {
   std::vector<PeerId> out;
   out.reserve(refs.size());
   for (PeerId r : refs) {
@@ -19,8 +19,8 @@ std::vector<PeerId> Without(const std::vector<PeerId>& refs, PeerId exclude) {
 }
 
 /// Deduplicating union of two reference lists.
-std::vector<PeerId> Union(const std::vector<PeerId>& a, const std::vector<PeerId>& b) {
-  std::vector<PeerId> out = a;
+std::vector<PeerId> Union(Span<PeerId> a, Span<PeerId> b) {
+  std::vector<PeerId> out = a.ToVector();
   for (PeerId r : b) {
     if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
   }
@@ -192,8 +192,8 @@ void ExchangeEngine::SplitShorter(PeerState* shorter, PeerState* longer, size_t 
   shard->path_bits += 1;
   splits_->Increment();
   shorter->SetRefsAt(lc + 1, {longer->id()});
-  std::vector<PeerId> refs =
-      Union({shorter->id()}, longer->RefsAt(lc + 1));
+  const PeerId self = shorter->id();
+  std::vector<PeerId> refs = Union(Span<PeerId>(&self, 1), longer->RefsAt(lc + 1));
   longer->SetRefsAt(lc + 1, shard->rng->SampleWithoutReplacement(std::move(refs),
                                                                  config_.refmax));
 }
@@ -210,17 +210,20 @@ void ExchangeEngine::CloneShorter(PeerState* shorter, PeerState* longer, size_t 
   shard->path_bits += 1;
   splits_->Increment();
   shorter->SetRefsAt(lc + 1, shard->rng->SampleWithoutReplacement(
-                                 longer->RefsAt(lc + 1), config_.refmax));
+                                 longer->RefsAt(lc + 1).ToVector(), config_.refmax));
 }
 
 void ExchangeEngine::MergeReplicas(PeerState* a1, PeerState* a2, bool record_buddies,
                                    ExchangeShard* shard) {
   if (record_buddies) {
-    a1->AddBuddy(a2->id());
-    a2->AddBuddy(a1->id());
-    // Replicas also learn each other's buddies (transitive closure over meetings).
-    for (PeerId b : a2->buddies()) a1->AddBuddy(b);
-    for (PeerId b : a1->buddies()) a2->AddBuddy(b);
+    a1->AddBuddy(a2->id(), config_.buddymax);
+    a2->AddBuddy(a1->id(), config_.buddymax);
+    // Replicas also learn each other's buddies (transitive closure over
+    // meetings). Each loop walks one peer's list while inserting into the
+    // other's, so the span being iterated is never reallocated mid-walk; the
+    // second loop deliberately sees what the first one just added.
+    for (PeerId b : a2->buddies()) a1->AddBuddy(b, config_.buddymax);
+    for (PeerId b : a1->buddies()) a2->AddBuddy(b, config_.buddymax);
   }
   size_t moved = a1->index().MergeFrom(a2->index());
   moved += a2->index().MergeFrom(a1->index());
@@ -237,9 +240,8 @@ void ExchangeEngine::ReconcileData(PeerState* x, PeerState* y, ExchangeShard* sh
     // Entries that stopped overlapping the (possibly just-extended) own path, plus
     // anything parked earlier, are offered to the partner.
     std::vector<IndexEntry> pending = from->index().ExtractNotMatching(from->path());
-    std::vector<IndexEntry> parked = std::move(from->foreign_entries());
+    for (IndexEntry& e : from->foreign_entries()) pending.push_back(std::move(e));
     from->foreign_entries().clear();
-    pending.insert(pending.end(), parked.begin(), parked.end());
     size_t moved = 0;
     for (IndexEntry& e : pending) {
       if (PathsOverlap(to->path(), e.key)) {

@@ -34,17 +34,27 @@ class Grid {
   /// returns its id. Supports dynamic membership: new peers integrate through
   /// ordinary exchanges. Do not call while an exchange or any parallel workload
   /// is executing.
-  PeerId AddPeer() {
-    const PeerId id = static_cast<PeerId>(peers_.size());
-    peers_.emplace_back(id);
-    // Atomics are not movable, so the load vector is rebuilt instead of resized.
+  PeerId AddPeer() { return AddPeers(1); }
+
+  /// Adds `count` fresh peers at once and returns the first new id. Mass joins
+  /// (churn rounds, flash-crowd scenarios) must use this instead of repeated
+  /// AddPeer(): the per-peer load counters are atomics, which are not movable,
+  /// so every grow rebuilds that whole vector -- batched, the rebuild happens
+  /// once per wave instead of once per joiner (O(n) vs O(n * count)).
+  PeerId AddPeers(size_t count) {
+    PGRID_CHECK_GT(count, 0u);
+    const PeerId first = static_cast<PeerId>(peers_.size());
+    peers_.reserve(peers_.size() + count);
+    for (size_t i = 0; i < count; ++i) {
+      peers_.emplace_back(static_cast<PeerId>(peers_.size()));
+    }
     std::vector<std::atomic<uint64_t>> grown(peers_.size());
     for (size_t i = 0; i < query_load_.size(); ++i) {
       grown[i].store(query_load_[i].load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     }
     query_load_ = std::move(grown);
-    return id;
+    return first;
   }
 
   PeerState& peer(PeerId id) {

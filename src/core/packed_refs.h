@@ -1,0 +1,202 @@
+// Pooled storage for a peer's per-level reference lists.
+//
+// The paper's routing table is a short sequence R_1..R_n of tiny sets (refmax
+// is single digits in every experiment). A vector-of-vectors spends a 24-byte
+// shell plus a separate allocation per level; PackedRefs keeps the whole table
+// in ONE heap block laid out as
+//
+//   [ uint32 counts[cap_levels] | PeerId elems[cap_elems] ]
+//
+// with the levels' elements contiguous in level order and no per-level slack.
+// Levels only ever append (paths only grow), so the counts region is extended
+// monotonically; editing an inner level shifts the tail elements by memmove,
+// which at refmax * maxl elements is a few dozen bytes. Order within a level
+// is preserved exactly -- digests, snapshots, and RNG sampling all consume
+// reference lists in stored order.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/types.h"
+#include "util/macros.h"
+#include "util/span.h"
+
+namespace pgrid {
+
+class PackedRefs {
+ public:
+  PackedRefs() = default;
+  PackedRefs(const PackedRefs& other) { Assign(other); }
+  PackedRefs& operator=(const PackedRefs& other) {
+    if (this != &other) {
+      delete[] buf_;
+      Assign(other);
+    }
+    return *this;
+  }
+  PackedRefs(PackedRefs&& other) noexcept { Steal(other); }
+  PackedRefs& operator=(PackedRefs&& other) noexcept {
+    if (this != &other) {
+      delete[] buf_;
+      Steal(other);
+    }
+    return *this;
+  }
+  ~PackedRefs() { delete[] buf_; }
+
+  /// Number of levels (the owning peer's path depth).
+  size_t depth() const { return depth_; }
+
+  /// Total references across all levels.
+  size_t total() const { return total_; }
+
+  /// The reference list of 0-indexed level `level`. Invalidated by any mutation.
+  Span<PeerId> At(size_t level) const {
+    PGRID_CHECK_LT(level, depth_);
+    return Span<PeerId>(elems() + Offset(level), counts()[level]);
+  }
+
+  /// Appends a new, empty level.
+  void AppendLevel() {
+    if (depth_ == cap_levels_) {
+      Reallocate(cap_levels_ == 0 ? kMinLevels : cap_levels_ * 2, cap_elems_);
+    }
+    counts()[depth_] = 0;
+    ++depth_;
+  }
+
+  /// Replaces level `level` wholesale. `refs` must not alias this table.
+  void Set(size_t level, const PeerId* refs, size_t n) {
+    PGRID_CHECK_LT(level, depth_);
+    const uint32_t old_n = counts()[level];
+    if (n > old_n) EnsureElems(total_ - old_n + n);
+    const size_t at = Offset(level);
+    ShiftTail(at + old_n, static_cast<ptrdiff_t>(n) - static_cast<ptrdiff_t>(old_n));
+    if (n != 0) std::memcpy(elems() + at, refs, n * sizeof(PeerId));
+    counts()[level] = static_cast<uint32_t>(n);
+    total_ = total_ - old_n + static_cast<uint32_t>(n);
+  }
+
+  /// Appends `peer` to level `level` if absent. Returns true if added.
+  bool Add(size_t level, PeerId peer) {
+    PGRID_CHECK_LT(level, depth_);
+    for (PeerId r : At(level)) {
+      if (r == peer) return false;
+    }
+    EnsureElems(total_ + 1);
+    const size_t at = Offset(level) + counts()[level];
+    ShiftTail(at, 1);
+    elems()[at] = peer;
+    ++counts()[level];
+    ++total_;
+    return true;
+  }
+
+  /// Removes every occurrence of `peer` from level `level` (stored order of the
+  /// survivors is preserved). Returns the number removed.
+  size_t Remove(size_t level, PeerId peer) {
+    PGRID_CHECK_LT(level, depth_);
+    const size_t at = Offset(level);
+    PeerId* e = elems();
+    uint32_t kept = 0;
+    const uint32_t n = counts()[level];
+    for (uint32_t i = 0; i < n; ++i) {
+      if (e[at + i] != peer) e[at + kept++] = e[at + i];
+    }
+    const uint32_t removed = n - kept;
+    if (removed != 0) {
+      ShiftTail(at + n, -static_cast<ptrdiff_t>(removed));
+      counts()[level] = kept;
+      total_ -= removed;
+    }
+    return removed;
+  }
+
+  /// Heap bytes owned by the pooled block, counted at capacity.
+  size_t ApproxMemoryBytes() const {
+    return (size_t{cap_levels_} + cap_elems_) * sizeof(uint32_t);
+  }
+
+ private:
+  static constexpr uint32_t kMinLevels = 8;
+  static constexpr uint32_t kMinElems = 8;
+
+  static_assert(sizeof(PeerId) == sizeof(uint32_t),
+                "counts and elements share one uint32 buffer");
+
+  uint32_t* counts() { return buf_; }
+  const uint32_t* counts() const { return buf_; }
+  PeerId* elems() { return buf_ + cap_levels_; }
+  const PeerId* elems() const { return buf_ + cap_levels_; }
+
+  /// Element offset of the first reference of 0-indexed `level`: the prefix sum
+  /// of the preceding level counts (depth is bounded by maxl, single digits).
+  size_t Offset(size_t level) const {
+    size_t off = 0;
+    for (size_t l = 0; l < level; ++l) off += counts()[l];
+    return off;
+  }
+
+  /// Moves the elements in [from, total_) by `delta` slots (capacity must
+  /// already accommodate the result).
+  void ShiftTail(size_t from, ptrdiff_t delta) {
+    if (delta == 0 || from >= total_) return;
+    PeerId* e = elems();
+    std::memmove(e + from + delta, e + from, (total_ - from) * sizeof(PeerId));
+  }
+
+  void EnsureElems(size_t need) {
+    if (need <= cap_elems_) return;
+    uint32_t cap = cap_elems_ == 0 ? kMinElems : cap_elems_ * 2;
+    while (cap < need) cap *= 2;
+    Reallocate(cap_levels_ == 0 ? kMinLevels : cap_levels_, cap);
+  }
+
+  void Reallocate(uint32_t cap_levels, uint32_t cap_elems) {
+    uint32_t* grown = new uint32_t[size_t{cap_levels} + cap_elems];
+    if (buf_ != nullptr) {
+      std::memcpy(grown, buf_, depth_ * sizeof(uint32_t));
+      std::memcpy(grown + cap_levels, elems(), total_ * sizeof(PeerId));
+      delete[] buf_;
+    }
+    buf_ = grown;
+    cap_levels_ = cap_levels;
+    cap_elems_ = cap_elems;
+  }
+
+  void Assign(const PackedRefs& other) {
+    depth_ = other.depth_;
+    total_ = other.total_;
+    // Copies allocate exactly what the canonical contents need.
+    cap_levels_ = depth_ == 0 ? 0 : depth_;
+    cap_elems_ = total_;
+    if (cap_levels_ + cap_elems_ != 0) {
+      buf_ = new uint32_t[size_t{cap_levels_} + cap_elems_];
+      std::memcpy(buf_, other.buf_, depth_ * sizeof(uint32_t));
+      std::memcpy(buf_ + cap_levels_, other.elems(), total_ * sizeof(PeerId));
+    } else {
+      buf_ = nullptr;
+    }
+  }
+
+  void Steal(PackedRefs& other) {
+    buf_ = other.buf_;
+    depth_ = other.depth_;
+    total_ = other.total_;
+    cap_levels_ = other.cap_levels_;
+    cap_elems_ = other.cap_elems_;
+    other.buf_ = nullptr;
+    other.depth_ = other.total_ = other.cap_levels_ = other.cap_elems_ = 0;
+  }
+
+  uint32_t* buf_ = nullptr;
+  uint32_t depth_ = 0;
+  uint32_t total_ = 0;
+  uint32_t cap_levels_ = 0;
+  uint32_t cap_elems_ = 0;
+};
+
+}  // namespace pgrid

@@ -1,7 +1,5 @@
 #include "core/peer_state.h"
 
-#include <algorithm>
-
 #include "util/macros.h"
 
 namespace pgrid {
@@ -11,55 +9,49 @@ int PeerState::PathBit(size_t level) const {
   return path_.bit(level - 1);
 }
 
-const std::vector<PeerId>& PeerState::RefsAt(size_t level) const {
-  PGRID_CHECK(level >= 1 && level <= refs_.size());
-  return refs_[level - 1];
-}
-
-std::vector<PeerId>& PeerState::MutableRefsAt(size_t level) {
-  PGRID_CHECK(level >= 1 && level <= refs_.size());
-  return refs_[level - 1];
+Span<PeerId> PeerState::RefsAt(size_t level) const {
+  PGRID_CHECK(level >= 1 && level <= refs_.depth());
+  return refs_.At(level - 1);
 }
 
 void PeerState::SetRefsAt(size_t level, std::vector<PeerId> refs) {
-  PGRID_CHECK(level >= 1 && level <= refs_.size());
-  refs_[level - 1] = std::move(refs);
+  PGRID_CHECK(level >= 1 && level <= refs_.depth());
+  refs_.Set(level - 1, refs.data(), refs.size());
 }
 
 bool PeerState::AddRefAt(size_t level, PeerId peer) {
-  std::vector<PeerId>& r = MutableRefsAt(level);
-  if (std::find(r.begin(), r.end(), peer) != r.end()) return false;
-  r.push_back(peer);
-  return true;
+  PGRID_CHECK(level >= 1 && level <= refs_.depth());
+  return refs_.Add(level - 1, peer);
+}
+
+size_t PeerState::RemoveRefAt(size_t level, PeerId peer) {
+  PGRID_CHECK(level >= 1 && level <= refs_.depth());
+  return refs_.Remove(level - 1, peer);
 }
 
 void PeerState::AppendPathBit(int bit) {
   path_.PushBack(bit);
-  refs_.emplace_back();
+  refs_.AppendLevel();
 }
 
-bool PeerState::AddBuddy(PeerId peer) {
+bool PeerState::AddBuddy(PeerId peer, size_t max_buddies) {
   if (peer == id_) return false;
-  if (std::find(buddies_.begin(), buddies_.end(), peer) != buddies_.end()) return false;
+  for (PeerId b : buddies_) {
+    if (b == peer) return false;
+  }
+  if (max_buddies > 0 && buddies_.size() >= max_buddies) return false;
   buddies_.push_back(peer);
   return true;
 }
 
-size_t PeerState::TotalRefs() const {
-  size_t n = 0;
-  for (const auto& r : refs_) n += r.size();
-  return n;
-}
-
 size_t PeerState::ApproxMemoryBytes() const {
   size_t bytes = path_.ApproxMemoryBytes();
-  bytes += refs_.capacity() * sizeof(std::vector<PeerId>);
-  for (const auto& r : refs_) bytes += r.capacity() * sizeof(PeerId);
-  bytes += buddies_.capacity() * sizeof(PeerId);
+  bytes += refs_.ApproxMemoryBytes();
+  bytes += buddies_.ApproxMemoryBytes();
   bytes += index_.ApproxMemoryBytes();
   bytes += store_.ApproxMemoryBytes();
-  bytes += foreign_.capacity() * sizeof(IndexEntry);
-  for (const auto& e : foreign_) bytes += e.key.ApproxMemoryBytes();
+  bytes += foreign_.ApproxMemoryBytes();
+  for (const IndexEntry& e : foreign_) bytes += e.key.ApproxMemoryBytes();
   return bytes;
 }
 

@@ -8,16 +8,24 @@
 //
 // Levels are 1-indexed throughout, matching the paper: RefsAt(1) routes on the first
 // bit, RefsAt(depth()) on the last.
+//
+// The containers are chosen for per-peer footprint at community sizes in the
+// millions: the reference table is one pooled block (core/packed_refs.h), the
+// buddy list a tight 1.25x-growth array (util/tight_vec.h), and reference
+// lists are exposed as read-only spans over the pooled storage.
 
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/packed_refs.h"
 #include "key/key_path.h"
 #include "sim/types.h"
 #include "storage/data_store.h"
 #include "storage/leaf_index.h"
+#include "util/span.h"
+#include "util/tight_vec.h"
 
 namespace pgrid {
 
@@ -37,9 +45,10 @@ class PeerState {
   /// Bit p_level of the path, 1-indexed. Requires 1 <= level <= depth().
   int PathBit(size_t level) const;
 
-  /// References R_level, 1-indexed. Requires 1 <= level <= depth().
-  const std::vector<PeerId>& RefsAt(size_t level) const;
-  std::vector<PeerId>& MutableRefsAt(size_t level);
+  /// References R_level, 1-indexed, as a read-only view into the pooled table.
+  /// Requires 1 <= level <= depth(). Invalidated by any mutation of this peer's
+  /// references; copy (ToVector) before mutating.
+  Span<PeerId> RefsAt(size_t level) const;
 
   /// Replaces R_level wholesale.
   void SetRefsAt(size_t level, std::vector<PeerId> refs);
@@ -47,14 +56,21 @@ class PeerState {
   /// Adds `peer` to R_level if not already present. Returns true if added.
   bool AddRefAt(size_t level, PeerId peer);
 
+  /// Removes every occurrence of `peer` from R_level. Returns the number removed.
+  size_t RemoveRefAt(size_t level, PeerId peer);
+
   /// Extends the path by one bit, creating an (initially empty) reference level.
   /// Paths only ever grow; references installed earlier therefore stay prefix-valid.
   void AppendPathBit(int bit);
 
   /// Known same-path replicas discovered during construction (Sec. 3, update
   /// strategy 3). Deduplicated; never contains this peer itself.
-  const std::vector<PeerId>& buddies() const { return buddies_; }
-  bool AddBuddy(PeerId peer);
+  Span<PeerId> buddies() const { return Span<PeerId>(buddies_.begin(), buddies_.size()); }
+
+  /// Adds `peer` to the buddy list if absent. With max_buddies > 0 the list is
+  /// capped: once full, further additions are refused (0 keeps the historical
+  /// unbounded behavior). Returns true if added.
+  bool AddBuddy(PeerId peer, size_t max_buddies = 0);
   void ClearBuddies() { buddies_.clear(); }
 
   /// Leaf-level index D: references to data items under this peer's path.
@@ -68,11 +84,11 @@ class PeerState {
   /// Index entries this peer currently holds although their keys do not overlap its
   /// path (they could not yet be handed to a matching peer). Drained opportunistically
   /// during later exchanges; never silently dropped.
-  std::vector<IndexEntry>& foreign_entries() { return foreign_; }
-  const std::vector<IndexEntry>& foreign_entries() const { return foreign_; }
+  TightVec<IndexEntry>& foreign_entries() { return foreign_; }
+  const TightVec<IndexEntry>& foreign_entries() const { return foreign_; }
 
   /// Total routing references over all levels (storage-cost metric of Sec. 6).
-  size_t TotalRefs() const;
+  size_t TotalRefs() const { return refs_.total(); }
 
   /// Approximate heap bytes owned by this peer's protocol state: path words,
   /// reference lists, buddy list, leaf index, data store, and foreign buffer,
@@ -83,11 +99,11 @@ class PeerState {
  private:
   PeerId id_;
   KeyPath path_;
-  std::vector<std::vector<PeerId>> refs_;  // refs_[i] holds R_{i+1}
-  std::vector<PeerId> buddies_;
+  PackedRefs refs_;  // level i (0-indexed) holds R_{i+1}
+  TightVec<PeerId> buddies_;
   LeafIndex index_;
   DataStore store_;
-  std::vector<IndexEntry> foreign_;
+  TightVec<IndexEntry> foreign_;
 };
 
 /// True iff a peer with responsibility `path` is (co-)responsible for `key`: their

@@ -115,9 +115,9 @@ void SearchEngine::PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed,
   const KeyPath rempath = a.path().SuffixFrom(consumed);
   const size_t lc = p.CommonPrefixLength(rempath);
 
-  auto fan = [&](const std::vector<PeerId>& refs, const KeyPath& next,
+  auto fan = [&](Span<PeerId> refs, const KeyPath& next,
                  size_t consumed_next) {
-    std::vector<PeerId> candidates = refs;  // copy: draw and remove
+    std::vector<PeerId> candidates = refs.ToVector();  // copy: draw and remove
     size_t contacted = 0;
     while (!candidates.empty() && contacted < fanout) {
       PeerId r = rng_->TakeRandom(&candidates);
@@ -144,9 +144,9 @@ void SearchEngine::PrefixImpl(PeerId peer, const KeyPath& p, size_t consumed,
     out->responders.push_back(peer);
     const KeyPath full =
         a.path().Prefix(std::min<size_t>(consumed, a.depth())).Concat(p);
-    for (const IndexEntry& e : a.index().All()) {
+    a.index().ForEach([&full, out](const IndexEntry& e) {
       if (PathsOverlap(e.key, full)) out->entries.push_back(e);
-    }
+    });
     if (lc == p.length()) {
       // Prefix exhausted but the peer's path continues: references at every
       // deeper level cover the sibling sub-intervals of the prefix region.

@@ -97,14 +97,14 @@ class DataThresholdPolicy : public SplitPolicy {
     // its own side and cannot inform this decision.)
     const int partner_bit = longer.PathBit(common_len + 1);
     double partner_side = 0, complement_side = 0;
-    for (const IndexEntry& e : shorter.index().All()) {
-      if (e.key.length() <= common_len) continue;
+    shorter.index().ForEach([&](const IndexEntry& e) {
+      if (e.key.length() <= common_len) return;
       if (e.key.bit(common_len) == partner_bit) {
         ++partner_side;
       } else {
         ++complement_side;
       }
-    }
+    });
     return partner_side > clone_imbalance_ * std::max(1.0, complement_side);
   }
 

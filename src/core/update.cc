@@ -141,10 +141,10 @@ void UpdateEngine::BfsPass(PeerId peer, const KeyPath& p, size_t consumed,
             messages);
 }
 
-void UpdateEngine::BfsFanOut(const std::vector<PeerId>& refs, const KeyPath& querypath,
+void UpdateEngine::BfsFanOut(Span<PeerId> refs, const KeyPath& querypath,
                              size_t consumed, size_t recbreadth,
                              std::unordered_set<PeerId>* reached, uint64_t* messages) {
-  std::vector<PeerId> candidates = refs;  // copy: we draw and remove
+  std::vector<PeerId> candidates = refs.ToVector();  // copy: we draw and remove
   size_t contacted = 0;
   while (!candidates.empty() && contacted < recbreadth) {
     PeerId r = rng_->TakeRandom(&candidates);

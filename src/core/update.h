@@ -80,7 +80,7 @@ class UpdateEngine {
 
   /// Forwards to up to `recbreadth` online members of `refs`; each successful
   /// contact costs one message and recurses into BfsPass.
-  void BfsFanOut(const std::vector<PeerId>& refs, const KeyPath& querypath,
+  void BfsFanOut(Span<PeerId> refs, const KeyPath& querypath,
                  size_t consumed, size_t recbreadth,
                  std::unordered_set<PeerId>* reached, uint64_t* messages);
 

@@ -1,5 +1,6 @@
 #include "key/key_path.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/macros.h"
@@ -14,6 +15,70 @@ constexpr size_t kBitsPerWord = 64;
 size_t WordsFor(size_t bits) { return (bits + kBitsPerWord - 1) / kBitsPerWord; }
 
 }  // namespace
+
+KeyPath::KeyPath(const KeyPath& other) : length_(other.length_) {
+  if (other.heap_words_ == 0) {
+    inline_word_ = other.inline_word_;
+  } else {
+    // Copies shrink to the exact canonical word count; any slack capacity in
+    // the source was a growth artifact, not state.
+    const size_t n = other.word_count();
+    heap_ = new uint64_t[n];
+    std::copy(other.heap_, other.heap_ + n, heap_);
+    heap_words_ = static_cast<uint32_t>(n);
+  }
+}
+
+KeyPath& KeyPath::operator=(const KeyPath& other) {
+  if (this != &other) {
+    KeyPath tmp(other);
+    Swap(tmp);
+  }
+  return *this;
+}
+
+KeyPath::KeyPath(KeyPath&& other) noexcept
+    : heap_words_(other.heap_words_), length_(other.length_) {
+  if (heap_words_ == 0) {
+    inline_word_ = other.inline_word_;
+  } else {
+    heap_ = other.heap_;
+  }
+  other.inline_word_ = 0;
+  other.heap_words_ = 0;
+  other.length_ = 0;
+}
+
+KeyPath& KeyPath::operator=(KeyPath&& other) noexcept {
+  if (this != &other) {
+    KeyPath tmp(std::move(other));
+    Swap(tmp);
+  }
+  return *this;
+}
+
+KeyPath::~KeyPath() {
+  if (heap_words_ != 0) delete[] heap_;
+}
+
+void KeyPath::Swap(KeyPath& other) noexcept {
+  // The union holds either variant as raw 8 bytes; swapping the storage plus
+  // the discriminator (heap_words_) swaps the representations.
+  std::swap(inline_word_, other.inline_word_);
+  std::swap(heap_words_, other.heap_words_);
+  std::swap(length_, other.length_);
+}
+
+KeyPath KeyPath::MakeZeroed(size_t length) {
+  KeyPath out;
+  out.length_ = static_cast<uint32_t>(length);
+  if (length > kBitsPerWord) {
+    const size_t n = WordsFor(length);
+    out.heap_ = new uint64_t[n]();
+    out.heap_words_ = static_cast<uint32_t>(n);
+  }
+  return out;
+}
 
 Result<KeyPath> KeyPath::FromString(std::string_view bits) {
   KeyPath out;
@@ -49,21 +114,42 @@ KeyPath KeyPath::Random(Rng* rng, size_t length) {
 
 int KeyPath::bit(size_t i) const {
   PGRID_CHECK_LT(i, length_);
-  return static_cast<int>((words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u);
+  return static_cast<int>((words()[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u);
 }
 
 void KeyPath::PushBack(int b) {
   PGRID_CHECK(b == 0 || b == 1);
-  if (length_ % kBitsPerWord == 0) words_.push_back(0);
-  if (b != 0) words_[length_ / kBitsPerWord] |= uint64_t{1} << (length_ % kBitsPerWord);
+  const size_t i = length_;
+  if (heap_words_ == 0) {
+    if (i == kBitsPerWord) {
+      // Spill: the inline word is full; move it to a fresh two-word block.
+      heap_ = new uint64_t[2]{inline_word_, 0};
+      heap_words_ = 2;
+    }
+  } else if (i == size_t{heap_words_} * kBitsPerWord) {
+    const size_t cap = size_t{heap_words_} * 2;
+    uint64_t* grown = new uint64_t[cap]();
+    std::copy(heap_, heap_ + heap_words_, grown);
+    delete[] heap_;
+    heap_ = grown;
+    heap_words_ = static_cast<uint32_t>(cap);
+  }
+  // Words past the length are canonically zero, so setting a 1-bit is enough.
+  if (b != 0) words()[i / kBitsPerWord] |= uint64_t{1} << (i % kBitsPerWord);
   ++length_;
 }
 
 void KeyPath::PopBack() {
   PGRID_CHECK_GT(length_, 0u);
   --length_;
-  words_[length_ / kBitsPerWord] &= ~(uint64_t{1} << (length_ % kBitsPerWord));
-  words_.resize(WordsFor(length_));
+  words()[length_ / kBitsPerWord] &= ~(uint64_t{1} << (length_ % kBitsPerWord));
+  if (heap_words_ != 0 && length_ <= kBitsPerWord) {
+    // Un-spill so short paths always report zero heap bytes.
+    const uint64_t word0 = heap_[0];
+    delete[] heap_;
+    inline_word_ = word0;
+    heap_words_ = 0;
+  }
 }
 
 KeyPath KeyPath::Append(int b) const {
@@ -73,21 +159,24 @@ KeyPath KeyPath::Append(int b) const {
 }
 
 KeyPath KeyPath::Concat(const KeyPath& suffix) const {
-  KeyPath out = *this;
-  if (suffix.length_ == 0) return out;
+  if (suffix.length_ == 0) return *this;
   // Word-packed append: each suffix word lands across at most two output words,
   // split at the current bit offset. Both operands are canonical (zero bits past
-  // their lengths) and resize zero-fills, so the result is canonical by
+  // their lengths) and MakeZeroed zero-fills, so the result is canonical by
   // construction.
+  KeyPath out = MakeZeroed(size_t{length_} + suffix.length_);
+  const uint64_t* src = words();
+  const uint64_t* suf = suffix.words();
+  uint64_t* dst = out.words();
+  std::copy(src, src + word_count(), dst);
   const size_t base = length_ / kBitsPerWord;
   const size_t offset = length_ % kBitsPerWord;
-  out.length_ = length_ + suffix.length_;
-  out.words_.resize(WordsFor(out.length_), 0);
-  for (size_t j = 0; j < suffix.words_.size(); ++j) {
-    const uint64_t v = suffix.words_[j];
-    out.words_[base + j] |= v << offset;
-    if (offset != 0 && base + j + 1 < out.words_.size()) {
-      out.words_[base + j + 1] |= v >> (kBitsPerWord - offset);
+  const size_t out_n = out.word_count();
+  for (size_t j = 0; j < suffix.word_count(); ++j) {
+    const uint64_t v = suf[j];
+    dst[base + j] |= v << offset;
+    if (offset != 0 && base + j + 1 < out_n) {
+      dst[base + j + 1] |= v >> (kBitsPerWord - offset);
     }
   }
   return out;
@@ -95,37 +184,41 @@ KeyPath KeyPath::Concat(const KeyPath& suffix) const {
 
 KeyPath KeyPath::Prefix(size_t len) const {
   PGRID_CHECK_LE(len, length_);
-  KeyPath out = *this;
-  out.length_ = len;
-  out.words_.resize(WordsFor(len));
+  KeyPath out = MakeZeroed(len);
+  const uint64_t* src = words();
+  uint64_t* dst = out.words();
+  const size_t n = out.word_count();
+  std::copy(src, src + n, dst);
   // Re-canonicalize: clear bits at positions >= len in the last word.
-  if (len % kBitsPerWord != 0 && !out.words_.empty()) {
-    out.words_.back() &= (uint64_t{1} << (len % kBitsPerWord)) - 1;
+  if (len % kBitsPerWord != 0) {
+    dst[n - 1] &= (uint64_t{1} << (len % kBitsPerWord)) - 1;
   }
   return out;
 }
 
 KeyPath KeyPath::Sub(size_t pos, size_t len) const {
   PGRID_CHECK_LE(pos + len, length_);
-  KeyPath out;
-  if (len == 0) return out;
+  if (len == 0) return KeyPath();
   // Word-packed extraction: output word w gathers the low part of source word
   // (first + w) and, when the cut is unaligned, the high part from the next word.
   // This runs on every routing hop (SuffixFrom), so it must not be per-bit.
-  out.length_ = len;
-  out.words_.resize(WordsFor(len), 0);
+  KeyPath out = MakeZeroed(len);
+  const uint64_t* src = words();
+  uint64_t* dst = out.words();
   const size_t first = pos / kBitsPerWord;
   const size_t shift = pos % kBitsPerWord;
-  for (size_t w = 0; w < out.words_.size(); ++w) {
-    uint64_t v = words_[first + w] >> shift;
-    if (shift != 0 && first + w + 1 < words_.size()) {
-      v |= words_[first + w + 1] << (kBitsPerWord - shift);
+  const size_t src_n = word_count();
+  const size_t out_n = out.word_count();
+  for (size_t w = 0; w < out_n; ++w) {
+    uint64_t v = src[first + w] >> shift;
+    if (shift != 0 && first + w + 1 < src_n) {
+      v |= src[first + w + 1] << (kBitsPerWord - shift);
     }
-    out.words_[w] = v;
+    dst[w] = v;
   }
   // Re-canonicalize the tail word.
   if (len % kBitsPerWord != 0) {
-    out.words_.back() &= (uint64_t{1} << (len % kBitsPerWord)) - 1;
+    dst[out_n - 1] &= (uint64_t{1} << (len % kBitsPerWord)) - 1;
   }
   return out;
 }
@@ -136,10 +229,12 @@ KeyPath KeyPath::SuffixFrom(size_t pos) const {
 }
 
 size_t KeyPath::CommonPrefixLength(const KeyPath& other) const {
-  size_t limit = std::min(length_, other.length_);
-  size_t words = WordsFor(limit);
-  for (size_t w = 0; w < words; ++w) {
-    uint64_t diff = words_[w] ^ other.words_[w];
+  const size_t limit = std::min(size_t{length_}, size_t{other.length_});
+  const uint64_t* a = words();
+  const uint64_t* b = other.words();
+  const size_t n = WordsFor(limit);
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t diff = a[w] ^ b[w];
     if (diff != 0) {
       size_t first_diff = w * kBitsPerWord + static_cast<size_t>(std::countr_zero(diff));
       return std::min(first_diff, limit);
@@ -185,11 +280,16 @@ std::strong_ordering KeyPath::operator<=>(const KeyPath& other) const {
 }
 
 bool KeyPath::operator==(const KeyPath& other) const {
-  return length_ == other.length_ && words_ == other.words_;
+  if (length_ != other.length_) return false;
+  const uint64_t* a = words();
+  const uint64_t* b = other.words();
+  return std::equal(a, a + word_count(), b);
 }
 
 size_t KeyPath::Hash() const {
-  // FNV-1a over the canonical words plus the length.
+  // FNV-1a over the canonical words plus the length. The word sequence is the
+  // same for inline and heap representations of equal paths, so hash values are
+  // representation-independent (and unchanged from the vector-backed layout).
   uint64_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -198,7 +298,8 @@ size_t KeyPath::Hash() const {
     }
   };
   mix(length_);
-  for (uint64_t w : words_) mix(w);
+  const uint64_t* w = words();
+  for (size_t i = 0, n = word_count(); i < n; ++i) mix(w[i]);
   return static_cast<size_t>(h);
 }
 

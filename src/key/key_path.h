@@ -43,6 +43,11 @@ class KeyPath {
  public:
   /// Constructs the empty path (length 0, interval [0,1)).
   KeyPath() = default;
+  KeyPath(const KeyPath& other);
+  KeyPath& operator=(const KeyPath& other);
+  KeyPath(KeyPath&& other) noexcept;
+  KeyPath& operator=(KeyPath&& other) noexcept;
+  ~KeyPath();
 
   /// Parses a path from a string of '0'/'1' characters. Empty string is the empty
   /// path. Any other character is an InvalidArgument error.
@@ -114,19 +119,46 @@ class KeyPath {
   /// Hash suitable for unordered containers (see KeyPathHash).
   size_t Hash() const;
 
-  /// Approximate heap bytes owned by this path (the packed-bit words, counted
-  /// at capacity). Excludes sizeof(*this), so a containing object can report
+  /// Approximate heap bytes owned by this path (the spilled packed-bit words,
+  /// counted at capacity; 0 for the inline representation, i.e. any path of at
+  /// most 64 bits). Excludes sizeof(*this), so a containing object can report
   /// its own footprint without double counting. Feeds the storage-cost numbers
   /// of the scaling benches.
-  size_t ApproxMemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+  size_t ApproxMemoryBytes() const { return size_t{heap_words_} * sizeof(uint64_t); }
 
  private:
-  // Bit i lives in words_[i / 64] at bit position (i % 64), LSB-first. All bits at
-  // positions >= length_ are kept zero (canonical form) so equality and hashing can
-  // operate on whole words.
-  std::vector<uint64_t> words_;
-  size_t length_ = 0;
+  static constexpr size_t kBitsPerWord = 64;
+
+  /// Pointer to the packed-bit words of the active representation.
+  const uint64_t* words() const { return heap_words_ != 0 ? heap_ : &inline_word_; }
+  uint64_t* words() { return heap_words_ != 0 ? heap_ : &inline_word_; }
+
+  /// Number of words carrying canonical bits: ceil(length / 64).
+  size_t word_count() const {
+    return (size_t{length_} + kBitsPerWord - 1) / kBitsPerWord;
+  }
+
+  /// Builds an all-zero path of the given length in the right representation.
+  static KeyPath MakeZeroed(size_t length);
+
+  void Swap(KeyPath& other) noexcept;
+
+  // Small-buffer representation: bit i lives at word i / 64, bit position i % 64,
+  // LSB-first. Paths of at most 64 bits (every grid path in practice) store their
+  // single word inline with no heap allocation; longer paths own a heap array of
+  // heap_words_ words (the capacity; words past word_count() are kept zero).
+  // heap_words_ == 0 selects the inline representation. All bits at positions
+  // >= length_ are kept zero (canonical form) in either representation, so
+  // equality and hashing operate on whole words without masking.
+  union {
+    uint64_t inline_word_ = 0;
+    uint64_t* heap_;
+  };
+  uint32_t heap_words_ = 0;
+  uint32_t length_ = 0;
 };
+
+static_assert(sizeof(KeyPath) == 16, "KeyPath must stay two machine words");
 
 /// Complement of a single bit: 0 <-> 1 (the paper's p^- = (p + 1) mod 2).
 inline int ComplementBit(int b) { return 1 - b; }

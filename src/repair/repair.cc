@@ -87,10 +87,7 @@ void RepairEngine::ProbeAndEvict(PeerState& peer, RepairTick* tick) {
     if (!suspicion.NoteFailure(t)) continue;
     uint64_t removed = 0;
     for (size_t level = 1; level <= peer.depth(); ++level) {
-      std::vector<PeerId>& refs = peer.MutableRefsAt(level);
-      const size_t before = refs.size();
-      refs.erase(std::remove(refs.begin(), refs.end(), t), refs.end());
-      removed += before - refs.size();
+      removed += peer.RemoveRefAt(level, t);
     }
     m.GetCounter("repair.evictions")->Increment(removed);
     tick->evictions += removed;
@@ -236,7 +233,7 @@ void RepairEngine::SyncBuddies(PeerState& peer,
       for (PeerId nb : src.buddies()) {
         if (nb != dst.id() && nb < grid_->size() && IsLive(nb) &&
             grid_->peer(nb).path() == dst.path()) {
-          dst.AddBuddy(nb);
+          dst.AddBuddy(nb, exchange_config_.buddymax);
         }
       }
     }

@@ -60,14 +60,14 @@ class Digest {
 /// never reconciles them. The finalizer makes such cancellation 2^-64.
 inline uint64_t IndexDigest(const LeafIndex& index) {
   uint64_t sum = index.size() * 0x9e3779b97f4a7c15ull;
-  for (const IndexEntry& e : index.All()) {
+  index.ForEach([&sum](const IndexEntry& e) {
     Digest d;
     d.U64(e.holder);
     d.U64(e.item_id);
     d.Str(e.key.ToString());
     d.U64(e.version);
     sum += Mix64(d.value());
-  }
+  });
   return sum;
 }
 
@@ -80,7 +80,7 @@ inline uint64_t GridStateDigest(const Grid& grid) {
   for (const PeerState& p : grid) {
     d.Str(p.path().ToString());
     for (size_t level = 1; level <= p.depth(); ++level) {
-      const std::vector<PeerId>& refs = p.RefsAt(level);
+      const auto refs = p.RefsAt(level);
       d.U64(refs.size());
       for (PeerId r : refs) d.U64(r);
     }

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "key/key_path.h"
@@ -29,10 +28,18 @@ struct IndexEntry {
 };
 
 /// Set of index entries held by one peer, keyed by (holder, item_id).
+///
+/// Stored as an open-addressed linear-probe table of IndexEntry slots (no
+/// per-entry node allocations, no separate bucket array): the holder field
+/// doubles as the empty/tombstone sentinel, so an empty index owns no heap at
+/// all and a populated one is a single flat array. Iteration order is a
+/// deterministic function of the insertion/erasure history; everything that
+/// must be canonical (snapshots, digests) sorts or folds commutatively.
 class LeafIndex {
  public:
   /// Inserts the entry, or refreshes key/version if (holder, item_id) is present
-  /// with an older version. Returns true if anything changed.
+  /// with an older version. Returns true if anything changed. The holder must be
+  /// a real peer id (the two topmost ids are reserved as slot sentinels).
   bool InsertOrRefresh(const IndexEntry& entry);
 
   /// Returns the entry for (holder, item_id), or nullptr.
@@ -40,6 +47,25 @@ class LeafIndex {
 
   /// All entries whose key has `prefix` as a prefix.
   std::vector<IndexEntry> Matching(const KeyPath& prefix) const;
+
+  /// Visits every entry whose key has `prefix` as a prefix, without copying.
+  /// `fn` receives a const IndexEntry&. The index must not be mutated during
+  /// the visit.
+  template <typename Fn>
+  void ForEachMatching(const KeyPath& prefix, Fn&& fn) const {
+    for (const IndexEntry& e : slots_) {
+      if (IsLive(e) && prefix.IsPrefixOf(e.key)) fn(e);
+    }
+  }
+
+  /// Visits every entry, without copying. `fn` receives a const IndexEntry&.
+  /// The index must not be mutated during the visit.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const IndexEntry& e : slots_) {
+      if (IsLive(e)) fn(e);
+    }
+  }
 
   /// Highest version among entries for item `item_id` (0 if none). Used by queries to
   /// answer "what is the current version of this item".
@@ -58,24 +84,46 @@ class LeafIndex {
   /// Returns the number of entries inserted or refreshed.
   size_t MergeFrom(const LeafIndex& other);
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  /// Approximate heap bytes owned: the hash table's bucket array, one node per
-  /// entry, and each entry key's own heap. Excludes sizeof(*this).
+  /// Approximate heap bytes owned: the flat slot array at capacity, plus each
+  /// entry key's own heap (zero for inline keys). Excludes sizeof(*this).
   size_t ApproxMemoryBytes() const;
 
   /// Snapshot of all entries (unordered).
   std::vector<IndexEntry> All() const;
 
  private:
-  struct PairHash {
-    size_t operator()(const std::pair<PeerId, ItemId>& p) const {
-      return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) ^
-                                   (p.second * 0x9e3779b97f4a7c15ull));
-    }
-  };
-  std::unordered_map<std::pair<PeerId, ItemId>, IndexEntry, PairHash> entries_;
+  // The holder field of a slot distinguishes live entries from the two
+  // sentinel states; real peer ids can never collide with either (a grid of
+  // 2^32 - 2 peers is far beyond the 32-bit id space in practice).
+  static constexpr PeerId kEmptySlot = kInvalidPeer;
+  static constexpr PeerId kTombstoneSlot = kInvalidPeer - 1;
+
+  static bool IsLive(const IndexEntry& e) {
+    return e.holder != kEmptySlot && e.holder != kTombstoneSlot;
+  }
+
+  static size_t HashKey(PeerId holder, ItemId item_id);
+
+  /// Returns the live slot holding (holder, item_id), or nullptr.
+  IndexEntry* FindSlot(PeerId holder, ItemId item_id);
+  const IndexEntry* FindSlot(PeerId holder, ItemId item_id) const {
+    return const_cast<LeafIndex*>(this)->FindSlot(holder, item_id);
+  }
+
+  /// Re-buckets every live entry into a fresh table of at least `min_slots`
+  /// slots (rounded up to a power of two), dropping tombstones.
+  void Rehash(size_t min_slots);
+
+  /// Grows/cleans the table if inserting one more entry would push the
+  /// occupied fraction (live + tombstones) above 7/8.
+  void ReserveForInsert();
+
+  std::vector<IndexEntry> slots_;  // size is a power of two (or zero when empty)
+  size_t size_ = 0;                // live entries
+  size_t tombstones_ = 0;          // erased slots awaiting the next rehash
 };
 
 }  // namespace pgrid

@@ -1,0 +1,51 @@
+// A minimal read-only view over a contiguous element range.
+//
+// PeerState exposes its pooled reference levels and buddy list as Span<PeerId>
+// so callers iterate the flat storage in place instead of forcing a per-level
+// std::vector. The implicit vector conversion keeps call sites that genuinely
+// need an owned copy (random draws, set algebra) working unchanged.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pgrid {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+  operator std::vector<T>() const { return ToVector(); }
+
+  friend bool operator==(Span a, Span b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator==(Span a, const std::vector<T>& b) { return a == Span(b); }
+  friend bool operator==(const std::vector<T>& a, Span b) { return Span(a) == b; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pgrid

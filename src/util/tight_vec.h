@@ -1,0 +1,113 @@
+// A capacity-frugal dynamic array for per-peer protocol lists.
+//
+// std::vector's doubling growth leaves up to 2x slack on lists that are
+// appended one element at a time and then kept around forever -- exactly the
+// shape of buddy lists and parked foreign entries, which at 100k+ peers
+// dominate the per-peer footprint. TightVec grows by ~1.25x (amortized linear
+// appends, bounded slack), keeps its bookkeeping in 32-bit fields, and frees
+// its storage on clear(). Iteration order is append order, which the digests
+// and snapshots rely on.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pgrid {
+
+template <typename T>
+class TightVec {
+ public:
+  TightVec() = default;
+  TightVec(const TightVec& other) { Assign(other); }
+  TightVec& operator=(const TightVec& other) {
+    if (this != &other) {
+      Destroy();
+      Assign(other);
+    }
+    return *this;
+  }
+  TightVec(TightVec&& other) noexcept
+      : data_(other.data_), size_(other.size_), cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.size_ = other.cap_ = 0;
+  }
+  TightVec& operator=(TightVec&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = nullptr;
+      other.size_ = other.cap_ = 0;
+    }
+    return *this;
+  }
+  ~TightVec() { Destroy(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == cap_) Grow();
+    data_[size_++] = std::move(value);
+  }
+
+  /// Destroys all elements and releases the storage (tight by construction:
+  /// a cleared list costs nothing until it is appended to again).
+  void clear() { Destroy(); }
+
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+  operator std::vector<T>() const { return ToVector(); }
+
+  /// Heap bytes owned by the backing array itself; element-owned heap (if any)
+  /// is the caller's to count.
+  size_t ApproxMemoryBytes() const { return size_t{cap_} * sizeof(T); }
+
+ private:
+  void Grow() {
+    const uint32_t grown = cap_ + cap_ / 4 + 1;
+    T* data = new T[grown];
+    for (uint32_t i = 0; i < size_; ++i) data[i] = std::move(data_[i]);
+    delete[] data_;
+    data_ = data;
+    cap_ = grown;
+  }
+
+  void Assign(const TightVec& other) {
+    size_ = cap_ = other.size_;
+    if (size_ != 0) {
+      data_ = new T[size_];
+      for (uint32_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+    } else {
+      data_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    delete[] data_;
+    data_ = nullptr;
+    size_ = cap_ = 0;
+  }
+
+  T* data_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t cap_ = 0;
+};
+
+}  // namespace pgrid

@@ -125,7 +125,7 @@ TEST(ExchangeTest, BuddyListsPropagateTransitively) {
   engine.Exchange(0, 2);
   engine.Exchange(2, 4);
   // 2 knows both 0 and 4; 4 learned 0 transitively from 2.
-  auto& b4 = grid.peer(4).buddies();
+  auto b4 = grid.peer(4).buddies();
   EXPECT_NE(std::find(b4.begin(), b4.end(), 0u), b4.end());
 }
 

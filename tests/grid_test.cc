@@ -1,0 +1,67 @@
+#include "core/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace pgrid {
+namespace {
+
+TEST(GridTest, AddPeersAssignsSequentialIds) {
+  Grid grid(3);
+  EXPECT_EQ(grid.size(), 3u);
+  const PeerId first = grid.AddPeers(4);
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(grid.size(), 7u);
+  for (PeerId id = 0; id < 7; ++id) {
+    EXPECT_EQ(grid.peer(id).id(), id);
+  }
+  // New peers start responsible for the whole key space.
+  EXPECT_TRUE(grid.peer(first).path().empty());
+  EXPECT_EQ(grid.peer(first).TotalRefs(), 0u);
+}
+
+TEST(GridTest, AddPeerIsAddPeersOfOne) {
+  Grid grid(2);
+  EXPECT_EQ(grid.AddPeer(), 2u);
+  EXPECT_EQ(grid.AddPeer(), 3u);
+  EXPECT_EQ(grid.size(), 4u);
+}
+
+TEST(GridTest, AddPeersPreservesQueryLoadCounters) {
+  Grid grid(2);
+  grid.NoteServed(0);
+  grid.NoteServed(0);
+  grid.NoteServed(1);
+  grid.AddPeers(3);
+  std::vector<uint64_t> load = grid.query_load();
+  ASSERT_EQ(load.size(), 5u);
+  EXPECT_EQ(load[0], 2u);
+  EXPECT_EQ(load[1], 1u);
+  EXPECT_EQ(load[2], 0u);
+  EXPECT_EQ(load[3], 0u);
+  EXPECT_EQ(load[4], 0u);
+  // The grown counter vector accepts load for the new peers immediately.
+  grid.NoteServed(4);
+  EXPECT_EQ(grid.query_load()[4], 1u);
+}
+
+TEST(GridTest, AddPeersMatchesRepeatedAddPeer) {
+  Grid batched(5);
+  Grid repeated(5);
+  const PeerId first = batched.AddPeers(7);
+  PeerId expected_first = kInvalidPeer;
+  for (int i = 0; i < 7; ++i) {
+    const PeerId id = repeated.AddPeer();
+    if (expected_first == kInvalidPeer) expected_first = id;
+  }
+  EXPECT_EQ(first, expected_first);
+  EXPECT_EQ(batched.size(), repeated.size());
+  EXPECT_EQ(batched.query_load().size(), repeated.query_load().size());
+}
+
+TEST(GridDeathTest, AddPeersRejectsZero) {
+  Grid grid(1);
+  EXPECT_DEATH({ grid.AddPeers(0); }, "PGRID_CHECK failed");
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -318,6 +318,86 @@ TEST(KeyPathTest, SubRecanonicalizesTailWord) {
   EXPECT_EQ(slice.Hash(), rebuilt.value().Hash());
 }
 
+TEST(KeyPathTest, InlineRepresentationUsesNoHeap) {
+  // Lengths up to 64 pack into the in-object word: no heap footprint at all.
+  Rng rng(42);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{63}, size_t{64}}) {
+    EXPECT_EQ(KeyPath::Random(&rng, len).ApproxMemoryBytes(), 0u) << len;
+  }
+  EXPECT_GT(KeyPath::Random(&rng, 65).ApproxMemoryBytes(), 0u);
+}
+
+TEST(KeyPathTest, PushBackAcrossSpillBoundary) {
+  // Grow bit-by-bit through the 64-bit inline capacity; every prefix must stay
+  // readable and the 65th bit must move the path onto the heap intact.
+  Rng rng(4242);
+  KeyPath ref = KeyPath::Random(&rng, 130);
+  KeyPath k;
+  for (size_t i = 0; i < ref.length(); ++i) {
+    const bool was_inline = k.ApproxMemoryBytes() == 0;
+    EXPECT_EQ(was_inline, i <= 64) << i;
+    k.PushBack(ref.bit(i));
+    ASSERT_EQ(k.length(), i + 1);
+    for (size_t j = 0; j <= i; ++j) ASSERT_EQ(k.bit(j), ref.bit(j)) << i << " " << j;
+  }
+  EXPECT_EQ(k, ref);
+  EXPECT_EQ(k.Hash(), ref.Hash());
+}
+
+TEST(KeyPathTest, PopBackUnspillsToInline) {
+  // Shrinking back to <= 64 bits releases the heap block and returns to the
+  // inline word; the value and hash stay canonical through the transition.
+  Rng rng(777);
+  KeyPath k = KeyPath::Random(&rng, 70);
+  KeyPath ref = k;
+  EXPECT_GT(k.ApproxMemoryBytes(), 0u);
+  while (k.length() > 64) k.PopBack();
+  EXPECT_EQ(k.ApproxMemoryBytes(), 0u);
+  EXPECT_EQ(k, ref.Prefix(64));
+  EXPECT_EQ(k.Hash(), ref.Prefix(64).Hash());
+  while (k.length() > 0) k.PopBack();
+  EXPECT_EQ(k, KeyPath());
+}
+
+TEST(KeyPathTest, InlineAndHeapRepresentationsAgree) {
+  // The same 64-bit value reached inline (FromUint64) and via heap history
+  // (a longer path popped back down) must compare, hash, and order identically.
+  Rng rng(99);
+  KeyPath inline_k = KeyPath::Random(&rng, 64);
+  KeyPath heap_k = inline_k.Concat(KeyPath::Random(&rng, 30));
+  while (heap_k.length() > 64) heap_k.PopBack();
+  EXPECT_EQ(inline_k, heap_k);
+  EXPECT_EQ(inline_k.Hash(), heap_k.Hash());
+  EXPECT_EQ(inline_k <=> heap_k, std::strong_ordering::equal);
+  EXPECT_FALSE(inline_k < heap_k);
+  EXPECT_FALSE(heap_k < inline_k);
+  // Ordering across the representations is still lexicographic.
+  KeyPath longer = inline_k.Append(1);
+  EXPECT_LT(inline_k, longer);
+  EXPECT_GT(longer, heap_k);
+}
+
+TEST(KeyPathTest, CopyAndMoveAcrossRepresentations) {
+  Rng rng(31337);
+  for (size_t len : {size_t{8}, size_t{64}, size_t{65}, size_t{200}}) {
+    KeyPath src = KeyPath::Random(&rng, len);
+    KeyPath copy = src;
+    EXPECT_EQ(copy, src);
+    EXPECT_EQ(copy.Hash(), src.Hash());
+    KeyPath moved = std::move(copy);
+    EXPECT_EQ(moved, src);
+    // A moved-from path is empty and safely reusable.
+    EXPECT_TRUE(copy.empty());  // NOLINT(bugprone-use-after-move)
+    copy.PushBack(1);
+    EXPECT_EQ(copy.ToString(), "1");
+    KeyPath assigned;
+    assigned = src;
+    EXPECT_EQ(assigned, src);
+    assigned = KeyPath::Random(&rng, 3);  // overwrite heap with inline
+    EXPECT_EQ(assigned.length(), 3u);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Lengths, KeyPathPropertyTest,
                          ::testing::Values(0, 1, 2, 3, 5, 8, 13, 31, 32, 33, 63, 64,
                                            65, 100, 127, 128, 129, 250));

@@ -119,5 +119,80 @@ TEST(LeafIndexTest, AllReturnsEverything) {
                           [](const IndexEntry& e) { return e.item_id == 2; }));
 }
 
+TEST(LeafIndexTest, ForEachVisitsEveryLiveEntry) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 1, "00"));
+  index.InsertOrRefresh(Entry(2, 2, "01"));
+  index.InsertOrRefresh(Entry(3, 3, "10"));
+  size_t visited = 0;
+  uint64_t item_sum = 0;
+  index.ForEach([&](const IndexEntry& e) {
+    ++visited;
+    item_sum += e.item_id;
+  });
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(item_sum, 6u);
+}
+
+TEST(LeafIndexTest, ForEachMatchingAgreesWithMatching) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 1, "0001"));
+  index.InsertOrRefresh(Entry(1, 2, "0010"));
+  index.InsertOrRefresh(Entry(1, 3, "1000"));
+  const KeyPath prefix = KeyPath::FromString("00").value();
+  std::vector<ItemId> visited;
+  index.ForEachMatching(prefix, [&](const IndexEntry& e) {
+    visited.push_back(e.item_id);
+  });
+  std::sort(visited.begin(), visited.end());
+  EXPECT_EQ(visited, (std::vector<ItemId>{1, 2}));
+  EXPECT_EQ(index.Matching(prefix).size(), visited.size());
+}
+
+TEST(LeafIndexTest, GrowthAndTombstoneChurnKeepsLookupsCorrect) {
+  // Hammer the open-addressed table through many insert/extract cycles so slots
+  // accumulate tombstones, forcing probe chains and rehashes to stay correct.
+  LeafIndex index;
+  const KeyPath zero = KeyPath::FromString("0").value();
+  const KeyPath one = KeyPath::FromString("1").value();
+  for (int round = 0; round < 20; ++round) {
+    for (PeerId h = 0; h < 50; ++h) {
+      ASSERT_TRUE(index.InsertOrRefresh(
+          Entry(h, static_cast<ItemId>(round * 100 + h), h % 2 ? "10" : "01",
+                round + 1)));
+    }
+    // Evict the "1*" half; the "0*" half stays and must remain findable.
+    auto moved = index.ExtractNotMatching(zero);
+    EXPECT_EQ(moved.size(), 25u);
+    for (PeerId h = 0; h < 50; h += 2) {
+      ASSERT_NE(index.Find(h, static_cast<ItemId>(round * 100 + h)), nullptr);
+    }
+  }
+  EXPECT_EQ(index.size(), 20u * 25u);
+  size_t matching_one = 0;
+  index.ForEachMatching(one, [&](const IndexEntry&) { ++matching_one; });
+  EXPECT_EQ(matching_one, 0u);
+}
+
+TEST(LeafIndexTest, MergeFromSelfIsNoop) {
+  LeafIndex index;
+  index.InsertOrRefresh(Entry(1, 1, "00", 5));
+  EXPECT_EQ(index.MergeFrom(index), 0u);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.Find(1, 1)->version, 5u);
+}
+
+TEST(LeafIndexTest, ApproxMemoryBytesTracksTableAndSpilledKeys) {
+  LeafIndex index;
+  EXPECT_EQ(index.ApproxMemoryBytes(), 0u);
+  index.InsertOrRefresh(Entry(1, 1, "01"));
+  const size_t with_inline_key = index.ApproxMemoryBytes();
+  EXPECT_GT(with_inline_key, 0u);
+  // A 65+ bit key spills to the KeyPath heap and must be counted.
+  IndexEntry big = Entry(2, 2, std::string(70, '0').c_str());
+  index.InsertOrRefresh(big);
+  EXPECT_GE(index.ApproxMemoryBytes(), with_inline_key + 16);
+}
+
 }  // namespace
 }  // namespace pgrid

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Memory-layout gate: keeps the compact per-peer representation honest.
+#
+# Two checks:
+#   1. Footprint guard -- a release-mode bench_t1 parallel-scaling run at the
+#      20k-peer arm writes BENCH_parallel_build.json with the measured
+#      bytes_per_peer (protocol state only, counted at container capacity; see
+#      Grid::ApproxMemoryBytes). The t=1 row must stay under the pinned
+#      ceiling. The ceiling is set from the post-compaction measurement
+#      (~480 B/peer at buddymax=32) plus slack for hash-table occupancy
+#      variance; the pre-compaction layout measured ~2100 B/peer, so any
+#      regression back toward vector-of-vector refs or unbounded buddy lists
+#      trips the gate long before it reaches the old cost.
+#   2. Allocation guard -- bench_micro_ops writes BENCH_alloc_counts.json with
+#      heap allocations per key-algebra op, counted by a replaceable
+#      operator new. Every inline_* row (paths <= 64 bits, the protocol's
+#      routing hot path) must stay at ~0 allocations per op; the heap_* row is
+#      the spill contrast case and is reported but not gated.
+#
+#   tools/check_memory.sh            # footprint + allocation guards
+#   tools/check_memory.sh footprint  # just the 20k bytes/peer ceiling
+#   tools/check_memory.sh alloc      # just the allocation counts
+#
+# Env: BUILD_DIR (default <repo>/build), BYTES_PER_PEER_LIMIT (default 600),
+#      ALLOCS_PER_OP_LIMIT (default 0.01).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+bytes_limit="${BYTES_PER_PEER_LIMIT:-600}"
+alloc_limit="${ALLOCS_PER_OP_LIMIT:-0.01}"
+
+run_footprint() {
+  echo "== footprint guard: 20k-peer bytes/peer ceiling (${build_dir}) =="
+  cmake -B "${build_dir}" -S "${repo_root}"
+  cmake --build "${build_dir}" -j "$(nproc)" --target bench_t1_peers_vs_exchanges
+
+  local json="${build_dir}/BENCH_memory_gate.json"
+  # --trials=1 shrinks the (ungated) T1 e/N sweep; the parallel section runs
+  # the 20k arm once at t=1, which is the row the gate reads.
+  (cd "${build_dir}" && ./bench/bench_t1_peers_vs_exchanges --trials=1 \
+    --par-peers=20000 --par-threads=1 --par-queries=2000 \
+    --table-json=BENCH_memory_gate_t1.json --json="${json}")
+
+  [ -s "${json}" ] || { echo "FAIL: ${json} missing or empty" >&2; exit 1; }
+
+  python3 - "${json}" "${bytes_limit}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+limit = float(sys.argv[2])
+rows = [r for r in report["rows"]
+        if int(r["peers"]) == 20000 and int(r["threads"]) == 1]
+if not rows:
+    print("FAIL: no 20k-peer t=1 row in report", file=sys.stderr)
+    sys.exit(1)
+bpp = float(rows[0]["bytes_per_peer"])
+print(f"bytes/peer at 20k peers (t=1, buddymax={rows[0].get('buddymax')}): "
+      f"{bpp:.1f} (ceiling {limit:.0f})")
+if not (0 < bpp <= limit):
+    print(f"FAIL: {bpp:.1f} B/peer exceeds the pinned ceiling {limit:.0f}",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+  echo "footprint guard passed (report: ${json})"
+}
+
+run_alloc() {
+  echo "== allocation guard: heap allocs per KeyPath op (${build_dir}) =="
+  cmake -B "${build_dir}" -S "${repo_root}"
+  cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_ops
+
+  local json="${build_dir}/BENCH_alloc_counts.json"
+  # --par-peers stays >= 1024: fewer peers cannot reach the parallel section's
+  # depth target and its (ungated) build loop runs to the meeting cap.
+  (cd "${build_dir}" && ./bench/bench_micro_ops --benchmark_filter=NONE \
+    --par-peers=1024 --par-queries=2048 --alloc-json="${json}")
+
+  [ -s "${json}" ] || { echo "FAIL: ${json} missing or empty" >&2; exit 1; }
+
+  python3 - "${json}" "${alloc_limit}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+limit = float(sys.argv[2])
+bad = []
+for r in report["rows"]:
+    op, rate = r["op"], float(r["allocs_per_op"])
+    gated = op.startswith("inline_")
+    print(f"  {op:<28} {rate:8.4f} allocs/op"
+          + ("" if gated else "  (contrast row, not gated)"))
+    if gated and rate >= limit:
+        bad.append((op, rate))
+for op, rate in bad:
+    print(f"FAIL: {op} performs {rate:.4f} allocs/op (limit {limit})",
+          file=sys.stderr)
+if bad:
+    sys.exit(1)
+EOF
+  echo "allocation guard passed (report: ${json})"
+}
+
+case "${1:-all}" in
+  footprint) run_footprint ;;
+  alloc) run_alloc ;;
+  all)
+    run_footprint
+    run_alloc
+    ;;
+  *)
+    echo "usage: $0 [footprint|alloc]" >&2
+    exit 2
+    ;;
+esac
+
+echo "memory suite clean."
