@@ -53,8 +53,13 @@ std::string PathStr(const KeyPath& path) {
 
 // --- Per-peer access structure (paper Sec. 2: the (p_i, R_i) sequence). ---
 
+bool LiveAt(const std::vector<uint8_t>* dead, PeerId p) {
+  // Peers beyond the mask joined after it was captured, hence are live.
+  return dead == nullptr || p >= dead->size() || (*dead)[p] == 0;
+}
+
 void CheckStructure(const Grid& grid, const ExchangeConfig& config,
-                    Collector* out) {
+                    const InvariantOptions& options, Collector* out) {
   for (const PeerState& a : grid) {
     if (out->full()) return;
     if (a.depth() > config.maxl) {
@@ -81,6 +86,11 @@ void CheckStructure(const Grid& grid, const ExchangeConfig& config,
                    Fmt("level-%zu reference targets unknown peer %u", level, t));
           continue;
         }
+        // A dead peer's reference property cannot be judged from its in-memory
+        // state: a sim kill step wipes it (the durable copy lives on disk, see
+        // StepKind::kKill). Dangling references to dead peers are the *strict*
+        // convergence check's business (kDeadReference), not a structure error.
+        if (!LiveAt(options.dead, t)) continue;
         const PeerState& target = grid.peer(t);
         // Reference property: agree on the first level-1 bits, complement at
         // position `level`. A target too shallow to even have that bit cannot
@@ -101,6 +111,7 @@ void CheckStructure(const Grid& grid, const ExchangeConfig& config,
         out->Add(Category::kBuddy, a.id(), 0, "peer lists itself as a buddy");
         continue;
       }
+      if (b < grid.size() && !LiveAt(options.dead, b)) continue;  // see above
       if (b >= grid.size() || grid.peer(b).path() != a.path()) {
         out->Add(Category::kBuddy, a.id(), 0,
                  Fmt("buddy %u does not share path %s", b,
@@ -194,11 +205,6 @@ void CheckReplicaAgreement(const Grid& grid, Collector* out) {
 }
 
 // --- Repair convergence (the self-healing target, docs/robustness.md). ---
-
-bool LiveAt(const std::vector<uint8_t>* dead, PeerId p) {
-  // Peers beyond the mask joined after it was captured, hence are live.
-  return dead == nullptr || p >= dead->size() || (*dead)[p] == 0;
-}
 
 void CheckRepairConvergence(const Grid& grid, const ExchangeConfig& config,
                             const InvariantOptions& options, Collector* out) {
@@ -387,7 +393,7 @@ InvariantReport GridInvariants::Check(const Grid& grid,
   InvariantReport report;
   report.peers_checked = grid.size();
   Collector out(options, &report);
-  if (options.check_structure) CheckStructure(grid, config, &out);
+  if (options.check_structure) CheckStructure(grid, config, options, &out);
   if (options.check_coverage) CheckCoverage(grid, &out);
   if (options.check_placement) CheckPlacement(grid, &out);
   if (options.check_replica_agreement) CheckReplicaAgreement(grid, &out);

@@ -92,6 +92,11 @@ struct InvariantOptions {
   /// Liveness mask indexed by PeerId (non-zero = dead), e.g.
   /// ChurnDriver::dead_mask(). Null means everyone is live. Peers beyond the
   /// mask's size are live (joiners appended after the snapshot was taken).
+  /// Besides scoping the repair-convergence checks, the mask exempts dead
+  /// peers' wiped in-memory state from the structure check: a sim kill step
+  /// (StepKind::kKill) persists the victim's state to disk and clears the
+  /// PeerState, so a reference or buddy edge pointing at it cannot be judged
+  /// against what remains in memory.
   const std::vector<uint8_t>* dead = nullptr;
 
   /// Minimum live references demanded per level by kRefUnderfull (capped by

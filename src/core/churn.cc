@@ -86,6 +86,13 @@ uint64_t ChurnDriver::Retire(PeerId peer, bool graceful) {
   return handed;
 }
 
+void ChurnDriver::Revive(PeerId peer) {
+  PGRID_CHECK(dead_[peer] != 0);
+  dead_[peer] = 0;
+  ++live_count_;
+  online_->Pin(peer, std::nullopt);
+}
+
 ChurnRound ChurnDriver::Round(const ChurnConfig& config) {
   PGRID_CHECK(config.Validate().ok());
   ChurnRound round;

@@ -84,6 +84,12 @@ class ChurnDriver {
   /// entries handed over (always 0 for crashes).
   uint64_t Depart(PeerId peer, bool graceful) { return Retire(peer, graceful); }
 
+  /// Brings a previously departed peer back: clears its dead bit and restores
+  /// it to the online model's probabilistic regime. The caller is responsible
+  /// for having reinstalled the peer's state (e.g. recovered from durable
+  /// storage, see storage/persist.h). The peer must currently be dead.
+  void Revive(PeerId peer);
+
   bool IsDead(PeerId peer) const { return dead_[peer] != 0; }
   size_t live_count() const { return live_count_; }
 

@@ -87,6 +87,14 @@ class Grid {
   /// Called by the exchange engine whenever a path grows by one bit.
   void NotePathGrowth(size_t bits = 1) { total_path_bits_ += bits; }
 
+  /// Inverse of NotePathGrowth, for the one operation that ever shrinks a
+  /// path: a crash that wipes a peer's in-memory state (sim kill steps). The
+  /// restart re-adds the recovered bits through NotePathGrowth.
+  void NotePathLoss(size_t bits) {
+    PGRID_CHECK_LE(bits, total_path_bits_);
+    total_path_bits_ -= bits;
+  }
+
   /// Called by the search/update engines when `peer` serves a message. Feeds the
   /// per-peer load statistics behind the paper's "scales ... equally for all
   /// peers" claim (see GridStats::QueryLoadProfile). The counter vector is sized

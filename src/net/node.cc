@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/node_persist.h"
 #include "obs/export.h"
 #include "util/logging.h"
 #include "util/macros.h"
@@ -91,6 +92,37 @@ PGridNode::PGridNode(std::string address, RpcTransport* transport,
   // not shift when retries draw jitter.
   retry_ = std::make_unique<RetryPolicy>(config_.retry,
                                          seed ^ 0x9E3779B97F4A7C15ull, metrics_);
+  if (config_.storage.enabled()) {
+    persist_ = std::make_unique<NodePersistence>(config_.storage, address_);
+  }
+}
+
+NodeImage PGridNode::SnapshotImageLocked() const {
+  NodeImage image;
+  image.path = path_;
+  image.refs = refs_;
+  image.buddies = buddies_;
+  image.entries = entries_;
+  image.foreign = foreign_;
+  image.items.reserve(store_.size());
+  for (const auto& [id, item] : store_) image.items.push_back(item);
+  image.epoch = epoch_;
+  return image;
+}
+
+void PGridNode::PersistState() {
+  if (persist_ == nullptr) return;
+  std::lock_guard<std::mutex> plock(persist_mu_);
+  NodeImage image;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    image = SnapshotImageLocked();
+  }
+  Result<uint64_t> committed = persist_->Commit(image);
+  if (!committed.ok()) {
+    PGRID_LOG(Warning) << "durable commit failed for " << address_ << ": "
+                       << committed.status().ToString();
+  }
 }
 
 Result<std::string> PGridNode::CallWithRetry(const std::string& to,
@@ -114,32 +146,66 @@ Result<std::string> PGridNode::CallWithRetry(const std::string& to,
 
 void PGridNode::NoteCallOutcome(const std::string& to, bool ok) {
   if (config_.suspicion_threshold == 0 || to == address_) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ok) {
-    suspicion_.erase(to);
-    return;
-  }
-  // The failure is only final after the retry policy gave up, so the counter
-  // tracks consecutive *exhausted* calls, not individual packets.
-  if (++suspicion_[to] < config_.suspicion_threshold) return;
-  suspicion_.erase(to);  // eviction resets the slate for a later re-recruitment
   uint64_t removed = 0;
-  for (std::vector<std::string>& level : refs_) {
-    const size_t before = level.size();
-    RemoveAddr(&level, to);
-    removed += before - level.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+      suspicion_.erase(to);
+      return;
+    }
+    // The failure is only final after the retry policy gave up, so the counter
+    // tracks consecutive *exhausted* calls, not individual packets.
+    if (++suspicion_[to] < config_.suspicion_threshold) return;
+    suspicion_.erase(to);  // eviction resets the slate for a later re-recruitment
+    for (std::vector<std::string>& level : refs_) {
+      const size_t before = level.size();
+      RemoveAddr(&level, to);
+      removed += before - level.size();
+    }
+    // Buddies go too: a confirmed-dead replica would otherwise be re-probed on
+    // every maintenance round and fanned out to on every publish, forever.
+    const size_t buddies_before = buddies_.size();
+    RemoveAddr(&buddies_, to);
+    removed += buddies_before - buddies_.size();
+    c_refs_evicted_->Increment(removed);
   }
-  // Buddies go too: a confirmed-dead replica would otherwise be re-probed on
-  // every maintenance round and fanned out to on every publish, forever.
-  const size_t buddies_before = buddies_.size();
-  RemoveAddr(&buddies_, to);
-  removed += buddies_before - buddies_.size();
-  c_refs_evicted_->Increment(removed);
+  if (removed > 0) PersistState();
 }
 
 PGridNode::~PGridNode() { Stop(); }
 
 Status PGridNode::Start() {
+  recovered_ = false;
+  if (persist_ != nullptr) {
+    std::lock_guard<std::mutex> plock(persist_mu_);
+    if (persist_->HasState()) {
+      Result<NodeImage> image = persist_->Recover();
+      if (!image.ok()) return image.status();
+      // Re-baseline before installing: Attach copies the image, so the moves
+      // below are safe, and the WAL restarts empty against a fresh snapshot.
+      PGRID_RETURN_IF_ERROR(persist_->Attach(*image));
+      std::lock_guard<std::mutex> lock(mu_);
+      path_ = std::move(image->path);
+      refs_ = std::move(image->refs);
+      buddies_ = std::move(image->buddies);
+      entries_ = std::move(image->entries);
+      foreign_ = std::move(image->foreign);
+      store_ = DataStore();
+      for (DataItem& item : image->items) store_.Upsert(std::move(item));
+      // A restart is a state change: directives computed against the
+      // pre-crash state (an exchange in flight when we died) must not apply.
+      epoch_ = image->epoch + 1;
+      suspicion_.clear();  // the failure detector restarts from a clean slate
+      recovered_ = true;
+    } else {
+      NodeImage image;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        image = SnapshotImageLocked();
+      }
+      PGRID_RETURN_IF_ERROR(persist_->Attach(image));
+    }
+  }
   Status s = transport_->Serve(
       address_, [this](const std::string& from, const std::string& request) {
         return Handle(from, request);
@@ -325,14 +391,26 @@ std::string PGridNode::Dispatch(const std::string& from, const std::string& requ
       return EncodePong();
     case MsgType::kQueryReq:
       return HandleQuery(request);
-    case MsgType::kPublishReq:
-      return HandlePublish(request, ctx);
-    case MsgType::kExchangeReq:
-      return HandleExchange(from, request, ctx);
-    case MsgType::kCommitReq:
-      return HandleCommit(from, request);
-    case MsgType::kEntryPushReq:
-      return HandleEntryPush(request);
+    case MsgType::kPublishReq: {
+      std::string response = HandlePublish(request, ctx);
+      PersistState();
+      return response;
+    }
+    case MsgType::kExchangeReq: {
+      std::string response = HandleExchange(from, request, ctx);
+      PersistState();
+      return response;
+    }
+    case MsgType::kCommitReq: {
+      std::string response = HandleCommit(from, request);
+      PersistState();
+      return response;
+    }
+    case MsgType::kEntryPushReq: {
+      std::string response = HandleEntryPush(request);
+      PersistState();
+      return response;
+    }
     case MsgType::kStatsReq:
       return HandleStats();
     case MsgType::kProbeReq:
@@ -662,6 +740,7 @@ Status PGridNode::MeetWithDepth(const std::string& peer, uint32_t depth,
     (void)CallWithRetry(peer, EncodeCommitRequest(commit), ctx);
   }
   if (!push.empty()) PushEntries(peer, std::move(push), ctx);
+  PersistState();
   for (const std::string& referral : resp.referrals) {
     (void)MeetWithDepth(referral, depth + 1, ctx);
   }
@@ -702,6 +781,7 @@ Status PGridNode::Publish(const DataItem& item) {
     std::lock_guard<std::mutex> lock(mu_);
     store_.Upsert(item);
   }
+  PersistState();
   WireEntry entry;
   entry.holder = address_;
   entry.item_id = item.id;
@@ -725,6 +805,7 @@ Status PGridNode::Publish(const DataItem& item) {
     for (const std::string& buddy : buddies_copy) {
       (void)CallWithRetry(buddy, bytes, ctx);
     }
+    PersistState();
     return Status::OK();
   }
   PublishRequest preq;
@@ -900,6 +981,7 @@ size_t PGridNode::MaintainReferences() {
       ++recruited;
     }
   }
+  if (recruited > 0) PersistState();
   return recruited;
 }
 

@@ -39,10 +39,14 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/data_store.h"
+#include "storage/storage_config.h"
 #include "util/rng.h"
 
 namespace pgrid {
 namespace net {
+
+struct NodeImage;
+class NodePersistence;
 
 /// Protocol parameters of a node (the paper's knobs).
 struct NodeConfig {
@@ -64,6 +68,13 @@ struct NodeConfig {
   /// publish fan-out, commits, stats scrapes). The default (max_attempts = 1)
   /// keeps the historical single-shot behaviour.
   RetryConfig retry;
+
+  /// Opt-in durable storage (storage/storage_config.h). With a non-empty dir
+  /// the node persists its protocol state (snapshot + WAL delta, see
+  /// net/node_persist.h) after every state-changing operation, and Start()
+  /// recovers from disk when a snapshot for this address exists -- the restart
+  /// path docs/storage.md describes. Empty dir (the default) = off.
+  storage::StorageConfig storage;
 
   Status Validate() const {
     if (maxl == 0) return Status::InvalidArgument("maxl must be >= 1");
@@ -100,8 +111,15 @@ class PGridNode {
   PGridNode(const PGridNode&) = delete;
   PGridNode& operator=(const PGridNode&) = delete;
 
-  /// Registers the message handler with the transport.
+  /// Registers the message handler with the transport. With durable storage
+  /// configured (NodeConfig::storage), first recovers the node's state from
+  /// disk if a snapshot exists (snapshot + WAL tail, torn tail truncated) or
+  /// baselines the storage with the current state otherwise; a recovery or
+  /// baseline failure aborts the start.
   Status Start();
+
+  /// True iff the last Start() installed state recovered from durable storage.
+  bool recovered_from_disk() const { return recovered_; }
 
   /// Unregisters from the transport. Idempotent.
   void Stop();
@@ -251,6 +269,14 @@ class PGridNode {
                                             const std::vector<std::string>& b,
                                             const std::string& exclude);
 
+  /// Copies the persistent slice of the node's state (net/node_persist.h).
+  NodeImage SnapshotImageLocked() const;
+
+  /// Commits the current state to durable storage (no-op without it).
+  /// persist_mu_ serializes committers and orders their WAL appends; mu_ is
+  /// taken only for the in-memory state copy, never across the disk write.
+  void PersistState();
+
   const std::string address_;
   RpcTransport* transport_;
   const NodeConfig config_;
@@ -266,6 +292,12 @@ class PGridNode {
   uint64_t epoch_ = 0;
   Rng rng_;
   bool serving_ = false;
+
+  // Durable storage (null without NodeConfig::storage). persist_mu_ is always
+  // acquired before mu_ (PersistState); never the other way around.
+  std::unique_ptr<NodePersistence> persist_;
+  std::mutex persist_mu_;
+  bool recovered_ = false;
 
   // Registry-backed protocol counters: handler threads bump these concurrently,
   // so they must be atomic -- which registry counters are by construction.

@@ -1,0 +1,491 @@
+#include "net/node_persist.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "storage/crc32.h"
+#include "util/macros.h"
+
+namespace pgrid {
+namespace net {
+namespace {
+
+constexpr char kSnapMagic[4] = {'P', 'G', 'N', 'S'};
+constexpr uint32_t kSnapVersion = 1;
+
+/// WAL record types. Every record carries absolute state and is idempotent
+/// (same discipline as storage/persist.cc), so replaying a prefix that was
+/// already folded into a snapshot converges.
+enum RecordType : uint8_t {
+  kSetPath = 1,      // keypath (the full path, not the delta)
+  kSetRefs = 2,      // u32 level (1-indexed) + string list (the full level)
+  kSetBuddies = 3,   // string list
+  kEntryPut = 4,     // wire entry (replaces any same-(holder,item) entry)
+  kEntryDelete = 5,  // string holder + u64 item
+  kSetForeign = 6,   // u32 count + wire entries (the full buffer)
+  kStorePut = 7,     // u64 id + keypath + string payload + u64 version
+  kStoreDelete = 8,  // u64 id
+  kSetEpoch = 9,     // u64
+};
+
+void WriteEntry(ByteWriter* w, const WireEntry& e) {
+  w->WriteString(e.holder);
+  w->WriteU64(e.item_id);
+  w->WriteKeyPath(e.key);
+  w->WriteU64(e.version);
+}
+
+Result<WireEntry> ReadEntry(ByteReader* r) {
+  WireEntry e;
+  PGRID_ASSIGN_OR_RETURN(e.holder, r->ReadString());
+  PGRID_ASSIGN_OR_RETURN(e.item_id, r->ReadU64());
+  PGRID_ASSIGN_OR_RETURN(e.key, r->ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(e.version, r->ReadU64());
+  return e;
+}
+
+void WriteItem(ByteWriter* w, const DataItem& item) {
+  w->WriteU64(item.id);
+  w->WriteKeyPath(item.key);
+  w->WriteString(item.payload);
+  w->WriteU64(item.version);
+}
+
+Result<DataItem> ReadItem(ByteReader* r) {
+  DataItem item;
+  PGRID_ASSIGN_OR_RETURN(item.id, r->ReadU64());
+  PGRID_ASSIGN_OR_RETURN(item.key, r->ReadKeyPath());
+  PGRID_ASSIGN_OR_RETURN(item.payload, r->ReadString());
+  PGRID_ASSIGN_OR_RETURN(item.version, r->ReadU64());
+  return item;
+}
+
+/// Entries in canonical order -- sorted by (holder, item_id) -- so snapshots of
+/// the same logical state are byte-identical regardless of adoption order.
+std::vector<WireEntry> CanonicalEntries(std::vector<WireEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const WireEntry& a, const WireEntry& b) {
+              return std::tie(a.holder, a.item_id) < std::tie(b.holder, b.item_id);
+            });
+  return entries;
+}
+
+std::vector<DataItem> CanonicalItems(std::vector<DataItem> items) {
+  std::sort(items.begin(), items.end(),
+            [](const DataItem& a, const DataItem& b) { return a.id < b.id; });
+  return items;
+}
+
+void WriteImage(ByteWriter* w, const NodeImage& image) {
+  w->WriteKeyPath(image.path);
+  w->WriteU32(static_cast<uint32_t>(image.refs.size()));
+  for (const std::vector<std::string>& level : image.refs) {
+    w->WriteStringList(level);
+  }
+  w->WriteStringList(image.buddies);
+  const std::vector<WireEntry> entries = CanonicalEntries(image.entries);
+  w->WriteU32(static_cast<uint32_t>(entries.size()));
+  for (const WireEntry& e : entries) WriteEntry(w, e);
+  w->WriteU32(static_cast<uint32_t>(image.foreign.size()));
+  for (const WireEntry& e : image.foreign) WriteEntry(w, e);
+  const std::vector<DataItem> items = CanonicalItems(image.items);
+  w->WriteU32(static_cast<uint32_t>(items.size()));
+  for (const DataItem& item : items) WriteItem(w, item);
+  w->WriteU64(image.epoch);
+}
+
+Result<NodeImage> ReadImage(ByteReader* r) {
+  NodeImage image;
+  PGRID_ASSIGN_OR_RETURN(image.path, r->ReadKeyPath());
+  uint32_t levels = 0;
+  PGRID_ASSIGN_OR_RETURN(levels, r->ReadU32());
+  if (levels > kMaxWireCollection) {
+    return Status::InvalidArgument("node snapshot: ref level count too large");
+  }
+  image.refs.reserve(levels);
+  for (uint32_t i = 0; i < levels; ++i) {
+    std::vector<std::string> level;
+    PGRID_ASSIGN_OR_RETURN(level, r->ReadStringList());
+    image.refs.push_back(std::move(level));
+  }
+  PGRID_ASSIGN_OR_RETURN(image.buddies, r->ReadStringList());
+  uint32_t count = 0;
+  PGRID_ASSIGN_OR_RETURN(count, r->ReadU32());
+  if (count > kMaxWireCollection) {
+    return Status::InvalidArgument("node snapshot: entry count too large");
+  }
+  image.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireEntry e;
+    PGRID_ASSIGN_OR_RETURN(e, ReadEntry(r));
+    image.entries.push_back(std::move(e));
+  }
+  PGRID_ASSIGN_OR_RETURN(count, r->ReadU32());
+  if (count > kMaxWireCollection) {
+    return Status::InvalidArgument("node snapshot: foreign count too large");
+  }
+  image.foreign.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireEntry e;
+    PGRID_ASSIGN_OR_RETURN(e, ReadEntry(r));
+    image.foreign.push_back(std::move(e));
+  }
+  PGRID_ASSIGN_OR_RETURN(count, r->ReadU32());
+  if (count > kMaxWireCollection) {
+    return Status::InvalidArgument("node snapshot: item count too large");
+  }
+  image.items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DataItem item;
+    PGRID_ASSIGN_OR_RETURN(item, ReadItem(r));
+    image.items.push_back(std::move(item));
+  }
+  PGRID_ASSIGN_OR_RETURN(image.epoch, r->ReadU64());
+  return image;
+}
+
+Status ApplyRecord(const std::string& body, NodeImage* image) {
+  ByteReader r(body);
+  uint8_t type = 0;
+  PGRID_ASSIGN_OR_RETURN(type, r.ReadU8());
+  switch (type) {
+    case kSetPath: {
+      PGRID_ASSIGN_OR_RETURN(image->path, r.ReadKeyPath());
+      break;
+    }
+    case kSetRefs: {
+      uint32_t level = 0;
+      PGRID_ASSIGN_OR_RETURN(level, r.ReadU32());
+      if (level == 0) return Status::InvalidArgument("kSetRefs level 0");
+      std::vector<std::string> addrs;
+      PGRID_ASSIGN_OR_RETURN(addrs, r.ReadStringList());
+      if (image->refs.size() < level) image->refs.resize(level);
+      image->refs[level - 1] = std::move(addrs);
+      break;
+    }
+    case kSetBuddies: {
+      PGRID_ASSIGN_OR_RETURN(image->buddies, r.ReadStringList());
+      break;
+    }
+    case kEntryPut: {
+      WireEntry e;
+      PGRID_ASSIGN_OR_RETURN(e, ReadEntry(&r));
+      auto it = std::find_if(image->entries.begin(), image->entries.end(),
+                             [&e](const WireEntry& x) {
+                               return x.holder == e.holder && x.item_id == e.item_id;
+                             });
+      if (it != image->entries.end()) {
+        *it = std::move(e);
+      } else {
+        image->entries.push_back(std::move(e));
+      }
+      break;
+    }
+    case kEntryDelete: {
+      std::string holder;
+      uint64_t item = 0;
+      PGRID_ASSIGN_OR_RETURN(holder, r.ReadString());
+      PGRID_ASSIGN_OR_RETURN(item, r.ReadU64());
+      std::erase_if(image->entries, [&](const WireEntry& x) {
+        return x.holder == holder && x.item_id == item;
+      });
+      break;
+    }
+    case kSetForeign: {
+      uint32_t count = 0;
+      PGRID_ASSIGN_OR_RETURN(count, r.ReadU32());
+      if (count > kMaxWireCollection) {
+        return Status::InvalidArgument("kSetForeign count too large");
+      }
+      image->foreign.clear();
+      image->foreign.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        WireEntry e;
+        PGRID_ASSIGN_OR_RETURN(e, ReadEntry(&r));
+        image->foreign.push_back(std::move(e));
+      }
+      break;
+    }
+    case kStorePut: {
+      DataItem item;
+      PGRID_ASSIGN_OR_RETURN(item, ReadItem(&r));
+      auto it = std::find_if(image->items.begin(), image->items.end(),
+                             [&item](const DataItem& x) { return x.id == item.id; });
+      if (it != image->items.end()) {
+        *it = std::move(item);
+      } else {
+        image->items.push_back(std::move(item));
+      }
+      break;
+    }
+    case kStoreDelete: {
+      uint64_t id = 0;
+      PGRID_ASSIGN_OR_RETURN(id, r.ReadU64());
+      std::erase_if(image->items, [id](const DataItem& x) { return x.id == id; });
+      break;
+    }
+    case kSetEpoch: {
+      PGRID_ASSIGN_OR_RETURN(image->epoch, r.ReadU64());
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown node WAL record type " +
+                                     std::to_string(type));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in node WAL record");
+  }
+  return Status::OK();
+}
+
+/// Appends the shadow -> live delta to `wal`, one record per logical change.
+Status AppendDelta(const NodeImage& from, const NodeImage& to,
+                   storage::WalWriter* wal, uint64_t* records) {
+  auto emit = [wal, records](ByteWriter* w) -> Status {
+    Status s = wal->Append(w->data());
+    if (s.ok()) ++*records;
+    return s;
+  };
+  if (from.path != to.path) {
+    ByteWriter w;
+    w.WriteU8(kSetPath);
+    w.WriteKeyPath(to.path);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  const size_t levels = std::max(from.refs.size(), to.refs.size());
+  for (size_t i = 0; i < levels; ++i) {
+    static const std::vector<std::string> kEmpty;
+    const std::vector<std::string>& a = i < from.refs.size() ? from.refs[i] : kEmpty;
+    const std::vector<std::string>& b = i < to.refs.size() ? to.refs[i] : kEmpty;
+    if (a == b) continue;
+    ByteWriter w;
+    w.WriteU8(kSetRefs);
+    w.WriteU32(static_cast<uint32_t>(i + 1));
+    w.WriteStringList(b);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  if (from.buddies != to.buddies) {
+    ByteWriter w;
+    w.WriteU8(kSetBuddies);
+    w.WriteStringList(to.buddies);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  std::map<std::pair<std::string, uint64_t>, const WireEntry*> old_entries;
+  for (const WireEntry& e : from.entries) old_entries[{e.holder, e.item_id}] = &e;
+  std::map<std::pair<std::string, uint64_t>, const WireEntry*> new_entries;
+  for (const WireEntry& e : to.entries) new_entries[{e.holder, e.item_id}] = &e;
+  for (const auto& [key, e] : new_entries) {
+    auto it = old_entries.find(key);
+    if (it != old_entries.end() && *it->second == *e) continue;
+    ByteWriter w;
+    w.WriteU8(kEntryPut);
+    WriteEntry(&w, *e);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  for (const auto& [key, e] : old_entries) {
+    if (new_entries.count(key) != 0) continue;
+    ByteWriter w;
+    w.WriteU8(kEntryDelete);
+    w.WriteString(key.first);
+    w.WriteU64(key.second);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  if (from.foreign != to.foreign) {
+    ByteWriter w;
+    w.WriteU8(kSetForeign);
+    w.WriteU32(static_cast<uint32_t>(to.foreign.size()));
+    for (const WireEntry& e : to.foreign) WriteEntry(&w, e);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  std::map<uint64_t, const DataItem*> old_items;
+  for (const DataItem& item : from.items) old_items[item.id] = &item;
+  std::map<uint64_t, const DataItem*> new_items;
+  for (const DataItem& item : to.items) new_items[item.id] = &item;
+  for (const auto& [id, item] : new_items) {
+    auto it = old_items.find(id);
+    if (it != old_items.end() && it->second->key == item->key &&
+        it->second->payload == item->payload &&
+        it->second->version == item->version) {
+      continue;
+    }
+    ByteWriter w;
+    w.WriteU8(kStorePut);
+    WriteItem(&w, *item);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  for (const auto& [id, item] : old_items) {
+    if (new_items.count(id) != 0) continue;
+    ByteWriter w;
+    w.WriteU8(kStoreDelete);
+    w.WriteU64(id);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  if (from.epoch != to.epoch) {
+    ByteWriter w;
+    w.WriteU8(kSetEpoch);
+    w.WriteU64(to.epoch);
+    PGRID_RETURN_IF_ERROR(emit(&w));
+  }
+  return Status::OK();
+}
+
+std::string SanitizeAddress(const std::string& address) {
+  std::string stem = address;
+  for (char& c : stem) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!ok) c = '_';
+  }
+  return stem;
+}
+
+}  // namespace
+
+NodePersistence::NodePersistence(storage::StorageConfig config, std::string address)
+    : config_(std::move(config)), stem_(SanitizeAddress(address)) {
+  PGRID_CHECK(config_.enabled());
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+}
+
+std::string NodePersistence::SnapshotPath() const {
+  return config_.dir + "/node-" + stem_ + ".snap";
+}
+
+std::string NodePersistence::WalPath() const {
+  return config_.dir + "/node-" + stem_ + ".wal";
+}
+
+bool NodePersistence::HasState() const {
+  std::error_code ec;
+  return std::filesystem::exists(SnapshotPath(), ec);
+}
+
+Status NodePersistence::WriteSnapshot(const NodeImage& image) {
+  ByteWriter body;
+  WriteImage(&body, image);
+  ByteWriter file;
+  file.WriteU8(static_cast<uint8_t>(kSnapMagic[0]));
+  file.WriteU8(static_cast<uint8_t>(kSnapMagic[1]));
+  file.WriteU8(static_cast<uint8_t>(kSnapMagic[2]));
+  file.WriteU8(static_cast<uint8_t>(kSnapMagic[3]));
+  file.WriteU32(kSnapVersion);
+  const uint32_t crc = storage::Crc32(body.data());
+  std::string bytes = file.Take();
+  bytes += body.data();
+  ByteWriter trailer;
+  trailer.WriteU32(crc);
+  bytes += trailer.data();
+
+  const std::string path = SnapshotPath();
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + tmp);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp);
+  }
+  return Status::OK();
+}
+
+Result<NodeImage> NodePersistence::ReadSnapshot() const {
+  const std::string path = SnapshotPath();
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no snapshot at " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  if (bytes.size() < 12) return Status::Internal(path + " is truncated");
+  if (bytes.compare(0, 4, kSnapMagic, 4) != 0) {
+    return Status::Internal(path + " is not a node snapshot");
+  }
+  ByteReader header(std::string_view(bytes).substr(4, 4));
+  uint32_t version = 0;
+  PGRID_ASSIGN_OR_RETURN(version, header.ReadU32());
+  if (version != kSnapVersion) {
+    return Status::Internal(path + " has unsupported version " +
+                            std::to_string(version));
+  }
+  const std::string_view body =
+      std::string_view(bytes).substr(8, bytes.size() - 12);
+  ByteReader trailer(std::string_view(bytes).substr(bytes.size() - 4));
+  uint32_t want = 0;
+  PGRID_ASSIGN_OR_RETURN(want, trailer.ReadU32());
+  if (storage::Crc32(body) != want) {
+    return Status::Internal(path + " failed checksum validation");
+  }
+  ByteReader r(body);
+  NodeImage image;
+  PGRID_ASSIGN_OR_RETURN(image, ReadImage(&r));
+  if (!r.AtEnd()) return Status::Internal(path + " has trailing bytes");
+  return image;
+}
+
+Status NodePersistence::Attach(const NodeImage& image) {
+  PGRID_RETURN_IF_ERROR(WriteSnapshot(image));
+  wal_.Close();
+  PGRID_RETURN_IF_ERROR(
+      wal_.Open(WalPath(), config_.sync_mode, /*truncate=*/true));
+  shadow_ = image;
+  attached_ = true;
+  commits_since_compact_ = 0;
+  return Status::OK();
+}
+
+Result<uint64_t> NodePersistence::Commit(const NodeImage& image) {
+  if (!attached_) return Status::FailedPrecondition("node not attached");
+  uint64_t records = 0;
+  PGRID_RETURN_IF_ERROR(AppendDelta(shadow_, image, &wal_, &records));
+  if (records == 0) return records;
+  shadow_ = image;
+  if (config_.compact_every != 0 &&
+      ++commits_since_compact_ >= config_.compact_every) {
+    PGRID_RETURN_IF_ERROR(Compact());
+  }
+  return records;
+}
+
+Status NodePersistence::Compact() {
+  if (!attached_) return Status::FailedPrecondition("node not attached");
+  PGRID_RETURN_IF_ERROR(WriteSnapshot(shadow_));
+  wal_.Close();
+  PGRID_RETURN_IF_ERROR(
+      wal_.Open(WalPath(), config_.sync_mode, /*truncate=*/true));
+  commits_since_compact_ = 0;
+  return Status::OK();
+}
+
+Result<NodeImage> NodePersistence::Recover() {
+  // An in-process recovery while still attached (tests, restart-in-place) must
+  // see records sitting in the writer's stdio buffer (SyncMode::kNone).
+  if (wal_.is_open()) PGRID_RETURN_IF_ERROR(wal_.Sync());
+  NodeImage image;
+  PGRID_ASSIGN_OR_RETURN(image, ReadSnapshot());
+  Result<storage::WalContents> wal = storage::ReadWal(WalPath());
+  if (wal.ok()) {
+    for (const std::string& record : wal->records) {
+      PGRID_RETURN_IF_ERROR(ApplyRecord(record, &image));
+    }
+    if (wal->torn_tail) {
+      PGRID_RETURN_IF_ERROR(storage::TruncateWal(WalPath(), wal->valid_bytes));
+    }
+  } else if (wal.status().code() != StatusCode::kNotFound) {
+    return wal.status();
+  }
+  return image;
+}
+
+}  // namespace net
+}  // namespace pgrid

@@ -1,0 +1,88 @@
+// Durable storage for a networked node's protocol state.
+//
+// The address-flavored sibling of storage/persist.h: PGridNode state speaks
+// transport addresses (strings) where the simulator speaks PeerIds, so it gets
+// its own image type and record codec over the same WAL machinery
+// (storage/wal.h) and the same snapshot discipline (canonical body, CRC-32
+// trailer, atomic tmp + rename, shadow-diff commits, replay-then-truncate
+// recovery). See docs/storage.md for the shared protocol.
+//
+// One NodePersistence instance persists one node; files live under
+// StorageConfig::dir as node-<sanitized address>.{snap,wal}.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "key/key_path.h"
+#include "net/protocol.h"
+#include "storage/data_item.h"
+#include "storage/storage_config.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace pgrid {
+namespace net {
+
+/// Point-in-time copy of the persistent slice of a PGridNode's state. (Runtime
+/// state -- suspicion counters, serving flag -- is deliberately not durable:
+/// after a restart the failure detector must start from a clean slate.)
+struct NodeImage {
+  KeyPath path;
+  std::vector<std::vector<std::string>> refs;  ///< refs[i] = level i+1
+  std::vector<std::string> buddies;
+  std::vector<WireEntry> entries;
+  std::vector<WireEntry> foreign;
+  std::vector<DataItem> items;  ///< the local DataStore's contents
+  uint64_t epoch = 0;
+
+  friend bool operator==(const NodeImage&, const NodeImage&) = default;
+};
+
+/// Persists and recovers one node's NodeImage (snapshot + WAL delta).
+class NodePersistence {
+ public:
+  /// `config.dir` must be non-empty; the directory is created if missing.
+  NodePersistence(storage::StorageConfig config, std::string address);
+
+  NodePersistence(const NodePersistence&) = delete;
+  NodePersistence& operator=(const NodePersistence&) = delete;
+
+  /// Baselines: full snapshot of `image`, fresh WAL. Also the re-baseline after
+  /// a successful Recover().
+  Status Attach(const NodeImage& image);
+
+  /// Appends one record per difference between `image` and the last persisted
+  /// state; returns the record count. Compacts automatically after
+  /// StorageConfig::compact_every commits (0 = never). Requires Attach().
+  Result<uint64_t> Commit(const NodeImage& image);
+
+  /// Rewrites the snapshot from the shadow and truncates the WAL.
+  Status Compact();
+
+  /// Snapshot, then WAL longest-valid-prefix replay, then torn-tail
+  /// truncation. Works without a prior Attach in this process.
+  Result<NodeImage> Recover();
+
+  /// True iff a snapshot file exists on disk for this address.
+  bool HasState() const;
+
+  std::string SnapshotPath() const;
+  std::string WalPath() const;
+
+ private:
+  Status WriteSnapshot(const NodeImage& image);
+  Result<NodeImage> ReadSnapshot() const;
+
+  storage::StorageConfig config_;
+  std::string stem_;  ///< address with non-filename characters mapped to '_'
+  NodeImage shadow_;
+  storage::WalWriter wal_;
+  bool attached_ = false;
+  uint64_t commits_since_compact_ = 0;
+};
+
+}  // namespace net
+}  // namespace pgrid

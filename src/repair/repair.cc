@@ -240,6 +240,18 @@ void RepairEngine::SyncBuddies(PeerState& peer,
   }
 }
 
+RepairTick RepairEngine::RejoinSync(PeerId peer) {
+  while (suspicion_.size() < grid_->size()) {
+    suspicion_.emplace_back(config_.suspicion_threshold);
+  }
+  RepairTick tick;
+  if (!IsLive(peer)) return tick;
+  grid_->metrics().GetCounter("repair.rejoin_syncs")->Increment();
+  std::unordered_set<uint64_t> synced;
+  SyncBuddies(grid_->peer(peer), &synced, &tick);
+  return tick;
+}
+
 RepairTick RepairEngine::Tick() {
   ++rounds_;
   while (suspicion_.size() < grid_->size()) {

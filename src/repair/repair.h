@@ -119,6 +119,16 @@ class RepairEngine {
   /// Runs one maintenance round: probe + evict, recruit, buddy anti-entropy.
   RepairTick Tick();
 
+  /// Welcome-back path for a peer restarted from durable storage
+  /// (storage/persist.h): instead of recruiting a blank replacement, run one
+  /// targeted buddy anti-entropy pass for just this peer. Its recovered index
+  /// pulls only the delta it missed while down (digest compare + max-version
+  /// merge), and its recovered references are pooled with the buddies' -- the
+  /// cheap alternative to fresh recruitment that bench_recovery quantifies.
+  /// Reuses the Tick() sync machinery, so the ledger discipline (one kControl
+  /// per session, kDataTransfer per reconciled entry) is unchanged.
+  RepairTick RejoinSync(PeerId peer);
+
   /// Repeated-query majority read of `item` under `key` that also repairs the
   /// minority: responders observed returning a stale version are patched to the
   /// majority version (one kControl message per patched replica).

@@ -12,6 +12,57 @@ namespace {
 /// streams (which use indices 1 .. steps+1 of the scenario seed).
 constexpr uint64_t kGeneratorStream = 0xF0220000ull;
 
+/// Crash-sweep variant of the weight table: same step shapes, but ~12% of the
+/// mass moves to kKill / kRestart so most seeds crash and recover several
+/// peers. Kept separate from RandomStep so plain-mode seeds keep their exact
+/// historical draw sequence (and hence their corpus of known-clean scenarios).
+ScenarioStep RandomCrashStep(Rng* rng, const ScenarioConfig& config) {
+  ScenarioStep step;
+  const uint64_t roll = rng->UniformInt(0, 99);
+  if (roll < 30) {
+    step.kind = StepKind::kExchange;
+    step.a = rng->UniformInt(1, 4 * config.num_peers);
+  } else if (roll < 50) {
+    step.kind = StepKind::kInsert;
+    step.a = rng->UniformInt(0, config.num_peers - 1);
+    step.b = rng->UniformInt(0, (1ull << config.maxl) - 1);
+    step.c = rng->UniformInt(0, config.maxl - 1);
+    step.d = rng->UniformInt(0, 15);
+  } else if (roll < 58) {
+    step.kind = StepKind::kUpdate;
+    step.a = rng->UniformInt(0, 1ull << 32);
+    step.b = rng->UniformInt(0, 2);
+  } else if (roll < 66) {
+    step.kind = StepKind::kChurn;
+    step.a = rng->UniformInt(0, 2);
+    step.b = rng->UniformInt(0, 1);
+    step.c = rng->UniformInt(0, 2);
+    step.d = rng->UniformInt(0, 2 * config.num_peers);
+  } else if (roll < 76) {
+    step.kind = StepKind::kFault;
+    step.a = rng->UniformInt(0, 6);
+    step.b = rng->UniformInt(0, 1ull << 32);
+    step.c = rng->UniformInt(0, 4095);
+  } else if (roll < 82) {
+    step.kind = StepKind::kRepair;
+    step.a = rng->UniformInt(1, 3);
+    step.b = rng->UniformInt(0, 2);
+  } else if (roll < 88) {
+    step.kind = StepKind::kKill;
+    step.a = rng->UniformInt(0, 1ull << 32);  // victim selector
+    step.c = rng->UniformInt(0, 1);           // snapshot vs WAL-delta flavor
+  } else if (roll < 94) {
+    step.kind = StepKind::kRestart;
+    step.a = rng->UniformInt(0, 1ull << 32);  // killed-list selector
+    step.b = rng->Bernoulli(0.25) ? 1 : 0;    // occasionally restart all
+    step.d = rng->UniformInt(0, 63);          // virtual-clock advance
+  } else {
+    step.kind = StepKind::kBarrier;
+    step.a = rng->UniformInt(0, 8);
+  }
+  return step;
+}
+
 ScenarioStep RandomStep(Rng* rng, const ScenarioConfig& config) {
   ScenarioStep step;
   // Weighted kinds: exchanges dominate (they are the protocol's engine), data
@@ -80,7 +131,8 @@ Scenario ScenarioFuzzer::Generate(uint64_t seed, const FuzzOptions& options) {
   const size_t steps =
       options.min_steps + rng.UniformIndex(options.max_steps - options.min_steps + 1);
   for (size_t i = 0; i < steps; ++i) {
-    scenario.steps.push_back(RandomStep(&rng, c));
+    scenario.steps.push_back(options.crash_sweep ? RandomCrashStep(&rng, c)
+                                                 : RandomStep(&rng, c));
   }
   if (options.vary_builder_threads) {
     // Drawn last so turning the sweep on perturbs no earlier draw: the same
@@ -88,12 +140,18 @@ Scenario ScenarioFuzzer::Generate(uint64_t seed, const FuzzOptions& options) {
     // only the execution engine differs.
     c.builder_threads = 1ull << rng.UniformInt(0, 3);  // 1, 2, 4, or 8
   }
-  if (options.heal_tail) {
+  if (options.heal_tail || options.crash_sweep) {
     // Whatever the random steps did, self-healing must converge: lift every
     // transport fault, let exchanges re-mix the survivors, run repair rounds,
     // then demand repair convergence at a strict barrier (kBarrier b != 0).
+    // The crash sweep additionally restarts every still-killed peer first, so
+    // the strict barrier covers recovered peers too: their recovered
+    // references must be live and their recovered indexes buddy-consistent.
     c.online_prob = 1.0;
     scenario.steps.push_back(ScenarioStep{StepKind::kFault, 6, 0, 0, 0});
+    if (options.crash_sweep) {
+      scenario.steps.push_back(ScenarioStep{StepKind::kRestart, 0, 1, 0, 0});
+    }
     scenario.steps.push_back(
         ScenarioStep{StepKind::kExchange, 4 * c.num_peers, 0, 0, 0});
     scenario.steps.push_back(ScenarioStep{StepKind::kRepair, 4, 2, 0, 0});

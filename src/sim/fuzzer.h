@@ -43,6 +43,15 @@ struct FuzzOptions {
   /// thread count is drawn after every other generator draw, so turning the
   /// sweep on does not perturb the step list of any seed.
   bool vary_builder_threads = false;
+  /// Crash-restart sweep: the generator's weight table gains kKill / kRestart
+  /// steps (peers crash with durable state and later recover from snapshot +
+  /// WAL, see StepKind::kKill), and the heal tail restarts every still-killed
+  /// peer before its strict barrier -- so each seed asserts that a grid churned
+  /// through durable crashes converges back to a routable, replica-agreeing
+  /// state. Implies heal_tail semantics for the tail (forces online_prob = 1).
+  /// Changes the generator's draw sequence, so crash-sweep seeds are a
+  /// different corpus from plain seeds.
+  bool crash_sweep = false;
   /// Stop sweeping at the first failing seed (the shrunk repro is in the
   /// outcome either way).
   bool stop_on_failure = true;

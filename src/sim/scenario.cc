@@ -1,8 +1,11 @@
 #include "sim/scenario.h"
 
+#include <stdlib.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -21,6 +24,7 @@
 #include "sim/meeting_scheduler.h"
 #include "sim/online_model.h"
 #include "storage/data_item.h"
+#include "storage/persist.h"
 #include "util/rng.h"
 
 namespace pgrid {
@@ -48,6 +52,10 @@ std::string_view StepKindName(StepKind k) {
       return "corrupt";
     case StepKind::kRepair:
       return "repair";
+    case StepKind::kKill:
+      return "kill";
+    case StepKind::kRestart:
+      return "restart";
   }
   return "unknown";
 }
@@ -258,6 +266,14 @@ struct ScenarioRunner::Impl {
     });
   }
 
+  ~Impl() {
+    persist.reset();  // release WAL handles before removing the directory
+    if (!storage_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(storage_dir, ec);
+    }
+  }
+
   /// Registers a trivial responder so the fault transport can gate calls to the
   /// peer. The payload is irrelevant: only delivery vs failure matters.
   void ServePeer(PeerId p) {
@@ -414,6 +430,80 @@ struct ScenarioRunner::Impl {
     for (uint64_t t = 0; t < ticks; ++t) repair.Tick();
   }
 
+  /// Lazily creates the durable-storage backend under a fresh temp directory.
+  /// Scenarios without kill steps never touch the filesystem; the directory is
+  /// removed in the destructor. SyncMode::kNone: a simulated crash wipes the
+  /// in-memory PeerState, not the host, so durability against host crashes is
+  /// not what the steps exercise (tests/wal_test.cc covers torn tails).
+  void EnsureStorage() {
+    if (persist != nullptr) return;
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "pgrid-scenario-XXXXXX")
+            .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    PGRID_CHECK(mkdtemp(buf.data()) != nullptr);
+    storage_dir.assign(buf.data());
+    storage::StorageConfig config;
+    config.dir = storage_dir;
+    config.sync_mode = storage::SyncMode::kNone;
+    persist = std::make_unique<storage::PersistenceManager>(
+        config, scenario.config.maxl);
+  }
+
+  void RunKill(const ScenarioStep& step) {
+    // Mirror the churn driver's floor: a grid below 3 live peers has no
+    // meaningful repair story left to exercise.
+    if (churn.live_count() <= 2) return;
+    std::vector<PeerId> live = churn.LivePeers();
+    const PeerId victim = live[step.a % live.size()];
+    EnsureStorage();
+    PeerState& peer = grid.peer(victim);
+    if (step.c % 2 == 1) {
+      // WAL-delta flavor: baseline an empty peer, then push the entire live
+      // state through the log as delta records. Recovery replays every record
+      // over the empty snapshot -- the deep exercise of the record codec.
+      PGRID_CHECK(persist->Attach(PeerState(victim)).ok());
+      PGRID_CHECK(persist->Commit(peer).ok());
+    } else {
+      // Snapshot flavor: the full state lands in the snapshot file, WAL empty.
+      PGRID_CHECK(persist->Attach(peer).ok());
+    }
+    // Wipe the in-memory state -- this is a crash, not a graceful leave. The
+    // path bits leave the grid's running sum and return at restart.
+    grid.NotePathLoss(peer.depth());
+    peer = PeerState(victim);
+    churn.Depart(victim, /*graceful=*/false);
+    killed.push_back(victim);
+  }
+
+  void RunRestart(const ScenarioStep& step) {
+    if (killed.empty() || persist == nullptr) return;
+    std::vector<PeerId> victims;
+    if (step.b != 0) {
+      victims = killed;  // restart-all: the crash-sweep heal tail uses this
+      killed.clear();
+    } else {
+      const size_t idx = step.a % killed.size();
+      victims.push_back(killed[idx]);
+      killed.erase(killed.begin() + static_cast<ptrdiff_t>(idx));
+    }
+    // Optionally let virtual time elapse between crash and recovery so
+    // partition windows interact with the downtime.
+    if (step.d % 64 != 0) transport.AdvanceTime(step.d % 64);
+    for (PeerId v : victims) {
+      Result<PeerState> recovered = persist->Recover(v);
+      PGRID_CHECK(recovered.ok());
+      grid.peer(v) = std::move(*recovered);
+      grid.NotePathGrowth(grid.peer(v).depth());
+      persist->Detach(v);
+      churn.Revive(v);
+      // Delta anti-entropy instead of recruitment: the recovered index pulls
+      // only what it missed while down (repair/repair.h RejoinSync).
+      repair.RejoinSync(v);
+    }
+  }
+
   void RunProbes(uint64_t count, ScenarioResult* result) {
     for (uint64_t i = 0; i < count; ++i) {
       if (inserted.empty()) return;
@@ -479,6 +569,9 @@ struct ScenarioRunner::Impl {
     // Without data management, path splits legitimately strand entries outside
     // the new interval; only managed grids promise placement.
     options.check_placement = scenario.config.manage_data;
+    // Every barrier gets the dead mask: kill steps wipe dead peers' in-memory
+    // state, and the structure check must not judge references against it.
+    options.dead = &churn.dead_mask();
     if (strict) {
       // The repair-convergence target: among survivors, no dead references,
       // every level still routable, live buddies in agreement.
@@ -533,6 +626,12 @@ struct ScenarioRunner::Impl {
         case StepKind::kRepair:
           RunRepair(step);
           break;
+        case StepKind::kKill:
+          RunKill(step);
+          break;
+        case StepKind::kRestart:
+          RunRestart(step);
+          break;
         case StepKind::kBarrier: {
           check::InvariantReport report = CheckInvariants(step.b != 0);
           if (!report.ok()) {
@@ -581,6 +680,10 @@ struct ScenarioRunner::Impl {
   std::vector<DataItem> inserted;
   ItemId next_item_id = 1;
   obs::TimelineRecorder* timeline = nullptr;
+  // Durable-storage backend for kill/restart steps; created on first kill.
+  std::unique_ptr<storage::PersistenceManager> persist;
+  std::string storage_dir;
+  std::vector<PeerId> killed;  // crash order; restart selectors index into this
 };
 
 ScenarioRunner::ScenarioRunner(const Scenario& scenario)

@@ -64,9 +64,23 @@ enum class StepKind : int {
   /// point patch of the quorum it happened to reach, and the anti-entropy
   /// rounds that follow spread the patched version to the remaining replicas.
   kRepair = 7,
+  /// Crash live peer selector `a` *with durable state*: its current state is
+  /// persisted through the storage backend (storage/persist.h), then the
+  /// in-memory PeerState is wiped and the peer retired as a crash. `c` % 2
+  /// picks the persistence flavor: 0 = snapshot at attach (the recovered state
+  /// comes from the snapshot file), 1 = attach empty + commit (the whole state
+  /// travels through the WAL delta). Never kills below 3 live peers.
+  kKill = 8,
+  /// Restart a previously killed peer from its on-disk state: recover snapshot
+  /// + WAL tail, reinstall the PeerState, revive it, and run one targeted
+  /// buddy anti-entropy pass (RepairEngine::RejoinSync) so it pulls the delta
+  /// it missed while down. `b` != 0 restarts *all* currently-killed peers (the
+  /// heal-tail form); otherwise killed-list selector `a` picks one. `d` % 64
+  /// advances the fault transport's virtual clock before the rejoin sync.
+  kRestart = 9,
 };
 
-inline constexpr int kNumStepKinds = 8;
+inline constexpr int kNumStepKinds = 10;
 
 /// Stable step name used in the text format ("exchange", "insert", ...).
 std::string_view StepKindName(StepKind k);

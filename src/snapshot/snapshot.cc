@@ -1,10 +1,9 @@
 #include "snapshot/snapshot.h"
 
-#include <algorithm>
 #include <fstream>
-#include <tuple>
 
 #include "net/wire.h"
+#include "storage/peer_codec.h"
 
 namespace pgrid {
 
@@ -22,23 +21,6 @@ uint64_t Fnv1a(std::string_view data) {
   return h;
 }
 
-void WriteEntry(net::ByteWriter* w, const IndexEntry& e) {
-  w->WriteU32(e.holder);
-  w->WriteU64(e.item_id);
-  w->WriteKeyPath(e.key);
-  w->WriteU64(e.version);
-}
-
-Result<IndexEntry> ReadEntry(net::ByteReader* r) {
-  IndexEntry e;
-  PGRID_ASSIGN_OR_RETURN(uint32_t holder, r->ReadU32());
-  e.holder = holder;
-  PGRID_ASSIGN_OR_RETURN(e.item_id, r->ReadU64());
-  PGRID_ASSIGN_OR_RETURN(e.key, r->ReadKeyPath());
-  PGRID_ASSIGN_OR_RETURN(e.version, r->ReadU64());
-  return e;
-}
-
 }  // namespace
 
 Status SaveGrid(const Grid& grid, const ExchangeConfig& config,
@@ -52,29 +34,10 @@ Status SaveGrid(const Grid& grid, const ExchangeConfig& config,
   w.WriteU8(config.manage_data ? 1 : 0);
   w.WriteU8(config.prune_unreachable_refs ? 1 : 0);
   w.WriteU64(grid.size());
-  for (const PeerState& p : grid) {
-    w.WriteKeyPath(p.path());
-    for (size_t level = 1; level <= p.depth(); ++level) {
-      const auto& refs = p.RefsAt(level);
-      w.WriteU32(static_cast<uint32_t>(refs.size()));
-      for (PeerId r : refs) w.WriteU32(r);
-    }
-    w.WriteU32(static_cast<uint32_t>(p.buddies().size()));
-    for (PeerId b : p.buddies()) w.WriteU32(b);
-    // All() iterates the index's hash map, whose order depends on insertion
-    // history; sorting makes the snapshot canonical, so save -> load -> save
-    // round-trips byte-identically.
-    auto entries = p.index().All();
-    std::sort(entries.begin(), entries.end(),
-              [](const IndexEntry& a, const IndexEntry& b) {
-                return std::tie(a.holder, a.item_id) <
-                       std::tie(b.holder, b.item_id);
-              });
-    w.WriteU32(static_cast<uint32_t>(entries.size()));
-    for (const IndexEntry& e : entries) WriteEntry(&w, e);
-    w.WriteU32(static_cast<uint32_t>(p.foreign_entries().size()));
-    for (const IndexEntry& e : p.foreign_entries()) WriteEntry(&w, e);
-  }
+  // Per-peer blocks share the canonical codec with the durable per-peer
+  // snapshots (storage/peer_codec.h): sorted index entries, so save -> load ->
+  // save round-trips byte-identically.
+  for (const PeerState& p : grid) storage::WritePeerCore(&w, p);
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
@@ -134,53 +97,14 @@ Result<LoadedGrid> LoadGrid(const std::string& path) {
     return Status::InvalidArgument("implausible peer count");
   }
   out.grid = std::make_unique<Grid>(static_cast<size_t>(num_peers));
+  storage::PeerCoreBounds bounds;
+  bounds.maxl = out.config.maxl;
+  bounds.peer_id_bound = num_peers;
   for (uint64_t id = 0; id < num_peers; ++id) {
     PeerState& peer = out.grid->peer(static_cast<PeerId>(id));
-    PGRID_ASSIGN_OR_RETURN(KeyPath peer_path, r.ReadKeyPath());
-    if (peer_path.length() > out.config.maxl) {
-      return Status::InvalidArgument("peer path exceeds maxl in snapshot");
-    }
-    for (size_t i = 0; i < peer_path.length(); ++i) {
-      peer.AppendPathBit(peer_path.bit(i));
-    }
-    out.grid->NotePathGrowth(peer_path.length());
-    for (size_t level = 1; level <= peer_path.length(); ++level) {
-      PGRID_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
-      if (count > num_peers) return Status::InvalidArgument("ref count too large");
-      std::vector<PeerId> refs;
-      refs.reserve(count);
-      for (uint32_t i = 0; i < count; ++i) {
-        PGRID_ASSIGN_OR_RETURN(uint32_t ref, r.ReadU32());
-        if (ref >= num_peers) return Status::InvalidArgument("ref id out of range");
-        refs.push_back(ref);
-      }
-      peer.SetRefsAt(level, std::move(refs));
-    }
-    PGRID_ASSIGN_OR_RETURN(uint32_t num_buddies, r.ReadU32());
-    if (num_buddies > num_peers) {
-      return Status::InvalidArgument("buddy count too large");
-    }
-    for (uint32_t i = 0; i < num_buddies; ++i) {
-      PGRID_ASSIGN_OR_RETURN(uint32_t buddy, r.ReadU32());
-      if (buddy >= num_peers) return Status::InvalidArgument("buddy out of range");
-      peer.AddBuddy(buddy);
-    }
-    PGRID_ASSIGN_OR_RETURN(uint32_t num_entries, r.ReadU32());
-    if (num_entries > net::kMaxWireCollection) {
-      return Status::InvalidArgument("entry count too large");
-    }
-    for (uint32_t i = 0; i < num_entries; ++i) {
-      PGRID_ASSIGN_OR_RETURN(IndexEntry e, ReadEntry(&r));
-      peer.index().InsertOrRefresh(e);
-    }
-    PGRID_ASSIGN_OR_RETURN(uint32_t num_foreign, r.ReadU32());
-    if (num_foreign > net::kMaxWireCollection) {
-      return Status::InvalidArgument("foreign count too large");
-    }
-    for (uint32_t i = 0; i < num_foreign; ++i) {
-      PGRID_ASSIGN_OR_RETURN(IndexEntry e, ReadEntry(&r));
-      peer.foreign_entries().push_back(std::move(e));
-    }
+    size_t path_bits = 0;
+    PGRID_RETURN_IF_ERROR(storage::ReadPeerCore(&r, bounds, &peer, &path_bits));
+    out.grid->NotePathGrowth(path_bits);
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after snapshot payload");

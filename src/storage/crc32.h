@@ -1,0 +1,49 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for WAL record and snapshot
+// integrity checks. Table-driven, one byte per step; the table is computed at
+// compile time so the header stays self-contained.
+//
+// CRC is used here instead of the FNV-1a the digests use because record
+// validation must catch *bursty* corruption (torn writes, zeroed sectors):
+// CRC-32 detects all burst errors up to 32 bits and all 1-3 bit errors, which
+// FNV does not guarantee.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace pgrid {
+namespace storage {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// CRC-32 of `data` (init and final XOR 0xFFFFFFFF, as in zlib's crc32()).
+inline uint32_t Crc32(std::string_view data) {
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = internal::kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace storage
+}  // namespace pgrid

@@ -93,6 +93,16 @@ const IndexEntry* LeafIndex::Find(PeerId holder, ItemId item_id) const {
   return FindSlot(holder, item_id);
 }
 
+bool LeafIndex::Erase(PeerId holder, ItemId item_id) {
+  IndexEntry* slot = FindSlot(holder, item_id);
+  if (slot == nullptr) return false;
+  *slot = IndexEntry{};
+  slot->holder = kTombstoneSlot;
+  --size_;
+  ++tombstones_;
+  return true;
+}
+
 std::vector<IndexEntry> LeafIndex::Matching(const KeyPath& prefix) const {
   std::vector<IndexEntry> out;
   ForEachMatching(prefix, [&out](const IndexEntry& e) { out.push_back(e); });

@@ -45,6 +45,10 @@ class LeafIndex {
   /// Returns the entry for (holder, item_id), or nullptr.
   const IndexEntry* Find(PeerId holder, ItemId item_id) const;
 
+  /// Removes the entry for (holder, item_id). Returns true if it was present.
+  /// The durable layer replays index-delete WAL records through this.
+  bool Erase(PeerId holder, ItemId item_id);
+
   /// All entries whose key has `prefix` as a prefix.
   std::vector<IndexEntry> Matching(const KeyPath& prefix) const;
 

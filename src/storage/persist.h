@@ -1,0 +1,117 @@
+// Durable per-peer storage: compacted snapshot + WAL tail (docs/storage.md).
+//
+// PersistenceManager gives each attached peer two files under StorageConfig::dir:
+//
+//   peer-<id>.snap   canonical full-state snapshot ("PGPS" | u32 version |
+//                    core block | store block | u32 crc32(body)), written
+//                    atomically (tmp file + rename)
+//   peer-<id>.wal    CRC-framed delta records since that snapshot (storage/wal.h)
+//
+// The commit protocol is shadow-diff: the manager keeps a copy of each peer's
+// last persisted state; Commit(peer) diffs the live peer against it and appends
+// one typed record per logical change (path growth, reference-level or buddy
+// replacement, index put/delete, foreign-buffer replacement, store put/delete).
+// This keeps the engines persistence-oblivious -- no mutation hooks thread
+// through the protocol code -- at the cost of one retained state copy per
+// attached peer.
+//
+// Every record is *idempotent* and carries absolute state (a kSetPath record
+// holds the full path, not the appended bit; a kSetRefs record the full level),
+// so replaying a WAL whose prefix was already folded into a snapshot -- the
+// window a crash between snapshot rename and WAL truncation leaves behind --
+// converges to the same state.
+//
+// Recovery sequence (Recover):
+//   1. read + checksum the snapshot (a corrupt snapshot is a hard error: the
+//      atomic rename means it was either fully written or never replaced);
+//   2. replay the WAL's longest valid prefix in append order;
+//   3. truncate the WAL's torn tail, if any, so future appends extend a clean
+//      prefix.
+//
+// The idiom follows logos-core's consensus/persistence layering: one manager
+// per state family over a shared store directory.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/peer_state.h"
+#include "storage/storage_config.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace pgrid {
+namespace storage {
+
+/// Counters one Commit() reports (for benches and tests; not a ledger).
+struct CommitInfo {
+  uint64_t records = 0;    ///< WAL records appended by this commit
+  bool compacted = false;  ///< this commit triggered an automatic compaction
+};
+
+/// Persists and recovers PeerState (see file comment for the protocol).
+class PersistenceManager {
+ public:
+  /// `maxl` bounds recovered path lengths (snapshot validation).
+  PersistenceManager(StorageConfig config, size_t maxl);
+  ~PersistenceManager();
+
+  PersistenceManager(const PersistenceManager&) = delete;
+  PersistenceManager& operator=(const PersistenceManager&) = delete;
+
+  /// Starts tracking `peer`: writes a full snapshot of its current state and
+  /// resets its WAL. Re-attaching an already-attached peer re-baselines it.
+  Status Attach(const PeerState& peer);
+
+  /// Appends delta records for every difference between `peer` and its last
+  /// persisted state. Triggers a compaction after StorageConfig::compact_every
+  /// commits (0 = never). The peer must be attached.
+  Result<CommitInfo> Commit(const PeerState& peer);
+
+  /// Rewrites the snapshot from the shadow state and truncates the WAL.
+  Status Compact(PeerId id);
+
+  /// Rebuilds the peer's state from disk: snapshot, then WAL tail, then tail
+  /// truncation. Works without a prior Attach in this process (restart path).
+  Result<PeerState> Recover(PeerId id);
+
+  /// Stops tracking `id` in memory (shadow copy and WAL handle released). The
+  /// on-disk files stay; a later Attach re-baselines them.
+  void Detach(PeerId id);
+
+  /// True iff a snapshot file for `id` exists on disk.
+  bool HasState(PeerId id) const;
+
+  bool IsAttached(PeerId id) const { return tracked_.count(id) != 0; }
+
+  const StorageConfig& config() const { return config_; }
+
+  std::string SnapshotPath(PeerId id) const;
+  std::string WalPath(PeerId id) const;
+
+ private:
+  struct Tracked {
+    PeerState shadow;
+    WalWriter wal;
+    uint64_t commits_since_compact = 0;
+    explicit Tracked(PeerId id) : shadow(id) {}
+  };
+
+  Status WriteSnapshot(const PeerState& peer);
+  Result<PeerState> ReadSnapshot(PeerId id) const;
+
+  /// Appends one record per difference between `from` (persisted) and `to`
+  /// (live) to `wal`.
+  Status AppendDelta(const PeerState& from, const PeerState& to, WalWriter* wal,
+                     uint64_t* records);
+
+  StorageConfig config_;
+  size_t maxl_;
+  std::unordered_map<PeerId, std::unique_ptr<Tracked>> tracked_;
+};
+
+}  // namespace storage
+}  // namespace pgrid

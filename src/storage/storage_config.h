@@ -1,0 +1,47 @@
+// Configuration of the durable per-peer storage backend (docs/storage.md).
+//
+// Deliberately dependency-free: the net layer embeds a StorageConfig in its
+// NodeConfig and the durable layer (storage/persist.h) consumes it, without
+// either pulling in the other.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pgrid {
+namespace storage {
+
+/// How eagerly appended WAL records reach the disk.
+enum class SyncMode : int {
+  /// Leave records in the stdio buffer; the OS sees them at flush/close. A
+  /// process crash can lose buffered records (the torn tail is still detected
+  /// and truncated on replay). The fastest mode; default for simulations.
+  kNone = 0,
+  /// fflush() after every append: the kernel has the record, a process crash
+  /// loses nothing, an OS crash may.
+  kFlush = 1,
+  /// fflush() + fsync() after every append: the record is on stable storage
+  /// before Append returns. Slowest, survives OS crashes.
+  kFsync = 2,
+};
+
+/// Opt-in durable storage. An empty `dir` disables persistence entirely.
+struct StorageConfig {
+  /// Directory holding the per-peer snapshot and WAL files. Created on demand.
+  std::string dir;
+
+  SyncMode sync_mode = SyncMode::kFlush;
+
+  /// Commits between automatic compactions (snapshot rewrite + WAL truncate).
+  /// 0 disables automatic compaction; the WAL then grows until an explicit
+  /// Compact().
+  uint64_t compact_every = 64;
+
+  bool enabled() const { return !dir.empty(); }
+
+  friend bool operator==(const StorageConfig&, const StorageConfig&) = default;
+};
+
+}  // namespace storage
+}  // namespace pgrid

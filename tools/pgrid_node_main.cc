@@ -26,7 +26,13 @@
 //        --trace-json=FILE (attach a trace recorder and dump the daemon's spans
 //        in chrome://tracing format on shutdown; the daemon salts its span ids
 //        with the seed so dumps from several daemons can be merged into one
-//        distributed trace).
+//        distributed trace),
+//        --storage-dir=DIR (durable persistence, docs/storage.md: key path,
+//        references, buddies, index entries, and stored items survive a crash;
+//        on restart the daemon recovers from snapshot + WAL and rejoins with
+//        its state intact instead of starting blank),
+//        --storage-sync=none|flush|fsync (WAL sync mode, default flush),
+//        --compact-every=N (commits between WAL compactions, default 64).
 //
 // Retry flags (docs/robustness.md; a real network deserves retries, so the
 // daemon defaults differ from the library's single-shot default):
@@ -122,6 +128,29 @@ int main(int argc, char** argv) {
   config.retry.deadline_ms = static_cast<uint64_t>(retry_deadline_ms.value());
   config.suspicion_threshold =
       static_cast<size_t>(suspicion_threshold.value());
+  config.storage.dir = flags.GetString("storage-dir", "");
+  {
+    auto compact_every = flags.GetInt("compact-every", 64);
+    if (!compact_every.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   compact_every.status().ToString().c_str());
+      return 1;
+    }
+    config.storage.compact_every =
+        static_cast<uint64_t>(compact_every.value());
+    const std::string sync = flags.GetString("storage-sync", "flush");
+    if (sync == "none") {
+      config.storage.sync_mode = pgrid::storage::SyncMode::kNone;
+    } else if (sync == "flush") {
+      config.storage.sync_mode = pgrid::storage::SyncMode::kFlush;
+    } else if (sync == "fsync") {
+      config.storage.sync_mode = pgrid::storage::SyncMode::kFsync;
+    } else {
+      std::fprintf(stderr, "error: bad --storage-sync '%s' (none|flush|fsync)\n",
+                   sync.c_str());
+      return 1;
+    }
+  }
   if (pgrid::Status s = config.Validate(); !s.ok()) {
     std::fprintf(stderr, "error: bad retry flags: %s\n", s.ToString().c_str());
     return 1;
@@ -147,6 +176,11 @@ int main(int argc, char** argv) {
   }
   std::printf("pgrid_node serving on %s (maxl=%zu refmax=%zu)\n", listen.c_str(),
               config.maxl, config.refmax);
+  if (node.recovered_from_disk()) {
+    std::printf("recovered durable state from %s (path %s, %zu entries)\n",
+                config.storage.dir.c_str(), node.path().ToString().c_str(),
+                node.entries().size());
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
