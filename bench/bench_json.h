@@ -13,13 +13,17 @@
 //
 // so scaling tables (BENCH_parallel_build.json, BENCH_micro_ops.json) can be
 // consumed by scripts without scraping the human-readable stdout tables. No
-// external JSON dependency; numbers are emitted with enough digits to round-trip.
+// external JSON dependency. Doubles are rounded to 6 decimal places (trailing
+// zeros trimmed) rather than round-tripped exactly: bench values are
+// measurements, and fixed precision keeps reruns diffable instead of spraying
+// artifacts like 0.48681599999999997 across the report.
 
 #pragma once
 
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,7 +43,20 @@ class JsonRow {
 
   JsonRow& Num(const std::string& name, double v) {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    const double r = v < 0 ? -v : v;
+    if (v == static_cast<double>(static_cast<long long>(v)) && r < 1e15) {
+      // Integral value: emit without a decimal point or exponent.
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      // Fixed 6-decimal precision, trailing zeros trimmed (keep >= 1 decimal
+      // so the field stays visibly a float).
+      std::snprintf(buf, sizeof(buf), "%.6f", v);
+      char* dot = std::strchr(buf, '.');
+      if (dot != nullptr) {
+        char* end = buf + std::strlen(buf) - 1;
+        while (end > dot + 1 && *end == '0') *end-- = '\0';
+      }
+    }
     fields_.emplace_back(name, buf);
     return *this;
   }

@@ -26,6 +26,7 @@
 #include "net/inproc_transport.h"
 #include "net/node.h"
 #include "obs/timeline.h"
+#include "sim/scenario.h"
 #include "util/macros.h"
 
 namespace pgrid {
@@ -148,6 +149,95 @@ CrashWaveResult RunCrashWave(size_t n, size_t maxl, size_t refmax,
   return r;
 }
 
+/// Mean of an availability series over macro ticks [lo, hi). 0 if empty.
+double AvgOver(const std::map<std::string, std::vector<obs::TimelineRecorder::Point>>& series,
+               const std::string& name, uint64_t lo, uint64_t hi) {
+  auto it = series.find(name);
+  if (it == series.end()) return 0;
+  double sum = 0;
+  size_t count = 0;
+  for (const obs::TimelineRecorder::Point& p : it->second) {
+    if (p.t >= lo && p.t < hi) {
+      sum += p.value;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0;
+}
+
+// Macro-fault availability arm (docs/robustness.md): one deterministic
+// scenario drags the simulated community through a flash crowd and then a
+// two-group partition + heal, sampling per-tick availability (query success
+// rate, shed rate) through the runner's timeline. The phase boundaries are
+// static properties of the step list, so the per-phase averages below read the
+// avail.* series by known macro-tick ranges.
+void RunMacroAvailability(size_t peers, size_t maxl, uint64_t seed,
+                          bench::JsonReport* report,
+                          const std::string& timeline_path) {
+  sim::Scenario scenario;
+  scenario.config.seed = seed;
+  scenario.config.fault_seed = seed + 1;
+  scenario.config.num_peers = peers;
+  scenario.config.maxl = maxl;
+  scenario.config.refmax = 2;
+  scenario.config.online_prob = 1.0;
+
+  auto& steps = scenario.steps;
+  // Warm-up: build the grid, seed it with data, prove it healthy.
+  steps.push_back({sim::StepKind::kExchange, 8 * peers, 0, 0, 0});
+  for (uint64_t i = 0; i < 24; ++i) {
+    steps.push_back({sim::StepKind::kInsert, 7 * i + 1, 5 * i + 3,
+                     i % maxl, i % 16});
+  }
+  steps.push_back({sim::StepKind::kBarrier, 8, 0, 0, 0});
+  // Baseline: a heal with no active partition is a no-op that still runs its
+  // availability ticks -- macro ticks 0..3.
+  steps.push_back({sim::StepKind::kPartition, 0, 4, 0, 0});
+  // Flash crowd: 6 ticks (4..9) at 6x load on a 2-bit-hot prefix with
+  // shedding armed, then one unshedded after-tick (10).
+  steps.push_back({sim::StepKind::kFlashCrowd, 1, 1, 4, 5});
+  // Partition: 2 groups for 4 ticks (11..14).
+  steps.push_back({sim::StepKind::kPartition, 3, 4, 1, 0});
+  // Heal: anti-entropy to convergence, then 4 post-heal ticks (15..18).
+  steps.push_back({sim::StepKind::kPartition, 0, 4, 0, 0});
+
+  obs::TimelineRecorder timeline;
+  sim::ScenarioRunner runner(scenario);
+  runner.SetTimeline(&timeline);
+  const sim::ScenarioResult result = runner.Run();
+  PGRID_CHECK(!result.failed);
+
+  const auto series = timeline.series();
+  struct Phase {
+    const char* name;
+    uint64_t lo, hi;
+  };
+  const Phase phases[] = {
+      {"baseline", 0, 4},        {"flash-crowd", 4, 10},
+      {"flash-crowd-after", 10, 11}, {"partition", 11, 15},
+      {"post-heal", 15, 19},
+  };
+  std::printf("\nmacro availability: flash crowd (6x load, shedding) then "
+              "2-group partition + heal (%zu sim peers)\n", peers);
+  std::printf("%-22s %10s %10s\n", "phase", "success", "shed rate");
+  for (const Phase& ph : phases) {
+    const double success = AvgOver(series, "avail.success_rate", ph.lo, ph.hi);
+    const double shed = AvgOver(series, "avail.shed_rate", ph.lo, ph.hi);
+    std::printf("%-22s %9.2f%% %9.2f%%\n", ph.name, 100.0 * success,
+                100.0 * shed);
+    report->AddRow()
+        .Str("variant", std::string("macro-") + ph.name)
+        .Int("peers", peers)
+        .Int("tick_lo", ph.lo)
+        .Int("tick_hi", ph.hi)
+        .Num("success_rate", 100.0 * success)
+        .Num("shed_rate", 100.0 * shed);
+  }
+  // The raw per-tick series (avail.success_rate / avail.p99_hops /
+  // avail.shed_rate / avail.live_peers at t = macro tick) for plotting.
+  bench::DumpToFile(timeline_path, "timeline", timeline.ToJson());
+}
+
 void Run(const bench::Args& args) {
   const size_t n = static_cast<size_t>(args.GetInt("peers", 64));
   const size_t maxl = static_cast<size_t>(args.GetInt("maxl", 4));
@@ -252,6 +342,13 @@ void Run(const bench::Args& args) {
   };
   add_wave_row("crash-wave-before-repair", wave.before_ok);
   add_wave_row("crash-wave-after-repair", wave.after_ok);
+
+  // Macro-fault availability arm: graceful degradation through a flash crowd
+  // and a partition + heal, on the deterministic scenario machinery.
+  RunMacroAvailability(
+      static_cast<size_t>(args.GetInt("macro_peers", 48)), maxl, seed, &report,
+      args.GetString("availability-json", "BENCH_nr_availability.json"));
+
   report.WriteTo(args.GetString("json", "BENCH_nr_net_reliability.json"));
   // Per-round registry snapshots of the heal window (t = maintenance round,
   // t=0 = right after the wave): node.refs_evicted / node.refs_recruited /

@@ -282,6 +282,84 @@ void CheckRepairConvergence(const Grid& grid, const ExchangeConfig& config,
   }
 }
 
+// --- Partition consistency (docs/robustness.md macro faults). ---
+
+void CheckPartitionLeak(const Grid& grid, const InvariantOptions& options,
+                        Collector* out) {
+  const PartitionView& pv = *options.partition;
+  if (pv.items.empty()) return;
+  std::map<ItemId, int> origin;
+  for (const PartitionView::Quarantined& q : pv.items) {
+    origin[q.item] = q.origin_group;
+  }
+  auto group_of = [&pv](PeerId p) {
+    return p < pv.group.size() ? pv.group[p] : -1;
+  };
+  for (const PeerState& p : grid) {
+    if (out->full()) return;
+    if (!LiveAt(options.dead, p.id())) continue;
+    const int g = group_of(p.id());
+    if (g < 0) continue;  // joined after the view was taken
+    auto leak = [&](const IndexEntry& e) {
+      auto it = origin.find(e.item_id);
+      if (it != origin.end() && it->second != g) {
+        out->Add(Category::kPartitionLeak, p.id(), 0,
+                 Fmt("entry (holder=%u item=%llu) quarantined in group %d "
+                     "present at group-%d peer",
+                     e.holder, static_cast<unsigned long long>(e.item_id),
+                     it->second, g));
+      }
+    };
+    p.index().ForEach(leak);
+    for (const IndexEntry& e : p.foreign_entries()) leak(e);
+  }
+}
+
+void CheckHealConvergence(const Grid& grid, const InvariantOptions& options,
+                          Collector* out) {
+  // After the heal, anti-entropy must have restored agreement on exactly the
+  // items written during the divergence. The general buddy-agreement check
+  // (kReplicaStale) covers all entries; this one re-classifies disagreement on
+  // quarantined items as kHealDivergence so a macro scenario can assert on the
+  // partition-heal path specifically.
+  const PartitionView& pv = *options.partition;
+  if (pv.items.empty()) return;
+  const std::vector<uint8_t>* dead = options.dead;
+  std::set<std::pair<PeerId, PeerId>> buddy_pairs;
+  for (const PeerState& a : grid) {
+    if (out->full()) return;
+    if (!LiveAt(dead, a.id())) continue;
+    for (PeerId b : a.buddies()) {
+      if (b >= grid.size() || !LiveAt(dead, b) ||
+          !buddy_pairs.insert({std::min(a.id(), b), std::max(a.id(), b)})
+               .second) {
+        continue;
+      }
+      const PeerState& buddy = grid.peer(b);
+      for (const PartitionView::Quarantined& q : pv.items) {
+        const IndexEntry* mine = a.index().Find(q.holder, q.item);
+        const IndexEntry* theirs = buddy.index().Find(q.holder, q.item);
+        if (mine == nullptr && theirs == nullptr) continue;  // neither replica
+        if (mine == nullptr || theirs == nullptr) {
+          out->Add(Category::kHealDivergence,
+                   mine == nullptr ? a.id() : buddy.id(), 0,
+                   Fmt("post-heal: buddies %u/%u disagree on presence of "
+                       "partition-era entry (holder=%u item=%llu)",
+                       a.id(), b, q.holder,
+                       static_cast<unsigned long long>(q.item)));
+        } else if (mine->version != theirs->version) {
+          out->Add(Category::kHealDivergence, a.id(), 0,
+                   Fmt("post-heal: partition-era entry (holder=%u item=%llu) "
+                       "at version %llu here, %llu at buddy %u",
+                       q.holder, static_cast<unsigned long long>(q.item),
+                       static_cast<unsigned long long>(mine->version),
+                       static_cast<unsigned long long>(theirs->version), b));
+        }
+      }
+    }
+  }
+}
+
 // --- Ledger agreement (docs/observability.md metric-name mapping). ---
 
 uint64_t CounterOr0(const obs::RegistrySnapshot& snap, std::string_view name) {
@@ -360,6 +438,10 @@ std::string_view CategoryName(Category c) {
       return "ref-underfull";
     case Category::kReplicaStale:
       return "replica-stale";
+    case Category::kPartitionLeak:
+      return "partition-leak";
+    case Category::kHealDivergence:
+      return "heal-divergence";
   }
   return "unknown";
 }
@@ -399,6 +481,13 @@ InvariantReport GridInvariants::Check(const Grid& grid,
   if (options.check_replica_agreement) CheckReplicaAgreement(grid, &out);
   if (options.check_repair_convergence) {
     CheckRepairConvergence(grid, config, options, &out);
+  }
+  if (options.partition != nullptr) {
+    if (options.partition->active) {
+      CheckPartitionLeak(grid, options, &out);
+    } else if (options.check_repair_convergence) {
+      CheckHealConvergence(grid, options, &out);
+    }
   }
   if (options.check_ledger) CheckLedger(grid, &out);
   return report;

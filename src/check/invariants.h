@@ -38,9 +38,11 @@ enum class Category : int {
   kDeadReference = 9, ///< a live peer still references a dead one
   kRefUnderfull = 10, ///< a live peer's level has fewer live refs than required
   kReplicaStale = 11, ///< live buddies disagree on entry sets or versions
+  kPartitionLeak = 12,   ///< partition-era entry present outside its origin group
+  kHealDivergence = 13,  ///< post-heal: buddies still disagree on a partition-era item
 };
 
-inline constexpr int kNumCategories = 12;
+inline constexpr int kNumCategories = 14;
 
 /// Stable display name ("reference", "refmax", ...).
 std::string_view CategoryName(Category c);
@@ -54,6 +56,31 @@ struct Violation {
   size_t level = 0;
   /// Human-readable explanation with the concrete paths / counts involved.
   std::string detail;
+};
+
+/// What the checker needs to know about a network partition (possibly already
+/// healed): which group each peer sits in and which items were inserted while
+/// the split was active. Those items are *quarantined* -- their entries must not
+/// appear outside the origin group while the partition holds
+/// (Category::kPartitionLeak), and after the heal every live buddy pair must
+/// agree on them (Category::kHealDivergence). The scenario runner builds this
+/// view from its `partition` step state.
+struct PartitionView {
+  /// Group id per PeerId; peers beyond the vector's size are ungrouped (joined
+  /// after the view was taken) and exempt from the partition checks.
+  std::vector<int> group;
+
+  /// True while the split is in force: run the leak check. False once healed:
+  /// run the convergence check instead (under check_repair_convergence).
+  bool active = false;
+
+  /// One item inserted during the partition.
+  struct Quarantined {
+    ItemId item = 0;
+    PeerId holder = kInvalidPeer;  ///< the entry holder recorded at insert time
+    int origin_group = 0;          ///< group of the inserting client
+  };
+  std::vector<Quarantined> items;
 };
 
 /// Which checks to run and how many violations to collect.
@@ -103,6 +130,14 @@ struct InvariantOptions {
   /// refmax and by how many live satisfying peers exist at all). 1 = "the level
   /// still routes"; refmax = "fully healed".
   size_t repair_min_live_refs = 1;
+
+  /// Partition consistency (docs/robustness.md): while `partition->active`,
+  /// no quarantined entry may sit at a live peer of a different group
+  /// (kPartitionLeak); after the heal -- and only when
+  /// check_repair_convergence also holds, i.e. at strict barriers -- every
+  /// live buddy pair must agree on the quarantined items (kHealDivergence).
+  /// Null skips both checks. The view must outlive the Check call.
+  const PartitionView* partition = nullptr;
 
   /// Stop collecting after this many violations (the report notes truncation).
   size_t max_violations = 64;

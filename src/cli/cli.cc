@@ -55,7 +55,7 @@ std::string UsageFor(const std::string& command) {
   if (command == "fuzz") {
     return "pgrid fuzz [--seeds=50] [--base-seed=1] [--min-steps=10]"
            " [--max-steps=40] [--max-peers=48] [--heal-tail] [--crash-sweep]"
-           " [--thread-sweep]"
+           " [--macro-sweep] [--thread-sweep]"
            " [--out=REPRO.pgs]"
            " [--keep-going] [--timeline-json=FILE]";
   }
@@ -356,6 +356,7 @@ Status CmdFuzz(const FlagSet& flags, std::ostream& out) {
   options.max_peers = static_cast<size_t>(max_peers);
   options.heal_tail = flags.Has("heal-tail");
   options.crash_sweep = flags.Has("crash-sweep");
+  options.macro_sweep = flags.Has("macro-sweep");
   options.vary_builder_threads = flags.Has("thread-sweep");
   options.stop_on_failure = !flags.Has("keep-going");
 

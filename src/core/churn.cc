@@ -43,15 +43,18 @@ uint64_t ChurnDriver::Retire(PeerId peer, bool graceful) {
     if (!leaving.index().empty() || !leaving.foreign_entries().empty()) {
       // Prefer a live buddy (same path); otherwise any live co-responsible peer.
       PeerId heir = kInvalidPeer;
+      auto eligible = [&](PeerId h) {
+        return dead_[h] == 0 && (!heir_filter_ || heir_filter_(peer, h));
+      };
       for (PeerId b : leaving.buddies()) {
-        if (dead_[b] == 0) {
+        if (eligible(b)) {
           heir = b;
           break;
         }
       }
       if (heir == kInvalidPeer) {
         for (PeerId r : GridStats::ReplicasOf(*grid_, leaving.path())) {
-          if (r != peer && dead_[r] == 0) {
+          if (r != peer && eligible(r)) {
             heir = r;
             break;
           }
@@ -91,6 +94,21 @@ void ChurnDriver::Revive(PeerId peer) {
   dead_[peer] = 0;
   ++live_count_;
   online_->Pin(peer, std::nullopt);
+}
+
+PeerId ChurnDriver::Join(size_t count, double online_prob) {
+  const PeerId first = static_cast<PeerId>(grid_->size());
+  if (count == 0) return first;
+  // One batched grow for the whole wave (see Round): per-peer AddPeer() would
+  // rebuild the grid's atomic load vector per joiner.
+  grid_->AddPeers(count);
+  for (size_t i = 0; i < count; ++i) {
+    online_->AddPeer(online_prob, rng_);
+    dead_.push_back(0);
+    ++live_count_;
+  }
+  scheduler_->SetNumPeers(grid_->size());
+  return first;
 }
 
 ChurnRound ChurnDriver::Round(const ChurnConfig& config) {

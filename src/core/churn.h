@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/exchange.h"
@@ -90,6 +91,21 @@ class ChurnDriver {
   /// storage, see storage/persist.h). The peer must currently be dead.
   void Revive(PeerId peer);
 
+  /// Adds `count` fresh peers (empty paths) in one batched grow, each online
+  /// with probability `online_prob`. The macro `massjoin` scenario step uses
+  /// this instead of Round(): just the membership event -- no crashes, no
+  /// leaves, no meetings. Returns the id of the first joiner (== the previous
+  /// grid size; the ids are contiguous).
+  PeerId Join(size_t count, double online_prob);
+
+  /// Restricts who may inherit a graceful leaver's entries: the handover only
+  /// considers heirs for which `fn(leaver, heir)` returns true (null = anyone,
+  /// the historical behaviour). The scenario runner models partitions with it:
+  /// a leaver cannot hand entries to a peer it cannot reach.
+  void set_heir_filter(std::function<bool(PeerId leaver, PeerId heir)> fn) {
+    heir_filter_ = std::move(fn);
+  }
+
   bool IsDead(PeerId peer) const { return dead_[peer] != 0; }
   size_t live_count() const { return live_count_; }
 
@@ -114,6 +130,7 @@ class ChurnDriver {
   MeetingScheduler* scheduler_;
   OnlineModel* online_;
   Rng* rng_;
+  std::function<bool(PeerId, PeerId)> heir_filter_;
   std::vector<uint8_t> dead_;
   size_t live_count_;
 };

@@ -16,10 +16,11 @@ SearchEngine::SearchEngine(Grid* grid, const OnlineModel* online, Rng* rng)
   messages_ = m.GetCounter("search.messages");
   backtracks_ = m.GetCounter("search.backtracks");
   offline_skips_ = m.GetCounter("search.offline_skips");
+  sheds_ = m.GetCounter("search.sheds");
   failures_ = m.GetCounter("search.failures");
   hops_ = m.GetHistogram("search.hops", obs::CountBounds());
-  PGRID_CHECK(queries_ && messages_ && backtracks_ && offline_skips_ && failures_ &&
-              hops_);
+  PGRID_CHECK(queries_ && messages_ && backtracks_ && offline_skips_ && sheds_ &&
+              failures_ && hops_);
 }
 
 QueryResult SearchEngine::Query(PeerId start, const KeyPath& key) {
@@ -56,12 +57,38 @@ bool SearchEngine::QueryImpl(PeerId peer, const KeyPath& p, size_t consumed,
   PGRID_DCHECK(a.depth() > consumed + lc);
   const KeyPath querypath = p.SuffixFrom(lc);
   std::vector<PeerId> refs = a.RefsAt(consumed + lc + 1);  // copy: we draw and remove
-  while (!refs.empty()) {
-    PeerId r = rng_->TakeRandom(&refs);
+  std::vector<PeerId> deferred;  // demoted (gray) refs: tried after the fast ones
+  if (slow_fn_) {
+    // Stable partition so that with no demotions the draw sequence over `refs`
+    // is byte-identical to the historical one.
+    std::vector<PeerId> fast;
+    fast.reserve(refs.size());
+    for (PeerId r : refs) {
+      (slow_fn_(peer, r) ? deferred : fast).push_back(r);
+    }
+    refs = std::move(fast);
+  }
+  while (!refs.empty() || !deferred.empty()) {
+    PeerId r = !refs.empty() ? rng_->TakeRandom(&refs) : rng_->TakeRandom(&deferred);
     if (online_ != nullptr && !online_->IsOnline(r, rng_)) {
       offline_skips_->Increment();
       if (tracing) {
         span->Event("search.offline_skip", "peer=" + std::to_string(r),
+                    static_cast<uint32_t>(hops));
+      }
+      continue;
+    }
+    if (shed_fn_ && shed_fn_(r)) {
+      // The request reached r but its serve queue is full: one kQuery spent on
+      // the wire (the ledger sees it like any hop), nothing served, no
+      // recursion. The query degrades to the remaining references.
+      stats_->Record(MessageType::kQuery);
+      messages_->Increment();
+      ++out->messages;
+      sheds_->Increment();
+      ++out->sheds;
+      if (tracing) {
+        span->Event("search.shed", "peer=" + std::to_string(r),
                     static_cast<uint32_t>(hops));
       }
       continue;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -37,6 +38,11 @@ struct QueryResult {
 
   /// Successful remote query invocations performed (the paper's message metric).
   uint64_t messages = 0;
+
+  /// Hops rejected by an overloaded server (see set_shed_fn). Each shed hop is
+  /// counted in `messages` too -- the request reached the server and cost wire
+  /// traffic; it was degraded, not failed.
+  uint64_t sheds = 0;
 
   /// Number of routing hops on the successful path (0 if the start peer answered).
   size_t hops = 0;
@@ -116,6 +122,23 @@ class SearchEngine {
     stats_ = stats != nullptr ? stats : &grid_->stats();
   }
 
+  /// Routing preference for gray peers: references for which `fn(from, to)` is
+  /// true (demoted as slow, see repair::RepairEngine::IsDemoted) are tried
+  /// only after every fast reference at the level has been exhausted. While no
+  /// reference is demoted the draw sequence is exactly the historical one, so
+  /// installing the callback does not perturb replayed scenario digests.
+  void set_slow_fn(std::function<bool(PeerId from, PeerId to)> fn) {
+    slow_fn_ = std::move(fn);
+  }
+
+  /// Per-peer overload shedding: before a hop recurses into server `r`,
+  /// `fn(r)` may reject it (bounded in-flight serve queue). A shed hop costs a
+  /// kQuery message like a served one but does not recurse and is not counted
+  /// as served -- degraded, not failed; the query backtracks to other refs.
+  void set_shed_fn(std::function<bool(PeerId server)> fn) {
+    shed_fn_ = std::move(fn);
+  }
+
  private:
   bool QueryImpl(PeerId peer, const KeyPath& p, size_t consumed, size_t hops,
                  QueryResult* out, obs::TraceSpan* span);
@@ -128,12 +151,15 @@ class SearchEngine {
   const OnlineModel* online_;
   Rng* rng_;
   MessageStats* stats_;  // defaults to &grid_->stats(); see set_stats_sink
+  std::function<bool(PeerId, PeerId)> slow_fn_;
+  std::function<bool(PeerId)> shed_fn_;
 
   // Cached registry instruments (owned by the grid; see docs/observability.md).
   obs::Counter* queries_;
   obs::Counter* messages_;  // mirrors MessageStats kQuery exactly
   obs::Counter* backtracks_;
   obs::Counter* offline_skips_;
+  obs::Counter* sheds_;
   obs::Counter* failures_;
   obs::Histogram* hops_;
 };

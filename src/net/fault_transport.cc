@@ -97,6 +97,7 @@ bool FaultInjectingTransport::RemoveRule(uint64_t id) {
 void FaultInjectingTransport::ClearRules() {
   std::lock_guard<std::mutex> lock(mu_);
   rules_.clear();
+  partitions_.clear();
 }
 
 uint64_t FaultInjectingTransport::DropFirst(const std::string& to, uint64_t n) {
@@ -134,6 +135,41 @@ std::pair<uint64_t, uint64_t> FaultInjectingTransport::Partition(
   const uint64_t id1 = AddRule(std::move(a_to_b));
   const uint64_t id2 = AddRule(std::move(b_to_a));
   return {id1, id2};
+}
+
+uint64_t FaultInjectingTransport::PartitionGroups(
+    const std::vector<std::vector<std::string>>& groups, uint64_t t1, uint64_t t2) {
+  std::vector<uint64_t> rule_ids;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].empty()) continue;
+    for (size_t j = 0; j < groups.size(); ++j) {
+      if (j == i || groups[j].empty()) continue;
+      FaultRule rule;
+      rule.from_any_of = groups[i];
+      rule.to_any_of = groups[j];
+      rule.not_before = t1;
+      rule.not_after = t2;
+      rule.action = FaultAction::kDrop;
+      rule_ids.push_back(AddRule(std::move(rule)));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_partition_id_++;
+  partitions_[id] = std::move(rule_ids);
+  return id;
+}
+
+bool FaultInjectingTransport::HealPartition(uint64_t partition_id) {
+  std::vector<uint64_t> rule_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = partitions_.find(partition_id);
+    if (it == partitions_.end()) return false;
+    rule_ids = std::move(it->second);
+    partitions_.erase(it);
+  }
+  for (uint64_t id : rule_ids) RemoveRule(id);
+  return true;
 }
 
 void FaultInjectingTransport::InjectOutage(const std::string& address) {

@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -124,6 +125,19 @@ class FaultInjectingTransport : public RpcTransport {
                                           uint64_t t1 = 0,
                                           uint64_t t2 = UINT64_MAX);
 
+  /// Named multi-group partition: installs one drop rule per ordered pair of
+  /// distinct groups, so traffic between members of *different* groups is
+  /// dropped while intra-group traffic and traffic involving unlisted
+  /// addresses flows. Empty groups are skipped (an empty any_of list would
+  /// fall back to the match-all glob). Returns a partition id whose rules
+  /// HealPartition removes atomically -- this is the first-class partition the
+  /// scenario `partition` step drives, as opposed to the time-window form.
+  uint64_t PartitionGroups(const std::vector<std::vector<std::string>>& groups,
+                           uint64_t t1 = 0, uint64_t t2 = UINT64_MAX);
+  /// Removes every rule one PartitionGroups registration installed; false if
+  /// the id is unknown (already healed, or wiped by ClearRules).
+  bool HealPartition(uint64_t partition_id);
+
   /// Total outage of one address until ClearOutage (checked before the rules).
   void InjectOutage(const std::string& address);
   void ClearOutage(const std::string& address);
@@ -164,6 +178,9 @@ class FaultInjectingTransport : public RpcTransport {
   mutable std::mutex mu_;
   std::vector<ArmedRule> rules_;
   std::unordered_set<std::string> outages_;
+  // partition id -> rule ids installed by PartitionGroups.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> partitions_;
+  uint64_t next_partition_id_ = 1;
   uint64_t next_rule_id_ = 1;
   uint64_t now_ = 0;
   Rng rng_;

@@ -1,6 +1,7 @@
 #include "net/node.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "net/node_persist.h"
 #include "obs/export.h"
@@ -83,11 +84,13 @@ PGridNode::PGridNode(std::string address, RpcTransport* transport,
   c_probes_sent_ = metrics_->GetCounter("node.probes_sent");
   c_refs_evicted_ = metrics_->GetCounter("node.refs_evicted");
   c_refs_recruited_ = metrics_->GetCounter("node.refs_recruited");
+  c_slow_calls_ = metrics_->GetCounter("node.slow_calls");
   h_route_attempts_ = metrics_->GetHistogram("node.route_attempts", obs::CountBounds());
   PGRID_CHECK(c_exchanges_initiated_ && c_exchanges_served_ && c_queries_served_ &&
               c_publishes_served_ && c_entries_adopted_ && c_route_offline_skips_ &&
               c_route_backtracks_ && c_call_deadline_exceeded_ && c_probes_sent_ &&
-              c_refs_evicted_ && c_refs_recruited_ && h_route_attempts_);
+              c_refs_evicted_ && c_refs_recruited_ && c_slow_calls_ &&
+              h_route_attempts_);
   // An independent retry RNG stream: the node's protocol randomness (rng_) must
   // not shift when retries draw jitter.
   retry_ = std::make_unique<RetryPolicy>(config_.retry,
@@ -136,11 +139,27 @@ Result<std::string> PGridNode::CallWithRetry(const std::string& to,
     wrapped = EncodeTraced(ctx, request);
     payload = &wrapped;
   }
+  // With a probe timeout configured, a *slow* success feeds the failure
+  // detector like a failure (gray-failure detection): a peer that chronically
+  // answers slower than the budget is as useless as a dead one. Only measured
+  // when configured, so the default path stays clock-free.
+  bool slow = false;
+  const auto start = config_.probe_timeout_ms > 0
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
   Result<std::string> result = retry_->Call(transport_, to, address_, *payload);
+  if (config_.probe_timeout_ms > 0 && result.ok()) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    if (static_cast<uint64_t>(elapsed.count()) >= config_.probe_timeout_ms) {
+      slow = true;
+      c_slow_calls_->Increment();
+    }
+  }
   if (!result.ok() && result.status().code() == StatusCode::kDeadlineExceeded) {
     c_call_deadline_exceeded_->Increment();
   }
-  NoteCallOutcome(to, result.ok());
+  NoteCallOutcome(to, result.ok() && !slow);
   return result;
 }
 
@@ -157,6 +176,13 @@ void PGridNode::NoteCallOutcome(const std::string& to, bool ok) {
     // tracks consecutive *exhausted* calls, not individual packets.
     if (++suspicion_[to] < config_.suspicion_threshold) return;
     suspicion_.erase(to);  // eviction resets the slate for a later re-recruitment
+    if (eviction_cooldown_left_ > 0) {
+      // Rate-limited: this crossing is suppressed, the suspect stays
+      // referenced (and starts accumulating suspicion again from zero).
+      --eviction_cooldown_left_;
+      return;
+    }
+    eviction_cooldown_left_ = config_.eviction_cooldown;
     for (std::vector<std::string>& level : refs_) {
       const size_t before = level.size();
       RemoveAddr(&level, to);

@@ -64,6 +64,22 @@ struct NodeConfig {
   /// packet under a lossy transport never costs a good reference.
   size_t suspicion_threshold = 3;
 
+  /// Wall-clock budget for one outbound call before it counts as *slow*
+  /// (gray-failure detection, see docs/robustness.md). A call that succeeds
+  /// but takes >= this many milliseconds feeds the failure detector like a
+  /// failure -- a peer that chronically answers slower than the budget is as
+  /// useless as a dead one -- and is counted on node.slow_calls. 0 (the
+  /// default) disables the check: only hard failures raise suspicion.
+  uint64_t probe_timeout_ms = 0;
+
+  /// Eviction rate limiter: after one address is evicted, the next
+  /// `eviction_cooldown` eviction *edges* (threshold crossings) are suppressed
+  /// -- the suspect's count resets but it stays referenced. A slow network
+  /// that pushes many peers over the threshold at once then sheds references
+  /// one at a time instead of mass-evicting the healthy majority. 0 (the
+  /// default) keeps the historical evict-on-every-crossing behaviour.
+  size_t eviction_cooldown = 0;
+
   /// Retry policy for every outbound call (routing hops, exchange recursion,
   /// publish fan-out, commits, stats scrapes). The default (max_attempts = 1)
   /// keeps the historical single-shot behaviour.
@@ -289,6 +305,7 @@ class PGridNode {
   std::vector<WireEntry> foreign_;
   DataStore store_;
   std::unordered_map<std::string, size_t> suspicion_;  // consecutive call failures
+  size_t eviction_cooldown_left_ = 0;  // crossings to suppress before next evict
   uint64_t epoch_ = 0;
   Rng rng_;
   bool serving_ = false;
@@ -314,6 +331,7 @@ class PGridNode {
   obs::Counter* c_probes_sent_;
   obs::Counter* c_refs_evicted_;
   obs::Counter* c_refs_recruited_;
+  obs::Counter* c_slow_calls_;
   obs::Histogram* h_route_attempts_;
   std::unique_ptr<RetryPolicy> retry_;  // shares the node's registry
   obs::TraceRecorder* trace_ = nullptr;

@@ -66,6 +66,21 @@ void RepairEngine::ProbeAndEvict(PeerState& peer, RepairTick* tick) {
       m.GetCounter("repair.probes")->Increment();
       ++tick->probes;
       suspicion.NoteSuccess(t);
+      if (latency_fn_) {
+        // Gray-failure detection: the probe arrived, but slowly. Slow evidence
+        // only ever demotes (routing deprioritization) -- a slow replica still
+        // holds valid data, so it must not be evicted as dead.
+        if (latency_fn_(peer.id(), t) > config_.probe_timeout) {
+          m.GetCounter("repair.slow_probes")->Increment();
+          ++tick->slow_probes;
+          if (suspicion.NoteSlow(t)) {
+            m.GetCounter("repair.slow_demotions")->Increment();
+            ++tick->demotions;
+          }
+        } else {
+          suspicion.NoteFast(t);
+        }
+      }
       // A delivered probe also announces the prober: the target may adopt it
       // into an under-full level (the reference property is symmetric between
       // complementary subtrees). This is how a live peer that lost all of its
@@ -242,7 +257,8 @@ void RepairEngine::SyncBuddies(PeerState& peer,
 
 RepairTick RepairEngine::RejoinSync(PeerId peer) {
   while (suspicion_.size() < grid_->size()) {
-    suspicion_.emplace_back(config_.suspicion_threshold);
+    suspicion_.emplace_back(config_.suspicion_threshold, config_.slow_threshold,
+                            config_.eviction_cooldown);
   }
   RepairTick tick;
   if (!IsLive(peer)) return tick;
@@ -255,7 +271,8 @@ RepairTick RepairEngine::RejoinSync(PeerId peer) {
 RepairTick RepairEngine::Tick() {
   ++rounds_;
   while (suspicion_.size() < grid_->size()) {
-    suspicion_.emplace_back(config_.suspicion_threshold);
+    suspicion_.emplace_back(config_.suspicion_threshold, config_.slow_threshold,
+                            config_.eviction_cooldown);
   }
   RepairTick tick;
   std::unordered_set<uint64_t> synced;
@@ -267,6 +284,24 @@ RepairTick RepairEngine::Tick() {
     if (config_.anti_entropy) SyncBuddies(peer, &synced, &tick);
   }
   return tick;
+}
+
+RepairEngine::ReconcileOutcome RepairEngine::ReconcileUntilConverged(
+    size_t max_rounds) {
+  ReconcileOutcome out;
+  obs::MetricsRegistry& m = grid_->metrics();
+  for (size_t round = 0; round < max_rounds; ++round) {
+    const RepairTick tick = Tick();
+    m.GetCounter("repair.reconcile_rounds")->Increment();
+    ++out.rounds;
+    out.sync_sessions += tick.sync_sessions;
+    out.entries_reconciled += tick.entries_reconciled;
+    if (tick.syncs_diverged == 0) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
 }
 
 ReadRepairOutcome RepairEngine::ReadRepair(const KeyPath& key, ItemId item,

@@ -57,6 +57,22 @@ struct RepairConfig {
   /// failure detection (probes still run, nothing is ever evicted).
   uint32_t suspicion_threshold = 2;
 
+  /// Consecutive slow-but-delivered probes before a target is demoted from
+  /// routing preference (gray-failure detection); 0 disables demotion. A
+  /// demoted peer is never evicted for slowness -- it still holds valid data.
+  uint32_t slow_threshold = 2;
+
+  /// Latency bound for a delivered probe, in the units of the latency callback
+  /// (set_latency_fn). A delivered probe whose reported latency exceeds this
+  /// counts as slow. Ignored while no latency callback is installed.
+  uint64_t probe_timeout = 4;
+
+  /// After an eviction, the next `eviction_cooldown` suspicion-threshold
+  /// crossings by the same observer reset the counter instead of evicting, so
+  /// slow-network scenarios cannot mass-evict a healthy reference set. 0
+  /// disables the cooldown (the historical behaviour).
+  uint32_t eviction_cooldown = 0;
+
   /// Targeted lookups attempted per under-full level per Tick.
   size_t recruit_attempts = 4;
 
@@ -75,6 +91,8 @@ struct RepairConfig {
 struct RepairTick {
   uint64_t probes = 0;              ///< delivered probes (one kControl each)
   uint64_t probe_failures = 0;      ///< probes that did not reach their target
+  uint64_t slow_probes = 0;         ///< delivered probes over the probe timeout
+  uint64_t demotions = 0;           ///< targets newly demoted for slowness
   uint64_t evictions = 0;           ///< reference slots cleared by detection
   uint64_t recruited = 0;           ///< references adopted into under-full levels
   uint64_t sync_sessions = 0;       ///< buddy digest comparisons (one kControl each)
@@ -116,6 +134,21 @@ class RepairEngine {
     probe_fn_ = std::move(fn);
   }
 
+  /// Overrides the latency a delivered probe observed (default: none -- all
+  /// probes count as fast). The scenario runner reports inflated latencies for
+  /// gray peers (the `slownode` step); a delivered probe whose latency exceeds
+  /// RepairConfig::probe_timeout feeds the observer's consecutive-slow counter.
+  void set_latency_fn(std::function<uint64_t(PeerId from, PeerId to)> fn) {
+    latency_fn_ = std::move(fn);
+  }
+
+  /// True iff `observer` currently considers `target` gray (demoted from
+  /// routing preference, see SearchEngine::set_slow_fn). Never true for
+  /// observers that have not run a maintenance round yet.
+  bool IsDemoted(PeerId observer, PeerId target) const {
+    return observer < suspicion_.size() && suspicion_[observer].IsDemoted(target);
+  }
+
   /// Runs one maintenance round: probe + evict, recruit, buddy anti-entropy.
   RepairTick Tick();
 
@@ -128,6 +161,20 @@ class RepairEngine {
   /// Reuses the Tick() sync machinery, so the ledger discipline (one kControl
   /// per session, kDataTransfer per reconciled entry) is unchanged.
   RepairTick RejoinSync(PeerId peer);
+
+  /// Partition-heal reconciliation: runs maintenance rounds until one round
+  /// observes no diverged buddy pair, or `max_rounds` is exhausted. After a
+  /// partition heals, the replicas that diverged across the split disagree on
+  /// exactly the entries written during the divergence; anti-entropy pulls
+  /// them back together, and a clean round is the convergence signal the
+  /// post-heal invariants (check::Category::kHealDivergence) key off.
+  struct ReconcileOutcome {
+    bool converged = false;          ///< a round saw zero diverged pairs
+    size_t rounds = 0;               ///< maintenance rounds actually run
+    uint64_t sync_sessions = 0;      ///< buddy sessions over all rounds
+    uint64_t entries_reconciled = 0; ///< entries merged over all rounds
+  };
+  ReconcileOutcome ReconcileUntilConverged(size_t max_rounds);
 
   /// Repeated-query majority read of `item` under `key` that also repairs the
   /// minority: responders observed returning a stale version are patched to the
@@ -156,6 +203,7 @@ class RepairEngine {
   Rng* rng_;
   std::function<bool(PeerId)> liveness_;
   std::function<bool(PeerId, PeerId)> probe_fn_;
+  std::function<uint64_t(PeerId, PeerId)> latency_fn_;
   std::vector<SuspicionTable> suspicion_;  // indexed by observer PeerId
   // last_in_sync_[key(a,b)] = rounds() when the pair's digests last matched;
   // feeds the repair.divergence_age histogram.

@@ -63,6 +63,73 @@ ScenarioStep RandomCrashStep(Rng* rng, const ScenarioConfig& config) {
   return step;
 }
 
+/// Macro-sweep variant of the weight table: the classic step shapes keep a
+/// slim majority of the mass, and the rest goes to the grid-scale events of
+/// docs/robustness.md (partitions, crash waves, flash crowds, gray failures,
+/// mass joins). Kept separate from RandomStep / RandomCrashStep so each
+/// sweep's seed corpus stays stable.
+ScenarioStep RandomMacroStep(Rng* rng, const ScenarioConfig& config) {
+  ScenarioStep step;
+  const uint64_t roll = rng->UniformInt(0, 99);
+  if (roll < 22) {
+    step.kind = StepKind::kExchange;
+    step.a = rng->UniformInt(1, 4 * config.num_peers);
+  } else if (roll < 38) {
+    step.kind = StepKind::kInsert;
+    step.a = rng->UniformInt(0, config.num_peers - 1);
+    step.b = rng->UniformInt(0, (1ull << config.maxl) - 1);
+    step.c = rng->UniformInt(0, config.maxl - 1);
+    step.d = rng->UniformInt(0, 15);
+  } else if (roll < 46) {
+    step.kind = StepKind::kUpdate;
+    step.a = rng->UniformInt(0, 1ull << 32);
+    step.b = rng->UniformInt(0, 2);
+  } else if (roll < 52) {
+    step.kind = StepKind::kChurn;
+    step.a = rng->UniformInt(0, 2);
+    step.b = rng->UniformInt(0, 1);
+    step.c = rng->UniformInt(0, 2);
+    step.d = rng->UniformInt(0, 2 * config.num_peers);
+  } else if (roll < 58) {
+    step.kind = StepKind::kFault;
+    step.a = rng->UniformInt(0, 6);
+    step.b = rng->UniformInt(0, 1ull << 32);
+    step.c = rng->UniformInt(0, 4095);
+  } else if (roll < 64) {
+    step.kind = StepKind::kRepair;
+    step.a = rng->UniformInt(1, 3);
+    step.b = rng->UniformInt(0, 2);
+  } else if (roll < 72) {
+    step.kind = StepKind::kPartition;
+    step.a = rng->Bernoulli(0.35) ? 0 : rng->UniformInt(1, 6);  // heal vs split
+    step.b = rng->UniformInt(0, 4);                             // avail ticks
+    step.c = rng->UniformInt(0, 7);                             // group rotation
+  } else if (roll < 78) {
+    step.kind = StepKind::kCrashWave;
+    step.a = rng->UniformInt(32, 128);        // wave fraction (of 256)
+    step.b = rng->UniformInt(0, 1ull << 32);  // prefix bits
+    step.c = rng->UniformInt(0, config.maxl); // prefix length
+  } else if (roll < 84) {
+    step.kind = StepKind::kFlashCrowd;
+    step.a = rng->UniformInt(0, 1ull << 32);      // hot-prefix bits
+    step.b = rng->UniformInt(0, config.maxl - 1); // prefix length selector
+    step.c = rng->UniformInt(0, 6);               // load multiplier selector
+    step.d = rng->UniformInt(0, 3);               // crowd duration selector
+  } else if (roll < 89) {
+    step.kind = StepKind::kSlowNode;
+    step.a = rng->Bernoulli(0.25) ? 0 : rng->UniformInt(24, 96);  // clear vs mark
+    step.b = rng->UniformInt(0, 59);                              // extra latency
+  } else if (roll < 94) {
+    step.kind = StepKind::kMassJoin;
+    step.a = rng->UniformInt(0, 15);   // joiner count selector
+    step.b = rng->UniformInt(0, 128);  // integration meetings
+  } else {
+    step.kind = StepKind::kBarrier;
+    step.a = rng->UniformInt(0, 8);
+  }
+  return step;
+}
+
 ScenarioStep RandomStep(Rng* rng, const ScenarioConfig& config) {
   ScenarioStep step;
   // Weighted kinds: exchanges dominate (they are the protocol's engine), data
@@ -131,8 +198,9 @@ Scenario ScenarioFuzzer::Generate(uint64_t seed, const FuzzOptions& options) {
   const size_t steps =
       options.min_steps + rng.UniformIndex(options.max_steps - options.min_steps + 1);
   for (size_t i = 0; i < steps; ++i) {
-    scenario.steps.push_back(options.crash_sweep ? RandomCrashStep(&rng, c)
-                                                 : RandomStep(&rng, c));
+    scenario.steps.push_back(options.crash_sweep  ? RandomCrashStep(&rng, c)
+                             : options.macro_sweep ? RandomMacroStep(&rng, c)
+                                                   : RandomStep(&rng, c));
   }
   if (options.vary_builder_threads) {
     // Drawn last so turning the sweep on perturbs no earlier draw: the same
@@ -140,16 +208,24 @@ Scenario ScenarioFuzzer::Generate(uint64_t seed, const FuzzOptions& options) {
     // only the execution engine differs.
     c.builder_threads = 1ull << rng.UniformInt(0, 3);  // 1, 2, 4, or 8
   }
-  if (options.heal_tail || options.crash_sweep) {
+  if (options.heal_tail || options.crash_sweep || options.macro_sweep) {
     // Whatever the random steps did, self-healing must converge: lift every
     // transport fault, let exchanges re-mix the survivors, run repair rounds,
     // then demand repair convergence at a strict barrier (kBarrier b != 0).
     // The crash sweep additionally restarts every still-killed peer first, so
     // the strict barrier covers recovered peers too: their recovered
     // references must be live and their recovered indexes buddy-consistent.
+    // The macro sweep first heals any live partition (kPartition a = 0 runs
+    // anti-entropy to convergence and fails the seed if replica agreement
+    // cannot be restored) and clears every gray-failure mark so the strict
+    // barrier judges a fully reconnected, full-speed grid.
     c.online_prob = 1.0;
+    if (options.macro_sweep) {
+      scenario.steps.push_back(ScenarioStep{StepKind::kPartition, 0, 0, 0, 0});
+      scenario.steps.push_back(ScenarioStep{StepKind::kSlowNode, 0, 0, 0, 0});
+    }
     scenario.steps.push_back(ScenarioStep{StepKind::kFault, 6, 0, 0, 0});
-    if (options.crash_sweep) {
+    if (options.crash_sweep || options.macro_sweep) {
       scenario.steps.push_back(ScenarioStep{StepKind::kRestart, 0, 1, 0, 0});
     }
     scenario.steps.push_back(

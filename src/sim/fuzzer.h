@@ -52,6 +52,18 @@ struct FuzzOptions {
   /// Changes the generator's draw sequence, so crash-sweep seeds are a
   /// different corpus from plain seeds.
   bool crash_sweep = false;
+  /// Macro-fault sweep: the generator's weight table gains the grid-scale
+  /// events of docs/robustness.md -- kPartition / kCrashWave / kFlashCrowd /
+  /// kSlowNode / kMassJoin -- and the heal tail first heals any live partition
+  /// (running anti-entropy to convergence, which fails the seed if replica
+  /// agreement cannot be restored) and clears every gray-failure mark before
+  /// the restart-all / mixing / repair / strict-barrier sequence. Each seed
+  /// then asserts that a grid dragged through partitions, correlated crash
+  /// waves, flash crowds, and slow nodes degrades gracefully and converges
+  /// back. Implies heal_tail semantics (forces online_prob = 1). Changes the
+  /// generator's draw sequence, so macro-sweep seeds are their own corpus.
+  /// Mutually exclusive with crash_sweep (crash_sweep wins if both are set).
+  bool macro_sweep = false;
   /// Stop sweeping at the first failing seed (the shrunk repro is in the
   /// outcome either way).
   bool stop_on_failure = true;

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "core/churn.h"
@@ -56,6 +57,16 @@ std::string_view StepKindName(StepKind k) {
       return "kill";
     case StepKind::kRestart:
       return "restart";
+    case StepKind::kPartition:
+      return "partition";
+    case StepKind::kCrashWave:
+      return "crashwave";
+    case StepKind::kFlashCrowd:
+      return "flashcrowd";
+    case StepKind::kSlowNode:
+      return "slownode";
+    case StepKind::kMassJoin:
+      return "massjoin";
   }
   return "unknown";
 }
@@ -256,6 +267,7 @@ struct ScenarioRunner::Impl {
         repair(&grid, exchange_config, repair::RepairConfig{}, &searcher,
                &online, &engine_rng) {
     for (PeerId p = 0; p < grid.size(); ++p) ServePeer(p);
+    outaged.assign(grid.size(), 0);
     repair.set_liveness([this](PeerId p) { return !churn.IsDead(p); });
     // A probe is delivered iff the target is alive, currently online, and the
     // fault layer lets the packet through -- so partitions and outages look
@@ -263,6 +275,31 @@ struct ScenarioRunner::Impl {
     repair.set_probe_fn([this](PeerId from, PeerId to) {
       return !churn.IsDead(to) && online.IsOnline(to, &engine_rng) &&
              Reachable(from, to);
+    });
+    // The macro-fault hooks below are inert until a macro step arms them
+    // (empty slow map, no demotions, shedding off, no partition), so every
+    // pre-existing scenario replays to its historical digest.
+    // Gray peers answer probes slowly; the detector demotes instead of
+    // evicting them (repair/repair.h latency-aware suspicion).
+    repair.set_latency_fn([this](PeerId, PeerId to) {
+      auto it = slow_latency.find(to);
+      return it == slow_latency.end() ? uint64_t{0} : it->second;
+    });
+    // Routing preference: references an observer has demoted as slow are tried
+    // only after its fast ones.
+    searcher.set_slow_fn([this](PeerId from, PeerId to) {
+      return repair.IsDemoted(from, to);
+    });
+    // Per-peer overload shedding, armed only inside flash-crowd ticks: hops
+    // beyond a server's per-tick serve budget are rejected (degraded), not
+    // failed.
+    searcher.set_shed_fn([this](PeerId server) {
+      if (!shed_active) return false;
+      return ++served_in_tick[server] > shed_budget;
+    });
+    // A graceful leaver cannot hand its entries to a peer it cannot reach.
+    churn.set_heir_filter([this](PeerId leaver, PeerId heir) {
+      return !partition_active || GroupOf(leaver) == GroupOf(heir);
     });
   }
 
@@ -290,15 +327,166 @@ struct ScenarioRunner::Impl {
     return transport.Call(PeerAddress(to), PeerAddress(from), "meet").ok();
   }
 
+  // ---- macro-fault machinery (docs/robustness.md) ----
+
+  /// Partition group of a peer; -1 = ungrouped (no partition ever started, or
+  /// the peer joined after the last one healed).
+  int GroupOf(PeerId p) const {
+    return p < pgroup.size() ? pgroup[p] : -1;
+  }
+
+  /// Runs `fn` with every live, non-outaged peer outside group `g` pinned
+  /// offline. The sim engines (insert/update/search, exchange recursion) are
+  /// online-gated rather than transport-gated, so this is what confines a data
+  /// operation to the initiating side of an active partition. Pin() consumes
+  /// no randomness and snapshot-mode IsOnline() draws none either, so when no
+  /// partition is active this is a plain call to `fn`.
+  template <typename Fn>
+  void WithGroupIsolation(int g, Fn&& fn) {
+    if (!partition_active) {
+      fn();
+      return;
+    }
+    std::vector<PeerId> repinned;
+    for (PeerId p = 0; p < grid.size(); ++p) {
+      if (GroupOf(p) == g) continue;
+      // Dead and outaged peers are already pinned false by their owners; they
+      // must stay that way after the restore below.
+      if (churn.IsDead(p) || (p < outaged.size() && outaged[p] != 0)) continue;
+      online.Pin(p, false);
+      repinned.push_back(p);
+    }
+    fn();
+    for (PeerId p : repinned) online.Pin(p, std::nullopt);
+  }
+
+  /// Installs the transport drop rules for the current pgroup assignment and
+  /// returns the partition id (net/fault_transport.h PartitionGroups).
+  uint64_t InstallPartitionRules() {
+    std::vector<std::vector<std::string>> groups(
+        static_cast<size_t>(partition_groups));
+    for (PeerId p = 0; p < grid.size(); ++p) {
+      const int g = GroupOf(p);
+      if (g >= 0) groups[static_cast<size_t>(g)].push_back(PeerAddress(p));
+    }
+    return transport.PartitionGroups(groups, transport.virtual_now());
+  }
+
+  /// A kFault clear-rules (a % 7 == 3 or 6) wipes the partition's drop rules
+  /// with everything else: deactivate the macro partition state to match. The
+  /// abrupt heal skips reconciliation -- convergence is then the business of
+  /// whatever repair steps and heal-tail barriers follow. pgroup and the
+  /// quarantine records survive so post-heal checks still know the history.
+  void EndPartitionAbruptly() {
+    partition_active = false;
+    partition_id = 0;
+  }
+
+  /// Membership grew by `grid.size() - before` peers: serve them on the
+  /// transport, extend the outage mirror, and -- mid-partition -- assign the
+  /// joiners groups and reinstall the rules so they cannot bridge the split.
+  void OnJoin(size_t before) {
+    for (PeerId p = before; p < grid.size(); ++p) ServePeer(p);
+    outaged.resize(grid.size(), 0);
+    if (pgroup.empty()) return;
+    for (PeerId p = static_cast<PeerId>(pgroup.size()); p < grid.size(); ++p) {
+      pgroup.push_back(partition_active
+                           ? static_cast<int>((p + partition_rot) %
+                                              static_cast<uint64_t>(partition_groups))
+                           : -1);
+    }
+    if (partition_active) {
+      transport.HealPartition(partition_id);
+      partition_id = InstallPartitionRules();
+    }
+  }
+
+  /// One availability tick: `probes * multiplier` client queries measuring
+  /// what the grid serves right now -- success rate, a p99 hop-count proxy,
+  /// and the shed rate. The queries are part of the step's deterministic
+  /// execution (they draw from the engine stream and cost ledger messages);
+  /// only the AddPoint calls depend on the timeline, so digests stay
+  /// timeline-independent. `hot_prefix` aims every query at a random
+  /// extension of one key region (the flash-crowd shape); null queries the
+  /// inserted corpus.
+  void AvailabilityTick(uint64_t probes, const KeyPath* hot_prefix,
+                        uint64_t multiplier) {
+    served_in_tick.clear();
+    const uint64_t count = probes * (multiplier == 0 ? 1 : multiplier);
+    uint64_t issued = 0, found = 0, sheds = 0, messages = 0;
+    std::vector<uint64_t> hops;
+    for (uint64_t i = 0; i < count; ++i) {
+      std::vector<PeerId> live = churn.LivePeers();
+      if (live.empty()) break;
+      const PeerId start = live[engine_rng.UniformIndex(live.size())];
+      KeyPath key;
+      if (hot_prefix != nullptr) {
+        key = *hot_prefix;
+        while (key.length() < scenario.config.maxl) key.PushBack(engine_rng.Bit());
+      } else if (!inserted.empty()) {
+        key = inserted[engine_rng.UniformIndex(inserted.size())].key;
+      } else {
+        key = KeyPath::FromUint64(engine_rng.UniformIndex(1ull << scenario.config.maxl),
+                                  scenario.config.maxl);
+      }
+      QueryResult q;
+      WithGroupIsolation(GroupOf(start), [&] { q = searcher.Query(start, key); });
+      ++issued;
+      if (q.found) {
+        ++found;
+        hops.push_back(q.hops);
+      }
+      sheds += q.sheds;
+      messages += q.messages;
+    }
+    if (timeline != nullptr && issued > 0) {
+      std::sort(hops.begin(), hops.end());
+      double p99 = 0.0;
+      if (!hops.empty()) {
+        size_t idx = (hops.size() * 99) / 100;
+        if (idx >= hops.size()) idx = hops.size() - 1;
+        p99 = static_cast<double>(hops[idx]);
+      }
+      const double t = static_cast<double>(macro_tick);
+      timeline->AddPoint("avail.success_rate", t,
+                         static_cast<double>(found) / static_cast<double>(issued));
+      timeline->AddPoint("avail.p99_hops", t, p99);
+      timeline->AddPoint("avail.shed_rate", t,
+                         messages > 0 ? static_cast<double>(sheds) /
+                                            static_cast<double>(messages)
+                                      : 0.0);
+      timeline->AddPoint("avail.live_peers", t,
+                         static_cast<double>(churn.live_count()));
+    }
+    ++macro_tick;
+  }
+
+  /// Meetings with per-meeting group isolation (identical to the serial
+  /// exchange path; used by macro steps that interleave meetings with ticks).
+  void RunGatedMeetings(uint64_t meetings) {
+    for (uint64_t m = 0; m < meetings; ++m) {
+      Meeting meeting = scheduler.Next(&engine_rng);
+      if (churn.IsDead(meeting.a) || churn.IsDead(meeting.b)) continue;
+      if (!Reachable(meeting.a, meeting.b)) continue;
+      WithGroupIsolation(GroupOf(meeting.a),
+                         [&] { exchange.Exchange(meeting.a, meeting.b); });
+    }
+  }
+
   void RunExchanges(uint64_t meetings) {
-    if (scenario.config.builder_threads == 0) {
+    if (scenario.config.builder_threads == 0 || partition_active) {
       // Legacy serial path: every per-meeting draw on the engine stream, which
-      // is what all pre-existing scenario digests were recorded against.
+      // is what all pre-existing scenario digests were recorded against. An
+      // active macro partition also forces this path (for any thread count
+      // alike, so thread-sweep digest invariance holds): each meeting runs
+      // under group isolation, which pins per meeting and cannot be done from
+      // the parallel wave machinery.
       for (uint64_t m = 0; m < meetings; ++m) {
         Meeting meeting = scheduler.Next(&engine_rng);
         if (churn.IsDead(meeting.a) || churn.IsDead(meeting.b)) continue;
         if (!Reachable(meeting.a, meeting.b)) continue;
-        exchange.Exchange(meeting.a, meeting.b);
+        WithGroupIsolation(GroupOf(meeting.a),
+                           [&] { exchange.Exchange(meeting.a, meeting.b); });
       }
       return;
     }
@@ -335,9 +523,16 @@ struct ScenarioRunner::Impl {
     item.payload = std::string(step.d % 16, 'x');
     item.version = 1;
     if (!Reachable(holder, holder)) return;  // holder itself under outage
-    Result<InsertOutcome> r = inserter.Insert(item, holder, update_config);
-    (void)r;  // FailedPrecondition (no replica reached) is a legal outcome
+    WithGroupIsolation(GroupOf(holder), [&] {
+      Result<InsertOutcome> r = inserter.Insert(item, holder, update_config);
+      (void)r;  // FailedPrecondition (no replica reached) is a legal outcome
+    });
     inserted.push_back(item);
+    if (partition_active) {
+      // A write during the split must stay on the writer's side until the
+      // heal: quarantine it for the partition-consistency invariants.
+      quarantined.push_back({item.id, holder, GroupOf(holder)});
+    }
   }
 
   void RunUpdate(const ScenarioStep& step) {
@@ -345,7 +540,18 @@ struct ScenarioRunner::Impl {
     DataItem& item = inserted[step.a % inserted.size()];
     ++item.version;
     const UpdateStrategy strategy = static_cast<UpdateStrategy>(step.b % 3);
-    updater.Propagate(item.key, item.id, item.version, strategy, update_config);
+    int g = -1;
+    if (partition_active) {
+      // The updating client sits on one side of the split; its propagation
+      // must not cross it. (The extra draw happens only mid-partition, so
+      // partition-free scenarios keep their historical draw sequence.)
+      std::vector<PeerId> live = churn.LivePeers();
+      if (live.empty()) return;
+      g = GroupOf(live[engine_rng.UniformIndex(live.size())]);
+    }
+    WithGroupIsolation(g, [&] {
+      updater.Propagate(item.key, item.id, item.version, strategy, update_config);
+    });
   }
 
   void RunChurn(const ScenarioStep& step) {
@@ -361,9 +567,16 @@ struct ScenarioRunner::Impl {
         std::min(1.0, (static_cast<double>(step.c) + 0.5) / live);
     config.meetings_per_round = step.d;
     config.join_online_prob = scenario.config.online_prob;
+    if (partition_active) {
+      // ChurnDriver's own meeting loop is partition-blind: run the membership
+      // events through it but take the meetings back, gated per-group, so a
+      // churn round cannot bridge the split.
+      config.meetings_per_round = 0;
+    }
     const size_t before = grid.size();
     churn.Round(config);
-    for (PeerId p = before; p < grid.size(); ++p) ServePeer(p);
+    OnJoin(before);
+    if (partition_active) RunGatedMeetings(step.d);
   }
 
   void RunFault(const ScenarioStep& step) {
@@ -372,12 +585,14 @@ struct ScenarioRunner::Impl {
       case 0: {  // outage: unreachable at the transport AND offline to engines
         const PeerId p = static_cast<PeerId>(step.b % n);
         transport.InjectOutage(PeerAddress(p));
+        if (p < outaged.size()) outaged[p] = 1;
         if (!churn.IsDead(p)) online.Pin(p, false);
         break;
       }
       case 1: {  // restore (dead peers stay pinned offline by the churn driver)
         const PeerId p = static_cast<PeerId>(step.b % n);
         transport.ClearOutage(PeerAddress(p));
+        if (p < outaged.size()) outaged[p] = 0;
         if (!churn.IsDead(p)) online.Pin(p, std::nullopt);
         break;
       }
@@ -386,7 +601,8 @@ struct ScenarioRunner::Impl {
             "peer:*", static_cast<double>(step.b % 1024) / 1024.0);
         break;
       case 3:  // heal: remove all probabilistic rules and partitions
-        transport.ClearRules();
+        transport.ClearRules();  // wipes macro partition rules too
+        EndPartitionAbruptly();
         break;
       case 4: {  // partition peers below/above a pivot for c virtual-time units
         const PeerId pivot =
@@ -404,8 +620,10 @@ struct ScenarioRunner::Impl {
         break;
       case 6:  // full heal: every transport fault lifted, live peers unpinned
         transport.ClearRules();
+        EndPartitionAbruptly();
         for (PeerId p = 0; p < n; ++p) {
           transport.ClearOutage(PeerAddress(p));
+          if (p < outaged.size()) outaged[p] = 0;
           if (!churn.IsDead(p)) online.Pin(p, std::nullopt);
         }
         break;
@@ -425,7 +643,17 @@ struct ScenarioRunner::Impl {
     read_config.max_attempts = 8;
     for (uint64_t i = 0; i < step.b && !inserted.empty(); ++i) {
       const DataItem& item = inserted[engine_rng.UniformIndex(inserted.size())];
-      repair.ReadRepair(item.key, item.id, read_config);
+      if (partition_active) {
+        // The reading client sits on one side; its quorum must not span the
+        // split (the extra draw happens only mid-partition).
+        std::vector<PeerId> live = churn.LivePeers();
+        if (live.empty()) break;
+        const int g = GroupOf(live[engine_rng.UniformIndex(live.size())]);
+        WithGroupIsolation(g,
+                           [&] { repair.ReadRepair(item.key, item.id, read_config); });
+      } else {
+        repair.ReadRepair(item.key, item.id, read_config);
+      }
     }
     for (uint64_t t = 0; t < ticks; ++t) repair.Tick();
   }
@@ -457,9 +685,16 @@ struct ScenarioRunner::Impl {
     if (churn.live_count() <= 2) return;
     std::vector<PeerId> live = churn.LivePeers();
     const PeerId victim = live[step.a % live.size()];
+    KillPeer(victim, /*wal_flavor=*/step.c % 2 == 1);
+  }
+
+  /// Durable crash of one live peer (the body of kKill, shared with the
+  /// crash-wave step): persist, wipe the in-memory state, retire as a crash,
+  /// remember the victim for kRestart.
+  void KillPeer(PeerId victim, bool wal_flavor) {
     EnsureStorage();
     PeerState& peer = grid.peer(victim);
-    if (step.c % 2 == 1) {
+    if (wal_flavor) {
       // WAL-delta flavor: baseline an empty peer, then push the entire live
       // state through the log as delta records. Recovery replays every record
       // over the empty snapshot -- the deep exercise of the record codec.
@@ -504,6 +739,111 @@ struct ScenarioRunner::Impl {
     }
   }
 
+  /// kPartition: start or heal the named multi-group split, then run
+  /// availability ticks. Returns a non-ok report iff the post-heal
+  /// reconciliation failed to converge within its round budget.
+  check::InvariantReport RunPartition(const ScenarioStep& step) {
+    check::InvariantReport report;
+    const uint64_t ticks = step.b % 16;
+    if (step.a == 0) {
+      if (partition_active) {
+        // Heal: lift the drop rules, then drive anti-entropy until the
+        // replicas that diverged across the split agree again. Failing to
+        // converge within the budget fails the scenario like a barrier would.
+        transport.HealPartition(partition_id);
+        EndPartitionAbruptly();
+        const auto rec = repair.ReconcileUntilConverged(/*max_rounds=*/32);
+        if (!rec.converged) {
+          report.violations.push_back(check::Violation{
+              check::Category::kHealDivergence, kInvalidPeer, 0,
+              "partition heal: anti-entropy still diverged after 32 rounds"});
+        }
+      }
+      for (uint64_t t = 0; t < ticks; ++t) AvailabilityTick(8, nullptr, 1);
+      return report;
+    }
+    if (partition_active) {
+      // Only one named partition at a time: a new split supersedes the old
+      // one (abruptly -- reconciliation is the heal form's business).
+      transport.HealPartition(partition_id);
+    }
+    partition_groups = static_cast<int>(2 + step.a % 3);
+    partition_rot = step.c;
+    partition_active = true;
+    quarantined.clear();
+    pgroup.assign(grid.size(), 0);
+    for (PeerId p = 0; p < grid.size(); ++p) {
+      pgroup[p] = static_cast<int>((p + partition_rot) %
+                                   static_cast<uint64_t>(partition_groups));
+    }
+    partition_id = InstallPartitionRules();
+    for (uint64_t t = 0; t < ticks; ++t) {
+      RunGatedMeetings(grid.size());
+      AvailabilityTick(8, nullptr, 1);
+    }
+    return report;
+  }
+
+  void RunCrashWave(const ScenarioStep& step) {
+    const uint64_t frac = step.a % 256;
+    const size_t plen = step.c % (scenario.config.maxl + 1);
+    const KeyPath prefix = KeyPath::FromUint64(step.b, plen);
+    // The correlated failure domain ("one rack"): live peers whose path starts
+    // with the prefix. Peers too shallow to have the full prefix are outside.
+    std::vector<PeerId> victims;
+    for (PeerId p : churn.LivePeers()) {
+      if (grid.peer(p).path().CommonPrefixLength(prefix) == plen) {
+        victims.push_back(p);
+      }
+    }
+    const size_t count = (victims.size() * frac + 255) / 256;  // ceil
+    for (size_t i = 0; i < count && i < victims.size(); ++i) {
+      if (churn.live_count() <= 2) break;  // same floor as kKill
+      KillPeer(victims[i], /*wal_flavor=*/i % 2 == 1);
+    }
+    AvailabilityTick(8, nullptr, 1);
+  }
+
+  void RunFlashCrowd(const ScenarioStep& step) {
+    const size_t plen = 1 + step.b % scenario.config.maxl;
+    const KeyPath prefix = KeyPath::FromUint64(step.a, plen);
+    const uint64_t multiplier = 2 + step.c % 7;
+    const uint64_t ticks = 1 + step.d % 8;
+    shed_active = true;
+    for (uint64_t t = 0; t < ticks; ++t) {
+      AvailabilityTick(8, &prefix, multiplier);
+    }
+    shed_active = false;
+    served_in_tick.clear();
+    // The "after" sample: crowd gone, budget lifted -- the recovery point the
+    // graceful-degradation benches assert on.
+    AvailabilityTick(8, nullptr, 1);
+  }
+
+  void RunSlowNode(const ScenarioStep& step) {
+    const uint64_t frac = step.a % 256;
+    if (frac == 0) {
+      slow_latency.clear();
+      return;
+    }
+    // 5 + b % 60 keeps every mark above the default probe_timeout of 4.
+    const uint64_t latency = 5 + step.b % 60;
+    std::vector<PeerId> live = churn.LivePeers();
+    const size_t count = (live.size() * frac + 255) / 256;  // ceil
+    for (size_t i = 0; i < count && !live.empty(); ++i) {
+      slow_latency[engine_rng.TakeRandom(&live)] = latency;
+    }
+  }
+
+  void RunMassJoin(const ScenarioStep& step) {
+    const size_t joiners = 1 + step.a % 32;
+    const size_t before = grid.size();
+    churn.Join(joiners, scenario.config.online_prob);
+    OnJoin(before);
+    RunGatedMeetings(step.b % 256);
+    AvailabilityTick(8, nullptr, 1);
+  }
+
   void RunProbes(uint64_t count, ScenarioResult* result) {
     for (uint64_t i = 0; i < count; ++i) {
       if (inserted.empty()) return;
@@ -512,7 +852,9 @@ struct ScenarioRunner::Impl {
       std::vector<PeerId> live = churn.LivePeers();
       if (live.empty()) return;
       const PeerId start = live[engine_rng.UniformIndex(live.size())];
-      QueryResult q = searcher.Query(start, item.key);
+      QueryResult q;
+      WithGroupIsolation(GroupOf(start),
+                         [&] { q = searcher.Query(start, item.key); });
       ++result->probes;
       if (q.found) ++result->probes_found;
     }
@@ -579,6 +921,16 @@ struct ScenarioRunner::Impl {
       options.dead = &churn.dead_mask();
       options.repair_min_live_refs = 1;
     }
+    // Partition consistency: while split, quarantined entries must not leak
+    // across groups; once healed, strict barriers demand buddy agreement on
+    // exactly the partition-era items.
+    check::PartitionView pv;
+    if (!pgroup.empty()) {
+      pv.group = pgroup;
+      pv.active = partition_active;
+      pv.items = quarantined;
+      options.partition = &pv;
+    }
     return check::GridInvariants::Check(grid, exchange_config, options);
   }
 
@@ -632,6 +984,32 @@ struct ScenarioRunner::Impl {
         case StepKind::kRestart:
           RunRestart(step);
           break;
+        case StepKind::kPartition: {
+          check::InvariantReport report = RunPartition(step);
+          if (!report.ok()) {
+            // A heal that cannot reconcile is a failure of the self-healing
+            // protocol: report it like a failing barrier, pinned to this step.
+            result.failed = true;
+            result.failed_step = i;
+            result.report = std::move(report);
+            result.steps_executed = i;
+            result.digest = ComputeDigest();
+            return result;
+          }
+          break;
+        }
+        case StepKind::kCrashWave:
+          RunCrashWave(step);
+          break;
+        case StepKind::kFlashCrowd:
+          RunFlashCrowd(step);
+          break;
+        case StepKind::kSlowNode:
+          RunSlowNode(step);
+          break;
+        case StepKind::kMassJoin:
+          RunMassJoin(step);
+          break;
         case StepKind::kBarrier: {
           check::InvariantReport report = CheckInvariants(step.b != 0);
           if (!report.ok()) {
@@ -684,6 +1062,20 @@ struct ScenarioRunner::Impl {
   std::unique_ptr<storage::PersistenceManager> persist;
   std::string storage_dir;
   std::vector<PeerId> killed;  // crash order; restart selectors index into this
+
+  // ---- macro-fault state (see the helpers above) ----
+  std::vector<int> pgroup;      // partition group per peer; kept after the heal
+  bool partition_active = false;
+  int partition_groups = 0;
+  uint64_t partition_rot = 0;   // group assignment offset (step.c)
+  uint64_t partition_id = 0;    // transport registration (PartitionGroups)
+  std::vector<check::PartitionView::Quarantined> quarantined;
+  std::vector<uint8_t> outaged;  // kFault outage pins, mirrored for isolation
+  std::unordered_map<PeerId, uint64_t> slow_latency;  // gray peers (kSlowNode)
+  bool shed_active = false;      // flash-crowd serve budgets armed
+  uint64_t shed_budget = 16;     // served hops per peer per availability tick
+  std::unordered_map<PeerId, uint64_t> served_in_tick;
+  uint64_t macro_tick = 0;       // x-axis of the avail.* timeline series
 };
 
 ScenarioRunner::ScenarioRunner(const Scenario& scenario)

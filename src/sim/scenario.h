@@ -78,9 +78,44 @@ enum class StepKind : int {
   /// heal-tail form); otherwise killed-list selector `a` picks one. `d` % 64
   /// advances the fault transport's virtual clock before the rejoin sync.
   kRestart = 9,
+
+  // ---- macro faults (docs/robustness.md): correlated, grid-scale events. ----
+
+  /// Start or heal a named multi-group partition. `a` == 0 heals the active
+  /// partition (no-op when none is active): the transport rules are lifted and
+  /// anti-entropy runs until replica agreement converges (bounded rounds;
+  /// exhausting the budget fails the step like a barrier). `a` > 0 starts a
+  /// split into 2 + a % 3 groups -- peer p joins group (p + c) % groups -- and
+  /// while it is active, meetings, probes, and data operations stay inside
+  /// their group and new inserts are quarantined for the partition-consistency
+  /// invariants (check::PartitionView). Either form ends with `b` % 16
+  /// availability ticks (sampled client queries feeding the avail.* series).
+  kPartition = 10,
+  /// Correlated crash wave *with durable state*: among live peers whose path
+  /// starts with the c % (maxl+1)-bit prefix `b` (0 bits = everyone), crash
+  /// ceil(count * (a % 256) / 256) peers the way kKill does -- state persisted,
+  /// memory wiped, victim on the killed list so kRestart recovers it later.
+  /// The persistence flavor alternates per victim. Ends with one availability
+  /// tick measuring what the survivors still serve.
+  kCrashWave = 11,
+  /// Flash crowd on one key region: for 1 + d % 8 ticks, run an availability
+  /// tick whose query load is multiplied by 2 + c % 7 and aimed at random
+  /// extensions of the (1 + b % maxl)-bit prefix `a`, with per-peer overload
+  /// shedding armed (a bounded per-tick serve budget; hops beyond it are shed
+  /// -- degraded, not failed). One unshedded availability tick follows as the
+  /// "after" sample.
+  kFlashCrowd = 12,
+  /// Gray failure: mark ceil(live * (a % 256) / 256) random live peers slow
+  /// (their probes report latency 5 + b % 60, above the detector's timeout);
+  /// `a` == 0 clears every slow mark instead. Latency-aware suspicion must
+  /// demote slow peers from routing preference without evicting them as dead.
+  kSlowNode = 13,
+  /// Mass join: 1 + a % 32 fresh peers enter in one batch, then b % 256
+  /// integration meetings run, then one availability tick.
+  kMassJoin = 14,
 };
 
-inline constexpr int kNumStepKinds = 10;
+inline constexpr int kNumStepKinds = 15;
 
 /// Stable step name used in the text format ("exchange", "insert", ...).
 std::string_view StepKindName(StepKind k);

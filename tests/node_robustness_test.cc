@@ -505,6 +505,78 @@ TEST(NodeRobustnessTest, TimeWindowedPartitionHealsOnSchedule) {
   EXPECT_EQ(healed, n);
 }
 
+TEST(NodeRobustnessTest, ChronicallySlowPeerDrainsViaProbeTimeout) {
+  // Gray failure at the node layer: node:b answers every call, but slower than
+  // the configured probe timeout. Slow successes feed the failure detector
+  // like failures, so after `suspicion_threshold` consecutive slow calls the
+  // peer drains out of the reference levels -- and node.slow_calls records
+  // that they were slow deliveries, not drops.
+  InProcTransport transport;
+  obs::MetricsRegistry registry;
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 1;
+  config.probe_timeout_ms = 5;
+  ASSERT_EQ(config.suspicion_threshold, 3u);
+  PGridNode a("node:a", &transport, config, 91, &registry);
+  PGridNode b("node:b", &transport, config, 92);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(a.MeetWith("node:b").ok());
+  ASSERT_EQ(a.KnownPeers().size(), 1u);
+
+  FaultRule slow;
+  slow.to = "node:b";
+  slow.action = FaultAction::kDelay;
+  slow.delay_sleep_ms = 20;  // well past the 5ms budget
+  transport.faults().AddRule(slow);
+
+  // Two slow probes: suspected, still referenced.
+  EXPECT_TRUE(a.Probe("node:b").ok());
+  EXPECT_TRUE(a.Probe("node:b").ok());
+  EXPECT_EQ(a.KnownPeers().size(), 1u);
+  // The third crosses the threshold: evicted despite never failing a call.
+  EXPECT_TRUE(a.Probe("node:b").ok());
+  EXPECT_TRUE(a.KnownPeers().empty());
+  EXPECT_GE(registry.GetCounter("node.slow_calls")->value(), 3u);
+}
+
+TEST(NodeRobustnessTest, EvictionCooldownShedsReferencesOneAtATime) {
+  // Two peers go over the suspicion threshold in the same detection window;
+  // with eviction_cooldown = 1 the node sheds only one of them per window --
+  // a slow network cannot mass-evict the whole reference set at once.
+  InProcTransport transport;
+  NodeConfig config;
+  config.maxl = 3;
+  config.refmax = 4;
+  config.eviction_cooldown = 1;
+  ASSERT_EQ(config.suspicion_threshold, 3u);
+  PGridNode a("node:a", &transport, config, 95);
+  PGridNode b("node:b", &transport, config, 96);
+  PGridNode c("node:c", &transport, config, 97);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(c.Start().ok());
+  ASSERT_TRUE(a.MeetWith("node:b").ok());
+  ASSERT_TRUE(a.MeetWith("node:c").ok());
+  ASSERT_EQ(a.KnownPeers().size(), 2u);
+
+  b.Stop();
+  c.Stop();
+  // Both cross the threshold on the third round of probes: the first crossing
+  // evicts, the second is suppressed by the cooldown.
+  for (int round = 0; round < 3; ++round) {
+    (void)a.Probe("node:b");
+    (void)a.Probe("node:c");
+  }
+  EXPECT_EQ(a.KnownPeers().size(), 1u)
+      << "cooldown must shed one reference per window, not both";
+  // The survivor's streak restarted; three more failed probes evict it too.
+  const std::string survivor = a.KnownPeers().front();
+  for (int round = 0; round < 3; ++round) (void)a.Probe(survivor);
+  EXPECT_TRUE(a.KnownPeers().empty());
+}
+
 TEST(NodeRobustnessTest, EntryPushWithHostileLengthsIsRejected) {
   InProcTransport transport;
   NodeConfig config;

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs every check script in tools/ in sequence and prints one pass/fail
+# summary table at the end. Scripts keep running after a failure so a single
+# red leg does not hide the state of the others; the exit code is non-zero if
+# any leg failed.
+#
+#   tools/check_all.sh           # all eight suites
+#   SEEDS=10 tools/check_all.sh  # env vars pass through to the children
+#
+# Each child script owns its build tree(s), so the legs are independent and a
+# partial run can be resumed by invoking the failing script directly.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+checks=(
+  check_dst.sh
+  check_durability.sh
+  check_faults_asan.sh
+  check_macro.sh
+  check_memory.sh
+  check_obs.sh
+  check_parallel_tsan.sh
+  check_repair.sh
+)
+
+declare -a names results times
+failed=0
+
+for script in "${checks[@]}"; do
+  echo
+  echo "==================================================================="
+  echo "== ${script}"
+  echo "==================================================================="
+  start=$(date +%s)
+  if "${repo_root}/tools/${script}"; then
+    results+=("PASS")
+  else
+    results+=("FAIL")
+    failed=1
+  fi
+  names+=("${script}")
+  times+=("$(($(date +%s) - start))s")
+done
+
+echo
+echo "===================== check_all summary ====================="
+printf '%-28s %-6s %s\n' "script" "result" "time"
+printf '%-28s %-6s %s\n' "------" "------" "----"
+for i in "${!names[@]}"; do
+  printf '%-28s %-6s %s\n' "${names[$i]}" "${results[$i]}" "${times[$i]}"
+done
+echo "=============================================================="
+
+exit "${failed}"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the macro-fault suite (ctest label `macro`) plus a 50-seed macro-fault
+# fuzz sweep under AddressSanitizer, in its own build tree. The macro layer
+# stacks partitions, crash waves, flash crowds, gray nodes, and mass joins on
+# top of the scenario runner; every sweep seed carries the heal tail (heal the
+# partition, clear the gray marks, restart the durable victims) so a scenario
+# that degrades is fine but one that cannot *recover* fails the sweep.
+#
+#   tools/check_macro.sh                 # configure + build + ctest -L macro + sweep
+#   tools/check_macro.sh -L macro -V     # extra args are passed to ctest
+#
+# Env: BUILD_DIR (default <repo>/build-asan-macro), SANITIZER (address |
+# undefined), SEEDS (default 50).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build-asan-macro}"
+sanitizer="${SANITIZER:-address}"
+seeds="${SEEDS:-50}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DPGRID_SANITIZE="${sanitizer}" \
+  -DPGRID_BUILD_BENCHMARKS=OFF \
+  -DPGRID_BUILD_EXAMPLES=OFF
+
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+  macro_scenario_test gray_failure_test partition_heal_test \
+  node_robustness_test pgrid
+
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir "${build_dir}" --output-on-failure "$@"
+else
+  ctest --test-dir "${build_dir}" --output-on-failure -L macro
+fi
+
+# Macro seed sweep through the CLI: generate -> run -> heal tail -> strict
+# barrier, for every seed, under the sanitizer.
+"${build_dir}/tools/pgrid" fuzz --seeds="${seeds}" --macro-sweep --keep-going \
+  --out="${build_dir}/macro_repro.pgs"
+
+echo "macro suite clean under ${sanitizer} sanitizer (${seeds} sweep seeds)."
